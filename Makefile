@@ -1,0 +1,47 @@
+# constcomp — build/test/experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench examples experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Run every example binary (smoke test).
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/employee
+	$(GO) run ./examples/registrar
+	$(GO) run ./examples/succinct
+	$(GO) run ./examples/catalog
+
+# Regenerate all experiment tables (EXPERIMENTS.md records a full run).
+experiments:
+	$(GO) run ./cmd/experiments
+
+# CI-sized sweep.
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+fuzz:
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s -run XXX ./internal/dep
+
+clean:
+	$(GO) clean ./...

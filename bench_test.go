@@ -1,0 +1,454 @@
+package constcomp
+
+// One testing.B benchmark per experiment of DESIGN.md's index (E1–E16,
+// A1–A3). cmd/experiments prints the full parameter-sweep tables; these
+// benches give the per-operation micro-measurements at a representative
+// size, runnable with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/axioms"
+	"github.com/constcomp/constcomp/internal/bs"
+	"github.com/constcomp/constcomp/internal/chase"
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/logic"
+	"github.com/constcomp/constcomp/internal/reductions"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+	"github.com/constcomp/constcomp/internal/workload"
+)
+
+// BenchE1Complementary measures the Theorem 1 complementarity test on a
+// random 16-attribute FD schema.
+func BenchmarkE1Complementary(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	names := make([]string, 16)
+	for i := range names {
+		names[i] = fmt.Sprintf("A%02d", i)
+	}
+	u := attr.MustUniverse(names...)
+	sigma := dep.NewSet(u)
+	for _, f := range workload.RandomFDs(u, rng, 16) {
+		sigma.Add(f)
+	}
+	s := core.MustSchema(u, sigma)
+	x := u.MustSet("A00", "A01", "A02", "A03", "A04", "A05", "A06", "A07")
+	y := x.Complement().With(0).With(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Complementary(s, x, y)
+	}
+}
+
+func BenchmarkE2ComplementTestWide(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("U=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			names := make([]string, n)
+			for i := range names {
+				names[i] = fmt.Sprintf("A%03d", i)
+			}
+			u := attr.MustUniverse(names...)
+			sigma := dep.NewSet(u)
+			for _, f := range workload.RandomFDs(u, rng, n) {
+				sigma.Add(f)
+			}
+			s := core.MustSchema(u, sigma)
+			x := u.Empty()
+			for i := 0; i < n/2; i++ {
+				x = x.With(attr.ID(i))
+			}
+			y := x.Complement().With(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Complementary(s, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkE3MinimalComplement(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	names := make([]string, 24)
+	for i := range names {
+		names[i] = fmt.Sprintf("A%02d", i)
+	}
+	u := attr.MustUniverse(names...)
+	sigma := dep.NewSet(u)
+	for _, f := range workload.RandomFDs(u, rng, 24) {
+		sigma.Add(f)
+	}
+	s := core.MustSchema(u, sigma)
+	x := u.Empty()
+	for i := 0; i < 12; i++ {
+		x = x.With(attr.ID(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MinimalComplement(s, x)
+	}
+}
+
+func BenchmarkE4MinimumComplement(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	phi := logic.Random3CNF(rng, 3, 4)
+	red, err := reductions.BuildTheorem2(phi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MinimumComplement(red.Schema, red.X)
+	}
+}
+
+// insertFixture builds the chain workload at |V| = n.
+func insertFixture(n int) (*core.Pair, *relation.Relation, relation.Tuple) {
+	c := workload.NewChain(6, 3)
+	p := core.MustPair(c.Schema, c.X, c.Y)
+	return p, c.ViewInstance(n), c.InsertTuple(n)
+}
+
+func BenchmarkE5InsertExact(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("V=%d", n), func(b *testing.B) {
+			p, v, t := insertFixture(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := p.DecideInsert(v, t)
+				if err != nil || !d.Translatable {
+					b.Fatal("unexpected verdict")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE6ApplyInsert(b *testing.B) {
+	e := workload.NewEDM()
+	p := core.MustPair(e.Schema, e.ED, e.DM)
+	db := e.Instance(1024, 64)
+	t := e.NewEmployeeTuple("newbie", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ApplyInsert(db, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7Test1(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("V=%d", n), func(b *testing.B) {
+			p, v, t := insertFixture(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.DecideInsertTest1(v, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE8Test2(b *testing.B) {
+	p, v, t := insertFixture(256)
+	good, err := p.IsGoodComplement()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("goodness-check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.IsGoodComplement(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.DecideInsertTest2Known(v, t, good); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE9SuccinctInsert(b *testing.B) {
+	g := logic.MustCNF(5,
+		logic.Clause{1, -2, 3},
+		logic.Clause{2, -3, 4},
+		logic.Clause{3, -4, 5},
+	)
+	red, err := reductions.BuildTheorem4(g, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair, err := core.NewPair(red.Schema, red.X, red.Y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("expand", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			red.View.Expand()
+		}
+	})
+	v := red.View.Expand()
+	b.Run("decide", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pair.DecideInsert(v, red.T); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE10SuccinctTest1(b *testing.B) {
+	g := logic.MustCNF(7,
+		logic.Clause{-1, 2, -3},
+		logic.Clause{-2, 3, -4},
+		logic.Clause{-3, 4, -5},
+		logic.Clause{-4, 5, -6},
+		logic.Clause{-5, 6, -7},
+	)
+	red, err := reductions.BuildTheorem5(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair, err := core.NewPair(red.Schema, red.X, red.Y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := red.View.Expand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pair.DecideInsertTest1(v, red.T); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11FindComplement(b *testing.B) {
+	e := workload.NewEDM()
+	v := e.ViewInstance(256, 32)
+	t := e.NewEmployeeTuple("waldo", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FindInsertComplement(e.Schema, e.ED, v, t, core.TestExact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12SuccinctFind(b *testing.B) {
+	g := logic.MustCNF(4,
+		logic.Clause{1, 2, 3},
+		logic.Clause{2, 3, 4},
+	)
+	red, err := reductions.BuildTheorem7(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := red.View.Expand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FindInsertComplement(red.Schema, red.X, v, red.T, core.TestExact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13Delete(b *testing.B) {
+	e := workload.NewEDM()
+	p := core.MustPair(e.Schema, e.ED, e.DM)
+	v := e.ViewInstance(1024, 1024) // worst case: full scan
+	t := v.Tuple(0).Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.DecideDelete(v, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE14Replace(b *testing.B) {
+	p, v, t2 := insertFixture(256)
+	t1 := v.Tuple(0).Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.DecideReplace(v, t1, t2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE15EFD(b *testing.B) {
+	u := attr.MustUniverse("A", "B", "C", "D", "E")
+	sigma := dep.MustParseSet(u, "A =>e B\nB =>e C\nC -> D\nD =>e E")
+	s := core.MustSchema(u, sigma)
+	target := dep.NewEFD(u.MustSet("A"), u.MustSet("C"))
+	b.Run("implies", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ImpliesEFD(s, target)
+		}
+	})
+	x, y := u.MustSet("A", "B", "C"), u.MustSet("C", "D")
+	b.Run("thm10-complementary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Complementary(s, x, y)
+		}
+	})
+}
+
+func BenchmarkE16Morphism(b *testing.B) {
+	var states []string
+	for a := 0; a < 8; a++ {
+		for c := 0; c < 8; c++ {
+			states = append(states, fmt.Sprintf("%d,%d", a, c))
+		}
+	}
+	sp := bs.NewSpace(states...)
+	v := bs.View[string, string](func(s string) string { return s[:1] })
+	w := bs.View[string, string](func(s string) string { return s[2:] })
+	tr, err := bs.NewTranslator(sp, v, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u1 := bs.Update[string](func(a string) string {
+		return string(rune('0' + (int(a[0]-'0')+1)%8))
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.CheckMorphism(u1, u1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE17Axioms(b *testing.B) {
+	u := attr.MustUniverse("A", "B", "C", "D", "E")
+	sigma := dep.MustParseSet(u, "A -> B\nB =>e C\nC -> D\nD =>e E")
+	p := axioms.NewProver(sigma)
+	goal := dep.NewFD(u.MustSet("A"), u.MustSet("E"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proof, ok := p.ProveFD(goal)
+		if !ok {
+			b.Fatal("underivable")
+		}
+		if err := p.Verify(proof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA1ChaseImpl(b *testing.B) {
+	c := workload.NewChain(6, 3)
+	fds := c.Schema.Sigma().SplitFDs()
+	u := c.Schema.Universe()
+	v := c.ViewInstance(256)
+	var gen value.NullGen
+	padded := relation.New(u.All())
+	for _, t := range v.Tuples() {
+		nt := make(relation.Tuple, u.Size())
+		for col := 0; col < u.Size(); col++ {
+			if vc := v.Col(attr.ID(col)); vc >= 0 {
+				nt[col] = t[vc]
+			} else {
+				nt[col] = gen.Fresh()
+			}
+		}
+		padded.Insert(nt)
+	}
+	b.Run("hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			chase.Instance(padded, fds)
+		}
+	})
+	b.Run("sort-paper", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			chase.InstanceSortBased(padded, fds)
+		}
+	})
+}
+
+func BenchmarkA2MVDInference(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	u := attr.MustUniverse("A", "B", "C", "D", "E", "F")
+	sigma := dep.NewSet(u)
+	for _, f := range workload.RandomFDs(u, rng, 4) {
+		sigma.Add(f)
+	}
+	m := dep.NewMVD(u.MustSet("A", "B"), u.MustSet("C", "D"))
+	b.Run("dependency-basis", func(b *testing.B) {
+		fds := sigma.FDs()
+		for i := 0; i < b.N; i++ {
+			chase.FDOnlyImpliesMVD(fds, m)
+		}
+	})
+	b.Run("tableau", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			chase.ImpliesMVD(sigma, m)
+		}
+	})
+}
+
+func BenchmarkA4DependencyBasis(b *testing.B) {
+	u := attr.MustUniverse("A", "B", "C", "D", "E", "F")
+	sigma := dep.MustParseSet(u, "A -> B\nA ->> C\nC D -> E\nB ->> D")
+	m := dep.NewMVD(u.MustSet("A"), u.MustSet("C", "E"))
+	b.Run("basis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			chase.BasisImpliesMVD(sigma, m)
+		}
+	})
+	b.Run("tableau", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			chase.ImpliesMVD(sigma, m)
+		}
+	})
+}
+
+func BenchmarkA5ImposeStrategy(b *testing.B) {
+	p, v, t := insertFixture(256)
+	b.Run("incremental", func(b *testing.B) {
+		p.SetImposeStrategy(core.ImposeIncremental)
+		for i := 0; i < b.N; i++ {
+			if d, err := p.DecideInsert(v, t); err != nil || !d.Translatable {
+				b.Fatal("unexpected verdict")
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		p.SetImposeStrategy(core.ImposeRebuild)
+		for i := 0; i < b.N; i++ {
+			if d, err := p.DecideInsert(v, t); err != nil || !d.Translatable {
+				b.Fatal("unexpected verdict")
+			}
+		}
+	})
+	p.SetImposeStrategy(core.ImposeIncremental)
+}
+
+func BenchmarkA3Join(b *testing.B) {
+	e := workload.NewEDM()
+	db := e.Instance(4096, 256)
+	vy := db.Project(e.DM)
+	tx := relation.Singleton(e.ED, e.NewEmployeeTuple("probe", 0))
+	b.Run("hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tx.JoinWith(vy, relation.HashJoin)
+		}
+	})
+	b.Run("sort-merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tx.JoinWith(vy, relation.SortMergeJoin)
+		}
+	})
+}

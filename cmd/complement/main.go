@@ -1,0 +1,114 @@
+// Command complement analyzes complements of a projective view: the
+// minimal (nonredundant) complement of Corollary 2, the minimum
+// complement of Theorem 2 (exponential search), all minimum-size
+// complements, and the Test-2 goodness of each candidate.
+//
+// Usage:
+//
+//	complement -schema schema.txt -view "E D" [-all] [-k 2]
+//
+// The schema file format is:
+//
+//	attrs: E D M
+//	E -> D
+//	D -> M
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/value"
+	"github.com/constcomp/constcomp/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("complement: ")
+	schemaPath := flag.String("schema", "", "path to the schema file (required)")
+	viewSpec := flag.String("view", "", "view attributes, e.g. \"E D\" (required)")
+	all := flag.Bool("all", false, "list every minimum-size complement")
+	k := flag.Int("k", -1, "also decide whether a complement of exactly this size exists")
+	witness := flag.String("witness", "", "attribute set Y: if (X, Y) is not complementary, print two distinct legal instances with equal projections")
+	flag.Parse()
+	if *schemaPath == "" || *viewSpec == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := workload.ParseSchema(string(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := schema.Universe()
+	x, err := u.ParseSet(*viewSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("schema: U = %v, |Σ| = %d\n", u.All(), schema.Sigma().Len())
+	fmt.Printf("view:   X = %v\n\n", x)
+
+	minimal := core.MinimalComplement(schema, x)
+	fmt.Printf("minimal complement (Corollary 2): %v  (size %d)\n", minimal, minimal.Len())
+	minimum, ok := core.MinimumComplement(schema, x)
+	if !ok {
+		log.Fatal("no complement exists (unexpected: U always works)")
+	}
+	fmt.Printf("minimum complement (Theorem 2):   %v  (size %d)\n", minimum, minimum.Len())
+
+	if *all {
+		fmt.Printf("\nall complements of size %d:\n", minimum.Len())
+		var found []attr.Set
+		u.All().SubsetsOfSize(minimum.Len(), func(y attr.Set) bool {
+			if core.Complementary(schema, x, y) {
+				found = append(found, y)
+			}
+			return true
+		})
+		attr.SortSets(found)
+		for _, y := range found {
+			good := "n/a"
+			if p, err := core.NewPair(schema, x, y); err == nil {
+				if g, err := p.IsGoodComplement(); err == nil {
+					good = fmt.Sprintf("%v", g)
+				}
+			}
+			fmt.Printf("  %v  (good complement: %s)\n", y, good)
+		}
+	}
+
+	if *k >= 0 {
+		y, ok := core.HasComplementOfSize(schema, x, *k)
+		if ok {
+			fmt.Printf("\ncomplement of size %d exists: %v\n", *k, y)
+		} else {
+			fmt.Printf("\nno complement of size %d exists\n", *k)
+		}
+	}
+
+	if *witness != "" {
+		y, err := u.ParseSet(*witness)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if core.Complementary(schema, x, y) {
+			fmt.Printf("\n(%v, %v) are complementary — no witness exists\n", x, y)
+			return
+		}
+		syms := value.NewSymbols()
+		r, r2, err := core.NonComplementaryWitness(schema, x, y, syms)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n(%v, %v) are NOT complementary. Witness instances with equal projections:\nR:\n%s\nR':\n%s",
+			x, y, r.Format(syms), r2.Format(syms))
+	}
+}

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/logic"
+	"github.com/constcomp/constcomp/internal/reductions"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+	"github.com/constcomp/constcomp/internal/workload"
+)
+
+func init() {
+	register("E1", "Theorem 1: complementarity characterization vs. semantic brute force", runE1)
+	register("E2", "Corollary 1: complementarity test scales polynomially", runE2)
+	register("E3", "Corollary 2: minimal complement in polynomial time", runE3)
+	register("E4", "Theorem 2: minimum complement — reduction validity and exponential search", runE4)
+}
+
+// bruteComplementary checks the definition over all ≤2-tuple legal
+// instances on a 2-value domain (exact for FD schemas by the paper's
+// two-tuple counterexample argument).
+func bruteComplementary(s *core.Schema, x, y attr.Set, syms *value.Symbols) bool {
+	u := s.Universe()
+	n := u.Size()
+	vals := syms.Ints(2)
+	var tuples []relation.Tuple
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		t := make(relation.Tuple, n)
+		for c := 0; c < n; c++ {
+			t[c] = vals[(mask>>uint(c))&1]
+		}
+		tuples = append(tuples, t)
+	}
+	var legal []*relation.Relation
+	consider := func(r *relation.Relation) {
+		if ok, _ := s.Legal(r); ok {
+			legal = append(legal, r)
+		}
+	}
+	for i := range tuples {
+		r := relation.New(u.All())
+		r.Insert(tuples[i].Clone())
+		consider(r)
+		for j := i + 1; j < len(tuples); j++ {
+			r2 := relation.New(u.All())
+			r2.Insert(tuples[i].Clone())
+			r2.Insert(tuples[j].Clone())
+			consider(r2)
+		}
+	}
+	for i, r := range legal {
+		for _, r2 := range legal[i+1:] {
+			if r.Project(x).Equal(r2.Project(x)) && r.Project(y).Equal(r2.Project(y)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func runE1(cfg config) {
+	trials := 400
+	if cfg.quick {
+		trials = 60
+	}
+	u := attr.MustUniverse("A", "B", "C", "D")
+	rng := rand.New(rand.NewSource(1))
+	agree, complementary := 0, 0
+	for i := 0; i < trials; i++ {
+		sigma := dep.NewSet(u)
+		for _, f := range workload.RandomFDs(u, rng, 1+rng.Intn(3)) {
+			sigma.Add(f)
+		}
+		s := core.MustSchema(u, sigma)
+		x := randomSubset(u, rng)
+		y := randomSubset(u, rng)
+		syms := value.NewSymbols()
+		chaseVerdict := core.Complementary(s, x, y)
+		bruteVerdict := bruteComplementary(s, x, y, syms)
+		if chaseVerdict == bruteVerdict {
+			agree++
+		}
+		if chaseVerdict {
+			complementary++
+		}
+	}
+	row("trials", "agree", "complementary")
+	row(trials, agree, complementary)
+	if agree != trials {
+		fmt.Println("!! characterization DISAGREES with the semantic definition")
+	}
+}
+
+func randomSubset(u *attr.Universe, rng *rand.Rand) attr.Set {
+	s := u.Empty()
+	for a := 0; a < u.Size(); a++ {
+		if rng.Intn(2) == 0 {
+			s = s.With(attr.ID(a))
+		}
+	}
+	return s
+}
+
+func runE2(cfg config) {
+	sizes := []int{8, 16, 32, 64, 128}
+	if cfg.quick {
+		sizes = []int{8, 16, 32}
+	}
+	row("|U|", "|Σ|", "time/test")
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range sizes {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("A%03d", i)
+		}
+		u := attr.MustUniverse(names...)
+		sigma := dep.NewSet(u)
+		for _, f := range workload.RandomFDs(u, rng, n) {
+			sigma.Add(f)
+		}
+		s := core.MustSchema(u, sigma)
+		x := randomSubset(u, rng)
+		y := randomSubset(u, rng).Union(x.Complement())
+		d := timeIt(50, func() { core.Complementary(s, x, y) })
+		row(n, sigma.Len(), d)
+	}
+}
+
+func runE3(cfg config) {
+	sizes := []int{8, 16, 32, 64}
+	if cfg.quick {
+		sizes = []int{8, 16}
+	}
+	row("|U|", "time", "|Y|", "minimal?")
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range sizes {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("A%03d", i)
+		}
+		u := attr.MustUniverse(names...)
+		sigma := dep.NewSet(u)
+		for _, f := range workload.RandomFDs(u, rng, n) {
+			sigma.Add(f)
+		}
+		s := core.MustSchema(u, sigma)
+		x := randomSubset(u, rng)
+		var y attr.Set
+		d := timeIt(5, func() { y = core.MinimalComplement(s, x) })
+		// Verify minimality.
+		minimal := true
+		y.Each(func(id attr.ID) bool {
+			if core.Complementary(s, x, y.Without(id)) {
+				minimal = false
+				return false
+			}
+			return true
+		})
+		row(n, d, y.Len(), minimal)
+	}
+}
+
+func runE4(cfg config) {
+	// (a) Reduction validity against DPLL.
+	trials := 30
+	if cfg.quick {
+		trials = 10
+	}
+	rng := rand.New(rand.NewSource(4))
+	agree := 0
+	for i := 0; i < trials; i++ {
+		phi := logic.Random3CNF(rng, 3, 2+rng.Intn(5))
+		red, err := reductions.BuildTheorem2(phi)
+		if err != nil {
+			continue
+		}
+		_, hasComp := core.HasComplementOfSize(red.Schema, red.X, red.K)
+		if hasComp == phi.Satisfiable() {
+			agree++
+		}
+	}
+	fmt.Printf("(a) reduction validity: %d/%d instances agree with DPLL\n", agree, trials)
+
+	// (b) exact search blowup on S_phi schemas.
+	ns := []int{1, 2, 3, 4}
+	if cfg.quick {
+		ns = []int{1, 2, 3}
+	}
+	fmt.Println("(b) exact minimum-complement search on S_φ:")
+	row("n(vars)", "|U|", "time")
+	for _, n := range ns {
+		phi := logic.Random3CNF(rng, max(n, 3), n+2)
+		phi.Vars = max(n, 3)
+		red, err := reductions.BuildTheorem2(phi)
+		if err != nil {
+			continue
+		}
+		d := timeIt(1, func() { core.MinimumComplement(red.Schema, red.X) })
+		row(n, red.Schema.Universe().Size(), d)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/logic"
+	"github.com/constcomp/constcomp/internal/reductions"
+)
+
+func init() {
+	register("E9", "Theorem 4: succinct-view translatability — blowup and the reproduction finding", runE9)
+	register("E10", "Theorem 5: Test 1 on succinct views is co-NP-complete", runE10)
+	register("E12", "Theorem 7: complement finding on succinct views is NP-hard", runE12)
+}
+
+func runE9(cfg config) {
+	// Equivalence with the chase-characterized predicate, plus the
+	// deviation count from the paper's ∀∃ claim.
+	trials := 40
+	maxN := 5
+	if cfg.quick {
+		trials, maxN = 15, 4
+	}
+	rng := rand.New(rand.NewSource(9))
+	agreeChase, agreeQBF := 0, 0
+	for i := 0; i < trials; i++ {
+		n := 3 + rng.Intn(maxN-2)
+		g := logic.Random3CNF(rng, n, 1+rng.Intn(6))
+		k := rng.Intn(n + 1)
+		red, err := reductions.BuildTheorem4(g, k)
+		if err != nil {
+			continue
+		}
+		pair, err := core.NewPair(red.Schema, red.X, red.Y)
+		if err != nil {
+			continue
+		}
+		d, err := pair.DecideInsert(red.View.Expand(), red.T)
+		if err != nil {
+			continue
+		}
+		if d.Translatable == red.ChasePredicts() {
+			agreeChase++
+		}
+		if d.Translatable == g.ForallExists(k) {
+			agreeQBF++
+		}
+	}
+	fmt.Printf("agreement with chase-characterized predicate: %d/%d\n", agreeChase, trials)
+	fmt.Printf("agreement with the paper's ∀∃ claim:          %d/%d (deviation — see EXPERIMENTS.md)\n", agreeQBF, trials)
+
+	// Exponential blowup of expansion-based decision vs description size.
+	ns := []int{3, 5, 7, 8}
+	if cfg.quick {
+		ns = []int{3, 5, 7}
+	}
+	row("n", "descr", "|V|", "decide time")
+	for _, n := range ns {
+		clauses := make([]logic.Clause, 0, n-2)
+		for i := 1; i+2 <= n; i++ {
+			clauses = append(clauses, logic.Clause{logic.Lit(i), logic.Lit(-(i + 1)), logic.Lit(i + 2)})
+		}
+		g := logic.MustCNF(n, clauses...)
+		red, err := reductions.BuildTheorem4(g, n/2)
+		if err != nil {
+			panic(err)
+		}
+		pair, err := core.NewPair(red.Schema, red.X, red.Y)
+		if err != nil {
+			panic(err)
+		}
+		v := red.View.Expand()
+		d := timeIt(1, func() {
+			if _, err := pair.DecideInsert(v, red.T); err != nil {
+				panic(err)
+			}
+		})
+		row(n, red.View.DescriptionSize(), v.Len(), d)
+	}
+}
+
+func runE10(cfg config) {
+	trials := 40
+	if cfg.quick {
+		trials = 15
+	}
+	rng := rand.New(rand.NewSource(10))
+	agree := 0
+	for i := 0; i < trials; i++ {
+		n := 3 + rng.Intn(3)
+		g := logic.Random3CNF(rng, n, 1+rng.Intn(8))
+		red, err := reductions.BuildTheorem5(g)
+		if err != nil {
+			continue
+		}
+		pair, err := core.NewPair(red.Schema, red.X, red.Y)
+		if err != nil {
+			continue
+		}
+		d, err := pair.DecideInsertTest1(red.View.Expand(), red.T)
+		if err != nil {
+			continue
+		}
+		if d.Translatable == !g.Satisfiable() {
+			agree++
+		}
+	}
+	fmt.Printf("Test 1 accepts iff G unsat: %d/%d instances agree with DPLL\n", agree, trials)
+
+	ns := []int{3, 5, 7, 9, 11}
+	if cfg.quick {
+		ns = []int{3, 5, 7}
+	}
+	row("n", "descr", "|V|", "test1 time")
+	for _, n := range ns {
+		clauses := make([]logic.Clause, 0, n-2)
+		for i := 1; i+2 <= n; i++ {
+			clauses = append(clauses, logic.Clause{logic.Lit(-i), logic.Lit(i + 1), logic.Lit(-(i + 2))})
+		}
+		g := logic.MustCNF(n, clauses...)
+		red, err := reductions.BuildTheorem5(g)
+		if err != nil {
+			panic(err)
+		}
+		pair, err := core.NewPair(red.Schema, red.X, red.Y)
+		if err != nil {
+			panic(err)
+		}
+		v := red.View.Expand()
+		d := timeIt(1, func() {
+			if _, err := pair.DecideInsertTest1(v, red.T); err != nil {
+				panic(err)
+			}
+		})
+		row(n, red.View.DescriptionSize(), v.Len(), d)
+	}
+}
+
+func runE12(cfg config) {
+	trials := 30
+	if cfg.quick {
+		trials = 10
+	}
+	rng := rand.New(rand.NewSource(12))
+	agree := 0
+	for i := 0; i < trials; i++ {
+		n := 3 + rng.Intn(2)
+		g := logic.Random3CNF(rng, n, 1+rng.Intn(4))
+		red, err := reductions.BuildTheorem7(g)
+		if err != nil {
+			continue
+		}
+		res, err := core.FindInsertComplement(red.Schema, red.X, red.View.Expand(), red.T, core.TestExact)
+		if err != nil {
+			continue
+		}
+		if res.Found == g.Satisfiable() {
+			agree++
+		}
+	}
+	fmt.Printf("complement exists iff G sat: %d/%d instances agree with DPLL\n", agree, trials)
+
+	ns := []int{3, 5, 6}
+	if cfg.quick {
+		ns = []int{3, 5}
+	}
+	row("n", "descr", "|V|", "find time", "found")
+	for _, n := range ns {
+		clauses := make([]logic.Clause, 0, n-2)
+		for i := 1; i+2 <= n; i++ {
+			clauses = append(clauses, logic.Clause{logic.Lit(i), logic.Lit(i + 1), logic.Lit(i + 2)})
+		}
+		g := logic.MustCNF(n, clauses...)
+		red, err := reductions.BuildTheorem7(g)
+		if err != nil {
+			panic(err)
+		}
+		v := red.View.Expand()
+		var res *core.FindResult
+		d := timeIt(1, func() {
+			var err error
+			res, err = core.FindInsertComplement(red.Schema, red.X, v, red.T, core.TestExact)
+			if err != nil {
+				panic(err)
+			}
+		})
+		row(n, red.View.DescriptionSize(), v.Len(), d, res.Found)
+	}
+}

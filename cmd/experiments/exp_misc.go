@@ -1,0 +1,360 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/axioms"
+	"github.com/constcomp/constcomp/internal/bs"
+	"github.com/constcomp/constcomp/internal/chase"
+	"github.com/constcomp/constcomp/internal/closure"
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+	"github.com/constcomp/constcomp/internal/workload"
+)
+
+func init() {
+	register("E15", "EFDs: Propositions 1–2 implication, Theorem 10 complementarity", runE15)
+	register("E17", "Axiom system (Armstrong + EFD rules): soundness & completeness", runE17)
+	register("E16", "Bancilhon–Spyratos facts (i)/(ii) on enumerated relational states", runE16)
+	register("A1", "Ablation: hash-bucket vs. sort-based instance chase", runA1)
+	register("A2", "Ablation: dependency-basis fast path vs. tableau chase (MVD inference)", runA2)
+	register("A4", "Ablation: Beeri dependency-basis vs. tableau chase on FD+MVD schemas", runA4)
+	register("A3", "Ablation: hash join vs. sort-merge join for t*π_Y(R)", runA3)
+}
+
+func runE15(cfg config) {
+	trials := 500
+	if cfg.quick {
+		trials = 100
+	}
+	rng := rand.New(rand.NewSource(15))
+	u := attr.MustUniverse("A", "B", "C", "D", "E")
+	agree := 0
+	for i := 0; i < trials; i++ {
+		// Random mixed Σ with EFDs and FDs.
+		sigma := dep.NewSet(u)
+		var efdFDs []dep.FD
+		for _, f := range workload.RandomFDs(u, rng, 2+rng.Intn(3)) {
+			if rng.Intn(2) == 0 {
+				sigma.Add(dep.NewEFD(f.From, f.To))
+				efdFDs = append(efdFDs, f)
+			} else {
+				sigma.Add(f)
+			}
+		}
+		s := core.MustSchema(u, sigma)
+		q := workload.RandomFDs(u, rng, 1)[0]
+		target := dep.NewEFD(q.From, q.To)
+		// Oracle (Prop 1 + Prop 2b): closure over EFD-underlying FDs only.
+		want := closure.Implies(efdFDs, q)
+		if core.ImpliesEFD(s, target) == want {
+			agree++
+		}
+	}
+	fmt.Printf("EFD implication vs Prop 1/2 oracle: %d/%d agree\n", agree, trials)
+
+	// Theorem 10 cases.
+	u2 := attr.MustUniverse("Cost", "Rate", "Price")
+	efd := core.MustSchema(u2, dep.MustParseSet(u2, "Cost Rate =>e Price"))
+	plain := core.MustSchema(u2, dep.MustParseSet(u2, "Cost Rate -> Price"))
+	x := u2.MustSet("Cost", "Rate")
+	y := u2.MustSet("Cost")
+	row("Σ", "X", "Y", "complementary")
+	row("EFD", x, y, core.Complementary(efd, x, y))
+	row("plain FD", x, y, core.Complementary(plain, x, y))
+}
+
+func runE17(cfg config) {
+	trials := 2000
+	if cfg.quick {
+		trials = 300
+	}
+	rng := rand.New(rand.NewSource(17))
+	u := attr.MustUniverse("A", "B", "C", "D", "E")
+	agree, proved, verified := 0, 0, 0
+	for i := 0; i < trials; i++ {
+		sigma := dep.NewSet(u)
+		for _, f := range workload.RandomFDs(u, rng, 1+rng.Intn(4)) {
+			if rng.Intn(2) == 0 {
+				sigma.Add(dep.NewEFD(f.From, f.To))
+			} else {
+				sigma.Add(f)
+			}
+		}
+		p := axioms.NewProver(sigma)
+		goal := workload.RandomFDs(u, rng, 1)[0]
+		want := closure.Implies(sigma.WithFD().FDs(), goal)
+		proof, ok := p.ProveFD(goal)
+		if ok == want {
+			agree++
+		}
+		if ok {
+			proved++
+			if p.Verify(proof) == nil {
+				verified++
+			}
+		}
+	}
+	fmt.Printf("derivability vs semantic implication: %d/%d agree\n", agree, trials)
+	fmt.Printf("proofs produced: %d, independently verified: %d\n", proved, verified)
+}
+
+func runE16(cfg config) {
+	// Enumerate legal EDM states over a tiny domain and check the BS
+	// facts for the constant-complement translator.
+	u := attr.MustUniverse("E", "D", "M")
+	sigma := dep.MustParseSet(u, "E -> D\nD -> M")
+	s := core.MustSchema(u, sigma)
+	syms := value.NewSymbols()
+	var vals []value.Value
+	for _, n := range []string{"e1", "e2", "d1", "d2", "m1", "m2"} {
+		vals = append(vals, syms.Const(n))
+	}
+	serialize := func(r *relation.Relation) string {
+		rows := make([]string, 0, r.Len())
+		for _, tp := range r.Tuples() {
+			rows = append(rows, fmt.Sprintf("%v", tp))
+		}
+		sort.Strings(rows)
+		return strings.Join(rows, ";")
+	}
+	byKey := map[string]*relation.Relation{}
+	var keys []string
+	var tuples []relation.Tuple
+	for _, e := range vals[:2] {
+		for _, d := range vals[2:4] {
+			for _, m := range vals[4:] {
+				tuples = append(tuples, relation.Tuple{e, d, m})
+			}
+		}
+	}
+	add := func(r *relation.Relation) {
+		if ok, _ := s.Legal(r); ok {
+			k := serialize(r)
+			if _, dup := byKey[k]; !dup {
+				byKey[k] = r
+				keys = append(keys, k)
+			}
+		}
+	}
+	add(relation.New(u.All()))
+	for i := range tuples {
+		r := relation.New(u.All())
+		r.Insert(tuples[i].Clone())
+		add(r)
+		for j := i + 1; j < len(tuples); j++ {
+			r2 := relation.New(u.All())
+			r2.Insert(tuples[i].Clone())
+			r2.Insert(tuples[j].Clone())
+			add(r2)
+		}
+	}
+	sp := bs.NewSpace(keys...)
+	x, y := u.MustSet("E", "D"), u.MustSet("D", "M")
+	vx := bs.View[string, string](func(k string) string { return serialize(byKey[k].Project(x)) })
+	vy := bs.View[string, string](func(k string) string { return serialize(byKey[k].Project(y)) })
+	fmt.Printf("states: %d, complementary(π_ED, π_DM): %v\n", sp.Len(), bs.Complementary(sp, vx, vy))
+	tr, err := bs.NewTranslator(sp, vx, vy)
+	if err != nil {
+		panic(err)
+	}
+	// Extensional view updates: for every pair of reachable view states
+	// that differ by one tuple, an insert update.
+	uv := map[string]string{}
+	tIns := relation.Tuple{vals[0], vals[2]} // (e1, d1)
+	for _, k := range keys {
+		v := byKey[k].Project(x)
+		updated := v.Clone()
+		updated.Insert(tIns.Clone())
+		uv[serialize(v)] = serialize(updated)
+	}
+	ins := bs.Update[string](func(vs string) string {
+		if out, ok := uv[vs]; ok {
+			return out
+		}
+		return vs
+	})
+	consistent, acceptable, translatableAt := 0, 0, 0
+	for _, k := range keys {
+		if out, ok := tr.Translate(ins, k); ok {
+			translatableAt++
+			if vx(out) == ins(vx(k)) {
+				consistent++
+			}
+			if ins(vx(k)) == vx(k) && out == k {
+				acceptable++
+			}
+		}
+	}
+	fmt.Printf("fact (i): translatable at %d states; consistent %d, acceptable identities %d\n",
+		translatableAt, consistent, acceptable)
+	// Fact (ii) is conditional on translatability: check the morphism
+	// equation on the states where both sides are defined (insert is
+	// idempotent, so u∘u = u there).
+	violations, checked := 0, 0
+	for _, k := range keys {
+		mid, ok1 := tr.Translate(ins, k)
+		if !ok1 {
+			continue
+		}
+		two, ok2 := tr.Translate(ins, mid)
+		comp := bs.Update[string](func(vs string) string { return ins(ins(vs)) })
+		viaComp, ok3 := tr.Translate(comp, k)
+		if !ok2 || !ok3 {
+			continue
+		}
+		checked++
+		if two != viaComp {
+			violations++
+		}
+	}
+	fmt.Printf("fact (ii): morphism equation checked on %d states, violations %d\n", checked, violations)
+}
+
+func runA1(cfg config) {
+	sizes := chainSweep(cfg)
+	c := workload.NewChain(6, 3)
+	fds := c.Schema.Sigma().SplitFDs()
+	row("|V|", "hash chase", "sort chase", "agree")
+	for _, n := range sizes {
+		v := c.ViewInstance(n)
+		var gen value.NullGen
+		padded := relation.New(c.Schema.Universe().All())
+		for _, t := range v.Tuples() {
+			nt := make(relation.Tuple, c.Schema.Universe().Size())
+			for col := 0; col < c.Schema.Universe().Size(); col++ {
+				if vc := v.Col(attr.ID(col)); vc >= 0 {
+					nt[col] = t[vc]
+				} else {
+					nt[col] = gen.Fresh()
+				}
+			}
+			padded.Insert(nt)
+		}
+		var hres, sres *chase.Result
+		h := timeIt(3, func() { hres = chase.Instance(padded, fds) })
+		sd := timeIt(1, func() { sres = chase.InstanceSortBased(padded, fds) })
+		agree := hres.ConstClash() == sres.ConstClash() &&
+			hres.Relation().Len() == sres.Relation().Len()
+		row(n, h, sd, agree)
+	}
+}
+
+func runA2(cfg config) {
+	trials := 3000
+	if cfg.quick {
+		trials = 500
+	}
+	u := attr.MustUniverse("A", "B", "C", "D", "E", "F")
+	rng := rand.New(rand.NewSource(22))
+	type caseT struct {
+		s *dep.Set
+		m dep.MVD
+	}
+	cases := make([]caseT, 0, trials)
+	for i := 0; i < trials; i++ {
+		sigma := dep.NewSet(u)
+		for _, f := range workload.RandomFDs(u, rng, 1+rng.Intn(4)) {
+			sigma.Add(f)
+		}
+		x, y := randomSubset(u, rng), randomSubset(u, rng)
+		cases = append(cases, caseT{sigma, dep.NewMVD(x, y)})
+	}
+	agree := 0
+	fast := timeIt(1, func() {
+		for _, c := range cases {
+			chase.FDOnlyImpliesMVD(c.s.FDs(), c.m)
+		}
+	})
+	slow := timeIt(1, func() {
+		for _, c := range cases {
+			chase.ImpliesMVD(c.s, c.m)
+		}
+	})
+	for _, c := range cases {
+		if chase.FDOnlyImpliesMVD(c.s.FDs(), c.m) == chase.ImpliesMVD(c.s, c.m) {
+			agree++
+		}
+	}
+	fmt.Printf("cases: %d, agreement: %d\n", len(cases), agree)
+	row("impl", "total time")
+	row("dependency basis", fast)
+	row("tableau chase", slow)
+}
+
+func runA4(cfg config) {
+	trials := 3000
+	if cfg.quick {
+		trials = 500
+	}
+	u := attr.MustUniverse("A", "B", "C", "D", "E", "F")
+	rng := rand.New(rand.NewSource(44))
+	type caseT struct {
+		s *dep.Set
+		m dep.MVD
+	}
+	cases := make([]caseT, 0, trials)
+	for i := 0; i < trials; i++ {
+		sigma := dep.NewSet(u)
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			lhs, rhs := u.Empty(), u.Empty()
+			for a := 0; a < u.Size(); a++ {
+				switch rng.Intn(3) {
+				case 0:
+					lhs = lhs.With(attr.ID(a))
+				case 1:
+					rhs = rhs.With(attr.ID(a))
+				}
+			}
+			if lhs.IsEmpty() || rhs.IsEmpty() {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				sigma.Add(dep.NewFD(lhs, rhs))
+			} else {
+				sigma.Add(dep.NewMVD(lhs, rhs))
+			}
+		}
+		cases = append(cases, caseT{sigma, dep.NewMVD(randomSubset(u, rng), randomSubset(u, rng))})
+	}
+	agree := 0
+	basis := timeIt(1, func() {
+		for _, c := range cases {
+			chase.BasisImpliesMVD(c.s, c.m)
+		}
+	})
+	tableau := timeIt(1, func() {
+		for _, c := range cases {
+			chase.ImpliesMVD(c.s, c.m)
+		}
+	})
+	for _, c := range cases {
+		if chase.BasisImpliesMVD(c.s, c.m) == chase.ImpliesMVD(c.s, c.m) {
+			agree++
+		}
+	}
+	fmt.Printf("FD+MVD cases: %d, agreement: %d\n", len(cases), agree)
+	row("impl", "total time")
+	row("Beeri basis", basis)
+	row("tableau chase", tableau)
+}
+
+func runA3(cfg config) {
+	e := workload.NewEDM()
+	row("|R|", "hash join", "sort-merge", "agree")
+	for _, n := range chainSweep(cfg) {
+		db := e.Instance(n, max(2, n/16))
+		vy := db.Project(e.DM)
+		tx := relation.Singleton(e.ED, e.NewEmployeeTuple("probe", 0))
+		var hj, sj *relation.Relation
+		h := timeIt(5, func() { hj = tx.JoinWith(vy, relation.HashJoin) })
+		sm := timeIt(5, func() { sj = tx.JoinWith(vy, relation.SortMergeJoin) })
+		row(n, h, sm, hj.Equal(sj))
+	}
+}

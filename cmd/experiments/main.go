@@ -1,0 +1,96 @@
+// Command experiments regenerates every experiment table of the
+// reproduction (see DESIGN.md's per-experiment index and EXPERIMENTS.md
+// for the recorded results): E1–E16 validate the paper's theorems and
+// algorithms, A1–A3 are ablations of implementation choices.
+//
+// Usage:
+//
+//	experiments              # run everything
+//	experiments -run E5,E7   # run selected experiments
+//	experiments -quick       # smaller sweeps (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// experiment is one runnable table.
+type experiment struct {
+	id    string
+	title string
+	run   func(cfg config)
+}
+
+// config carries global knobs into experiments.
+type config struct {
+	quick bool
+}
+
+var registry []experiment
+
+func register(id, title string, run func(config)) {
+	registry = append(registry, experiment{id: id, title: title, run: run})
+}
+
+func main() {
+	runSpec := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	sort.Slice(registry, func(i, j int) bool { return registry[i].id < registry[j].id })
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*runSpec, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	cfg := config{quick: *quick}
+	ran := 0
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.id, e.title)
+		start := time.Now()
+		e.run(cfg)
+		fmt.Printf("-- %s done in %v --\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched -run; use -list")
+		os.Exit(2)
+	}
+}
+
+// timeIt reports the wall time of f averaged over reps runs.
+func timeIt(reps int, f func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+// row prints aligned columns.
+func row(cols ...interface{}) {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprintf("%12v", c)
+	}
+	fmt.Println(strings.Join(parts, " "))
+}

@@ -1,0 +1,222 @@
+// Command viewupd runs a constant-complement view-update session against
+// a universal-relation database: it loads a schema and an instance,
+// fixes a view and a complement, and executes update commands, refusing
+// untranslatable ones with the paper's diagnosis.
+//
+// Usage:
+//
+//	viewupd -schema schema.txt -data data.txt -view "E D" [-complement "D M"] [-script s.txt]
+//
+// Without -complement, the minimal complement of Corollary 2 is used.
+// Commands (from -script or stdin), one per line:
+//
+//	insert  <v1> <v2> ...      insert a view tuple
+//	delete  <v1> <v2> ...      delete a view tuple
+//	replace <v1> ... / <w1>... replace one view tuple by another
+//	decide  insert <v1> ...    test translatability without applying
+//	show                       print the database
+//	view                       print the view instance
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+	"github.com/constcomp/constcomp/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("viewupd: ")
+	schemaPath := flag.String("schema", "", "path to the schema file (required)")
+	dataPath := flag.String("data", "", "path to the instance file (required)")
+	viewSpec := flag.String("view", "", "view attributes, e.g. \"E D\" (required)")
+	compSpec := flag.String("complement", "", "complement attributes (default: minimal complement)")
+	scriptPath := flag.String("script", "", "command script (default: stdin)")
+	flag.Parse()
+	if *schemaPath == "" || *dataPath == "" || *viewSpec == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	schemaText, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := workload.ParseSchema(string(schemaText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	syms := value.NewSymbols()
+	dataText, err := os.ReadFile(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := workload.ParseData(schema, syms, string(dataText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !db.Attrs().Equal(schema.Universe().All()) {
+		log.Fatalf("instance must cover all of U = %v", schema.Universe().All())
+	}
+	if ok, bad := schema.Legal(db); !ok {
+		log.Fatalf("instance violates %v", bad)
+	}
+
+	u := schema.Universe()
+	x, err := u.ParseSet(*viewSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	y := core.MinimalComplement(schema, x)
+	if *compSpec != "" {
+		if y, err = u.ParseSet(*compSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pair, err := core.NewPair(schema, x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("view X = %v, constant complement Y = %v\n", x, y)
+	if good, err := pair.IsGoodComplement(); err == nil {
+		fmt.Printf("good complement: %v\n", good)
+	}
+
+	var in io.Reader = os.Stdin
+	if *scriptPath != "" {
+		f, err := os.Open(*scriptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" {
+			break
+		}
+		db = execute(pair, db, syms, line)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// execute runs one command against the database and returns the (possibly
+// updated) database.
+func execute(pair *core.Pair, db *relation.Relation, syms *value.Symbols, line string) *relation.Relation {
+	view := db.Project(pair.ViewAttrs())
+	fields := strings.SplitN(line, " ", 2)
+	cmd := fields[0]
+	rest := ""
+	if len(fields) > 1 {
+		rest = fields[1]
+	}
+	fail := func(err error) *relation.Relation {
+		fmt.Printf("%-8s error: %v\n", cmd, err)
+		return db
+	}
+	switch cmd {
+	case "show":
+		fmt.Print(db.Format(syms))
+	case "view":
+		fmt.Print(view.Format(syms))
+	case "decide":
+		sub := strings.SplitN(rest, " ", 2)
+		if len(sub) != 2 || sub[0] != "insert" {
+			return fail(fmt.Errorf("usage: decide insert <tuple>"))
+		}
+		t, err := workload.ParseTuple(view, syms, sub[1])
+		if err != nil {
+			return fail(err)
+		}
+		d, err := pair.DecideInsert(view, t)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("decide   insert %s: translatable=%v (%s)\n", sub[1], d.Translatable, d.Reason)
+	case "insert":
+		t, err := workload.ParseTuple(view, syms, rest)
+		if err != nil {
+			return fail(err)
+		}
+		d, err := pair.DecideInsert(view, t)
+		if err != nil {
+			return fail(err)
+		}
+		if !d.Translatable {
+			fmt.Printf("insert   rejected: %s\n", d.Reason)
+			return db
+		}
+		out, err := pair.ApplyInsert(db, t)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("insert   ok (%s)\n", d.Reason)
+		return out
+	case "delete":
+		t, err := workload.ParseTuple(view, syms, rest)
+		if err != nil {
+			return fail(err)
+		}
+		d, err := pair.DecideDelete(view, t)
+		if err != nil {
+			return fail(err)
+		}
+		if !d.Translatable {
+			fmt.Printf("delete   rejected: %s\n", d.Reason)
+			return db
+		}
+		out, err := pair.ApplyDelete(db, t)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("delete   ok (%s)\n", d.Reason)
+		return out
+	case "replace":
+		parts := strings.SplitN(rest, "/", 2)
+		if len(parts) != 2 {
+			return fail(fmt.Errorf("usage: replace <tuple> / <tuple>"))
+		}
+		t1, err := workload.ParseTuple(view, syms, strings.TrimSpace(parts[0]))
+		if err != nil {
+			return fail(err)
+		}
+		t2, err := workload.ParseTuple(view, syms, strings.TrimSpace(parts[1]))
+		if err != nil {
+			return fail(err)
+		}
+		d, err := pair.DecideReplace(view, t1, t2)
+		if err != nil {
+			return fail(err)
+		}
+		if !d.Translatable {
+			fmt.Printf("replace  rejected: %s\n", d.Reason)
+			return db
+		}
+		out, err := pair.ApplyReplace(db, t1, t2)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("replace  ok (%s)\n", d.Reason)
+		return out
+	default:
+		return fail(fmt.Errorf("unknown command %q", cmd))
+	}
+	return db
+}

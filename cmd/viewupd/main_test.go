@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+	"github.com/constcomp/constcomp/internal/workload"
+)
+
+// fixture builds the EDM pair and database used by the command tests.
+func fixture(t *testing.T) (*core.Pair, *relation.Relation, *value.Symbols) {
+	t.Helper()
+	schema, err := workload.ParseSchema("attrs: E D M\nE -> D\nD -> M\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := value.NewSymbols()
+	db, err := workload.ParseData(schema, syms, `
+E D M
+ed toys mo
+flo toys mo
+bob tools tim
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := schema.Universe()
+	pair, err := core.NewPair(schema, u.MustSet("E", "D"), u.MustSet("D", "M"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair, db, syms
+}
+
+func TestExecuteInsertDeleteReplace(t *testing.T) {
+	pair, db, syms := fixture(t)
+	db = execute(pair, db, syms, "insert ann toys")
+	if !db.Project(pair.ViewAttrs()).Contains(relation.Tuple{syms.Const("ann"), syms.Const("toys")}) {
+		t.Fatal("insert not applied")
+	}
+	db = execute(pair, db, syms, "delete ed toys")
+	if db.Project(pair.ViewAttrs()).Contains(relation.Tuple{syms.Const("ed"), syms.Const("toys")}) {
+		t.Fatal("delete not applied")
+	}
+	db = execute(pair, db, syms, "replace ann toys / ann tools")
+	if !db.Project(pair.ViewAttrs()).Contains(relation.Tuple{syms.Const("ann"), syms.Const("tools")}) {
+		t.Fatal("replace not applied")
+	}
+}
+
+func TestExecuteRejectionsKeepDatabase(t *testing.T) {
+	pair, db, syms := fixture(t)
+	before := db.Clone()
+	for _, cmd := range []string{
+		"insert zoe plants",     // condition (a)
+		"delete bob tools",      // last sharer
+		"insert onlyone",        // arity error
+		"replace ed toys",       // missing separator
+		"replace ed toys / ed",  // arity error
+		"frobnicate ed toys",    // unknown command
+		"decide insert",         // malformed decide
+		"decide delete ed toys", // unsupported decide target
+	} {
+		db = execute(pair, db, syms, cmd)
+	}
+	if !db.Equal(before) {
+		t.Error("rejected/erroneous commands mutated the database")
+	}
+}
+
+func TestExecuteDecideAndShow(t *testing.T) {
+	pair, db, syms := fixture(t)
+	before := db.Clone()
+	db = execute(pair, db, syms, "decide insert ann toys")
+	db = execute(pair, db, syms, "show")
+	db = execute(pair, db, syms, "view")
+	if !db.Equal(before) {
+		t.Error("read-only commands mutated the database")
+	}
+}
+
+func TestScriptEndToEnd(t *testing.T) {
+	pair, db, syms := fixture(t)
+	script := `
+# a session
+insert ann toys
+delete flo toys
+replace ann toys / ann tools
+`
+	for _, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		db = execute(pair, db, syms, line)
+	}
+	v := db.Project(pair.ViewAttrs())
+	if v.Len() != 3 {
+		t.Fatalf("view has %d tuples, want 3", v.Len())
+	}
+	// Complement constant across the whole script.
+	if !db.Project(pair.ComplementAttrs()).Equal(db.Project(pair.ComplementAttrs())) {
+		t.Error("complement drifted")
+	}
+}

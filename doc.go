@@ -1,0 +1,23 @@
+// Package constcomp is a Go reproduction of Cosmadakis & Papadimitriou,
+// "Updates of Relational Views" (PODS 1983; JACM 31(4), 1984): translating
+// updates of projective views of universal-relation schemas under the
+// constant-complement semantics of Bancilhon & Spyratos.
+//
+// The implementation lives under internal/:
+//
+//	internal/core       the paper's algorithms (complements, Theorems 1–10)
+//	internal/chase      tableau and instance chases
+//	internal/closure    FD reasoning
+//	internal/relation   the relational engine
+//	internal/dep        dependency classes (FD, MVD, JD, EFD)
+//	internal/logic      DPLL SAT and ∀∃-QBF (reduction oracles)
+//	internal/succinct   union-of-Cartesian-products views
+//	internal/reductions the hardness constructions of Theorems 2, 4, 5, 7
+//	internal/bs         the abstract Bancilhon–Spyratos framework
+//	internal/workload   schema/instance generators
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every experiment's
+// micro-measurements; cmd/experiments prints the full tables.
+package constcomp

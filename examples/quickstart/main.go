@@ -1,0 +1,104 @@
+// Quickstart: define a universal-relation schema, pick a view and a
+// complement, and translate view updates under the constant complement —
+// the five-minute tour of the library's public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+func main() {
+	// 1. A schema (U, Σ): employees, departments, managers with the FDs
+	//    E → D (each employee works in one department) and D → M (each
+	//    department has one manager).
+	u := attr.MustUniverse("E", "D", "M")
+	sigma := dep.MustParseSet(u, `
+E -> D
+D -> M
+`)
+	schema := core.MustSchema(u, sigma)
+
+	// 2. A database instance.
+	syms := value.NewSymbols()
+	db := relation.New(u.All())
+	for _, row := range [][]string{
+		{"ed", "toys", "mo"},
+		{"flo", "toys", "mo"},
+		{"bob", "tools", "tim"},
+	} {
+		if err := db.InsertNamed(syms, map[string]string{"E": row[0], "D": row[1], "M": row[2]}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("Database R:")
+	fmt.Println(db.Format(syms))
+
+	// 3. The view π_ED and its complement π_DM. NewPair verifies they are
+	//    complementary (Theorem 1): D → M makes D a key of DM.
+	x, y := u.MustSet("E", "D"), u.MustSet("D", "M")
+	pair, err := core.NewPair(schema, x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	view := db.Project(x)
+	fmt.Println("View π_ED(R):")
+	fmt.Println(view.Format(syms))
+
+	// 4. Insert (ann, toys) into the view. DecideInsert runs the exact
+	//    chase test of Theorem 3; ApplyInsert performs the unique
+	//    translation T_u[R] = R ∪ t*π_DM(R).
+	t := relation.Tuple{syms.Const("ann"), syms.Const("toys")}
+	decision, err := pair.DecideInsert(view, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("insert (ann, toys): %s\n", decision.Reason)
+	if decision.Translatable {
+		db, err = pair.ApplyInsert(db, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nAfter the translated insertion (ann got mo as manager):")
+		fmt.Println(db.Format(syms))
+	}
+
+	// 5. An untranslatable insertion: no department "plants" exists in
+	//    the complement, so the complement could not stay constant.
+	bad := relation.Tuple{syms.Const("zoe"), syms.Const("plants")}
+	decision, err = pair.DecideInsert(db.Project(x), bad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("insert (zoe, plants): translatable=%v — %s\n",
+		decision.Translatable, decision.Reason)
+
+	// 6. Deletions translate in O(|V| + |Σ|) (Theorem 8).
+	del := relation.Tuple{syms.Const("ed"), syms.Const("toys")}
+	decision, err = pair.DecideDelete(db.Project(x), del)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delete (ed, toys): translatable=%v — %s\n",
+		decision.Translatable, decision.Reason)
+	if decision.Translatable {
+		db, err = pair.ApplyDelete(db, del)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 7. Ask the system for complements (Corollary 2 / Theorem 2).
+	minimal := core.MinimalComplement(schema, x)
+	minimum, _ := core.MinimumComplement(schema, x)
+	fmt.Printf("\nminimal complement of ED: %v\n", minimal)
+	fmt.Printf("minimum complement of ED: %v\n", minimum)
+	good, _ := pair.IsGoodComplement()
+	fmt.Printf("DM is a good complement of ED (Test 2 applies): %v\n", good)
+}

@@ -1,0 +1,124 @@
+// Registrar: explicit functional dependencies (§5 of the paper). The
+// schema stores Course, Student, Grade and the course's AverageGrade.
+// The FD Course → AverageGrade holds, but more is true: the average is
+// *computable* from the grades — the explicit functional dependency
+//
+//	Course Student Grade =>e AverageGrade
+//
+// with the averaging function as witness. EFDs change which views are
+// complementary (Theorem 10): a view containing Course Student Grade has
+// {Course} as a complement even though their union misses AverageGrade,
+// because the missing column can be recomputed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+func main() {
+	u := attr.MustUniverse("Course", "Student", "Grade", "Avg")
+	sigma := dep.MustParseSet(u, `
+Course Student -> Grade
+Course Student Grade =>e Avg
+`)
+	schema := core.MustSchema(u, sigma)
+	syms := value.NewSymbols()
+
+	db := relation.New(u.All())
+	rows := [][]string{
+		{"db", "ann", "90"},
+		{"db", "bob", "70"},
+		{"os", "ann", "60"},
+		{"os", "cal", "90"},
+	}
+	// Compute each course's average — the EFD witness function.
+	avg := courseAverages(rows)
+	for _, r := range rows {
+		if err := db.InsertNamed(syms, map[string]string{
+			"Course": r[0], "Student": r[1], "Grade": r[2], "Avg": avg[r[0]],
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("R (Avg is derived data):")
+	fmt.Println(db.Format(syms))
+
+	// --- Theorem 10 ------------------------------------------------------
+	x := u.MustSet("Course", "Student", "Grade")
+	yEFD := u.MustSet("Course")
+	fmt.Printf("X = %v, Y = %v\n", x, yEFD)
+	fmt.Printf("complementary with the EFD: %v\n", core.Complementary(schema, x, yEFD))
+
+	// Without the EFD (plain FD only), the same pair fails: Avg is
+	// functionally determined but not computable, so information is lost.
+	plain := core.MustSchema(u, dep.MustParseSet(u, "Course Student -> Grade\nCourse Student Grade -> Avg"))
+	fmt.Printf("complementary with only the plain FD: %v\n", core.Complementary(plain, x, yEFD))
+
+	// --- EFD implication (Propositions 1 and 2) -------------------------
+	q := dep.NewEFD(u.MustSet("Course", "Student"), u.MustSet("Avg"))
+	fmt.Printf("Σ ⊨ %v: %v (needs Grade to compute the average)\n", q, core.ImpliesEFD(schema, q))
+	q2 := dep.NewEFD(u.MustSet("Course", "Student", "Grade"), u.MustSet("Avg"))
+	fmt.Printf("Σ ⊨ %v: %v\n", q2, core.ImpliesEFD(schema, q2))
+
+	// --- Reconstruction with the witness --------------------------------
+	// π_X(R) and π_Y(R) determine R: join covers X ∪ Y, then the witness
+	// recomputes Avg.
+	vx := db.Project(x)
+	joined := vx // X ∪ Y = X here since Course ⊆ X
+	rebuilt := relation.New(u.All())
+	gradeCol := joined.Col(mustID(u, "Grade"))
+	courseCol := joined.Col(mustID(u, "Course"))
+	studentCol := joined.Col(mustID(u, "Student"))
+	// Recompute averages from the projected grades (the witness f).
+	sums := map[value.Value][2]int{}
+	for _, t := range joined.Tuples() {
+		g, _ := strconv.Atoi(syms.Name(t[gradeCol]))
+		s := sums[t[courseCol]]
+		sums[t[courseCol]] = [2]int{s[0] + g, s[1] + 1}
+	}
+	for _, t := range joined.Tuples() {
+		s := sums[t[courseCol]]
+		a := syms.Const(strconv.Itoa(s[0] / s[1]))
+		nt := make(relation.Tuple, 4)
+		nt[mustCol(rebuilt, u, "Course")] = t[courseCol]
+		nt[mustCol(rebuilt, u, "Student")] = t[studentCol]
+		nt[mustCol(rebuilt, u, "Grade")] = t[gradeCol]
+		nt[mustCol(rebuilt, u, "Avg")] = a
+		rebuilt.Insert(nt)
+	}
+	fmt.Printf("\nreconstructed R equals stored R: %v\n", rebuilt.Equal(db))
+}
+
+func courseAverages(rows [][]string) map[string]string {
+	sums := map[string][2]int{}
+	for _, r := range rows {
+		g, _ := strconv.Atoi(r[2])
+		s := sums[r[0]]
+		sums[r[0]] = [2]int{s[0] + g, s[1] + 1}
+	}
+	out := map[string]string{}
+	for c, s := range sums {
+		out[c] = strconv.Itoa(s[0] / s[1])
+	}
+	return out
+}
+
+func mustID(u *attr.Universe, name string) attr.ID {
+	id, ok := u.Lookup(name)
+	if !ok {
+		panic(name)
+	}
+	return id
+}
+
+func mustCol(r *relation.Relation, u *attr.Universe, name string) int {
+	return r.Col(mustID(u, name))
+}

@@ -1,0 +1,78 @@
+package constcomp
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example binary, checking exit
+// status and a fingerprint line of each one's output. Guards the
+// examples against API drift.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example subprocesses in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "minimal complement of ED"},
+		{"./examples/employee", "independence counterexample"},
+		{"./examples/registrar", "reconstructed R equals stored R: true"},
+		{"./examples/succinct", "compression of the Theorem 7 view"},
+		{"./examples/catalog", "complement recommendations for π_ED"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", tc.dir, err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("%s output missing %q:\n%s", tc.dir, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestCommandsSmoke runs the analysis CLIs against the checked-in
+// testdata.
+func TestCommandsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI subprocesses in -short mode")
+	}
+	t.Run("complement", func(t *testing.T) {
+		out, err := exec.Command("go", "run", "./cmd/complement",
+			"-schema", "testdata/edm.schema", "-view", "E D", "-all").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "minimum complement") {
+			t.Errorf("unexpected output:\n%s", out)
+		}
+	})
+	t.Run("prove", func(t *testing.T) {
+		out, err := exec.Command("go", "run", "./cmd/prove",
+			"-schema", "testdata/edm.schema", "E -> M").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "verified") {
+			t.Errorf("unexpected output:\n%s", out)
+		}
+	})
+	t.Run("experiments-list", func(t *testing.T) {
+		out, err := exec.Command("go", "run", "./cmd/experiments", "-list").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, id := range []string{"E1", "E17", "A5"} {
+			if !strings.Contains(string(out), id) {
+				t.Errorf("experiment %s missing from -list:\n%s", id, out)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module github.com/constcomp/constcomp
+
+go 1.22

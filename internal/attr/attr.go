@@ -1,0 +1,411 @@
+// Package attr provides attribute universes and dense bitset attribute sets.
+//
+// A relational schema in the sense of Cosmadakis–Papadimitriou is a pair
+// (U, Σ) where U is a universal set of attributes. Views, dependencies and
+// the chase all manipulate subsets of U heavily, so subsets are represented
+// as bitsets over a fixed Universe: set algebra is a handful of word
+// operations regardless of how the sets were built.
+package attr
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// ID identifies an attribute within its Universe. IDs are dense: the i-th
+// attribute added to a Universe has ID i.
+type ID int
+
+// Universe is an ordered collection of named attributes. It is immutable
+// after construction; all Sets are interpreted relative to one Universe.
+type Universe struct {
+	names []string
+	index map[string]ID
+}
+
+// NewUniverse builds a universe from the given attribute names, in order.
+// Names must be non-empty and distinct.
+func NewUniverse(names ...string) (*Universe, error) {
+	u := &Universe{
+		names: make([]string, 0, len(names)),
+		index: make(map[string]ID, len(names)),
+	}
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("attr: empty attribute name")
+		}
+		if _, dup := u.index[n]; dup {
+			return nil, fmt.Errorf("attr: duplicate attribute %q", n)
+		}
+		u.index[n] = ID(len(u.names))
+		u.names = append(u.names, n)
+	}
+	return u, nil
+}
+
+// MustUniverse is NewUniverse, panicking on error. Intended for tests and
+// package-level fixtures.
+func MustUniverse(names ...string) *Universe {
+	u, err := NewUniverse(names...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Size reports the number of attributes in the universe.
+func (u *Universe) Size() int { return len(u.names) }
+
+// Name returns the name of attribute id. It panics if id is out of range.
+func (u *Universe) Name(id ID) string { return u.names[id] }
+
+// Names returns the attribute names in ID order. The returned slice is a
+// copy and may be modified by the caller.
+func (u *Universe) Names() []string {
+	out := make([]string, len(u.names))
+	copy(out, u.names)
+	return out
+}
+
+// Lookup returns the ID of the named attribute.
+func (u *Universe) Lookup(name string) (ID, bool) {
+	id, ok := u.index[name]
+	return id, ok
+}
+
+// All returns the set containing every attribute of the universe.
+func (u *Universe) All() Set {
+	s := u.Empty()
+	for i := range u.names {
+		s.add(ID(i))
+	}
+	return s
+}
+
+// Empty returns the empty set over this universe.
+func (u *Universe) Empty() Set {
+	return Set{u: u, words: make([]uint64, (len(u.names)+63)/64)}
+}
+
+// Set builds a set from attribute names. Unknown names are an error.
+func (u *Universe) Set(names ...string) (Set, error) {
+	s := u.Empty()
+	for _, n := range names {
+		id, ok := u.index[n]
+		if !ok {
+			return Set{}, fmt.Errorf("attr: unknown attribute %q", n)
+		}
+		s.add(id)
+	}
+	return s, nil
+}
+
+// MustSet is Set, panicking on unknown names.
+func (u *Universe) MustSet(names ...string) Set {
+	s, err := u.Set(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseSet parses a whitespace- or comma-separated list of attribute names.
+// The empty string and the symbol "∅" (which Set.String renders for the
+// empty set, so sets round-trip) parse to the empty set.
+func (u *Universe) ParseSet(text string) (Set, error) {
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ',' || r == '\n'
+	})
+	kept := fields[:0]
+	for _, f := range fields {
+		if f != "∅" {
+			kept = append(kept, f)
+		}
+	}
+	return u.Set(kept...)
+}
+
+// Set is a subset of a Universe's attributes, stored as a bitset.
+// The zero Set is invalid; obtain sets from a Universe.
+type Set struct {
+	u     *Universe
+	words []uint64
+}
+
+// Universe returns the universe the set is defined over.
+func (s Set) Universe() *Universe { return s.u }
+
+func (s *Set) add(id ID) { s.words[id/64] |= 1 << (uint(id) % 64) }
+
+// Has reports whether the set contains attribute id.
+func (s Set) Has(id ID) bool {
+	if id < 0 || int(id) >= s.u.Size() {
+		return false
+	}
+	return s.words[id/64]&(1<<(uint(id)%64)) != 0
+}
+
+// HasName reports whether the set contains the named attribute.
+func (s Set) HasName(name string) bool {
+	id, ok := s.u.Lookup(name)
+	return ok && s.Has(id)
+}
+
+// Len reports the number of attributes in the set.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no attributes.
+func (s Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same attributes. Sets over
+// different universes are never equal.
+func (s Set) Equal(t Set) bool {
+	if s.u != t.u {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every attribute of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	if s.u != t.u {
+		return false
+	}
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperSubsetOf reports whether s ⊊ t.
+func (s Set) ProperSubsetOf(t Set) bool {
+	return s.SubsetOf(t) && !s.Equal(t)
+}
+
+// Intersects reports whether s and t share any attribute.
+func (s Set) Intersects(t Set) bool {
+	if s.u != t.u {
+		return false
+	}
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s Set) clone() Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{u: s.u, words: w}
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	s.mustShare(t)
+	out := s.clone()
+	for i := range out.words {
+		out.words[i] |= t.words[i]
+	}
+	return out
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	s.mustShare(t)
+	out := s.clone()
+	for i := range out.words {
+		out.words[i] &= t.words[i]
+	}
+	return out
+}
+
+// Diff returns s − t.
+func (s Set) Diff(t Set) Set {
+	s.mustShare(t)
+	out := s.clone()
+	for i := range out.words {
+		out.words[i] &^= t.words[i]
+	}
+	return out
+}
+
+// Complement returns U − s.
+func (s Set) Complement() Set {
+	return s.u.All().Diff(s)
+}
+
+// With returns s ∪ {id}.
+func (s Set) With(id ID) Set {
+	out := s.clone()
+	out.add(id)
+	return out
+}
+
+// Without returns s − {id}.
+func (s Set) Without(id ID) Set {
+	out := s.clone()
+	if id >= 0 && int(id) < s.u.Size() {
+		out.words[id/64] &^= 1 << (uint(id) % 64)
+	}
+	return out
+}
+
+func (s Set) mustShare(t Set) {
+	if s.u != t.u {
+		panic("attr: set operation across universes")
+	}
+}
+
+// IDs returns the attribute IDs in the set in ascending order.
+func (s Set) IDs() []ID {
+	out := make([]ID, 0, s.Len())
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, ID(i*64+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Each calls fn for each attribute in ascending ID order. If fn returns
+// false, iteration stops early.
+func (s Set) Each(fn func(ID) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(ID(i*64 + b)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Names returns the attribute names in the set in ID order.
+func (s Set) Names() []string {
+	out := make([]string, 0, s.Len())
+	s.Each(func(id ID) bool {
+		out = append(out, s.u.Name(id))
+		return true
+	})
+	return out
+}
+
+// String renders the set as space-separated attribute names in ID order,
+// or "∅" for the empty set.
+func (s Set) String() string {
+	if s.u == nil {
+		return "<invalid>"
+	}
+	if s.IsEmpty() {
+		return "∅"
+	}
+	return strings.Join(s.Names(), " ")
+}
+
+// Key returns a compact representation usable as a map key. Two sets over
+// the same universe have equal keys iff they are equal.
+func (s Set) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.words) * 8)
+	for _, w := range s.words {
+		for i := 0; i < 8; i++ {
+			b.WriteByte(byte(w >> (8 * i)))
+		}
+	}
+	return b.String()
+}
+
+// Subsets enumerates all subsets of s in an unspecified order, calling fn
+// for each. If fn returns false, enumeration stops. The number of subsets
+// is 2^s.Len(); callers are responsible for keeping s small.
+func (s Set) Subsets(fn func(Set) bool) {
+	ids := s.IDs()
+	n := len(ids)
+	if n > 62 {
+		panic("attr: Subsets on a set with more than 62 attributes")
+	}
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		sub := s.u.Empty()
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sub.add(ids[i])
+			}
+		}
+		if !fn(sub) {
+			return
+		}
+	}
+}
+
+// SubsetsOfSize enumerates the subsets of s with exactly k attributes.
+func (s Set) SubsetsOfSize(k int, fn func(Set) bool) {
+	ids := s.IDs()
+	n := len(ids)
+	if k < 0 || k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		sub := s.u.Empty()
+		for _, i := range idx {
+			sub.add(ids[i])
+		}
+		if !fn(sub) {
+			return
+		}
+		// Advance the combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// SortSets orders a slice of sets by (size, lexicographic names); useful for
+// deterministic output in tools and tests.
+func SortSets(sets []Set) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		if a.Len() != b.Len() {
+			return a.Len() < b.Len()
+		}
+		return a.String() < b.String()
+	})
+}

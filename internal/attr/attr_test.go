@@ -1,0 +1,318 @@
+package attr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewUniverse(t *testing.T) {
+	u, err := NewUniverse("A", "B", "C")
+	if err != nil {
+		t.Fatalf("NewUniverse: %v", err)
+	}
+	if u.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", u.Size())
+	}
+	for i, name := range []string{"A", "B", "C"} {
+		if got := u.Name(ID(i)); got != name {
+			t.Errorf("Name(%d) = %q, want %q", i, got, name)
+		}
+		id, ok := u.Lookup(name)
+		if !ok || id != ID(i) {
+			t.Errorf("Lookup(%q) = %d,%v; want %d,true", name, id, ok, i)
+		}
+	}
+	if _, ok := u.Lookup("Z"); ok {
+		t.Error("Lookup of unknown attribute succeeded")
+	}
+}
+
+func TestNewUniverseErrors(t *testing.T) {
+	if _, err := NewUniverse("A", "A"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := NewUniverse("A", ""); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestMustUniversePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustUniverse did not panic on duplicate")
+		}
+	}()
+	MustUniverse("A", "A")
+}
+
+func TestSetBasics(t *testing.T) {
+	u := MustUniverse("A", "B", "C", "D")
+	s := u.MustSet("A", "C")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.HasName("A") || !s.HasName("C") || s.HasName("B") {
+		t.Errorf("membership wrong: %v", s)
+	}
+	if s.String() != "A C" {
+		t.Errorf("String = %q, want \"A C\"", s.String())
+	}
+	if u.Empty().String() != "∅" {
+		t.Errorf("empty String = %q", u.Empty().String())
+	}
+	if got := u.All().Len(); got != 4 {
+		t.Errorf("All().Len() = %d, want 4", got)
+	}
+}
+
+func TestSetUnknownName(t *testing.T) {
+	u := MustUniverse("A")
+	if _, err := u.Set("Q"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	u := MustUniverse("A", "B", "C")
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"A B", "A B"},
+		{"A,B", "A B"},
+		{"  C \t A ", "A C"},
+		{"", "∅"},
+	} {
+		s, err := u.ParseSet(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSet(%q): %v", tc.in, err)
+		}
+		if s.String() != tc.want {
+			t.Errorf("ParseSet(%q) = %q, want %q", tc.in, s, tc.want)
+		}
+	}
+	if _, err := u.ParseSet("A Z"); err == nil {
+		t.Error("ParseSet with unknown attribute accepted")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	u := MustUniverse("A", "B", "C", "D", "E")
+	x := u.MustSet("A", "B", "C")
+	y := u.MustSet("B", "C", "D")
+	if got := x.Union(y).String(); got != "A B C D" {
+		t.Errorf("Union = %q", got)
+	}
+	if got := x.Intersect(y).String(); got != "B C" {
+		t.Errorf("Intersect = %q", got)
+	}
+	if got := x.Diff(y).String(); got != "A" {
+		t.Errorf("Diff = %q", got)
+	}
+	if got := x.Complement().String(); got != "D E" {
+		t.Errorf("Complement = %q", got)
+	}
+	if !x.Intersects(y) {
+		t.Error("Intersects = false")
+	}
+	if x.Intersects(u.MustSet("D", "E")) {
+		t.Error("disjoint sets Intersects = true")
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	u := MustUniverse("A", "B", "C")
+	small := u.MustSet("A")
+	big := u.MustSet("A", "B")
+	if !small.SubsetOf(big) || big.SubsetOf(small) {
+		t.Error("SubsetOf wrong")
+	}
+	if !small.ProperSubsetOf(big) {
+		t.Error("ProperSubsetOf wrong")
+	}
+	if big.ProperSubsetOf(big) {
+		t.Error("set is proper subset of itself")
+	}
+	if !big.SubsetOf(big) {
+		t.Error("set is not subset of itself")
+	}
+	if !u.Empty().SubsetOf(small) {
+		t.Error("empty not subset")
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	u := MustUniverse("A", "B", "C")
+	s := u.MustSet("A")
+	id, _ := u.Lookup("B")
+	s2 := s.With(id)
+	if !s2.HasName("B") || s.HasName("B") {
+		t.Error("With mutated receiver or failed")
+	}
+	s3 := s2.Without(id)
+	if s3.HasName("B") || !s2.HasName("B") {
+		t.Error("Without mutated receiver or failed")
+	}
+}
+
+func TestIDsAndEach(t *testing.T) {
+	u := MustUniverse("A", "B", "C", "D")
+	s := u.MustSet("B", "D")
+	ids := s.IDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Errorf("IDs = %v", ids)
+	}
+	var seen []ID
+	s.Each(func(id ID) bool {
+		seen = append(seen, id)
+		return true
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 3 {
+		t.Errorf("Each order = %v", seen)
+	}
+	// Early stop.
+	count := 0
+	s.Each(func(ID) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("Each did not stop early: %d", count)
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	u := MustUniverse("A", "B", "C", "D", "E", "F")
+	seen := map[string]string{}
+	u.All().Subsets(func(s Set) bool {
+		k := s.Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("Key collision between %q and %q", prev, s.String())
+		}
+		seen[k] = s.String()
+		return true
+	})
+	if len(seen) != 64 {
+		t.Fatalf("enumerated %d subsets, want 64", len(seen))
+	}
+}
+
+func TestSubsetsOfSize(t *testing.T) {
+	u := MustUniverse("A", "B", "C", "D")
+	count := 0
+	u.All().SubsetsOfSize(2, func(s Set) bool {
+		if s.Len() != 2 {
+			t.Errorf("subset %v has size %d", s, s.Len())
+		}
+		count++
+		return true
+	})
+	if count != 6 {
+		t.Errorf("enumerated %d 2-subsets, want 6", count)
+	}
+	// k out of range yields nothing.
+	u.All().SubsetsOfSize(5, func(Set) bool { t.Error("unexpected"); return true })
+	u.All().SubsetsOfSize(-1, func(Set) bool { t.Error("unexpected"); return true })
+	// Early stop.
+	count = 0
+	u.All().SubsetsOfSize(1, func(Set) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("SubsetsOfSize did not stop early: %d", count)
+	}
+}
+
+func TestLargeUniverse(t *testing.T) {
+	names := make([]string, 200)
+	for i := range names {
+		names[i] = string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	u := MustUniverse(names...)
+	s := u.Empty()
+	for i := 0; i < 200; i += 3 {
+		s = s.With(ID(i))
+	}
+	if s.Len() != 67 {
+		t.Fatalf("Len = %d, want 67", s.Len())
+	}
+	if !s.SubsetOf(u.All()) {
+		t.Error("not subset of All")
+	}
+	if got := s.Union(s.Complement()); !got.Equal(u.All()) {
+		t.Error("s ∪ s̄ ≠ U")
+	}
+	if !s.Intersect(s.Complement()).IsEmpty() {
+		t.Error("s ∩ s̄ ≠ ∅")
+	}
+}
+
+// randomSet draws a uniformly random subset of u.
+func randomSet(u *Universe, r *rand.Rand) Set {
+	s := u.Empty()
+	for i := 0; i < u.Size(); i++ {
+		if r.Intn(2) == 0 {
+			s = s.With(ID(i))
+		}
+	}
+	return s
+}
+
+func TestQuickSetLaws(t *testing.T) {
+	u := MustUniverse("A", "B", "C", "D", "E", "F", "G", "H")
+	r := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed ^ r.Int63()))
+		x, y, z := randomSet(u, rr), randomSet(u, rr), randomSet(u, rr)
+		// De Morgan.
+		if !x.Union(y).Complement().Equal(x.Complement().Intersect(y.Complement())) {
+			return false
+		}
+		// Distributivity.
+		if !x.Intersect(y.Union(z)).Equal(x.Intersect(y).Union(x.Intersect(z))) {
+			return false
+		}
+		// Difference identity.
+		if !x.Diff(y).Equal(x.Intersect(y.Complement())) {
+			return false
+		}
+		// Subset from intersection.
+		if x.Intersect(y).Equal(x) != x.SubsetOf(y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossUniversePanics(t *testing.T) {
+	u1 := MustUniverse("A")
+	u2 := MustUniverse("A")
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-universe Union did not panic")
+		}
+	}()
+	u1.All().Union(u2.All())
+}
+
+func TestCrossUniverseEqual(t *testing.T) {
+	u1 := MustUniverse("A")
+	u2 := MustUniverse("A")
+	if u1.All().Equal(u2.All()) {
+		t.Error("sets over different universes reported equal")
+	}
+	if u1.All().SubsetOf(u2.All()) {
+		t.Error("cross-universe SubsetOf true")
+	}
+	if u1.All().Intersects(u2.All()) {
+		t.Error("cross-universe Intersects true")
+	}
+}
+
+func TestNamesCopy(t *testing.T) {
+	u := MustUniverse("A", "B")
+	n := u.Names()
+	n[0] = "Z"
+	if u.Name(0) != "A" {
+		t.Error("Names did not return a copy")
+	}
+}

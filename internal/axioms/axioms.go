@@ -1,0 +1,330 @@
+// Package axioms implements a proof-producing inference system for
+// functional and explicit functional dependencies: Armstrong's axioms
+// [1 in the paper] augmented with EFD rules, as §5 suggests ("we can
+// easily augment any of the known axiom systems for FDs … to include
+// EFDs", justified by Propositions 1 and 2).
+//
+// Rules (W, X, Y, Z attribute sets):
+//
+//	Reflexivity      Y ⊆ X            ⊢ X → Y
+//	Augmentation     X → Y            ⊢ XZ → YZ
+//	Transitivity     X → Y, Y → Z     ⊢ X → Z
+//	E-Reflexivity    Y ⊆ X            ⊢ X →e Y
+//	E-Augmentation   X →e Y           ⊢ XZ →e YZ
+//	E-Transitivity   X →e Y, Y →e Z   ⊢ X →e Z
+//	Demotion         X →e Y           ⊢ X → Y
+//
+// Soundness: each rule preserves semantic implication (Demotion because a
+// witness function is in particular a many-one mapping; the E-rules
+// because witnesses compose, pad, and restrict). Completeness: for FD
+// conclusions this is Armstrong's theorem together with Proposition 2(a);
+// for EFD conclusions it follows from Propositions 1 and 2(b) — only the
+// EFDs of Σ matter, and X →e Y is implied iff the underlying FDs derive
+// X → Y, which the E-rules mirror one-for-one. The package's tests verify
+// both directions against internal/closure semantics.
+package axioms
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+)
+
+// Rule names the inference rule used at a proof step.
+type Rule string
+
+// Inference rules.
+const (
+	RuleGiven         Rule = "given"
+	RuleReflexivity   Rule = "reflexivity"
+	RuleAugmentation  Rule = "augmentation"
+	RuleTransitivity  Rule = "transitivity"
+	RuleEReflexivity  Rule = "e-reflexivity"
+	RuleEAugmentation Rule = "e-augmentation"
+	RuleETransitivity Rule = "e-transitivity"
+	RuleDemotion      Rule = "demotion"
+)
+
+// Step is one node of a proof tree: a derived dependency, the rule that
+// produced it, and the premises it used.
+type Step struct {
+	Conclusion dep.Dependency
+	Rule       Rule
+	Premises   []*Step
+}
+
+// String renders the step's conclusion and rule.
+func (s *Step) String() string {
+	return fmt.Sprintf("%v  [%s]", s.Conclusion, s.Rule)
+}
+
+// Render pretty-prints the proof tree, premises indented under
+// conclusions.
+func (s *Step) Render() string {
+	var b strings.Builder
+	var rec func(st *Step, depth int)
+	rec = func(st *Step, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(st.String())
+		b.WriteByte('\n')
+		for _, p := range st.Premises {
+			rec(p, depth+1)
+		}
+	}
+	rec(s, 0)
+	return b.String()
+}
+
+// Size counts the steps in the proof tree.
+func (s *Step) Size() int {
+	n := 1
+	for _, p := range s.Premises {
+		n += p.Size()
+	}
+	return n
+}
+
+// Prover derives FDs and EFDs from a dependency set using the augmented
+// Armstrong system, returning proof trees.
+type Prover struct {
+	u     *attr.Universe
+	given []dep.Dependency
+}
+
+// NewProver builds a prover over Σ. MVDs and JDs in Σ are ignored (the
+// system covers FDs and EFDs; see internal/chase for the rest).
+func NewProver(sigma *dep.Set) *Prover {
+	p := &Prover{u: sigma.Universe()}
+	for _, d := range sigma.All() {
+		switch d.(type) {
+		case dep.FD, dep.EFD:
+			p.given = append(p.given, d)
+		}
+	}
+	return p
+}
+
+// ProveFD searches for a derivation of the FD goal. It reports ok=false
+// when the goal is not derivable (equivalently, by completeness, not
+// implied).
+func (p *Prover) ProveFD(goal dep.FD) (*Step, bool) {
+	// Strategy mirroring the closure algorithm, but keeping proofs:
+	// grow a set of proved FDs of the form goal.From → S with S
+	// expanding, via transitivity with given dependencies.
+	type state struct {
+		set  attr.Set
+		step *Step
+	}
+	x := goal.From
+	cur := state{
+		set:  x,
+		step: &Step{Conclusion: dep.FD{From: x, To: x}, Rule: RuleReflexivity},
+	}
+	for {
+		grew := false
+		for _, g := range p.given {
+			var gf dep.FD
+			var gstep *Step
+			switch d := g.(type) {
+			case dep.FD:
+				gf = d
+				gstep = &Step{Conclusion: d, Rule: RuleGiven}
+			case dep.EFD:
+				gf = d.FD()
+				gstep = &Step{
+					Conclusion: gf,
+					Rule:       RuleDemotion,
+					Premises:   []*Step{{Conclusion: d, Rule: RuleGiven}},
+				}
+			}
+			if !gf.From.SubsetOf(cur.set) || gf.To.SubsetOf(cur.set) {
+				continue
+			}
+			// Augment g to cur.set → cur.set ∪ g.To, then chain:
+			//   x → cur.set (have), cur.set → cur.set ∪ g.To (augmented g)
+			//   ⊢ x → cur.set ∪ g.To.
+			aug := &Step{
+				Conclusion: dep.FD{From: cur.set, To: cur.set.Union(gf.To)},
+				Rule:       RuleAugmentation,
+				Premises:   []*Step{gstep},
+			}
+			next := cur.set.Union(gf.To)
+			cur = state{
+				set: next,
+				step: &Step{
+					Conclusion: dep.FD{From: x, To: next},
+					Rule:       RuleTransitivity,
+					Premises:   []*Step{cur.step, aug},
+				},
+			}
+			grew = true
+		}
+		if !grew {
+			break
+		}
+	}
+	if !goal.To.SubsetOf(cur.set) {
+		return nil, false
+	}
+	if goal.To.Equal(cur.set) && goal.From.Equal(x) {
+		return cur.step, true
+	}
+	// Project down: x → cur.set, cur.set → goal.To (reflexivity)
+	// ⊢ x → goal.To.
+	refl := &Step{Conclusion: dep.FD{From: cur.set, To: goal.To}, Rule: RuleReflexivity}
+	return &Step{
+		Conclusion: goal,
+		Rule:       RuleTransitivity,
+		Premises:   []*Step{cur.step, refl},
+	}, true
+}
+
+// ProveEFD searches for a derivation of the EFD goal using only the
+// E-rules over the EFDs of Σ (Proposition 2(b): the plain FDs cannot
+// contribute).
+func (p *Prover) ProveEFD(goal dep.EFD) (*Step, bool) {
+	x := goal.From
+	cur := &Step{Conclusion: dep.NewEFD(x, x), Rule: RuleEReflexivity}
+	curSet := x
+	for {
+		grew := false
+		for _, g := range p.given {
+			d, ok := g.(dep.EFD)
+			if !ok {
+				continue
+			}
+			if !d.From.SubsetOf(curSet) || d.To.SubsetOf(curSet) {
+				continue
+			}
+			aug := &Step{
+				Conclusion: dep.NewEFD(curSet, curSet.Union(d.To)),
+				Rule:       RuleEAugmentation,
+				Premises:   []*Step{{Conclusion: d, Rule: RuleGiven}},
+			}
+			next := curSet.Union(d.To)
+			cur = &Step{
+				Conclusion: dep.NewEFD(x, next),
+				Rule:       RuleETransitivity,
+				Premises:   []*Step{cur, aug},
+			}
+			curSet = next
+			grew = true
+		}
+		if !grew {
+			break
+		}
+	}
+	if !goal.To.SubsetOf(curSet) {
+		return nil, false
+	}
+	refl := &Step{Conclusion: dep.NewEFD(curSet, goal.To), Rule: RuleEReflexivity}
+	return &Step{
+		Conclusion: goal,
+		Rule:       RuleETransitivity,
+		Premises:   []*Step{cur, refl},
+	}, true
+}
+
+// Prove dispatches on the goal's kind.
+func (p *Prover) Prove(goal dep.Dependency) (*Step, bool) {
+	switch g := goal.(type) {
+	case dep.FD:
+		return p.ProveFD(g)
+	case dep.EFD:
+		return p.ProveEFD(g)
+	}
+	return nil, false
+}
+
+// Verify checks a proof tree: every step's conclusion must follow from
+// its premises by its rule, and leaves must be given dependencies or
+// reflexivity instances. Returns the first violation.
+func (p *Prover) Verify(s *Step) error {
+	for _, prem := range s.Premises {
+		if err := p.Verify(prem); err != nil {
+			return err
+		}
+	}
+	switch s.Rule {
+	case RuleGiven:
+		for _, g := range p.given {
+			if g.Key() == s.Conclusion.Key() {
+				return nil
+			}
+		}
+		return fmt.Errorf("axioms: %v not among the given dependencies", s.Conclusion)
+	case RuleReflexivity:
+		f, ok := s.Conclusion.(dep.FD)
+		if !ok || !f.To.SubsetOf(f.From) || len(s.Premises) != 0 {
+			return fmt.Errorf("axioms: bad reflexivity step %v", s)
+		}
+		return nil
+	case RuleEReflexivity:
+		f, ok := s.Conclusion.(dep.EFD)
+		if !ok || !f.To.SubsetOf(f.From) || len(s.Premises) != 0 {
+			return fmt.Errorf("axioms: bad e-reflexivity step %v", s)
+		}
+		return nil
+	case RuleAugmentation, RuleEAugmentation:
+		if len(s.Premises) != 1 {
+			return fmt.Errorf("axioms: augmentation needs one premise")
+		}
+		pf, pt, ok1 := sides(s.Premises[0].Conclusion)
+		cf, ct, ok2 := sides(s.Conclusion)
+		if !ok1 || !ok2 || kind(s.Conclusion) != kind(s.Premises[0].Conclusion) {
+			return fmt.Errorf("axioms: augmentation kind mismatch at %v", s)
+		}
+		// Conclusion must be XZ → YZ for some Z: premise sides contained,
+		// and the added attributes on both sides identical.
+		if !pf.SubsetOf(cf) || !pt.SubsetOf(ct) {
+			return fmt.Errorf("axioms: augmentation shrank sides at %v", s)
+		}
+		if !ct.Diff(pt).SubsetOf(cf) {
+			return fmt.Errorf("axioms: augmentation added unshared attributes at %v", s)
+		}
+		return nil
+	case RuleTransitivity, RuleETransitivity:
+		if len(s.Premises) != 2 {
+			return fmt.Errorf("axioms: transitivity needs two premises")
+		}
+		af, at, ok1 := sides(s.Premises[0].Conclusion)
+		bf, bt, ok2 := sides(s.Premises[1].Conclusion)
+		cf, ct, ok3 := sides(s.Conclusion)
+		if !ok1 || !ok2 || !ok3 {
+			return fmt.Errorf("axioms: transitivity on non-FD/EFD at %v", s)
+		}
+		if kind(s.Conclusion) != kind(s.Premises[0].Conclusion) ||
+			kind(s.Conclusion) != kind(s.Premises[1].Conclusion) {
+			return fmt.Errorf("axioms: transitivity kind mismatch at %v", s)
+		}
+		if !cf.Equal(af) || !bf.SubsetOf(at) || !ct.SubsetOf(bt) {
+			return fmt.Errorf("axioms: transitivity sides do not chain at %v", s)
+		}
+		return nil
+	case RuleDemotion:
+		if len(s.Premises) != 1 {
+			return fmt.Errorf("axioms: demotion needs one premise")
+		}
+		e, ok := s.Premises[0].Conclusion.(dep.EFD)
+		f, ok2 := s.Conclusion.(dep.FD)
+		if !ok || !ok2 || !f.From.Equal(e.From) || !f.To.Equal(e.To) {
+			return fmt.Errorf("axioms: bad demotion at %v", s)
+		}
+		return nil
+	}
+	return fmt.Errorf("axioms: unknown rule %q", s.Rule)
+}
+
+func sides(d dep.Dependency) (from, to attr.Set, ok bool) {
+	switch x := d.(type) {
+	case dep.FD:
+		return x.From, x.To, true
+	case dep.EFD:
+		return x.From, x.To, true
+	}
+	return attr.Set{}, attr.Set{}, false
+}
+
+func kind(d dep.Dependency) dep.Kind { return d.Kind() }

@@ -1,0 +1,247 @@
+package axioms
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/closure"
+	"github.com/constcomp/constcomp/internal/dep"
+)
+
+func prover(t testing.TB, u *attr.Universe, text string) *Prover {
+	t.Helper()
+	sigma, err := dep.ParseSet(u, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewProver(sigma)
+}
+
+func TestProveFDTransitive(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	p := prover(t, u, "A -> B\nB -> C")
+	goal := dep.NewFD(u.MustSet("A"), u.MustSet("C"))
+	proof, ok := p.ProveFD(goal)
+	if !ok {
+		t.Fatal("derivable FD not proved")
+	}
+	if proof.Conclusion.Key() != goal.Key() {
+		t.Fatalf("proved %v, wanted %v", proof.Conclusion, goal)
+	}
+	if err := p.Verify(proof); err != nil {
+		t.Fatalf("proof does not verify: %v\n%s", err, proof.Render())
+	}
+	if proof.Size() < 3 {
+		t.Errorf("suspiciously small proof:\n%s", proof.Render())
+	}
+}
+
+func TestProveFDUnderivable(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	p := prover(t, u, "A -> B")
+	if _, ok := p.ProveFD(dep.NewFD(u.MustSet("B"), u.MustSet("A"))); ok {
+		t.Error("underivable FD proved")
+	}
+	if _, ok := p.ProveFD(dep.NewFD(u.MustSet("A"), u.MustSet("C"))); ok {
+		t.Error("underivable FD proved")
+	}
+}
+
+func TestProveFDReflexive(t *testing.T) {
+	u := attr.MustUniverse("A", "B")
+	p := prover(t, u, "")
+	proof, ok := p.ProveFD(dep.NewFD(u.MustSet("A", "B"), u.MustSet("A")))
+	if !ok {
+		t.Fatal("reflexive FD not proved")
+	}
+	if err := p.Verify(proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProveFDThroughEFD(t *testing.T) {
+	// Demotion: A =>e B contributes A -> B to FD derivations.
+	u := attr.MustUniverse("A", "B", "C")
+	p := prover(t, u, "A =>e B\nB -> C")
+	proof, ok := p.ProveFD(dep.NewFD(u.MustSet("A"), u.MustSet("C")))
+	if !ok {
+		t.Fatal("FD through EFD not proved")
+	}
+	if err := p.Verify(proof); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(proof.Render(), string(RuleDemotion)) {
+		t.Errorf("proof does not use demotion:\n%s", proof.Render())
+	}
+}
+
+func TestProveEFD(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	p := prover(t, u, "A =>e B\nB =>e C\nA -> C")
+	proof, ok := p.ProveEFD(dep.NewEFD(u.MustSet("A"), u.MustSet("C")))
+	if !ok {
+		t.Fatal("derivable EFD not proved")
+	}
+	if err := p.Verify(proof); err != nil {
+		t.Fatalf("%v\n%s", err, proof.Render())
+	}
+	// Prop 2(b): the plain FD A -> C must NOT let us derive C's EFD from
+	// elsewhere: B =>e A is underivable even though... it just is.
+	if _, ok := p.ProveEFD(dep.NewEFD(u.MustSet("C"), u.MustSet("A"))); ok {
+		t.Error("underivable EFD proved")
+	}
+	// And plain FDs alone never give EFDs.
+	p2 := prover(t, u, "A -> B")
+	if _, ok := p2.ProveEFD(dep.NewEFD(u.MustSet("A"), u.MustSet("B"))); ok {
+		t.Error("EFD derived from a plain FD (violates Prop 2b)")
+	}
+}
+
+func TestProveDispatch(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	p := prover(t, u, "A -> B")
+	if _, ok := p.Prove(dep.NewFD(u.MustSet("A"), u.MustSet("B"))); !ok {
+		t.Error("dispatch FD failed")
+	}
+	if _, ok := p.Prove(dep.NewMVD(u.MustSet("A"), u.MustSet("B"))); ok {
+		t.Error("MVD goal accepted")
+	}
+}
+
+func TestVerifyRejectsBogusProofs(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	p := prover(t, u, "A -> B")
+	bogus := []*Step{
+		// Claims a given that is not given.
+		{Conclusion: dep.NewFD(u.MustSet("B"), u.MustSet("C")), Rule: RuleGiven},
+		// Reflexivity with Y ⊄ X.
+		{Conclusion: dep.NewFD(u.MustSet("A"), u.MustSet("B")), Rule: RuleReflexivity},
+		// Transitivity that does not chain.
+		{
+			Conclusion: dep.NewFD(u.MustSet("A"), u.MustSet("C")),
+			Rule:       RuleTransitivity,
+			Premises: []*Step{
+				{Conclusion: dep.NewFD(u.MustSet("A"), u.MustSet("B")), Rule: RuleGiven},
+				{Conclusion: dep.NewFD(u.MustSet("C"), u.MustSet("C")), Rule: RuleReflexivity},
+			},
+		},
+		// Demotion of a non-EFD.
+		{
+			Conclusion: dep.NewFD(u.MustSet("A"), u.MustSet("B")),
+			Rule:       RuleDemotion,
+			Premises: []*Step{
+				{Conclusion: dep.NewFD(u.MustSet("A"), u.MustSet("B")), Rule: RuleGiven},
+			},
+		},
+		// Unknown rule.
+		{Conclusion: dep.NewFD(u.MustSet("A"), u.MustSet("B")), Rule: Rule("magic")},
+	}
+	for i, s := range bogus {
+		if err := p.Verify(s); err == nil {
+			t.Errorf("bogus proof %d verified", i)
+		}
+	}
+}
+
+// randomSigma draws a random FD/EFD set over u.
+func randomSigma(u *attr.Universe, rng *rand.Rand) *dep.Set {
+	sigma := dep.NewSet(u)
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		lhs, rhs := u.Empty(), u.Empty()
+		for a := 0; a < u.Size(); a++ {
+			switch rng.Intn(3) {
+			case 0:
+				lhs = lhs.With(attr.ID(a))
+			case 1:
+				rhs = rhs.With(attr.ID(a))
+			}
+		}
+		if lhs.IsEmpty() || rhs.IsEmpty() {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			sigma.Add(dep.NewEFD(lhs, rhs))
+		} else {
+			sigma.Add(dep.NewFD(lhs, rhs))
+		}
+	}
+	return sigma
+}
+
+func randomFDGoal(u *attr.Universe, rng *rand.Rand) dep.FD {
+	lhs, rhs := u.Empty(), u.Empty()
+	for a := 0; a < u.Size(); a++ {
+		switch rng.Intn(3) {
+		case 0:
+			lhs = lhs.With(attr.ID(a))
+		case 1:
+			rhs = rhs.With(attr.ID(a))
+		}
+	}
+	if rhs.IsEmpty() {
+		rhs = rhs.With(attr.ID(rng.Intn(u.Size())))
+	}
+	return dep.NewFD(lhs, rhs)
+}
+
+// TestQuickSoundAndComplete: derivability coincides with semantic
+// implication (Armstrong completeness + Props 1/2), and every produced
+// proof verifies.
+func TestQuickSoundAndComplete(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D", "E")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sigma := randomSigma(u, rng)
+		p := NewProver(sigma)
+		goal := randomFDGoal(u, rng)
+		// Semantic: closure over FDs + EFD-underlying FDs (Prop 2a).
+		want := closure.Implies(sigma.WithFD().FDs(), goal)
+		proof, ok := p.ProveFD(goal)
+		if ok != want {
+			return false
+		}
+		if ok {
+			if p.Verify(proof) != nil {
+				return false
+			}
+			if proof.Conclusion.Key() != goal.Key() {
+				return false
+			}
+		}
+		// EFD goal: semantic oracle is closure over EFD-FDs only
+		// (Props 1, 2b).
+		egoal := dep.NewEFD(goal.From, goal.To)
+		var efds []dep.FD
+		for _, e := range sigma.EFDs() {
+			efds = append(efds, e.FD())
+		}
+		ewant := closure.Implies(efds, goal)
+		eproof, eok := p.ProveEFD(egoal)
+		if eok != ewant {
+			return false
+		}
+		if eok && p.Verify(eproof) != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	p := prover(t, u, "A -> B\nB -> C")
+	proof, _ := p.ProveFD(dep.NewFD(u.MustSet("A"), u.MustSet("C")))
+	out := proof.Render()
+	if !strings.Contains(out, "given") || !strings.Contains(out, "transitivity") {
+		t.Errorf("render missing rules:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != proof.Size() {
+		t.Error("render line count != proof size")
+	}
+}

@@ -1,0 +1,245 @@
+// Package bs implements the data-model-independent view-update framework
+// of Bancilhon & Spyratos ("Update semantics of relational views", TODS
+// 1981) that Cosmadakis–Papadimitriou instantiate for the relational
+// model: database states, views as state mappings, view complements, and
+// translation of view updates under a constant complement, together with
+// checkers for the framework's soundness facts
+//
+//	(i)  the translation T_u is consistent (v∘T_u = u∘v) and acceptable
+//	     (u fixes the view ⇒ T_u fixes the database), and
+//	(ii) on a reasonable update set, u ↦ T_u is a morphism
+//	     (T_{u∘w} = T_u ∘ T_w).
+//
+// States are indexed by comparable keys so the package works for any
+// finite state space — the tests instantiate it both with toy state
+// machines and with relational databases from internal/core.
+package bs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// View maps database states to view states. Both are identified by
+// comparable keys (e.g. a canonical serialization).
+type View[S, V comparable] func(S) V
+
+// Update maps view states to view states.
+type Update[V comparable] func(V) V
+
+// DBUpdate maps database states to database states.
+type DBUpdate[S comparable] func(S) S
+
+// Space enumerates a finite set of database states. The framework's
+// definitions quantify over all states; a Space makes that executable.
+type Space[S comparable] struct {
+	states []S
+}
+
+// NewSpace builds a state space from the given states (deduplicated).
+func NewSpace[S comparable](states ...S) *Space[S] {
+	seen := make(map[S]bool, len(states))
+	var out []S
+	for _, s := range states {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return &Space[S]{states: out}
+}
+
+// States returns the states in insertion order.
+func (sp *Space[S]) States() []S { return sp.states }
+
+// Len reports the number of states.
+func (sp *Space[S]) Len() int { return len(sp.states) }
+
+// Complementary reports whether views v and w are complements of each
+// other over the space: s ↦ (v(s), w(s)) is injective.
+func Complementary[S, V, W comparable](sp *Space[S], v View[S, V], w View[S, W]) bool {
+	type pair struct {
+		a V
+		b W
+	}
+	seen := make(map[pair]S, sp.Len())
+	for _, s := range sp.states {
+		p := pair{v(s), w(s)}
+		if prev, dup := seen[p]; dup && prev != s {
+			return false
+		}
+		seen[p] = s
+	}
+	return true
+}
+
+// Translator translates view updates into database updates under a
+// constant complement.
+type Translator[S, V, W comparable] struct {
+	space *Space[S]
+	v     View[S, V]
+	w     View[S, W]
+	// index maps (view state, complement state) back to the database
+	// state — well defined because v × w is injective.
+	index map[[2]any]S
+}
+
+// NewTranslator builds a translator for view v under constant complement
+// w. It errors if w is not a complement of v over the space.
+func NewTranslator[S, V, W comparable](sp *Space[S], v View[S, V], w View[S, W]) (*Translator[S, V, W], error) {
+	if !Complementary(sp, v, w) {
+		return nil, errors.New("bs: w is not a complement of v")
+	}
+	t := &Translator[S, V, W]{space: sp, v: v, w: w, index: make(map[[2]any]S, sp.Len())}
+	for _, s := range sp.states {
+		t.index[[2]any{v(s), w(s)}] = s
+	}
+	return t, nil
+}
+
+// Translate computes T_u(s): the unique state s' with v(s') = u(v(s)) and
+// w(s') = w(s). It reports ok=false when no such state exists (u is not
+// w-translatable at s).
+func (t *Translator[S, V, W]) Translate(u Update[V], s S) (S, bool) {
+	target := [2]any{u(t.v(s)), t.w(s)}
+	out, ok := t.index[target]
+	return out, ok
+}
+
+// Translatable reports whether u is w-translatable: T_u(s) exists for
+// every state s.
+func (t *Translator[S, V, W]) Translatable(u Update[V]) bool {
+	for _, s := range t.space.states {
+		if _, ok := t.Translate(u, s); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DBUpdate materializes T_u as a total database update; it errors if u is
+// not translatable.
+func (t *Translator[S, V, W]) DBUpdate(u Update[V]) (DBUpdate[S], error) {
+	if !t.Translatable(u) {
+		return nil, errors.New("bs: update not translatable under the constant complement")
+	}
+	return func(s S) S {
+		out, _ := t.Translate(u, s)
+		return out
+	}, nil
+}
+
+// CheckConsistent verifies fact (i), first half: v(T_u(s)) = u(v(s)) for
+// all s. Returns the first violating state.
+func (t *Translator[S, V, W]) CheckConsistent(u Update[V]) (S, error) {
+	var zero S
+	for _, s := range t.space.states {
+		out, ok := t.Translate(u, s)
+		if !ok {
+			return s, fmt.Errorf("bs: not translatable at state %v", s)
+		}
+		if t.v(out) != u(t.v(s)) {
+			return s, fmt.Errorf("bs: inconsistent at state %v", s)
+		}
+	}
+	return zero, nil
+}
+
+// CheckAcceptable verifies fact (i), second half: if u(v(s)) = v(s) then
+// T_u(s) = s.
+func (t *Translator[S, V, W]) CheckAcceptable(u Update[V]) (S, error) {
+	var zero S
+	for _, s := range t.space.states {
+		if u(t.v(s)) != t.v(s) {
+			continue
+		}
+		out, ok := t.Translate(u, s)
+		if !ok {
+			return s, fmt.Errorf("bs: not translatable at state %v", s)
+		}
+		if out != s {
+			return s, fmt.Errorf("bs: unacceptable at state %v", s)
+		}
+	}
+	return zero, nil
+}
+
+// CheckMorphism verifies fact (ii): T_{u∘w} = T_u ∘ T_w for the given
+// updates (all of which must be translatable).
+func (t *Translator[S, V, W]) CheckMorphism(u1, u2 Update[V]) error {
+	comp := func(v V) V { return u1(u2(v)) }
+	for _, s := range t.space.states {
+		viaComp, ok1 := t.Translate(comp, s)
+		mid, ok2 := t.Translate(u2, s)
+		if !ok2 {
+			return fmt.Errorf("bs: inner update not translatable at %v", s)
+		}
+		viaSteps, ok3 := t.Translate(u1, mid)
+		if !ok1 || !ok3 {
+			return fmt.Errorf("bs: composite not translatable at %v", s)
+		}
+		if viaComp != viaSteps {
+			return fmt.Errorf("bs: morphism violated at %v: %v vs %v", s, viaComp, viaSteps)
+		}
+	}
+	return nil
+}
+
+// Reasonable reports whether a set of updates is "reasonable": closed
+// under composition (up to extensional equality over the reachable view
+// states) and able to cancel the effect of every update on every state's
+// view. This mirrors the paper's definition; it is checked extensionally
+// over the space.
+func Reasonable[S, V comparable](sp *Space[S], v View[S, V], updates []Update[V]) bool {
+	// Collect reachable view states.
+	var views []V
+	seen := map[V]bool{}
+	for _, s := range sp.states {
+		val := v(s)
+		if !seen[val] {
+			seen[val] = true
+			views = append(views, val)
+		}
+	}
+	eq := func(a, b Update[V]) bool {
+		for _, x := range views {
+			if a(x) != b(x) {
+				return false
+			}
+		}
+		return true
+	}
+	// Closure under composition.
+	for _, u1 := range updates {
+		for _, u2 := range updates {
+			comp := func(x V) V { return u1(u2(x)) }
+			found := false
+			for _, u := range updates {
+				if eq(u, Update[V](comp)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	// Cancellation: for every state s and update u, some w restores the
+	// view: w(u(v(s))) = v(s).
+	for _, s := range sp.states {
+		for _, u := range updates {
+			ok := false
+			for _, w := range updates {
+				if w(u(v(s))) == v(s) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,324 @@
+package bs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// Toy instantiation: states are pairs (a, b) encoded as "a,b"; the view
+// exposes a, the complement exposes b.
+
+func toySpace() (*Space[string], View[string, string], View[string, string]) {
+	var states []string
+	for _, a := range []string{"0", "1", "2"} {
+		for _, b := range []string{"x", "y"} {
+			states = append(states, a+","+b)
+		}
+	}
+	sp := NewSpace(states...)
+	v := View[string, string](func(s string) string { return strings.Split(s, ",")[0] })
+	w := View[string, string](func(s string) string { return strings.Split(s, ",")[1] })
+	return sp, v, w
+}
+
+func TestSpaceDedup(t *testing.T) {
+	sp := NewSpace("a", "b", "a")
+	if sp.Len() != 2 {
+		t.Errorf("Len = %d", sp.Len())
+	}
+}
+
+func TestComplementaryToy(t *testing.T) {
+	sp, v, w := toySpace()
+	if !Complementary(sp, v, w) {
+		t.Error("projections of a product space should be complementary")
+	}
+	// v is not a complement of itself (information loss).
+	if Complementary(sp, v, v) {
+		t.Error("lossy pair reported complementary")
+	}
+	// Identity is a complement of anything.
+	id := View[string, string](func(s string) string { return s })
+	if !Complementary(sp, v, id) {
+		t.Error("identity complement rejected")
+	}
+}
+
+func TestTranslatorBasics(t *testing.T) {
+	sp, v, w := toySpace()
+	tr, err := NewTranslator(sp, v, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update: a := a+1 mod 3 (a permutation of the view space).
+	inc := Update[string](func(a string) string {
+		switch a {
+		case "0":
+			return "1"
+		case "1":
+			return "2"
+		default:
+			return "0"
+		}
+	})
+	if !tr.Translatable(inc) {
+		t.Fatal("permutation update should be translatable")
+	}
+	out, ok := tr.Translate(inc, "0,x")
+	if !ok || out != "1,x" {
+		t.Errorf("Translate = %q, %v", out, ok)
+	}
+	if _, err := tr.CheckConsistent(inc); err != nil {
+		t.Errorf("consistency: %v", err)
+	}
+	if _, err := tr.CheckAcceptable(inc); err != nil {
+		t.Errorf("acceptability: %v", err)
+	}
+}
+
+func TestTranslatorUntranslatable(t *testing.T) {
+	// Restrict the space so some (view, complement) pair is missing:
+	// updates mapping into the hole are untranslatable.
+	sp := NewSpace("0,x", "1,x", "1,y")
+	v := View[string, string](func(s string) string { return strings.Split(s, ",")[0] })
+	w := View[string, string](func(s string) string { return strings.Split(s, ",")[1] })
+	tr, err := NewTranslator(sp, v, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toZero := Update[string](func(string) string { return "0" })
+	// At state "1,y" we need (0, y) which does not exist.
+	if tr.Translatable(toZero) {
+		t.Error("update into a hole reported translatable")
+	}
+	if _, ok := tr.Translate(toZero, "1,y"); ok {
+		t.Error("Translate succeeded into a hole")
+	}
+	if _, err := tr.DBUpdate(toZero); err == nil {
+		t.Error("DBUpdate built for untranslatable update")
+	}
+}
+
+func TestNewTranslatorRejectsNonComplement(t *testing.T) {
+	sp, v, _ := toySpace()
+	if _, err := NewTranslator(sp, v, v); err == nil {
+		t.Error("non-complement accepted")
+	}
+}
+
+func TestMorphismToy(t *testing.T) {
+	sp, v, w := toySpace()
+	tr, _ := NewTranslator(sp, v, w)
+	inc := Update[string](func(a string) string {
+		switch a {
+		case "0":
+			return "1"
+		case "1":
+			return "2"
+		default:
+			return "0"
+		}
+	})
+	dec := Update[string](func(a string) string {
+		switch a {
+		case "0":
+			return "2"
+		case "1":
+			return "0"
+		default:
+			return "1"
+		}
+	})
+	if err := tr.CheckMorphism(inc, dec); err != nil {
+		t.Errorf("morphism: %v", err)
+	}
+	if err := tr.CheckMorphism(inc, inc); err != nil {
+		t.Errorf("morphism: %v", err)
+	}
+}
+
+func TestReasonable(t *testing.T) {
+	sp, v, _ := toySpace()
+	inc := Update[string](func(a string) string {
+		switch a {
+		case "0":
+			return "1"
+		case "1":
+			return "2"
+		default:
+			return "0"
+		}
+	})
+	dec := Update[string](func(a string) string {
+		switch a {
+		case "0":
+			return "2"
+		case "1":
+			return "0"
+		default:
+			return "1"
+		}
+	})
+	id := Update[string](func(a string) string { return a })
+	if !Reasonable(sp, v, []Update[string]{id, inc, dec}) {
+		t.Error("cyclic group of updates should be reasonable")
+	}
+	// Without the inverse, composition closure fails (inc∘inc = dec not
+	// in the set).
+	if Reasonable(sp, v, []Update[string]{id, inc}) {
+		t.Error("non-closed set reported reasonable")
+	}
+}
+
+// Relational instantiation: the EDM schema with states = legal instances
+// over a small domain, serialized canonically.
+
+func relationalSpace(t *testing.T) (*Space[string], View[string, string], View[string, string], map[string]*relation.Relation, *value.Symbols, *core.Schema) {
+	t.Helper()
+	u := attr.MustUniverse("E", "D", "M")
+	sigma := dep.MustParseSet(u, "E -> D\nD -> M")
+	s := core.MustSchema(u, sigma)
+	syms := value.NewSymbols()
+	emps := []value.Value{syms.Const("ed"), syms.Const("flo")}
+	depts := []value.Value{syms.Const("toys"), syms.Const("tools")}
+	mgrs := []value.Value{syms.Const("mo"), syms.Const("tim")}
+
+	serialize := func(r *relation.Relation) string {
+		rows := make([]string, 0, r.Len())
+		for _, tp := range r.Tuples() {
+			rows = append(rows, fmt.Sprintf("%v", tp))
+		}
+		sort.Strings(rows)
+		return strings.Join(rows, ";")
+	}
+
+	// Enumerate all legal instances with ≤ 2 employees.
+	byKey := map[string]*relation.Relation{}
+	var keys []string
+	var tuples []relation.Tuple
+	for _, e := range emps {
+		for _, d := range depts {
+			for _, m := range mgrs {
+				tuples = append(tuples, relation.Tuple{e, d, m})
+			}
+		}
+	}
+	addState := func(r *relation.Relation) {
+		if ok, _ := s.Legal(r); !ok {
+			return
+		}
+		k := serialize(r)
+		if _, dup := byKey[k]; !dup {
+			byKey[k] = r
+			keys = append(keys, k)
+		}
+	}
+	empty := relation.New(u.All())
+	addState(empty)
+	for i := range tuples {
+		r := relation.New(u.All())
+		r.Insert(tuples[i].Clone())
+		addState(r)
+		for j := i + 1; j < len(tuples); j++ {
+			r2 := relation.New(u.All())
+			r2.Insert(tuples[i].Clone())
+			r2.Insert(tuples[j].Clone())
+			addState(r2)
+			for l := j + 1; l < len(tuples); l++ {
+				r3 := relation.New(u.All())
+				r3.Insert(tuples[i].Clone())
+				r3.Insert(tuples[j].Clone())
+				r3.Insert(tuples[l].Clone())
+				addState(r3)
+			}
+		}
+	}
+	sp := NewSpace(keys...)
+	x, y := u.MustSet("E", "D"), u.MustSet("D", "M")
+	vx := View[string, string](func(k string) string { return serialize(byKey[k].Project(x)) })
+	vy := View[string, string](func(k string) string { return serialize(byKey[k].Project(y)) })
+	return sp, vx, vy, byKey, syms, s
+}
+
+// serializeRel matches relationalSpace's canonical serialization.
+func serializeRel(r *relation.Relation) string {
+	rows := make([]string, 0, r.Len())
+	for _, tp := range r.Tuples() {
+		rows = append(rows, fmt.Sprintf("%v", tp))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, ";")
+}
+
+func TestRelationalComplementMatchesCore(t *testing.T) {
+	// E16: the abstract BS complementarity of (π_ED, π_DM) over
+	// enumerated legal EDM states agrees with core.Complementary.
+	sp, vx, vy, _, _, _ := relationalSpace(t)
+	if !Complementary(sp, vx, vy) {
+		t.Error("ED/DM not complementary in the abstract framework")
+	}
+}
+
+func TestRelationalTranslationMatchesCore(t *testing.T) {
+	// E16: translating a view insertion abstractly (constant-complement
+	// state lookup) agrees with core's relational translation
+	// T_u[R] = R ∪ t*π_Y(R) on every state where the result stays inside
+	// the enumerated space.
+	sp, vx, vy, byKey, syms, s := relationalSpace(t)
+	tr, err := NewTranslator(sp, vx, vy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := s.Universe()
+	pair := core.MustPair(s, u.MustSet("E", "D"), u.MustSet("D", "M"))
+	x := pair.ViewAttrs()
+
+	// Abstract update: insert (ed, toys) into the ED view, expressed
+	// extensionally over the reachable view states.
+	ed, toys := syms.Const("ed"), syms.Const("toys")
+	tup := relation.Tuple{ed, toys}
+	uv := map[string]string{}
+	for _, k := range sp.States() {
+		r := byKey[k]
+		v := r.Project(x)
+		updated := v.Clone()
+		updated.Insert(tup.Clone())
+		uv[serializeRel(v)] = serializeRel(updated)
+	}
+	abstract := Update[string](func(vs string) string {
+		if out, ok := uv[vs]; ok {
+			return out
+		}
+		return vs
+	})
+
+	agreements, boundary := 0, 0
+	for _, k := range sp.States() {
+		r := byKey[k]
+		if r.Len() >= 3 {
+			boundary++ // insertion result may leave the enumerated space
+			continue
+		}
+		out, abstractOK := tr.Translate(abstract, k)
+		relOut, relErr := pair.ApplyInsert(r, tup)
+		relOK := relErr == nil
+		if abstractOK != relOK {
+			t.Fatalf("state %q: abstract ok=%v, relational ok=%v (%v)", k, abstractOK, relOK, relErr)
+		}
+		if abstractOK && out != serializeRel(relOut) {
+			t.Fatalf("state %q: abstract %q vs relational %q", k, out, serializeRel(relOut))
+		}
+		agreements++
+	}
+	if agreements < 10 {
+		t.Fatalf("only %d states compared (boundary %d)", agreements, boundary)
+	}
+}

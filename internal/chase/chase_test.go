@@ -1,0 +1,453 @@
+package chase
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+func sigma(t testing.TB, u *attr.Universe, text string) *dep.Set {
+	t.Helper()
+	s, err := dep.ParseSet(u, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestImpliesMVDFromFD(t *testing.T) {
+	u := attr.MustUniverse("E", "D", "M")
+	s := sigma(t, u, "D -> M")
+	// D -> M implies D ->> M, hence *[DM, DE].
+	if !ImpliesMVD(s, dep.NewMVD(u.MustSet("D"), u.MustSet("M"))) {
+		t.Error("D->M should imply D->>M")
+	}
+	// And the complement D ->> E.
+	if !ImpliesMVD(s, dep.NewMVD(u.MustSet("D"), u.MustSet("E"))) {
+		t.Error("complementation missed")
+	}
+	// But E ->> D does not follow.
+	if ImpliesMVD(s, dep.NewMVD(u.MustSet("E"), u.MustSet("D"))) {
+		t.Error("unsound MVD implication")
+	}
+}
+
+func TestImpliesMVDTrivial(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	s := dep.NewSet(u)
+	if !ImpliesMVD(s, dep.NewMVD(u.MustSet("A"), u.MustSet("A", "B", "C"))) {
+		t.Error("trivial MVD (X∪Y=U) not implied")
+	}
+	if !ImpliesMVD(s, dep.NewMVD(u.MustSet("A", "B"), u.MustSet("A"))) {
+		t.Error("trivial MVD (Y⊆X) not implied")
+	}
+	if ImpliesMVD(s, dep.NewMVD(u.MustSet("A"), u.MustSet("B"))) {
+		t.Error("nontrivial MVD implied by empty Σ")
+	}
+}
+
+func TestImpliesJDFromJD(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	j := dep.MustJD(u.MustSet("A", "B"), u.MustSet("B", "C"))
+	s := dep.NewSet(u)
+	s.Add(j)
+	if !ImpliesJD(s, j) {
+		t.Error("JD does not imply itself")
+	}
+	other := dep.MustJD(u.MustSet("A", "C"), u.MustSet("B", "C"))
+	if ImpliesJD(s, other) {
+		t.Error("unsound JD implication")
+	}
+}
+
+func TestImpliesMVDFromTernaryJD(t *testing.T) {
+	// *[AB, BC, CA] does NOT imply the binary MVD B ->> A (classic).
+	u := attr.MustUniverse("A", "B", "C")
+	s := dep.NewSet(u)
+	s.Add(dep.MustJD(u.MustSet("A", "B"), u.MustSet("B", "C"), u.MustSet("C", "A")))
+	if ImpliesMVD(s, dep.NewMVD(u.MustSet("B"), u.MustSet("A"))) {
+		t.Error("ternary JD should not imply binary MVD")
+	}
+	// But together with B -> C it implies *[AB, BC]: chase the tableau.
+	s.Add(dep.NewFD(u.MustSet("B"), u.MustSet("C")))
+	if !ImpliesMVD(s, dep.NewMVD(u.MustSet("B"), u.MustSet("A"))) {
+		t.Error("JD + FD implication missed")
+	}
+}
+
+func TestImpliesFDBasic(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	s := sigma(t, u, "A -> B\nB -> C")
+	if !ImpliesFD(s, dep.NewFD(u.MustSet("A"), u.MustSet("C"))) {
+		t.Error("transitivity missed by tableau chase")
+	}
+	if ImpliesFD(s, dep.NewFD(u.MustSet("C"), u.MustSet("A"))) {
+		t.Error("unsound FD implication")
+	}
+}
+
+func TestImpliesFDViaJD(t *testing.T) {
+	// *[AB, BC] plus B->A gives nothing new for C->A; sanity only.
+	u := attr.MustUniverse("A", "B", "C")
+	s := dep.NewSet(u)
+	s.Add(dep.MustJD(u.MustSet("A", "B"), u.MustSet("B", "C")))
+	if ImpliesFD(s, dep.NewFD(u.MustSet("B"), u.MustSet("A"))) {
+		t.Error("JD alone implies no FD")
+	}
+}
+
+func TestImpliesEmbeddedMVD(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D")
+	// A -> B implies the embedded MVD within ABC: A ->> B | C.
+	s := sigma(t, u, "A -> B")
+	if !ImpliesEmbeddedMVD(s, u.MustSet("A", "B"), u.MustSet("A", "C")) {
+		t.Error("embedded MVD from FD missed")
+	}
+	if ImpliesEmbeddedMVD(s, u.MustSet("B", "C"), u.MustSet("B", "D")) {
+		t.Error("unsound embedded MVD")
+	}
+	// With X∪Y = U it must agree with ImpliesMVD.
+	x, y := u.MustSet("A", "B"), u.MustSet("A", "C", "D")
+	if ImpliesEmbeddedMVD(s, x, y) != ImpliesMVD(s, dep.NewMVD(x.Intersect(y), x)) {
+		t.Error("embedded and full MVD disagree when X∪Y=U")
+	}
+}
+
+func TestFDOnlyImpliesMVDExamples(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D")
+	fds := []dep.FD{dep.NewFD(u.MustSet("A"), u.MustSet("B"))}
+	// A ->> B: yes (from A -> B).
+	if !FDOnlyImpliesMVD(fds, dep.NewMVD(u.MustSet("A"), u.MustSet("B"))) {
+		t.Error("A->>B missed")
+	}
+	// A ->> CD: yes (complement).
+	if !FDOnlyImpliesMVD(fds, dep.NewMVD(u.MustSet("A"), u.MustSet("C", "D"))) {
+		t.Error("A->>CD missed")
+	}
+	// A ->> C: no.
+	if FDOnlyImpliesMVD(fds, dep.NewMVD(u.MustSet("A"), u.MustSet("C"))) {
+		t.Error("A->>C unsound")
+	}
+}
+
+// randomFDSet builds a dep.Set of k random FDs.
+func randomFDSet(u *attr.Universe, rng *rand.Rand, k int) *dep.Set {
+	s := dep.NewSet(u)
+	for i := 0; i < k; i++ {
+		lhs, rhs := u.Empty(), u.Empty()
+		for a := 0; a < u.Size(); a++ {
+			switch rng.Intn(3) {
+			case 0:
+				lhs = lhs.With(attr.ID(a))
+			case 1:
+				rhs = rhs.With(attr.ID(a))
+			}
+		}
+		if lhs.IsEmpty() || rhs.IsEmpty() {
+			continue
+		}
+		s.Add(dep.NewFD(lhs, rhs))
+	}
+	return s
+}
+
+func randomMVD(u *attr.Universe, rng *rand.Rand) dep.MVD {
+	x, y := u.Empty(), u.Empty()
+	for a := 0; a < u.Size(); a++ {
+		switch rng.Intn(3) {
+		case 0:
+			x = x.With(attr.ID(a))
+		case 1:
+			y = y.With(attr.ID(a))
+		}
+	}
+	return dep.NewMVD(x, y)
+}
+
+func TestQuickFDOnlyFastPathAgreesWithTableau(t *testing.T) {
+	// Ablation A2 invariant: the dependency-basis shortcut and the tableau
+	// chase agree on FD-only schemas.
+	u := attr.MustUniverse("A", "B", "C", "D", "E")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomFDSet(u, rng, 1+rng.Intn(4))
+		m := randomMVD(u, rng)
+		return FDOnlyImpliesMVD(s.FDs(), m) == ImpliesMVD(s, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMVDImplicationSoundOnInstances(t *testing.T) {
+	// If Σ ⊨ m, then every generated instance satisfying Σ satisfies m.
+	u := attr.MustUniverse("A", "B", "C", "D")
+	syms := value.NewSymbols()
+	vals := syms.Ints(2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomFDSet(u, rng, 1+rng.Intn(3))
+		m := randomMVD(u, rng)
+		if !ImpliesMVD(s, m) {
+			return true // nothing to check
+		}
+		// Enumerate all relations over a 2-value domain with ≤ 3 tuples
+		// satisfying Σ and check m. 16 possible tuples.
+		all := make([]relation.Tuple, 0, 16)
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				for c := 0; c < 2; c++ {
+					for d := 0; d < 2; d++ {
+						all = append(all, relation.Tuple{vals[a], vals[b], vals[c], vals[d]})
+					}
+				}
+			}
+		}
+		for trial := 0; trial < 30; trial++ {
+			r := relation.New(u.All())
+			for i := 0; i < 3; i++ {
+				r.Insert(all[rng.Intn(len(all))].Clone())
+			}
+			if ok, _ := r.SatisfiesAll(s); !ok {
+				continue
+			}
+			if !r.SatisfiesMVD(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- instance chase ---
+
+// nullsFor builds a relation over U from a view instance: X columns from
+// the rows, Y−X columns fresh nulls.
+func padWithNulls(v *relation.Relation, u *attr.Universe, gen *value.NullGen) *relation.Relation {
+	out := relation.New(u.All())
+	for _, t := range v.Tuples() {
+		nt := make(relation.Tuple, u.Size())
+		for c := 0; c < u.Size(); c++ {
+			if vc := v.Col(attr.ID(c)); vc >= 0 {
+				nt[c] = t[vc]
+			} else {
+				nt[c] = gen.Fresh()
+			}
+		}
+		out.Insert(nt)
+	}
+	return out
+}
+
+func TestInstanceChaseEquatesNulls(t *testing.T) {
+	u := attr.MustUniverse("E", "D", "M")
+	syms := value.NewSymbols()
+	v := relation.New(u.MustSet("E", "D"))
+	v.InsertVals(syms.Const("ed"), syms.Const("toys"))
+	v.InsertVals(syms.Const("flo"), syms.Const("toys"))
+	var gen value.NullGen
+	r := padWithNulls(v, u, &gen)
+	fds := []dep.FD{dep.NewFD(u.MustSet("D"), u.MustSet("M"))}
+	res := Instance(r, fds)
+	if res.ConstClash() {
+		t.Fatal("unexpected clash")
+	}
+	// Both M nulls must be equated (same D).
+	ts := res.Relation().Tuples()
+	mcol := res.Relation().Col(mustID(u, "M"))
+	if ts[0][mcol] != ts[1][mcol] {
+		t.Error("M nulls not equated despite D -> M")
+	}
+}
+
+func mustID(u *attr.Universe, n string) attr.ID {
+	id, ok := u.Lookup(n)
+	if !ok {
+		panic(n)
+	}
+	return id
+}
+
+func TestInstanceChaseConstClash(t *testing.T) {
+	u := attr.MustUniverse("A", "B")
+	syms := value.NewSymbols()
+	r := relation.New(u.All())
+	r.InsertVals(syms.Const("1"), syms.Const("x"))
+	r.InsertVals(syms.Const("1"), syms.Const("y"))
+	fds := []dep.FD{dep.NewFD(u.MustSet("A"), u.MustSet("B"))}
+	res := Instance(r, fds)
+	if !res.ConstClash() {
+		t.Error("clash not detected")
+	}
+}
+
+func TestInstanceChaseNullConstMerge(t *testing.T) {
+	u := attr.MustUniverse("A", "B")
+	syms := value.NewSymbols()
+	var gen value.NullGen
+	n := gen.Fresh()
+	r := relation.New(u.All())
+	x := syms.Const("x")
+	r.InsertVals(syms.Const("1"), x)
+	r.InsertVals(syms.Const("1"), n)
+	fds := []dep.FD{dep.NewFD(u.MustSet("A"), u.MustSet("B"))}
+	res := Instance(r, fds)
+	if res.ConstClash() {
+		t.Fatal("unexpected clash")
+	}
+	if res.Find(n) != x {
+		t.Error("null not resolved to constant")
+	}
+	if !res.Same(n, x) {
+		t.Error("Same(n, x) = false")
+	}
+	if res.Relation().Len() != 1 {
+		t.Error("chased relation not deduped")
+	}
+}
+
+func TestInstanceChaseTransitive(t *testing.T) {
+	// A->B, B->C chains through nulls.
+	u := attr.MustUniverse("A", "B", "C")
+	syms := value.NewSymbols()
+	var gen value.NullGen
+	b1, b2 := gen.Fresh(), gen.Fresh()
+	c1, c2 := gen.Fresh(), gen.Fresh()
+	r := relation.New(u.All())
+	r.InsertVals(syms.Const("1"), b1, c1)
+	r.InsertVals(syms.Const("1"), b2, c2)
+	fds := []dep.FD{
+		dep.NewFD(u.MustSet("A"), u.MustSet("B")),
+		dep.NewFD(u.MustSet("B"), u.MustSet("C")),
+	}
+	res := Instance(r, fds)
+	if !res.Same(b1, b2) || !res.Same(c1, c2) {
+		t.Error("transitive equating failed")
+	}
+}
+
+func TestQuickInstanceImplementationsAgree(t *testing.T) {
+	// A1 ablation invariant: hash-based and sort-based chases agree on
+	// clash and on the canonical relation.
+	u := attr.MustUniverse("A", "B", "C", "D")
+	syms := value.NewSymbols()
+	vals := syms.Ints(3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var gen value.NullGen
+		r := relation.New(u.All())
+		for i := 0; i < 6; i++ {
+			t := make(relation.Tuple, 4)
+			for c := 0; c < 4; c++ {
+				if rng.Intn(2) == 0 {
+					t[c] = vals[rng.Intn(3)]
+				} else {
+					t[c] = gen.Fresh()
+				}
+			}
+			r.Insert(t)
+		}
+		var fds []dep.FD
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			lhs, rhs := u.Empty(), u.Empty()
+			for a := 0; a < 4; a++ {
+				switch rng.Intn(3) {
+				case 0:
+					lhs = lhs.With(attr.ID(a))
+				case 1:
+					rhs = rhs.With(attr.ID(a))
+				}
+			}
+			if lhs.IsEmpty() || rhs.IsEmpty() {
+				continue
+			}
+			fds = append(fds, dep.NewFD(lhs, rhs))
+		}
+		h := Instance(r, fds)
+		s := InstanceSortBased(r, fds)
+		if h.ConstClash() != s.ConstClash() {
+			return false
+		}
+		if h.ConstClash() {
+			return true
+		}
+		// Canonical relations must be isomorphic; compare constant
+		// positions and the partition structure via FD satisfaction.
+		hr, sr := h.Relation(), s.Relation()
+		if hr.Len() != sr.Len() {
+			return false
+		}
+		for _, f := range fds {
+			if hr.SatisfiesFD(f) != sr.SatisfiesFD(f) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInstanceChaseIsFixpoint(t *testing.T) {
+	// After the chase, the canonical relation satisfies all FDs whose
+	// violations involve at least one null (i.e. chasing again changes
+	// nothing).
+	u := attr.MustUniverse("A", "B", "C")
+	syms := value.NewSymbols()
+	vals := syms.Ints(3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var gen value.NullGen
+		r := relation.New(u.All())
+		for i := 0; i < 5; i++ {
+			t := make(relation.Tuple, 3)
+			for c := 0; c < 3; c++ {
+				if rng.Intn(2) == 0 {
+					t[c] = vals[rng.Intn(3)]
+				} else {
+					t[c] = gen.Fresh()
+				}
+			}
+			r.Insert(t)
+		}
+		fds := []dep.FD{
+			dep.NewFD(u.MustSet("A"), u.MustSet("B")),
+			dep.NewFD(u.MustSet("B"), u.MustSet("C")),
+		}
+		res := Instance(r, fds)
+		if res.ConstClash() {
+			return true
+		}
+		again := Instance(res.Relation(), fds)
+		if again.ConstClash() {
+			return false
+		}
+		return again.Relation().Equal(res.Relation())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableauRowCapPanics(t *testing.T) {
+	// Construct a tableau directly and overfill it.
+	tb := newTableau(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic at row cap")
+		}
+	}()
+	for i := 0; ; i++ {
+		row := []int{tb.fresh()}
+		tb.addRow(row)
+	}
+}

@@ -1,0 +1,173 @@
+package chase
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+)
+
+func TestDependencyBasisTextbook(t *testing.T) {
+	// Classic: Course ->> Teacher over (Course, Teacher, Book):
+	// DEP(Course) = {Teacher}, {Book}.
+	u := attr.MustUniverse("C", "T", "B")
+	sigma := dep.NewSet(u)
+	sigma.Add(dep.NewMVD(u.MustSet("C"), u.MustSet("T")))
+	basis := DependencyBasis(u.MustSet("C"), sigma)
+	if len(basis) != 2 {
+		t.Fatalf("basis = %v, want 2 blocks", basis)
+	}
+	for _, b := range basis {
+		if b.Len() != 1 {
+			t.Errorf("non-singleton block %v", b)
+		}
+	}
+}
+
+func TestDependencyBasisFDOnly(t *testing.T) {
+	// F = {A -> B} over ABCD: DEP(A) = {B}, {CD}.
+	u := attr.MustUniverse("A", "B", "C", "D")
+	sigma := dep.NewSet(u)
+	sigma.Add(dep.NewFD(u.MustSet("A"), u.MustSet("B")))
+	basis := DependencyBasis(u.MustSet("A"), sigma)
+	if len(basis) != 2 {
+		t.Fatalf("basis = %v, want {B},{CD}", basis)
+	}
+	want := map[string]bool{"B": true, "C D": true}
+	for _, b := range basis {
+		if !want[b.String()] {
+			t.Errorf("unexpected block %v", b)
+		}
+	}
+}
+
+func TestDependencyBasisMixedChain(t *testing.T) {
+	// A ->> B plus B -> C splits C off: DEP(A) ⊇ {B}, {C}, {D}.
+	u := attr.MustUniverse("A", "B", "C", "D")
+	sigma := dep.NewSet(u)
+	sigma.Add(dep.NewMVD(u.MustSet("A"), u.MustSet("B")))
+	sigma.Add(dep.NewFD(u.MustSet("B"), u.MustSet("C")))
+	basis := DependencyBasis(u.MustSet("A"), sigma)
+	if len(basis) != 3 {
+		t.Fatalf("basis = %v, want 3 singletons", basis)
+	}
+	// The mixed rule's MVD consequence A ->> C must be implied.
+	if !BasisImpliesMVD(sigma, dep.NewMVD(u.MustSet("A"), u.MustSet("C"))) {
+		t.Error("A ->> C missed")
+	}
+}
+
+func TestDependencyBasisFullX(t *testing.T) {
+	u := attr.MustUniverse("A", "B")
+	sigma := dep.NewSet(u)
+	if got := DependencyBasis(u.All(), sigma); got != nil {
+		t.Errorf("DEP(U) = %v, want nil", got)
+	}
+}
+
+func TestBasisImpliesMVDTrivial(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	sigma := dep.NewSet(u)
+	if !BasisImpliesMVD(sigma, dep.NewMVD(u.MustSet("A"), u.MustSet("A"))) {
+		t.Error("trivial MVD rejected")
+	}
+	if !BasisImpliesMVD(sigma, dep.NewMVD(u.MustSet("A"), u.MustSet("B", "C"))) {
+		t.Error("complement-trivial MVD rejected")
+	}
+	if BasisImpliesMVD(sigma, dep.NewMVD(u.MustSet("A"), u.MustSet("B"))) {
+		t.Error("nontrivial MVD accepted from empty Σ")
+	}
+}
+
+// randomMixedSigma draws FDs and MVDs.
+func randomMixedSigma(u *attr.Universe, rng *rand.Rand, k int) *dep.Set {
+	sigma := dep.NewSet(u)
+	for i := 0; i < k; i++ {
+		lhs, rhs := u.Empty(), u.Empty()
+		for a := 0; a < u.Size(); a++ {
+			switch rng.Intn(3) {
+			case 0:
+				lhs = lhs.With(attr.ID(a))
+			case 1:
+				rhs = rhs.With(attr.ID(a))
+			}
+		}
+		if lhs.IsEmpty() || rhs.IsEmpty() {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			sigma.Add(dep.NewFD(lhs, rhs))
+		} else {
+			sigma.Add(dep.NewMVD(lhs, rhs))
+		}
+	}
+	return sigma
+}
+
+func TestQuickDependencyBasisMatchesTableau(t *testing.T) {
+	// The basis-based MVD test agrees with the tableau chase on random
+	// mixed FD+MVD sets — the empirical completeness check.
+	u := attr.MustUniverse("A", "B", "C", "D", "E")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sigma := randomMixedSigma(u, rng, 1+rng.Intn(4))
+		m := randomMVD(u, rng)
+		return BasisImpliesMVD(sigma, m) == ImpliesMVD(sigma, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBasisIsPartition(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D", "E")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sigma := randomMixedSigma(u, rng, 1+rng.Intn(4))
+		x := u.Empty()
+		for a := 0; a < u.Size(); a++ {
+			if rng.Intn(3) == 0 {
+				x = x.With(attr.ID(a))
+			}
+		}
+		basis := DependencyBasis(x, sigma)
+		cover := u.Empty()
+		for _, b := range basis {
+			if b.IsEmpty() || b.Intersects(x) || b.Intersects(cover) {
+				return false
+			}
+			cover = cover.Union(b)
+		}
+		return cover.Equal(u.All().Diff(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBasisBlocksAreImpliedMVDs(t *testing.T) {
+	// Soundness: every block S of DEP(X) gives Σ ⊨ X →→ S (checked
+	// against the tableau chase).
+	u := attr.MustUniverse("A", "B", "C", "D")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sigma := randomMixedSigma(u, rng, 1+rng.Intn(3))
+		x := u.Empty()
+		for a := 0; a < u.Size(); a++ {
+			if rng.Intn(3) == 0 {
+				x = x.With(attr.ID(a))
+			}
+		}
+		for _, b := range DependencyBasis(x, sigma) {
+			if !ImpliesMVD(sigma, dep.NewMVD(x, b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

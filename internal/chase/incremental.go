@@ -1,0 +1,206 @@
+package chase
+
+import (
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// Prepared indexes a chased relation (a fixpoint of Instance) so that
+// additional equalities can be imposed incrementally: instead of
+// rebuilding and re-chasing the whole relation per imposition —
+// O(|Σ|·|R|) even when nothing fires — an Overlay propagates only from
+// the rows that actually contain a changed value. This is the engine
+// behind the exact test's per-candidate impositions (ablation A5).
+type Prepared struct {
+	rel *relation.Relation
+	// plans[i] holds the Z and A column indexes of fds[i].
+	plans [][2][]int
+	// buckets[i] maps the base Z-key of fds[i] to a representative row.
+	// In a fixpoint, all rows of a bucket agree on the A columns.
+	buckets []map[string]int
+	// valueRows maps each value to the rows containing it.
+	valueRows map[value.Value][]int
+}
+
+// Prepare indexes rel, which must be a chase fixpoint with canonical
+// values (as produced by Result.Relation()). fds must be the FD set the
+// fixpoint was computed under.
+func Prepare(rel *relation.Relation, fds []dep.FD) *Prepared {
+	p := &Prepared{rel: rel, valueRows: make(map[value.Value][]int)}
+	for _, f := range fds {
+		var zc, ac []int
+		f.From.Each(func(id attr.ID) bool { zc = append(zc, rel.Col(id)); return true })
+		f.To.Each(func(id attr.ID) bool { ac = append(ac, rel.Col(id)); return true })
+		p.plans = append(p.plans, [2][]int{zc, ac})
+	}
+	p.buckets = make([]map[string]int, len(p.plans))
+	for fi, plan := range p.plans {
+		m := make(map[string]int, rel.Len())
+		for ri, row := range rel.Tuples() {
+			k := keyOf(row, plan[0], nil)
+			if _, ok := m[k]; !ok {
+				m[k] = ri
+			}
+		}
+		p.buckets[fi] = m
+	}
+	for ri, row := range rel.Tuples() {
+		seen := map[value.Value]bool{}
+		for _, v := range row {
+			if !seen[v] {
+				seen[v] = true
+				p.valueRows[v] = append(p.valueRows[v], ri)
+			}
+		}
+	}
+	return p
+}
+
+// keyOf serializes the resolved values of the given columns.
+func keyOf(row relation.Tuple, cols []int, ov *Overlay) string {
+	b := make([]byte, 0, len(cols)*8)
+	for _, c := range cols {
+		v := row[c]
+		if ov != nil {
+			v = ov.findBase(v)
+		}
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(u>>(8*i)))
+		}
+	}
+	return string(b)
+}
+
+// Overlay is the result of imposing equalities on a Prepared fixpoint:
+// a union-find layered over the base values, closed under the FDs.
+type Overlay struct {
+	p       *Prepared
+	parent  map[value.Value]value.Value
+	members map[value.Value][]value.Value
+	clash   bool
+	// overlayBuckets[fi] maps overlay Z-keys discovered during
+	// propagation to a representative row.
+	overlayBuckets []map[string]int
+}
+
+// WithEqualities imposes the given value pairs (over the base relation's
+// canonical values) and propagates the FDs to a new fixpoint. The
+// receiver is not modified; each call returns an independent overlay.
+func (p *Prepared) WithEqualities(pairs [][2]value.Value) *Overlay {
+	ov := &Overlay{
+		p:              p,
+		parent:         make(map[value.Value]value.Value),
+		members:        make(map[value.Value][]value.Value),
+		overlayBuckets: make([]map[string]int, len(p.plans)),
+	}
+	for i := range ov.overlayBuckets {
+		ov.overlayBuckets[i] = make(map[string]int)
+	}
+	var queue []value.Value
+	for _, pr := range pairs {
+		if loser, changed := ov.union(pr[0], pr[1]); changed {
+			queue = append(queue, loser)
+		}
+		if ov.clash {
+			return ov
+		}
+	}
+	for len(queue) > 0 {
+		loser := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		// Rows containing any member of the loser's (pre-merge) class.
+		rows := map[int]bool{}
+		for _, v := range ov.classMembers(loser) {
+			for _, ri := range p.valueRows[v] {
+				rows[ri] = true
+			}
+		}
+		for ri := range rows {
+			row := p.rel.Tuple(ri)
+			for fi, plan := range p.plans {
+				k := keyOf(row, plan[0], ov)
+				other, ok := ov.overlayBuckets[fi][k]
+				if !ok {
+					// Fall back to the base bucket, validating that its
+					// representative still has this overlay key.
+					if base, ok2 := p.buckets[fi][k]; ok2 &&
+						keyOf(p.rel.Tuple(base), plan[0], ov) == k {
+						other = base
+						ok = true
+					}
+				}
+				if !ok {
+					ov.overlayBuckets[fi][k] = ri
+					continue
+				}
+				if other == ri {
+					continue
+				}
+				otherRow := p.rel.Tuple(other)
+				for _, c := range plan[1] {
+					if l, changed := ov.union(row[c], otherRow[c]); changed {
+						queue = append(queue, l)
+					}
+					if ov.clash {
+						return ov
+					}
+				}
+			}
+		}
+	}
+	return ov
+}
+
+// classMembers returns the base values currently in v's class (including
+// v itself).
+func (ov *Overlay) classMembers(v value.Value) []value.Value {
+	r := ov.findBase(v)
+	out := append([]value.Value{r}, ov.members[r]...)
+	return out
+}
+
+// findBase resolves a base-canonical value through the overlay.
+func (ov *Overlay) findBase(v value.Value) value.Value {
+	for {
+		n, ok := ov.parent[v]
+		if !ok {
+			return v
+		}
+		v = n
+	}
+}
+
+// union merges the overlay classes of a and b. It reports the losing
+// representative and whether a merge happened; a constant/constant merge
+// sets the clash flag instead.
+func (ov *Overlay) union(a, b value.Value) (value.Value, bool) {
+	ra, rb := ov.findBase(a), ov.findBase(b)
+	if ra == rb {
+		return 0, false
+	}
+	if ra.IsConst() && rb.IsConst() {
+		ov.clash = true
+		return 0, false
+	}
+	if rb.IsConst() || (!ra.IsConst() && rb > ra) {
+		ra, rb = rb, ra
+	}
+	ov.parent[rb] = ra
+	ov.members[ra] = append(ov.members[ra], rb)
+	ov.members[ra] = append(ov.members[ra], ov.members[rb]...)
+	delete(ov.members, rb)
+	return rb, true
+}
+
+// ConstClash reports whether the imposition forced two distinct constants
+// equal.
+func (ov *Overlay) ConstClash() bool { return ov.clash }
+
+// Same reports whether two values (given in base-canonical form) are
+// equal under the overlay.
+func (ov *Overlay) Same(a, b value.Value) bool {
+	return ov.findBase(a) == ov.findBase(b)
+}

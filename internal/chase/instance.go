@@ -1,0 +1,238 @@
+package chase
+
+import (
+	"sort"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// Result is the outcome of chasing a relation with labeled nulls under a
+// set of FDs. It answers which symbols were equated and whether the chase
+// derived a contradiction (equated two distinct constants).
+//
+// In the paper's Theorem 3 vocabulary, the chase of R(V, t, r, f)
+// "succeeds" when it equates two distinct elements of V (a constant
+// clash) or equates the designated pair r[A], μ[A]; callers express that
+// as res.ConstClash() || res.Same(rA, muA).
+type Result struct {
+	clash  bool
+	parent map[value.Value]value.Value
+	rel    *relation.Relation
+}
+
+// ConstClash reports whether the chase attempted to equate two distinct
+// constants. When true, no legal instance matches the chased pattern.
+func (r *Result) ConstClash() bool { return r.clash }
+
+// Find returns the representative of v after the chase: a constant if v
+// was equated (directly or transitively) with one, otherwise the
+// least-index null of its class.
+func (r *Result) Find(v value.Value) value.Value {
+	root := v
+	for {
+		p, ok := r.parent[root]
+		if !ok || p == root {
+			break
+		}
+		root = p
+	}
+	// Path compression for subsequent queries.
+	for v != root {
+		next := r.parent[v]
+		r.parent[v] = root
+		v = next
+	}
+	return root
+}
+
+// Same reports whether the chase equated a and b.
+func (r *Result) Same(a, b value.Value) bool { return r.Find(a) == r.Find(b) }
+
+// Relation returns the chased relation: every symbol replaced by its
+// representative, duplicate rows removed. It is nil if the chase clashed.
+func (r *Result) Relation() *relation.Relation { return r.rel }
+
+// union merges the classes of a and b, preferring constants (and, among
+// constants, failing on distinctness; among nulls, the smaller index) as
+// representative. Reports whether a merge happened.
+func (r *Result) union(a, b value.Value) bool {
+	ra, rb := r.Find(a), r.Find(b)
+	if ra == rb {
+		return false
+	}
+	if ra.IsConst() && rb.IsConst() {
+		r.clash = true
+		return false
+	}
+	// Constant wins; otherwise smaller null index wins.
+	if rb.IsConst() || (!ra.IsConst() && rb > ra) {
+		ra, rb = rb, ra
+	}
+	r.parent[rb] = ra
+	return true
+}
+
+// Instance chases rel with the functional dependencies fds using
+// hash-bucket passes over a union-find, and returns the Result. rel is not
+// modified. FDs may have multi-attribute right-hand sides.
+//
+// The fixpoint is reached when a full pass over all FDs produces no new
+// equation; each pass costs O(|Σ| · |rel|) hash operations and the number
+// of passes is bounded by the number of nulls, matching the
+// O(|V|²·|Σ|·|Y−X|) symbol-elimination argument of the paper's Corollary
+// (each productive pass retires at least one symbol).
+func Instance(rel *relation.Relation, fds []dep.FD) *Result {
+	res := &Result{parent: make(map[value.Value]value.Value)}
+	plans := make([][2][]int, 0, len(fds))
+	for _, f := range fds {
+		zc := make([]int, 0, f.From.Len())
+		f.From.Each(func(id attr.ID) bool { zc = append(zc, rel.Col(id)); return true })
+		ac := make([]int, 0, f.To.Len())
+		f.To.Each(func(id attr.ID) bool { ac = append(ac, rel.Col(id)); return true })
+		plans = append(plans, [2][]int{zc, ac})
+	}
+	tuples := rel.Tuples()
+	key := make([]byte, 0, 64)
+	for {
+		changed := false
+		for _, p := range plans {
+			zc, ac := p[0], p[1]
+			buckets := make(map[string]relation.Tuple, len(tuples))
+			for _, t := range tuples {
+				key = key[:0]
+				for _, c := range zc {
+					v := res.Find(t[c])
+					u := uint64(v)
+					key = append(key, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+						byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+				}
+				k := string(key)
+				if prev, ok := buckets[k]; ok {
+					for _, c := range ac {
+						if res.union(prev[c], t[c]) {
+							changed = true
+						}
+						if res.clash {
+							return res
+						}
+					}
+				} else {
+					buckets[k] = t
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	res.rel = canonicalize(rel, res)
+	return res
+}
+
+// InstanceSortBased chases rel with fds using the literal algorithm of the
+// paper's Corollary to Theorem 3: repeatedly sort by the FD's left-hand
+// side, locate the first adjacent violating pair, and substitute one
+// symbol for the other throughout the relation. Semantics are identical to
+// Instance; it exists for the A1 ablation.
+func InstanceSortBased(rel *relation.Relation, fds []dep.FD) *Result {
+	res := &Result{parent: make(map[value.Value]value.Value)}
+	// Working copy of tuples we substitute into.
+	work := make([]relation.Tuple, rel.Len())
+	for i, t := range rel.Tuples() {
+		work[i] = t.Clone()
+	}
+	type plan struct{ zc, ac []int }
+	plans := make([]plan, 0, len(fds))
+	for _, f := range fds {
+		var p plan
+		f.From.Each(func(id attr.ID) bool { p.zc = append(p.zc, rel.Col(id)); return true })
+		f.To.Each(func(id attr.ID) bool { p.ac = append(p.ac, rel.Col(id)); return true })
+		plans = append(plans, p)
+	}
+	substitute := func(from, to value.Value) {
+		for _, t := range work {
+			for c := range t {
+				if t[c] == from {
+					t[c] = to
+				}
+			}
+		}
+	}
+	for {
+		changed := false
+		for _, p := range plans {
+			for {
+				// Sort lexicographically by the Z columns.
+				sort.Slice(work, func(a, b int) bool {
+					for _, c := range p.zc {
+						if work[a][c] != work[b][c] {
+							return work[a][c] < work[b][c]
+						}
+					}
+					return false
+				})
+				// First adjacent violating pair.
+				fired := false
+				for i := 1; i < len(work) && !fired; i++ {
+					mu, nu := work[i-1], work[i]
+					eq := true
+					for _, c := range p.zc {
+						if mu[c] != nu[c] {
+							eq = false
+							break
+						}
+					}
+					if !eq {
+						continue
+					}
+					for _, c := range p.ac {
+						if mu[c] == nu[c] {
+							continue
+						}
+						a, b := mu[c], nu[c]
+						if !res.union(a, b) && res.clash {
+							return res
+						}
+						// Substitute the non-representative throughout.
+						rep := res.Find(a)
+						other := b
+						if rep == b {
+							other = a
+						}
+						substitute(other, rep)
+						fired, changed = true, true
+						break
+					}
+				}
+				if !fired {
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := relation.New(rel.Attrs())
+	for _, t := range work {
+		out.Insert(t)
+	}
+	res.rel = out
+	return res
+}
+
+// canonicalize rewrites rel's tuples with representatives and dedups.
+func canonicalize(rel *relation.Relation, res *Result) *relation.Relation {
+	out := relation.New(rel.Attrs())
+	for _, t := range rel.Tuples() {
+		nt := make(relation.Tuple, len(t))
+		for i, v := range t {
+			nt[i] = res.Find(v)
+		}
+		out.Insert(nt)
+	}
+	return out
+}

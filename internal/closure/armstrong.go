@@ -1,0 +1,56 @@
+package closure
+
+import (
+	"fmt"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// ArmstrongRelation constructs an Armstrong relation for the FD set: an
+// instance that satisfies an FD Z → A iff fds ⊨ Z → A. Such instances
+// witness the exact implication structure of a schema — handy for testing
+// and for the paper's "legal instance" arguments, where a two-tuple
+// subrelation realizing a chosen agreement pattern is needed.
+//
+// Construction: enumerate the distinct attribute closures {S⁺ : S ⊆ U}
+// (the closure system of the FD set); emit a base row plus one row per
+// closed set C, agreeing with the base exactly on C. A pair (base, row_C)
+// then violates Z → A exactly when Z ⊆ C and A ∉ C, so the relation
+// violates precisely the non-implied FDs. Exponential in |U| (the closure
+// system can be exponential); intended for small universes.
+func ArmstrongRelation(u *attr.Universe, fds []dep.FD, syms *value.Symbols) *relation.Relation {
+	if u.Size() > 16 {
+		panic("closure: ArmstrongRelation on more than 16 attributes")
+	}
+	// Distinct closed sets.
+	seen := map[string]attr.Set{}
+	u.All().Subsets(func(s attr.Set) bool {
+		c := Closure(s, fds)
+		seen[c.Key()] = c
+		return true
+	})
+	r := relation.New(u.All())
+	n := u.Size()
+	base := make(relation.Tuple, n)
+	for c := 0; c < n; c++ {
+		base[c] = syms.Const("base_" + u.Name(attr.ID(c)))
+	}
+	r.Insert(base.Clone())
+	i := 0
+	for _, closed := range seen {
+		row := make(relation.Tuple, n)
+		for c := 0; c < n; c++ {
+			if closed.Has(attr.ID(c)) {
+				row[c] = base[c]
+			} else {
+				row[c] = syms.Const(fmt.Sprintf("r%d_%s", i, u.Name(attr.ID(c))))
+			}
+		}
+		r.Insert(row)
+		i++
+	}
+	return r
+}

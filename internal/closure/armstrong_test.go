@@ -1,0 +1,78 @@
+package closure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+func TestArmstrongRelationEDM(t *testing.T) {
+	u := attr.MustUniverse("E", "D", "M")
+	fs := fds(t, u, "E -> D", "D -> M")
+	syms := value.NewSymbols()
+	r := ArmstrongRelation(u, fs, syms)
+	// Satisfies the given (and implied) FDs.
+	for _, f := range fs {
+		if !r.SatisfiesFD(f) {
+			t.Errorf("Armstrong relation violates given %v", f)
+		}
+	}
+	if !r.SatisfiesFD(dep.NewFD(u.MustSet("E"), u.MustSet("M"))) {
+		t.Error("violates implied E -> M")
+	}
+	// Violates the non-implied ones.
+	for _, bad := range []dep.FD{
+		dep.NewFD(u.MustSet("M"), u.MustSet("E")),
+		dep.NewFD(u.MustSet("D"), u.MustSet("E")),
+		dep.NewFD(u.MustSet("M"), u.MustSet("D")),
+	} {
+		if r.SatisfiesFD(bad) {
+			t.Errorf("satisfies non-implied %v", bad)
+		}
+	}
+}
+
+func TestQuickArmstrongExact(t *testing.T) {
+	// The Armstrong relation satisfies Z → A iff the FD set implies it —
+	// over every single-attribute-RHS FD on a small universe.
+	u := attr.MustUniverse("A", "B", "C", "D")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := randomFDs(u, rng, 1+rng.Intn(4))
+		syms := value.NewSymbols()
+		r := ArmstrongRelation(u, fs, syms)
+		ok := true
+		u.All().Subsets(func(z attr.Set) bool {
+			for a := 0; a < u.Size(); a++ {
+				target := dep.NewFD(z, u.Empty().With(attr.ID(a)))
+				if r.SatisfiesFD(target) != Implies(fs, target) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArmstrongRelationPanicsOnWide(t *testing.T) {
+	names := make([]string, 17)
+	for i := range names {
+		names[i] = string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	u := attr.MustUniverse(names...)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wide universe")
+		}
+	}()
+	ArmstrongRelation(u, nil, value.NewSymbols())
+}

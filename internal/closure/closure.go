@@ -1,0 +1,205 @@
+// Package closure implements reasoning over functional dependencies: the
+// linear-time attribute-closure algorithm of Beeri and Bernstein (used
+// throughout §3 of Cosmadakis–Papadimitriou for conditions like
+// "Σ ⊨ X∩Y → Y"), FD implication, superkey tests, key enumeration, minimal
+// covers and cover equivalence.
+package closure
+
+import (
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+)
+
+// Closure computes X⁺ under the functional dependencies fds using the
+// counter-based linear-time algorithm of Beeri–Bernstein [4 in the paper].
+func Closure(x attr.Set, fds []dep.FD) attr.Set {
+	u := x.Universe()
+	// count[i] = number of LHS attributes of fds[i] not yet in the closure.
+	count := make([]int, len(fds))
+	// users[a] = indices of FDs whose LHS contains attribute a.
+	users := make([][]int, u.Size())
+	var queue []attr.ID
+	closed := x
+	for i, f := range fds {
+		count[i] = f.From.Len()
+		f.From.Each(func(a attr.ID) bool {
+			users[a] = append(users[a], i)
+			return true
+		})
+		if count[i] == 0 {
+			// Empty LHS: RHS is in every closure.
+			f.To.Each(func(a attr.ID) bool {
+				if !closed.Has(a) {
+					closed = closed.With(a)
+					queue = append(queue, a)
+				}
+				return true
+			})
+		}
+	}
+	x.Each(func(a attr.ID) bool {
+		queue = append(queue, a)
+		return true
+	})
+	for len(queue) > 0 {
+		a := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, i := range users[a] {
+			count[i]--
+			if count[i] == 0 {
+				fds[i].To.Each(func(b attr.ID) bool {
+					if !closed.Has(b) {
+						closed = closed.With(b)
+						queue = append(queue, b)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return closed
+}
+
+// Implies reports whether fds ⊨ f, i.e. f.To ⊆ Closure(f.From).
+func Implies(fds []dep.FD, f dep.FD) bool {
+	return f.To.SubsetOf(Closure(f.From, fds))
+}
+
+// ImpliesAll reports whether fds implies every FD in gs.
+func ImpliesAll(fds, gs []dep.FD) bool {
+	for _, g := range gs {
+		if !Implies(fds, g) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether two FD sets imply each other.
+func Equivalent(a, b []dep.FD) bool {
+	return ImpliesAll(a, b) && ImpliesAll(b, a)
+}
+
+// IsSuperkey reports whether x determines all of target under fds
+// (target ⊆ x⁺). With target = U this is the usual superkey test.
+func IsSuperkey(x, target attr.Set, fds []dep.FD) bool {
+	return target.SubsetOf(Closure(x, fds))
+}
+
+// Keys enumerates the minimal keys of target ⊆ U among subsets of
+// candidates, i.e. the minimal X ⊆ candidates with target ⊆ X⁺. It uses
+// the standard reduction: start from candidates and shrink. Intended for
+// the small schemas of this library; worst case is exponential in
+// |candidates| as key enumeration inherently is.
+func Keys(candidates, target attr.Set, fds []dep.FD) []attr.Set {
+	if !IsSuperkey(candidates, target, fds) {
+		return nil
+	}
+	var keys []attr.Set
+	seenCur := map[string]bool{}
+	seenKey := map[string]bool{}
+	var grow func(cur attr.Set)
+	grow = func(cur attr.Set) {
+		if seenCur[cur.Key()] {
+			return
+		}
+		seenCur[cur.Key()] = true
+		// Shrink cur to a minimal key.
+		k := Shrink(cur, target, fds)
+		if !seenKey[k.Key()] {
+			seenKey[k.Key()] = true
+			keys = append(keys, k)
+		}
+		// Branch: for every attribute a of k, look for keys avoiding a
+		// within the current candidate pool.
+		k.Each(func(a attr.ID) bool {
+			without := cur.Without(a)
+			if IsSuperkey(without, target, fds) {
+				grow(without)
+			}
+			return true
+		})
+	}
+	grow(candidates)
+	// Filter non-minimal results that slipped in via different branches.
+	var out []attr.Set
+	for _, k := range keys {
+		minimal := true
+		for _, other := range keys {
+			if other.ProperSubsetOf(k) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, k)
+		}
+	}
+	attr.SortSets(out)
+	return out
+}
+
+// Shrink removes attributes from x (in descending ID order) while x still
+// determines target, returning a minimal determining subset.
+func Shrink(x, target attr.Set, fds []dep.FD) attr.Set {
+	ids := x.IDs()
+	for i := len(ids) - 1; i >= 0; i-- {
+		cand := x.Without(ids[i])
+		if IsSuperkey(cand, target, fds) {
+			x = cand
+		}
+	}
+	return x
+}
+
+// MinimalCover returns a minimal cover of fds: single-attribute right-hand
+// sides, no redundant FDs, no extraneous LHS attributes.
+func MinimalCover(fds []dep.FD) []dep.FD {
+	// 1. Split RHS and drop trivial FDs.
+	var work []dep.FD
+	for _, f := range fds {
+		for _, g := range f.Split() {
+			if !g.IsTrivial() {
+				work = append(work, g)
+			}
+		}
+	}
+	// 2. Remove extraneous LHS attributes.
+	for i, f := range work {
+		lhs := f.From
+		lhs.Each(func(a attr.ID) bool {
+			smaller := lhs.Without(a)
+			if Implies(work, dep.FD{From: smaller, To: f.To}) {
+				lhs = smaller
+				work[i] = dep.FD{From: lhs, To: f.To}
+			}
+			return true
+		})
+	}
+	// 3. Remove redundant FDs.
+	out := make([]dep.FD, 0, len(work))
+	for i := range work {
+		rest := make([]dep.FD, 0, len(work)-1)
+		rest = append(rest, out...)
+		rest = append(rest, work[i+1:]...)
+		if !Implies(rest, work[i]) {
+			out = append(out, work[i])
+		}
+	}
+	return out
+}
+
+// Project computes the projection of an FD set onto attribute set x: a
+// cover of the FDs Z → A with Z, A ⊆ x implied by fds. Worst case is
+// exponential in |x| (unavoidable); intended for small views.
+func Project(x attr.Set, fds []dep.FD) []dep.FD {
+	var out []dep.FD
+	x.Subsets(func(z attr.Set) bool {
+		cl := Closure(z, fds).Intersect(x).Diff(z)
+		if !cl.IsEmpty() {
+			out = append(out, dep.FD{From: z, To: cl})
+		}
+		return true
+	})
+	return MinimalCover(out)
+}

@@ -1,0 +1,297 @@
+package closure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+)
+
+func fds(t testing.TB, u *attr.Universe, lines ...string) []dep.FD {
+	t.Helper()
+	var out []dep.FD
+	for _, l := range lines {
+		d, err := dep.Parse(u, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d.(dep.FD))
+	}
+	return out
+}
+
+func TestClosureBasic(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D")
+	fs := fds(t, u, "A -> B", "B -> C")
+	got := Closure(u.MustSet("A"), fs)
+	if !got.Equal(u.MustSet("A", "B", "C")) {
+		t.Errorf("A+ = %v", got)
+	}
+	got = Closure(u.MustSet("D"), fs)
+	if !got.Equal(u.MustSet("D")) {
+		t.Errorf("D+ = %v", got)
+	}
+}
+
+func TestClosureEmptyLHS(t *testing.T) {
+	u := attr.MustUniverse("A", "B")
+	// ∅ -> A means A is constant in every instance; A ∈ X+ for all X.
+	fs := []dep.FD{{From: u.Empty(), To: u.MustSet("A")}}
+	got := Closure(u.Empty(), fs)
+	if !got.Equal(u.MustSet("A")) {
+		t.Errorf("∅+ = %v", got)
+	}
+}
+
+func TestClosureChained(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D", "E")
+	fs := fds(t, u, "A B -> C", "C -> D", "A D -> E")
+	got := Closure(u.MustSet("A", "B"), fs)
+	if !got.Equal(u.All()) {
+		t.Errorf("AB+ = %v, want all", got)
+	}
+	// B alone closes to itself.
+	if got := Closure(u.MustSet("B"), fs); !got.Equal(u.MustSet("B")) {
+		t.Errorf("B+ = %v", got)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	fs := fds(t, u, "A -> B", "B -> C")
+	if !Implies(fs, dep.NewFD(u.MustSet("A"), u.MustSet("C"))) {
+		t.Error("transitivity missed")
+	}
+	if Implies(fs, dep.NewFD(u.MustSet("C"), u.MustSet("A"))) {
+		t.Error("unsound implication")
+	}
+	// Reflexivity.
+	if !Implies(nil, dep.NewFD(u.MustSet("A", "B"), u.MustSet("A"))) {
+		t.Error("reflexivity missed")
+	}
+	// Augmentation.
+	if !Implies(fs, dep.NewFD(u.MustSet("A", "C"), u.MustSet("B", "C"))) {
+		t.Error("augmentation missed")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	a := fds(t, u, "A -> B C")
+	b := fds(t, u, "A -> B", "A -> C")
+	if !Equivalent(a, b) {
+		t.Error("split cover not equivalent")
+	}
+	c := fds(t, u, "A -> B")
+	if Equivalent(a, c) {
+		t.Error("strictly weaker cover reported equivalent")
+	}
+}
+
+func TestIsSuperkey(t *testing.T) {
+	u := attr.MustUniverse("E", "D", "M")
+	fs := fds(t, u, "E -> D", "D -> M")
+	if !IsSuperkey(u.MustSet("E"), u.All(), fs) {
+		t.Error("E should be a key of EDM")
+	}
+	if IsSuperkey(u.MustSet("D"), u.All(), fs) {
+		t.Error("D is not a key of EDM")
+	}
+	if !IsSuperkey(u.MustSet("D"), u.MustSet("D", "M"), fs) {
+		t.Error("D should be a key of DM")
+	}
+}
+
+func TestShrink(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	fs := fds(t, u, "A -> B", "A -> C")
+	k := Shrink(u.All(), u.All(), fs)
+	if !k.Equal(u.MustSet("A")) {
+		t.Errorf("Shrink = %v, want A", k)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	// Cyclic FDs: A->B, B->C, C->A; keys are exactly {A}, {B}, {C}.
+	fs := fds(t, u, "A -> B", "B -> C", "C -> A")
+	keys := Keys(u.All(), u.All(), fs)
+	if len(keys) != 3 {
+		t.Fatalf("got %d keys (%v), want 3", len(keys), keys)
+	}
+	for _, k := range keys {
+		if k.Len() != 1 {
+			t.Errorf("non-singleton key %v", k)
+		}
+	}
+}
+
+func TestKeysNoSuperkey(t *testing.T) {
+	u := attr.MustUniverse("A", "B")
+	if got := Keys(u.MustSet("A"), u.All(), nil); got != nil {
+		t.Errorf("Keys = %v, want nil (A does not determine B)", got)
+	}
+}
+
+func TestKeysComposite(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D")
+	fs := fds(t, u, "A B -> C D")
+	keys := Keys(u.All(), u.All(), fs)
+	if len(keys) != 1 || !keys[0].Equal(u.MustSet("A", "B")) {
+		t.Errorf("keys = %v, want [AB]", keys)
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	// Redundant and unnormalized input.
+	in := fds(t, u, "A -> B C", "A -> B", "A B -> C", "B -> B")
+	mc := MinimalCover(in)
+	if !Equivalent(in, mc) {
+		t.Fatal("minimal cover not equivalent to input")
+	}
+	for _, f := range mc {
+		if f.To.Len() != 1 {
+			t.Errorf("wide RHS in cover: %v", f)
+		}
+		if f.IsTrivial() {
+			t.Errorf("trivial FD in cover: %v", f)
+		}
+	}
+	// No redundant member.
+	for i := range mc {
+		rest := append(append([]dep.FD{}, mc[:i]...), mc[i+1:]...)
+		if Implies(rest, mc[i]) {
+			t.Errorf("redundant FD %v in cover", mc[i])
+		}
+	}
+	// No extraneous LHS attribute.
+	for _, f := range mc {
+		f.From.Each(func(a attr.ID) bool {
+			if Implies(mc, dep.FD{From: f.From.Without(a), To: f.To}) {
+				t.Errorf("extraneous attribute %v in %v", u.Name(a), f)
+			}
+			return true
+		})
+	}
+}
+
+func TestMinimalCoverEmpty(t *testing.T) {
+	if got := MinimalCover(nil); len(got) != 0 {
+		t.Errorf("MinimalCover(nil) = %v", got)
+	}
+}
+
+func TestProjectFDs(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	// A->B, B->C projected on {A, C} must yield A->C.
+	fs := fds(t, u, "A -> B", "B -> C")
+	p := Project(u.MustSet("A", "C"), fs)
+	if !Implies(p, dep.NewFD(u.MustSet("A"), u.MustSet("C"))) {
+		t.Error("projection lost A->C")
+	}
+	for _, f := range p {
+		if !f.From.Union(f.To).SubsetOf(u.MustSet("A", "C")) {
+			t.Errorf("projected FD %v outside target", f)
+		}
+		if !Implies(fs, f) {
+			t.Errorf("unsound projected FD %v", f)
+		}
+	}
+}
+
+// randomFDs draws k random FDs over u.
+func randomFDs(u *attr.Universe, rng *rand.Rand, k int) []dep.FD {
+	out := make([]dep.FD, 0, k)
+	for i := 0; i < k; i++ {
+		lhs, rhs := u.Empty(), u.Empty()
+		for a := 0; a < u.Size(); a++ {
+			switch rng.Intn(4) {
+			case 0:
+				lhs = lhs.With(attr.ID(a))
+			case 1:
+				rhs = rhs.With(attr.ID(a))
+			}
+		}
+		if rhs.IsEmpty() {
+			rhs = rhs.With(attr.ID(rng.Intn(u.Size())))
+		}
+		out = append(out, dep.FD{From: lhs, To: rhs})
+	}
+	return out
+}
+
+// naiveClosure is the quadratic textbook closure, used as oracle.
+func naiveClosure(x attr.Set, fs []dep.FD) attr.Set {
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fs {
+			if f.From.SubsetOf(x) && !f.To.SubsetOf(x) {
+				x = x.Union(f.To)
+				changed = true
+			}
+		}
+	}
+	return x
+}
+
+func TestQuickClosureMatchesNaive(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D", "E", "F")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := randomFDs(u, rng, 1+rng.Intn(8))
+		x := u.Empty()
+		for a := 0; a < u.Size(); a++ {
+			if rng.Intn(3) == 0 {
+				x = x.With(attr.ID(a))
+			}
+		}
+		return Closure(x, fs).Equal(naiveClosure(x, fs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClosureLaws(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D", "E")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := randomFDs(u, rng, 1+rng.Intn(6))
+		x := u.Empty()
+		for a := 0; a < u.Size(); a++ {
+			if rng.Intn(2) == 0 {
+				x = x.With(attr.ID(a))
+			}
+		}
+		cl := Closure(x, fs)
+		// Extensive, idempotent, monotone (vs the full set).
+		if !x.SubsetOf(cl) {
+			return false
+		}
+		if !Closure(cl, fs).Equal(cl) {
+			return false
+		}
+		if !cl.SubsetOf(Closure(u.All(), fs)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinimalCoverEquivalent(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := randomFDs(u, rng, 1+rng.Intn(6))
+		return Equivalent(fs, MinimalCover(fs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

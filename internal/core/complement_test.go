@@ -1,0 +1,372 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// edmSchema is the paper's Employee–Department–Manager running example.
+func edmSchema(t testing.TB) *Schema {
+	t.Helper()
+	u := attr.MustUniverse("E", "D", "M")
+	return MustSchema(u, dep.MustParseSet(u, "E -> D\nD -> M"))
+}
+
+func TestComplementaryEDM(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	ed, dm, em := u.MustSet("E", "D"), u.MustSet("D", "M"), u.MustSet("E", "M")
+	if !Complementary(s, ed, dm) {
+		t.Error("ED, DM should be complementary (D -> M)")
+	}
+	if !Complementary(s, ed, em) {
+		t.Error("ED, EM should be complementary (E -> DM)")
+	}
+	// D alone is not a complement of ED: D∪ED ⊉ M... it is: ED∪D = ED ≠ U.
+	if Complementary(s, ed, u.MustSet("D")) {
+		t.Error("ED, D complementary despite not covering U")
+	}
+	// EM and DM: shared M determines nothing.
+	if Complementary(s, em, dm) {
+		t.Error("EM, DM should not be complementary")
+	}
+	// Identity-ish: U is a complement of anything.
+	if !Complementary(s, ed, u.All()) {
+		t.Error("U should complement every view")
+	}
+}
+
+func TestComplementaryNoFDs(t *testing.T) {
+	u := attr.MustUniverse("A", "B")
+	s := MustSchema(u, nil)
+	// Without FDs, X and Y complementary iff one contains U (the MVD
+	// X∩Y →→ X must be trivial).
+	if Complementary(s, u.MustSet("A"), u.MustSet("B")) {
+		t.Error("A, B complementary without dependencies")
+	}
+	if !Complementary(s, u.MustSet("A"), u.All()) {
+		t.Error("A, U not complementary")
+	}
+}
+
+func TestComplementaryWithJD(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	sigma := dep.NewSet(u)
+	sigma.Add(dep.MustJD(u.MustSet("A", "B"), u.MustSet("B", "C")))
+	s := MustSchema(u, sigma)
+	if !Complementary(s, u.MustSet("A", "B"), u.MustSet("B", "C")) {
+		t.Error("JD *[AB, BC] should make AB, BC complementary")
+	}
+	if Complementary(s, u.MustSet("A", "C"), u.MustSet("B", "C")) {
+		t.Error("AC, BC should not be complementary")
+	}
+}
+
+// bruteComplementary enumerates pairs of legal instances with at most two
+// tuples over a 2-value domain and checks the definition directly. By the
+// paper's two-tuple counterexample argument this is exact for FD/JD
+// schemas on small universes.
+func bruteComplementary(s *Schema, x, y attr.Set, syms *value.Symbols) bool {
+	u := s.Universe()
+	n := u.Size()
+	vals := syms.Ints(2)
+	var tuples []relation.Tuple
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		t := make(relation.Tuple, n)
+		for c := 0; c < n; c++ {
+			t[c] = vals[(mask>>uint(c))&1]
+		}
+		tuples = append(tuples, t)
+	}
+	var rels []*relation.Relation
+	for i := range tuples {
+		r := relation.New(u.All())
+		r.Insert(tuples[i].Clone())
+		rels = append(rels, r)
+		for j := i + 1; j < len(tuples); j++ {
+			r2 := relation.New(u.All())
+			r2.Insert(tuples[i].Clone())
+			r2.Insert(tuples[j].Clone())
+			rels = append(rels, r2)
+		}
+	}
+	var legal []*relation.Relation
+	for _, r := range rels {
+		if ok, _ := s.Legal(r); ok {
+			legal = append(legal, r)
+		}
+	}
+	for i, r := range legal {
+		for _, r2 := range legal[i+1:] {
+			if r.Project(x).Equal(r2.Project(x)) && r.Project(y).Equal(r2.Project(y)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestQuickComplementaryMatchesBruteForce(t *testing.T) {
+	// E1: the Theorem 1 characterization agrees with the semantic
+	// definition on random FD schemas over small universes.
+	u := attr.MustUniverse("A", "B", "C", "D")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sigma := dep.NewSet(u)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			lhs, rhs := u.Empty(), u.Empty()
+			for a := 0; a < 4; a++ {
+				switch rng.Intn(3) {
+				case 0:
+					lhs = lhs.With(attr.ID(a))
+				case 1:
+					rhs = rhs.With(attr.ID(a))
+				}
+			}
+			if lhs.IsEmpty() || rhs.IsEmpty() {
+				continue
+			}
+			sigma.Add(dep.NewFD(lhs, rhs))
+		}
+		s := MustSchema(u, sigma)
+		syms := value.NewSymbols()
+		x := randomSubset(u, rng)
+		y := randomSubset(u, rng)
+		return Complementary(s, x, y) == bruteComplementary(s, x, y, syms)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomSubset(u *attr.Universe, rng *rand.Rand) attr.Set {
+	s := u.Empty()
+	for a := 0; a < u.Size(); a++ {
+		if rng.Intn(2) == 0 {
+			s = s.With(attr.ID(a))
+		}
+	}
+	return s
+}
+
+func TestSharedIsKeyOf(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	keyOfY, keyOfX := SharedIsKeyOf(s, u.MustSet("E", "D"), u.MustSet("D", "M"))
+	if !keyOfY {
+		t.Error("D should be a key of DM")
+	}
+	if keyOfX {
+		t.Error("D should not be a key of ED")
+	}
+	keyOfY, keyOfX = SharedIsKeyOf(s, u.MustSet("E", "D"), u.MustSet("E", "M"))
+	if !keyOfY || !keyOfX {
+		t.Error("E should be a key of both ED and EM")
+	}
+}
+
+func TestMinimalComplementEDM(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	y := MinimalComplement(s, u.MustSet("E", "D"))
+	if !Complementary(s, u.MustSet("E", "D"), y) {
+		t.Fatalf("MinimalComplement %v not complementary", y)
+	}
+	// Minimality: dropping any attribute breaks complementarity.
+	y.Each(func(id attr.ID) bool {
+		if Complementary(s, u.MustSet("E", "D"), y.Without(id)) {
+			t.Errorf("complement %v not minimal: %v droppable", y, u.Name(id))
+		}
+		return true
+	})
+	// For ED under E->D, D->M the minimal complement found by ascending
+	// scan is M alone? M∪ED = U and shared ∅ →→ ... no: ∅ must determine
+	// ED or M. It does not, so the minimal complement keeps a pivot.
+	if y.Len() > 2 {
+		t.Errorf("minimal complement suspiciously large: %v", y)
+	}
+}
+
+func TestMinimumComplementEDM(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	y, ok := MinimumComplement(s, u.MustSet("E", "D"))
+	if !ok {
+		t.Fatal("no complement found")
+	}
+	if !Complementary(s, u.MustSet("E", "D"), y) {
+		t.Fatalf("minimum complement %v not complementary", y)
+	}
+	// DM and EM both have 2 attributes; no 1-attribute complement exists
+	// (M alone: shared ∅ does not determine either side; D alone does not
+	// cover M... D∪ED ≠ U; E alone: E∪ED ≠ U).
+	if y.Len() != 2 {
+		t.Errorf("minimum complement size %d, want 2 (%v)", y.Len(), y)
+	}
+}
+
+func TestQuickMinimumLEMinimal(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D", "E")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sigma := dep.NewSet(u)
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			lhs, rhs := u.Empty(), u.Empty()
+			for a := 0; a < 5; a++ {
+				switch rng.Intn(3) {
+				case 0:
+					lhs = lhs.With(attr.ID(a))
+				case 1:
+					rhs = rhs.With(attr.ID(a))
+				}
+			}
+			if lhs.IsEmpty() || rhs.IsEmpty() {
+				continue
+			}
+			sigma.Add(dep.NewFD(lhs, rhs))
+		}
+		s := MustSchema(u, sigma)
+		x := randomSubset(u, rng)
+		minimal := MinimalComplement(s, x)
+		minimum, ok := MinimumComplement(s, x)
+		if !ok {
+			return false // trivial complement U always exists
+		}
+		if !Complementary(s, x, minimal) || !Complementary(s, x, minimum) {
+			return false
+		}
+		return minimum.Len() <= minimal.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasComplementOfSize(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	if _, ok := HasComplementOfSize(s, u.MustSet("E", "D"), 2); !ok {
+		t.Error("size-2 complement of ED should exist")
+	}
+	if _, ok := HasComplementOfSize(s, u.MustSet("E", "D"), 1); ok {
+		t.Error("size-1 complement of ED should not exist")
+	}
+	if y, ok := HasComplementOfSize(s, u.MustSet("E", "D"), 3); !ok || !y.Equal(u.All()) {
+		t.Error("size-3 complement should be U")
+	}
+}
+
+func TestReconstruct(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	syms := value.NewSymbols()
+	r := relation.New(u.All())
+	for _, row := range [][]string{{"ed", "toys", "mo"}, {"flo", "toys", "mo"}, {"bob", "tools", "tim"}} {
+		tp := make(relation.Tuple, 3)
+		tp[0] = syms.Const(row[0])
+		tp[1] = syms.Const(row[1])
+		tp[2] = syms.Const(row[2])
+		r.Insert(tp)
+	}
+	x, y := u.MustSet("E", "D"), u.MustSet("D", "M")
+	got, err := Reconstruct(s, x, y, r.Project(x), r.Project(y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(r) {
+		t.Error("reconstruction by join failed")
+	}
+	// Non-complementary pair errors.
+	if _, err := Reconstruct(s, u.MustSet("E", "M"), y, r.Project(u.MustSet("E", "M")), r.Project(y)); err == nil {
+		t.Error("Reconstruct accepted non-complementary views")
+	}
+	// Wrong instance attributes error.
+	if _, err := Reconstruct(s, x, y, r.Project(y), r.Project(y)); err == nil {
+		t.Error("Reconstruct accepted mismatched instance")
+	}
+}
+
+func TestComplementaryWithEFDs(t *testing.T) {
+	// Theorem 10: Cost-Profitrate →e Price. The view {Cost, Rate} and
+	// complement {Cost} are complementary: their union closure under the
+	// EFD covers Price.
+	u := attr.MustUniverse("Cost", "Rate", "Price")
+	sigma := dep.MustParseSet(u, "Cost Rate =>e Price")
+	s := MustSchema(u, sigma)
+	x := u.MustSet("Cost", "Rate")
+	y := u.MustSet("Cost")
+	if !Complementary(s, x, y) {
+		t.Error("EFD-covered views should be complementary")
+	}
+	// Without the EFD they are not.
+	s2 := MustSchema(u, dep.MustParseSet(u, "Cost Rate -> Price"))
+	if Complementary(s2, x, y) {
+		t.Error("plain FD should not substitute for an EFD in condition (b)")
+	}
+	// Condition (a) must still hold: with shared part not determining
+	// either side, not complementary even with full EFD coverage.
+	sigma3 := dep.MustParseSet(u, "Cost =>e Price\nRate =>e Price")
+	s3 := MustSchema(u, sigma3)
+	if Complementary(s3, u.MustSet("Cost", "Price"), u.MustSet("Rate", "Price")) {
+		t.Error("embedded MVD condition ignored")
+	}
+}
+
+func TestImpliesEFD(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	sigma := dep.MustParseSet(u, "A =>e B\nB =>e C\nA -> C")
+	s := MustSchema(u, sigma)
+	// EFD transitivity: A =>e C via the EFD chain (Proposition 1).
+	if !ImpliesEFD(s, dep.NewEFD(u.MustSet("A"), u.MustSet("C"))) {
+		t.Error("EFD transitivity missed")
+	}
+	// The plain FD A -> C does NOT contribute: B =>e A not implied.
+	if ImpliesEFD(s, dep.NewEFD(u.MustSet("C"), u.MustSet("A"))) {
+		t.Error("unsound EFD implication")
+	}
+	// Proposition 2(b): plain FDs never imply EFDs.
+	s2 := MustSchema(u, dep.MustParseSet(u, "A -> B"))
+	if ImpliesEFD(s2, dep.NewEFD(u.MustSet("A"), u.MustSet("B"))) {
+		t.Error("plain FD implied an EFD")
+	}
+	// Reflexive EFDs always hold.
+	if !ImpliesEFD(s2, dep.NewEFD(u.MustSet("A", "B"), u.MustSet("A"))) {
+		t.Error("reflexive EFD not implied")
+	}
+}
+
+func TestImpliesDependency(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	if !ImpliesDependency(s, dep.NewFD(u.MustSet("E"), u.MustSet("M"))) {
+		t.Error("E -> M should follow")
+	}
+	if ImpliesDependency(s, dep.NewFD(u.MustSet("M"), u.MustSet("E"))) {
+		t.Error("M -> E should not follow")
+	}
+	if !ImpliesDependency(s, dep.NewMVD(u.MustSet("D"), u.MustSet("M"))) {
+		t.Error("D ->> M should follow from D -> M")
+	}
+	if !ImpliesDependency(s, dep.MustJD(u.MustSet("E", "D"), u.MustSet("D", "M"))) {
+		t.Error("*[ED, DM] should follow")
+	}
+	// EFDs as targets route through ImpliesEFD.
+	if ImpliesDependency(s, dep.NewEFD(u.MustSet("E"), u.MustSet("D"))) {
+		t.Error("plain FDs must not imply EFDs (Prop 2b)")
+	}
+}
+
+func TestImpliesDependencyEFDAsFD(t *testing.T) {
+	// Proposition 2(a): EFDs act as their FDs for ordinary implication.
+	u := attr.MustUniverse("A", "B", "C")
+	s := MustSchema(u, dep.MustParseSet(u, "A =>e B\nB -> C"))
+	if !ImpliesDependency(s, dep.NewFD(u.MustSet("A"), u.MustSet("C"))) {
+		t.Error("EFD-backed FD chain missed")
+	}
+}

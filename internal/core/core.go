@@ -1,0 +1,224 @@
+// Package core implements the view-update machinery of Cosmadakis &
+// Papadimitriou, "Updates of Relational Views" (PODS 1983 / JACM 1984):
+// complementary projective views over single-relation schemas with
+// functional, join and explicit functional dependencies, and the
+// translation of view insertions, deletions and replacements under a
+// constant complement.
+//
+// The package is organized around three types:
+//
+//   - Schema: a universal relation schema (U, Σ);
+//   - View: a projection π_X of the schema;
+//   - Pair: a view together with a chosen complement, the object updates
+//     are translated against.
+//
+// The map from paper results to API:
+//
+//	Theorem 1 / Theorem 10   Complementary, Reconstruct
+//	Corollary 2              MinimalComplement
+//	Theorem 2                MinimumComplement (exact, exponential search)
+//	Theorem 3 + Corollary    Pair.DecideInsert (exact chase test)
+//	Test 1                   Pair.DecideInsertTest1
+//	Test 2                   Pair.IsGoodComplement, Pair.DecideInsertTest2
+//	Theorem 6                FindInsertComplement
+//	Theorem 8                Pair.DecideDelete
+//	Theorem 9                Pair.DecideReplace
+//	Propositions 1, 2        ImpliesEFD, ImpliesDependency
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/chase"
+	"github.com/constcomp/constcomp/internal/closure"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+)
+
+// Schema is a universal relation schema (U, Σ).
+type Schema struct {
+	u     *attr.Universe
+	sigma *dep.Set
+}
+
+// NewSchema builds a schema over u with constraints sigma.
+func NewSchema(u *attr.Universe, sigma *dep.Set) (*Schema, error) {
+	if sigma == nil {
+		sigma = dep.NewSet(u)
+	}
+	if sigma.Universe() != u {
+		return nil, errors.New("core: Σ is over a different universe")
+	}
+	return &Schema{u: u, sigma: sigma}, nil
+}
+
+// MustSchema is NewSchema, panicking on error.
+func MustSchema(u *attr.Universe, sigma *dep.Set) *Schema {
+	s, err := NewSchema(u, sigma)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Universe returns U.
+func (s *Schema) Universe() *attr.Universe { return s.u }
+
+// Sigma returns Σ.
+func (s *Schema) Sigma() *dep.Set { return s.sigma }
+
+// Legal reports whether an instance over U satisfies Σ; on failure it also
+// returns the first violated dependency.
+func (s *Schema) Legal(r *relation.Relation) (bool, dep.Dependency) {
+	if !r.Attrs().Equal(s.u.All()) {
+		return false, nil
+	}
+	return r.SatisfiesAll(s.sigma)
+}
+
+// fdsOnly reports whether Σ consists solely of FDs, the setting of §3–§4.
+func (s *Schema) fdsOnly() bool {
+	return !s.sigma.HasJDs() && !s.sigma.HasEFDs()
+}
+
+// View returns the projective view π_X of the schema.
+func (s *Schema) View(x attr.Set) View {
+	if x.Universe() != s.u {
+		panic("core: view attributes over a different universe")
+	}
+	return View{schema: s, attrs: x}
+}
+
+// View is a projective view π_X of a schema.
+type View struct {
+	schema *Schema
+	attrs  attr.Set
+}
+
+// Schema returns the view's schema.
+func (v View) Schema() *Schema { return v.schema }
+
+// Attrs returns X, the view's attribute set.
+func (v View) Attrs() attr.Set { return v.attrs }
+
+// Instance computes the view instance π_X(R) of a database instance.
+func (v View) Instance(r *relation.Relation) *relation.Relation {
+	return r.Project(v.attrs)
+}
+
+// String renders the view as its attribute set.
+func (v View) String() string { return "π[" + v.attrs.String() + "]" }
+
+// ImposeStrategy selects how the exact test applies per-candidate
+// impositions: incrementally over the base fixpoint (default) or by
+// rebuilding and re-chasing the relation (the paper's literal approach;
+// kept for the A5 ablation). Both decide the same predicate.
+type ImposeStrategy int
+
+// Imposition strategies.
+const (
+	// ImposeIncremental propagates each imposed equality by a delta
+	// worklist over the indexed base fixpoint.
+	ImposeIncremental ImposeStrategy = iota
+	// ImposeRebuild rebuilds the relation with the imposed equality and
+	// re-runs the chase.
+	ImposeRebuild
+)
+
+// Pair is a view X together with a chosen complement Y. Construct with
+// NewPair, which verifies complementarity.
+type Pair struct {
+	schema *Schema
+	x, y   attr.Set
+	// shared is X ∩ Y, the overlap every translation pivots on.
+	shared attr.Set
+	// strategy selects the imposition engine for the exact tests.
+	strategy ImposeStrategy
+}
+
+// SetImposeStrategy switches the imposition engine (see ImposeStrategy).
+func (p *Pair) SetImposeStrategy(s ImposeStrategy) { p.strategy = s }
+
+// NewPair builds a view/complement pair, verifying that X and Y are
+// complementary views of the schema (Theorem 1 / Theorem 10).
+func NewPair(s *Schema, x, y attr.Set) (*Pair, error) {
+	if !Complementary(s, x, y) {
+		return nil, fmt.Errorf("core: %v and %v are not complementary under Σ", x, y)
+	}
+	return &Pair{schema: s, x: x, y: y, shared: x.Intersect(y)}, nil
+}
+
+// MustPair is NewPair, panicking on error.
+func MustPair(s *Schema, x, y attr.Set) *Pair {
+	p, err := NewPair(s, x, y)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Schema returns the pair's schema.
+func (p *Pair) Schema() *Schema { return p.schema }
+
+// ViewAttrs returns X.
+func (p *Pair) ViewAttrs() attr.Set { return p.x }
+
+// ComplementAttrs returns Y.
+func (p *Pair) ComplementAttrs() attr.Set { return p.y }
+
+// Shared returns X ∩ Y.
+func (p *Pair) Shared() attr.Set { return p.shared }
+
+// requireFDOnly guards the §3–§4 translation algorithms, which are stated
+// for Σ consisting of functional dependencies.
+func (p *Pair) requireFDOnly() error {
+	if !p.schema.fdsOnly() {
+		return errors.New("core: update translation requires Σ to contain only functional dependencies (paper §3)")
+	}
+	return nil
+}
+
+// checkViewInstance validates that v is an instance over X.
+func (p *Pair) checkViewInstance(v *relation.Relation) error {
+	if !v.Attrs().Equal(p.x) {
+		return fmt.Errorf("core: view instance over %v, want %v", v.Attrs(), p.x)
+	}
+	return nil
+}
+
+// ImpliesDependency decides Σ ⊨ d for FDs, MVDs and JDs, treating EFDs in
+// Σ as their underlying FDs, which is sound and complete by
+// Proposition 2(a).
+func ImpliesDependency(s *Schema, d dep.Dependency) bool {
+	sigma := s.sigma.WithFD()
+	switch x := d.(type) {
+	case dep.FD:
+		if !sigma.HasJDs() {
+			return closure.Implies(sigma.FDs(), x)
+		}
+		return chase.ImpliesFD(sigma, x)
+	case dep.MVD:
+		if !sigma.HasJDs() {
+			return chase.FDOnlyImpliesMVD(sigma.FDs(), x)
+		}
+		return chase.ImpliesMVD(sigma, x)
+	case dep.JD:
+		return chase.ImpliesJD(sigma, x)
+	case dep.EFD:
+		return ImpliesEFD(s, x)
+	}
+	panic(fmt.Sprintf("core: unknown dependency %T", d))
+}
+
+// ImpliesEFD decides Σ ⊨ X →e Y. By Proposition 2(b), only the EFDs of Σ
+// matter, and by Proposition 1 the question reduces to FD implication from
+// the EFDs' underlying FDs.
+func ImpliesEFD(s *Schema, e dep.EFD) bool {
+	var efdFDs []dep.FD
+	for _, x := range s.sigma.EFDs() {
+		efdFDs = append(efdFDs, x.FD())
+	}
+	return closure.Implies(efdFDs, e.FD())
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := edmSchema(t)
+	if s.Sigma().Len() != 2 {
+		t.Errorf("Sigma len = %d", s.Sigma().Len())
+	}
+	if s.Universe().Size() != 3 {
+		t.Errorf("|U| = %d", s.Universe().Size())
+	}
+	// Legal rejects instances over the wrong attribute set.
+	sub := relation.New(s.Universe().MustSet("E"))
+	if ok, _ := s.Legal(sub); ok {
+		t.Error("partial instance accepted as legal")
+	}
+	// NewSchema with nil Σ yields an empty set.
+	u2 := attr.MustUniverse("A")
+	s2, err := NewSchema(u2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Sigma().Len() != 0 {
+		t.Error("nil Σ not empty")
+	}
+	// Σ over a foreign universe is rejected.
+	if _, err := NewSchema(u2, dep.NewSet(attr.MustUniverse("A"))); err == nil {
+		t.Error("foreign Σ accepted")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustSchema(attr.MustUniverse("A"), dep.NewSet(attr.MustUniverse("A")))
+}
+
+func TestViewType(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	v := s.View(u.MustSet("E", "D"))
+	if v.Schema() != s {
+		t.Error("Schema accessor wrong")
+	}
+	if !v.Attrs().Equal(u.MustSet("E", "D")) {
+		t.Error("Attrs accessor wrong")
+	}
+	if v.String() != "π[E D]" {
+		t.Errorf("String = %q", v.String())
+	}
+	syms := value.NewSymbols()
+	db := relation.New(u.All())
+	db.InsertVals(syms.Const("ed"), syms.Const("toys"), syms.Const("mo"))
+	inst := v.Instance(db)
+	if inst.Len() != 1 || !inst.Attrs().Equal(v.Attrs()) {
+		t.Error("Instance wrong")
+	}
+}
+
+func TestViewForeignUniversePanics(t *testing.T) {
+	s := edmSchema(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	s.View(attr.MustUniverse("E").All())
+}
+
+func TestMustPairPanics(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustPair(s, u.MustSet("E", "M"), u.MustSet("D", "M"))
+}
+
+func TestPairAccessors(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	p := MustPair(s, u.MustSet("E", "D"), u.MustSet("D", "M"))
+	if p.Schema() != s {
+		t.Error("Schema accessor")
+	}
+	if !p.Shared().Equal(u.MustSet("D")) {
+		t.Errorf("Shared = %v", p.Shared())
+	}
+}
+
+func TestImpliesDependencyWithJDPremises(t *testing.T) {
+	// FD implication routed through the tableau chase when Σ has JDs.
+	u := attr.MustUniverse("A", "B", "C")
+	sigma := dep.NewSet(u)
+	sigma.Add(dep.MustJD(u.MustSet("A", "B"), u.MustSet("B", "C")))
+	sigma.Add(dep.NewFD(u.MustSet("A"), u.MustSet("B")))
+	s := MustSchema(u, sigma)
+	if !ImpliesDependency(s, dep.NewFD(u.MustSet("A"), u.MustSet("B"))) {
+		t.Error("given FD not implied")
+	}
+	if ImpliesDependency(s, dep.NewFD(u.MustSet("B"), u.MustSet("A"))) {
+		t.Error("unsound FD implication with JDs")
+	}
+	// MVD routed through the tableau when JDs present.
+	if !ImpliesDependency(s, dep.NewMVD(u.MustSet("B"), u.MustSet("A"))) {
+		t.Error("JD-backed MVD missed")
+	}
+}
+
+func TestViewConsistentValidation(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	// Wrong attribute set errors.
+	v := relation.New(u.MustSet("E"))
+	if _, err := ViewConsistent(s, u.MustSet("E", "D"), v); err == nil {
+		t.Error("mismatched view accepted")
+	}
+	// Non-FD schema errors.
+	sigma := dep.NewSet(u)
+	sigma.Add(dep.MustJD(u.MustSet("E", "D"), u.MustSet("D", "M")))
+	s2 := MustSchema(u, sigma)
+	v2 := relation.New(u.MustSet("E", "D"))
+	if _, err := ViewConsistent(s2, u.MustSet("E", "D"), v2); err == nil {
+		t.Error("JD schema accepted")
+	}
+}

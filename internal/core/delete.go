@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/constcomp/constcomp/internal/relation"
+)
+
+// DecideDelete decides, by Theorem 8, whether deleting tuple t from view
+// instance v is translatable under constant complement Y. The test is
+// O(|V| + |Σ|): condition (a) — some other view tuple shares t[X∩Y], so
+// the complement row survives — and condition (b) — Σ ⊨ X∩Y → Y and
+// Σ ⊭ X∩Y → X. No chase is needed: with Σ of FDs only, deleting tuples
+// from a legal instance keeps it legal.
+func (p *Pair) DecideDelete(v *relation.Relation, t relation.Tuple) (*Decision, error) {
+	if err := p.requireFDOnly(); err != nil {
+		return nil, err
+	}
+	if err := p.checkViewInstance(v); err != nil {
+		return nil, err
+	}
+	if len(t) != v.Width() {
+		return nil, fmt.Errorf("core: tuple arity %d, view arity %d", len(t), v.Width())
+	}
+	if !v.Contains(t) {
+		return &Decision{Translatable: true, Reason: ReasonIdentity}, nil
+	}
+	d := &Decision{}
+	// Condition (a): t[X∩Y] ∈ π_{X∩Y}(V − t).
+	found := false
+	for _, row := range v.Tuples() {
+		if row.Equal(t) {
+			continue
+		}
+		if agreesOn(row, t, v, p.shared) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		d.Reason = ReasonNoSharedMatch
+		return d, nil
+	}
+	if r, done := p.checkConditionB(d); done {
+		return r, nil
+	}
+	d.Translatable = true
+	d.Reason = ReasonOK
+	return d, nil
+}
+
+// ApplyDelete performs the unique translation T_u[R] = R − t*π_Y(R) of
+// Theorem 8 on a database instance, verifying the complement stays
+// constant and the view update is implemented.
+func (p *Pair) ApplyDelete(r *relation.Relation, t relation.Tuple) (*relation.Relation, error) {
+	if err := p.requireFDOnly(); err != nil {
+		return nil, err
+	}
+	if !r.Attrs().Equal(p.schema.u.All()) {
+		return nil, errors.New("core: database instance must be over U")
+	}
+	v := r.Project(p.x)
+	if !v.Contains(t) {
+		return r.Clone(), nil // acceptability
+	}
+	doomed, err := p.translatedTuples(r, t)
+	if err != nil {
+		return nil, err
+	}
+	out := r.Clone()
+	for _, dt := range doomed.Tuples() {
+		out.Delete(dt)
+	}
+	// T_u[R] ⊆ R and Σ has FDs only, so legality is automatic; verify the
+	// semantics anyway.
+	if !out.Project(p.y).Equal(r.Project(p.y)) {
+		return nil, errors.New("core: translated deletion changed the complement")
+	}
+	want := v.Clone()
+	want.Delete(t)
+	if !out.Project(p.x).Equal(want) {
+		return nil, errors.New("core: translated deletion did not implement the view update")
+	}
+	return out, nil
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+func TestDecideDeleteTranslatable(t *testing.T) {
+	p, v, syms := edmView(t)
+	// Delete (ed, toys): (flo, toys) keeps the toys complement row alive.
+	tup := relation.Tuple{syms.Const("ed"), syms.Const("toys")}
+	d, err := p.DecideDelete(v, tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Translatable || d.Reason != ReasonOK {
+		t.Fatalf("decision = %+v, want translatable", d)
+	}
+}
+
+func TestDecideDeleteLastSharer(t *testing.T) {
+	p, v, syms := edmView(t)
+	// Delete (bob, tools): bob is the only tools employee; removing him
+	// would delete the (tools, tim) complement row.
+	tup := relation.Tuple{syms.Const("bob"), syms.Const("tools")}
+	d, err := p.DecideDelete(v, tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Translatable || d.Reason != ReasonNoSharedMatch {
+		t.Fatalf("decision = %+v, want NoSharedMatch", d)
+	}
+}
+
+func TestDecideDeleteIdentity(t *testing.T) {
+	p, v, syms := edmView(t)
+	tup := relation.Tuple{syms.Const("zed"), syms.Const("toys")}
+	d, err := p.DecideDelete(v, tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Translatable || d.Reason != ReasonIdentity {
+		t.Fatalf("decision = %+v, want identity", d)
+	}
+}
+
+func TestApplyDeleteEDM(t *testing.T) {
+	p, _, _ := edmView(t)
+	u := p.Schema().Universe()
+	syms := value.NewSymbols()
+	r := relation.New(u.All())
+	for _, row := range [][]string{{"ed", "toys", "mo"}, {"flo", "toys", "mo"}, {"bob", "tools", "tim"}} {
+		r.InsertVals(syms.Const(row[0]), syms.Const(row[1]), syms.Const(row[2]))
+	}
+	tup := relation.Tuple{syms.Const("ed"), syms.Const("toys")}
+	out, err := p.ApplyDelete(r, tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("result has %d tuples, want 2", out.Len())
+	}
+	if out.Contains(relation.Tuple{syms.Const("ed"), syms.Const("toys"), syms.Const("mo")}) {
+		t.Error("deleted tuple still present")
+	}
+	if !out.Project(p.ComplementAttrs()).Equal(r.Project(p.ComplementAttrs())) {
+		t.Error("complement changed")
+	}
+}
+
+func TestApplyDeleteLastSharerErrors(t *testing.T) {
+	p, _, _ := edmView(t)
+	u := p.Schema().Universe()
+	syms := value.NewSymbols()
+	r := relation.New(u.All())
+	r.InsertVals(syms.Const("bob"), syms.Const("tools"), syms.Const("tim"))
+	tup := relation.Tuple{syms.Const("bob"), syms.Const("tools")}
+	if _, err := p.ApplyDelete(r, tup); err == nil {
+		t.Error("ApplyDelete changed the complement without error")
+	}
+}
+
+func TestApplyDeleteIdentity(t *testing.T) {
+	p, _, _ := edmView(t)
+	u := p.Schema().Universe()
+	syms := value.NewSymbols()
+	r := relation.New(u.All())
+	r.InsertVals(syms.Const("ed"), syms.Const("toys"), syms.Const("mo"))
+	out, err := p.ApplyDelete(r, relation.Tuple{syms.Const("zed"), syms.Const("toys")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(r) {
+		t.Error("identity delete changed the database")
+	}
+}
+
+// bruteDeleteTranslatable mirrors the definition for deletions: for every
+// legal completion R of V, the deletion translation must keep the
+// complement constant and implement the view update.
+func bruteDeleteTranslatable(p *Pair, v *relation.Relation, t relation.Tuple, syms *value.Symbols) bool {
+	if !v.Contains(t) {
+		return true
+	}
+	// Condition (a): some other row shares the pivot; condition (b) is
+	// schema-level. A brute check on completions: deleting t's rows must
+	// leave π_Y unchanged for every legal completion; equivalently some
+	// other view row shares t[X∩Y] and Σ ⊨ X∩Y → Y so their Y parts
+	// coincide. We verify on the canonical completion built by padding
+	// with distinct fresh constants then repairing via DecideInsert's
+	// machinery is overkill here; instead check directly on view rows.
+	found := false
+	for _, row := range v.Tuples() {
+		if row.Equal(t) {
+			continue
+		}
+		if agreesOn(row, t, v, p.Shared()) {
+			found = true
+			break
+		}
+	}
+	keyOfY, keyOfX := SharedIsKeyOf(p.Schema(), p.ViewAttrs(), p.ComplementAttrs())
+	return found && keyOfY && !keyOfX
+}
+
+// bruteDeleteByCompletions decides deletion translatability from the
+// definition: for every legal completion R of V, T_u[R] = R − t*π_Y(R)
+// must keep π_Y constant and implement the view update (legality is
+// automatic for FDs under deletion).
+func bruteDeleteByCompletions(p *Pair, v *relation.Relation, t relation.Tuple, syms *value.Symbols) (translatable, anyLegal bool) {
+	s := p.Schema()
+	u := s.Universe()
+	outX := u.All().Diff(p.ViewAttrs())
+	outIDs := outX.IDs()
+	cells := v.Len() * len(outIDs)
+	domainSet := map[value.Value]bool{}
+	for _, row := range v.Tuples() {
+		for _, val := range row {
+			domainSet[val] = true
+		}
+	}
+	var domain []value.Value
+	for val := range domainSet {
+		domain = append(domain, val)
+	}
+	for i := 0; i < cells; i++ {
+		domain = append(domain, syms.Const("fresh_del_"+string(rune('a'+i))))
+	}
+	d := len(domain)
+	assign := make([]int, cells)
+	translatable = true
+	for {
+		r := relation.New(u.All())
+		k := 0
+		for _, row := range v.Tuples() {
+			nt := make(relation.Tuple, u.Size())
+			for c := 0; c < u.Size(); c++ {
+				if vc := v.Col(attr.ID(c)); vc >= 0 {
+					nt[c] = row[vc]
+				} else {
+					nt[c] = domain[assign[k]]
+					k++
+				}
+			}
+			r.Insert(nt)
+		}
+		if legal, _ := s.Legal(r); legal && r.Project(p.ViewAttrs()).Equal(v) {
+			anyLegal = true
+			vy := r.Project(p.ComplementAttrs())
+			doomed := relation.Singleton(p.ViewAttrs(), t).Join(vy)
+			tu := r.Clone()
+			for _, dt := range doomed.Tuples() {
+				tu.Delete(dt)
+			}
+			want := v.Clone()
+			want.Delete(t)
+			if !tu.Project(p.ComplementAttrs()).Equal(vy) ||
+				!tu.Project(p.ViewAttrs()).Equal(want) {
+				return false, true
+			}
+		}
+		i := 0
+		for i < cells {
+			assign[i]++
+			if assign[i] < d {
+				break
+			}
+			assign[i] = 0
+			i++
+		}
+		if i == cells {
+			break
+		}
+	}
+	return translatable, anyLegal
+}
+
+// TestQuickDecideDeleteMatchesCompletions: E13 validation against the
+// definition over legal completions.
+func TestQuickDecideDeleteMatchesCompletions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, v, _, syms, ok := randomInsertCase(rng)
+		if !ok || v.Len() == 0 {
+			return true
+		}
+		tup := v.Tuple(rng.Intn(v.Len())).Clone()
+		d, err := p.DecideDelete(v, tup)
+		if err != nil {
+			return false
+		}
+		brute, anyLegal := bruteDeleteByCompletions(p, v, tup, syms)
+		if !anyLegal {
+			return true // inconsistent views filtered by the generator anyway
+		}
+		return d.Translatable == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeleteMatchesTheorem8(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, v, _, syms, ok := randomInsertCase(rng)
+		if !ok || v.Len() == 0 {
+			return true
+		}
+		// Delete an existing tuple.
+		tup := v.Tuple(rng.Intn(v.Len())).Clone()
+		d, err := p.DecideDelete(v, tup)
+		if err != nil {
+			return false
+		}
+		return d.Translatable == bruteDeleteTranslatable(p, v, tup, syms)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickApplyDeleteRoundTrip(t *testing.T) {
+	// Inserting then deleting the same tuple restores the database
+	// whenever both directions are translatable (the morphism property on
+	// an invertible update pair).
+	p, v, syms := edmView(t)
+	_ = v
+	u := p.Schema().Universe()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := relation.New(u.All())
+		n := 2 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			d := rng.Intn(2)
+			dept, mgr := "toys", "mo"
+			if d == 1 {
+				dept, mgr = "tools", "tim"
+			}
+			r.InsertVals(syms.Const("emp"+string(rune('a'+i))), syms.Const(dept), syms.Const(mgr))
+		}
+		tup := relation.Tuple{syms.Const("newbie"), syms.Const("toys")}
+		vi := r.Project(p.ViewAttrs())
+		di, err := p.DecideInsert(vi, tup)
+		if err != nil || !di.Translatable {
+			return true
+		}
+		r2, err := p.ApplyInsert(r, tup)
+		if err != nil {
+			return false
+		}
+		dd, err := p.DecideDelete(r2.Project(p.ViewAttrs()), tup)
+		if err != nil || !dd.Translatable {
+			return true
+		}
+		r3, err := p.ApplyDelete(r2, tup)
+		if err != nil {
+			return false
+		}
+		return r3.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecideDeleteValidation(t *testing.T) {
+	p, v, syms := edmView(t)
+	if _, err := p.DecideDelete(v, relation.Tuple{syms.Const("x")}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	bad := relation.New(p.Schema().Universe().MustSet("E"))
+	if _, err := p.DecideDelete(bad, relation.Tuple{syms.Const("x")}); err == nil {
+		t.Error("wrong view attrs accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/relation"
+)
+
+// TestKind selects the translatability test used by FindInsertComplement.
+type TestKind int
+
+// Translatability tests.
+const (
+	// TestExact is the Theorem 3 chase test.
+	TestExact TestKind = iota
+	// TestOne is Test 1 (two-tuple chases).
+	TestOne
+	// TestTwo is Test 2 (good complements + canonical instance).
+	TestTwo
+)
+
+func (k TestKind) String() string {
+	switch k {
+	case TestExact:
+		return "exact"
+	case TestOne:
+		return "test1"
+	case TestTwo:
+		return "test2"
+	}
+	return fmt.Sprintf("TestKind(%d)", int(k))
+}
+
+// FindResult is the outcome of FindInsertComplement.
+type FindResult struct {
+	// Found reports whether some complement renders the insertion
+	// translatable.
+	Found bool
+	// Complement is the witness Y = W_r ∪ (U − X) when Found.
+	Complement attr.Set
+	// Tests counts the translatability tests performed — bounded by
+	// min(|V|, 2^|X|) per Theorem 6.
+	Tests int
+	// Candidates counts the distinct W_r sets examined.
+	Candidates int
+}
+
+// FindInsertComplement implements Theorem 6: given Σ, X, the view instance
+// v and the tuple t to insert, search for a complement Y of X under which
+// the insertion is translatable. Only complements of the form
+// Y = W ∪ (U − X) with W ⊆ X need to be considered, and only the sets
+// W_r = {A ∈ X : r[A] = t[A]} for tuples r of V — at most
+// min(|V|, 2^|X|) translatability tests.
+//
+// kind selects the underlying test; with TestOne or TestTwo the same
+// candidate-reduction argument applies (see the remark after Theorem 7).
+func FindInsertComplement(s *Schema, x attr.Set, v *relation.Relation, t relation.Tuple, kind TestKind) (*FindResult, error) {
+	if !s.fdsOnly() {
+		return nil, errors.New("core: complement finding requires Σ of FDs only")
+	}
+	if !v.Attrs().Equal(x) {
+		return nil, fmt.Errorf("core: view instance over %v, want %v", v.Attrs(), x)
+	}
+	if len(t) != v.Width() {
+		return nil, fmt.Errorf("core: tuple arity %d, view arity %d", len(t), v.Width())
+	}
+	res := &FindResult{}
+	rest := s.u.All().Diff(x)
+	seen := map[string]bool{}
+	for _, row := range v.Tuples() {
+		// W_r = attributes of X where r agrees with t.
+		w := s.u.Empty()
+		x.Each(func(id attr.ID) bool {
+			if row[v.Col(id)] == t[v.Col(id)] {
+				w = w.With(id)
+			}
+			return true
+		})
+		if seen[w.Key()] {
+			continue
+		}
+		seen[w.Key()] = true
+		res.Candidates++
+		y := w.Union(rest)
+		if !Complementary(s, x, y) {
+			continue
+		}
+		pair, err := NewPair(s, x, y)
+		if err != nil {
+			continue
+		}
+		res.Tests++
+		var d *Decision
+		switch kind {
+		case TestOne:
+			d, err = pair.DecideInsertTest1(v, t)
+		case TestTwo:
+			d, err = pair.DecideInsertTest2(v, t)
+		default:
+			d, err = pair.DecideInsert(v, t)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if d.Translatable {
+			res.Found = true
+			res.Complement = y
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+func TestFindInsertComplementEDM(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	x := u.MustSet("E", "D")
+	syms := value.NewSymbols()
+	v := relation.New(x)
+	for _, row := range [][]string{{"ed", "toys"}, {"flo", "toys"}, {"bob", "tools"}} {
+		v.InsertVals(syms.Const(row[0]), syms.Const(row[1]))
+	}
+	tup := relation.Tuple{syms.Const("ann"), syms.Const("toys")}
+	res, err := FindInsertComplement(s, x, v, tup, TestExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no complement found for a translatable insertion")
+	}
+	// The witness complement must actually render the insertion
+	// translatable.
+	p := MustPair(s, x, res.Complement)
+	d, err := p.DecideInsert(v, tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Translatable {
+		t.Errorf("witness complement %v does not work", res.Complement)
+	}
+	if res.Tests > v.Len() {
+		t.Errorf("performed %d tests, bound is |V| = %d", res.Tests, v.Len())
+	}
+}
+
+func TestFindInsertComplementNone(t *testing.T) {
+	// Σ = {A -> B}: inserting a tuple that contradicts A -> B within the
+	// view admits no complement.
+	u := attr.MustUniverse("A", "B")
+	s := MustSchema(u, dep.MustParseSet(u, "A -> B"))
+	x := u.All()
+	syms := value.NewSymbols()
+	v := relation.New(x)
+	v.InsertVals(syms.Const("a"), syms.Const("b1"))
+	tup := relation.Tuple{syms.Const("a"), syms.Const("b2")}
+	res, err := FindInsertComplement(s, x, v, tup, TestExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Errorf("found complement %v for an inherently illegal insertion", res.Complement)
+	}
+}
+
+func TestFindInsertComplementCandidateBound(t *testing.T) {
+	// Candidates are deduplicated W_r sets: with every view tuple sharing
+	// the same agreement pattern, only one candidate is examined.
+	u := attr.MustUniverse("A", "B")
+	s := MustSchema(u, dep.NewSet(u))
+	x := u.All()
+	syms := value.NewSymbols()
+	v := relation.New(x)
+	for i := 0; i < 10; i++ {
+		v.InsertVals(syms.Const("a"+string(rune('0'+i))), syms.Const("b"))
+	}
+	tup := relation.Tuple{syms.Const("anew"), syms.Const("b")}
+	res, err := FindInsertComplement(s, x, v, tup, TestExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 1 {
+		t.Errorf("candidates = %d, want 1 (all W_r equal)", res.Candidates)
+	}
+	if !res.Found {
+		t.Error("X=U insertions are always translatable under Y = W ∪ ∅ with Σ empty")
+	}
+}
+
+func TestQuickFindComplementSoundAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, v, tup, _, ok := randomInsertCase(rng)
+		if !ok {
+			return true
+		}
+		s := p.Schema()
+		x := p.ViewAttrs()
+		res, err := FindInsertComplement(s, x, v, tup, TestExact)
+		if err != nil {
+			return false
+		}
+		if res.Tests > v.Len() || res.Candidates > v.Len() {
+			return false
+		}
+		if !res.Found {
+			return true
+		}
+		pair, err := NewPair(s, x, res.Complement)
+		if err != nil {
+			return false
+		}
+		d, err := pair.DecideInsert(v, tup)
+		if err != nil {
+			return false
+		}
+		return d.Translatable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFindComplementCompleteness(t *testing.T) {
+	// Theorem 6 completeness: if FindInsertComplement fails, then NO
+	// complement of the form W ∪ (U−X) with W ⊆ X renders the insertion
+	// translatable (check by enumerating all W on small X).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, v, tup, _, ok := randomInsertCase(rng)
+		if !ok {
+			return true
+		}
+		s := p.Schema()
+		x := p.ViewAttrs()
+		res, err := FindInsertComplement(s, x, v, tup, TestExact)
+		if err != nil {
+			return false
+		}
+		if res.Found {
+			return true
+		}
+		rest := s.Universe().All().Diff(x)
+		okAll := true
+		x.Subsets(func(w attr.Set) bool {
+			y := w.Union(rest)
+			if !Complementary(s, x, y) {
+				return true
+			}
+			pair, err := NewPair(s, x, y)
+			if err != nil {
+				return true
+			}
+			d, err := pair.DecideInsert(v, tup)
+			if err == nil && d.Translatable {
+				okAll = false
+				return false
+			}
+			return true
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindInsertComplementKinds(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	x := u.MustSet("E", "D")
+	syms := value.NewSymbols()
+	v := relation.New(x)
+	v.InsertVals(syms.Const("ed"), syms.Const("toys"))
+	tup := relation.Tuple{syms.Const("ann"), syms.Const("toys")}
+	for _, kind := range []TestKind{TestExact, TestOne, TestTwo} {
+		res, err := FindInsertComplement(s, x, v, tup, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !res.Found {
+			t.Errorf("%v: no complement found", kind)
+		}
+	}
+}
+
+func TestTestKindString(t *testing.T) {
+	if TestExact.String() != "exact" || TestOne.String() != "test1" || TestTwo.String() != "test2" {
+		t.Error("TestKind strings wrong")
+	}
+	if TestKind(9).String() != "TestKind(9)" {
+		t.Error("fallback wrong")
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/closure"
+	"github.com/constcomp/constcomp/internal/dep"
+)
+
+// Independent decides whether the decomposition (X, Y) is *independent*
+// in Rissanen's sense [27 in the paper]: the join of any legal X-instance
+// and any legal Y-instance (legal with respect to the projected
+// dependencies) is legal, and the decomposition is lossless. The paper's
+// §2 remark: independence is strictly stronger than complementarity —
+// in the Employee–Department–Manager schema, (ED, EM) is complementary
+// but not independent.
+//
+// For Σ of FDs this is Rissanen's classical characterization:
+// (a) Σ ⊨ *[X, Y], and (b) the projections of Σ onto X and onto Y
+// together imply Σ. Only FD schemas are supported.
+func Independent(s *Schema, x, y attr.Set) bool {
+	if !s.fdsOnly() {
+		return false
+	}
+	if !x.Union(y).Equal(s.u.All()) {
+		return false
+	}
+	fds := s.sigma.FDs()
+	if !Complementary(s, x, y) {
+		return false
+	}
+	projected := append(closure.Project(x, fds), closure.Project(y, fds)...)
+	return closure.ImpliesAll(projected, fds)
+}
+
+// ProjectedFDs returns a minimal cover of the FDs implied by Σ on the
+// attributes of x — the constraints a view instance must satisfy on its
+// own. Exponential in |x| in the worst case (inherent to FD projection).
+func ProjectedFDs(s *Schema, x attr.Set) []dep.FD {
+	return closure.Project(x, s.sigma.WithFD().FDs())
+}

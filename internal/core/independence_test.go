@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/closure"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+func TestIndependentEDM(t *testing.T) {
+	// The paper's §2 remark: (ED, DM) is independent (the classic BCNF
+	// decomposition), while (ED, EM) is complementary but NOT independent.
+	s := edmSchema(t)
+	u := s.Universe()
+	ed, dm, em := u.MustSet("E", "D"), u.MustSet("D", "M"), u.MustSet("E", "M")
+	if !Independent(s, ed, dm) {
+		t.Error("(ED, DM) should be independent")
+	}
+	if Independent(s, ed, em) {
+		t.Error("(ED, EM) should not be independent")
+	}
+	if !Complementary(s, ed, em) {
+		t.Error("(ED, EM) should still be complementary")
+	}
+}
+
+func TestIndependentRequiresCover(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	if Independent(s, u.MustSet("E", "D"), u.MustSet("D")) {
+		t.Error("non-covering pair reported independent")
+	}
+}
+
+func TestIndependentRejectsNonFD(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C")
+	sigma := dep.NewSet(u)
+	sigma.Add(dep.MustJD(u.MustSet("A", "B"), u.MustSet("B", "C")))
+	s := MustSchema(u, sigma)
+	if Independent(s, u.MustSet("A", "B"), u.MustSet("B", "C")) {
+		t.Error("JD schema accepted")
+	}
+}
+
+// TestQuickIndependentImpliesComplementary: independence is strictly
+// stronger than complementarity.
+func TestQuickIndependentImpliesComplementary(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sigma := dep.NewSet(u)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			lhs, rhs := u.Empty(), u.Empty()
+			for a := 0; a < 4; a++ {
+				switch rng.Intn(3) {
+				case 0:
+					lhs = lhs.With(attr.ID(a))
+				case 1:
+					rhs = rhs.With(attr.ID(a))
+				}
+			}
+			if lhs.IsEmpty() || rhs.IsEmpty() {
+				continue
+			}
+			sigma.Add(dep.NewFD(lhs, rhs))
+		}
+		s := MustSchema(u, sigma)
+		x, y := randomSubset(u, rng), randomSubset(u, rng)
+		if Independent(s, x, y) && !Complementary(s, x, y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIndependentJoinIsLegal: for independent (X, Y), joining any
+// legal X-instance with any matching legal Y-instance yields a legal
+// database — the semantic content of independence.
+func TestQuickIndependentJoinIsLegal(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	ed, dm := u.MustSet("E", "D"), u.MustSet("D", "M")
+	xFDs := ProjectedFDs(s, ed)
+	yFDs := ProjectedFDs(s, dm)
+	syms := value.NewSymbols()
+	vals := syms.Ints(3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vx := relation.New(ed)
+		vy := relation.New(dm)
+		for i := 0; i < 4; i++ {
+			vx.Insert(relation.Tuple{vals[rng.Intn(3)], vals[rng.Intn(3)]})
+			vy.Insert(relation.Tuple{vals[rng.Intn(3)], vals[rng.Intn(3)]})
+		}
+		// Keep only draws where the view instances are locally legal.
+		for _, fd := range xFDs {
+			if !vx.SatisfiesFD(fd) {
+				return true
+			}
+		}
+		for _, fd := range yFDs {
+			if !vy.SatisfiesFD(fd) {
+				return true
+			}
+		}
+		joined := vx.Join(vy)
+		ok, _ := s.Legal(joined)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectedFDs(t *testing.T) {
+	s := edmSchema(t)
+	u := s.Universe()
+	// On ED, the only nontrivial implied FD is E -> D.
+	fds := ProjectedFDs(s, u.MustSet("E", "D"))
+	if !closure.Implies(fds, dep.NewFD(u.MustSet("E"), u.MustSet("D"))) {
+		t.Error("lost E -> D")
+	}
+	for _, f := range fds {
+		if !f.From.Union(f.To).SubsetOf(u.MustSet("E", "D")) {
+			t.Errorf("projected FD %v escapes ED", f)
+		}
+	}
+	// On EM: E -> M is implied through D.
+	fds = ProjectedFDs(s, u.MustSet("E", "M"))
+	if !closure.Implies(fds, dep.NewFD(u.MustSet("E"), u.MustSet("M"))) {
+		t.Error("lost E -> M (transitive through D)")
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/constcomp/constcomp/internal/attr"
+)
+
+// This file implements the paper's usage scenario (§1): "Before updating
+// the view, the user must define (probably with the assistance of the
+// system) another view (a complement of the first), which must be held
+// constant during updating." The Manager is that assistance: it
+// recommends complements for a view, ranks them, and registers declared
+// view/complement pairs for update routing.
+
+// Recommendation describes one candidate complement for a view.
+type Recommendation struct {
+	// Y is the candidate complement.
+	Y attr.Set
+	// Size is |Y|.
+	Size int
+	// Minimal reports that no attribute of Y can be dropped.
+	Minimal bool
+	// Minimum reports |Y| is the smallest possible (set only when the
+	// exact search ran).
+	Minimum bool
+	// Good reports Y passes the Test-2 goodness check, so the fast
+	// per-insert test is exact for it. Only meaningful on FD schemas.
+	Good bool
+	// Overlap is |X ∩ Y| — smaller overlap means the complement pins
+	// less of the view itself.
+	Overlap int
+}
+
+// Manager recommends and registers view complements over one schema.
+type Manager struct {
+	schema *Schema
+	// pairs maps view key -> registered pair.
+	pairs map[string]*Pair
+	// exactSearchLimit caps |U| for running the exponential minimum
+	// search; beyond it only minimal complements are recommended.
+	exactSearchLimit int
+}
+
+// NewManager builds a manager for the schema. Exact minimum-complement
+// search (NP-complete, Theorem 2) runs only for universes of at most 16
+// attributes by default; see SetExactSearchLimit.
+func NewManager(s *Schema) *Manager {
+	return &Manager{schema: s, pairs: make(map[string]*Pair), exactSearchLimit: 16}
+}
+
+// SetExactSearchLimit adjusts the universe-size cap for the exponential
+// minimum-complement search.
+func (m *Manager) SetExactSearchLimit(n int) { m.exactSearchLimit = n }
+
+// Recommend lists candidate complements for the view X: the minimal
+// complement of Corollary 2 plus, when the universe is small enough, all
+// minimum-size complements from the Theorem 2 search. Candidates are
+// ranked: good before not-good, then smaller, then smaller overlap with
+// X, then lexicographic.
+func (m *Manager) Recommend(x attr.Set) []Recommendation {
+	seen := map[string]bool{}
+	var out []Recommendation
+	add := func(y attr.Set, minimum bool) {
+		if seen[y.Key()] {
+			for i := range out {
+				if out[i].Y.Equal(y) {
+					out[i].Minimum = out[i].Minimum || minimum
+				}
+			}
+			return
+		}
+		seen[y.Key()] = true
+		rec := Recommendation{
+			Y:       y,
+			Size:    y.Len(),
+			Minimum: minimum,
+			Overlap: x.Intersect(y).Len(),
+		}
+		rec.Minimal = true
+		y.Each(func(id attr.ID) bool {
+			if Complementary(m.schema, x, y.Without(id)) {
+				rec.Minimal = false
+				return false
+			}
+			return true
+		})
+		if m.schema.fdsOnly() {
+			if p, err := NewPair(m.schema, x, y); err == nil {
+				if good, err := p.IsGoodComplement(); err == nil {
+					rec.Good = good
+				}
+			}
+		}
+		out = append(out, rec)
+	}
+	add(MinimalComplement(m.schema, x), false)
+	if m.schema.u.Size() <= m.exactSearchLimit {
+		if y, ok := MinimumComplement(m.schema, x); ok {
+			k := y.Len()
+			m.schema.u.All().SubsetsOfSize(k, func(cand attr.Set) bool {
+				if Complementary(m.schema, x, cand) {
+					add(cand, true)
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Good != b.Good {
+			return a.Good
+		}
+		if a.Size != b.Size {
+			return a.Size < b.Size
+		}
+		if a.Overlap != b.Overlap {
+			return a.Overlap < b.Overlap
+		}
+		return a.Y.String() < b.Y.String()
+	})
+	return out
+}
+
+// Register declares Y as the constant complement for view X and returns
+// the pair. Registering the same view twice replaces the complement.
+func (m *Manager) Register(x, y attr.Set) (*Pair, error) {
+	p, err := NewPair(m.schema, x, y)
+	if err != nil {
+		return nil, err
+	}
+	m.pairs[x.Key()] = p
+	return p, nil
+}
+
+// RegisterRecommended registers the top-ranked recommendation for X.
+func (m *Manager) RegisterRecommended(x attr.Set) (*Pair, error) {
+	recs := m.Recommend(x)
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("core: no complement recommendation for %v", x)
+	}
+	return m.Register(x, recs[0].Y)
+}
+
+// Lookup returns the registered pair for view X.
+func (m *Manager) Lookup(x attr.Set) (*Pair, bool) {
+	p, ok := m.pairs[x.Key()]
+	return p, ok
+}
+
+// Views lists the registered view attribute sets, sorted.
+func (m *Manager) Views() []attr.Set {
+	out := make([]attr.Set, 0, len(m.pairs))
+	for _, p := range m.pairs {
+		out = append(out, p.x)
+	}
+	attr.SortSets(out)
+	return out
+}

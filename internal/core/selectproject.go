@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// This file implements the paper's §6 further-research item (2): views of
+// the form σ_P π_X — a *restriction* of a projection — for predicates P
+// that test view attributes against constants. The paper suggests the
+// complement (σ_¬P π_X, π_Y); under that complement, an update through
+// the restricted view may only touch database rows whose X-projection
+// satisfies P, and the machinery of §3 carries over: the σ_¬P π_X part of
+// the complement is untouched exactly when every inserted/deleted view
+// tuple satisfies P, and π_Y stays constant by the usual translation.
+
+// Predicate is a restriction predicate on view tuples. Implementations
+// must be pure functions of the tuple.
+type Predicate interface {
+	// Eval reports whether the view tuple (over the view's attribute
+	// set, ascending order) satisfies the predicate.
+	Eval(t relation.Tuple) bool
+	// String renders the predicate for diagnostics.
+	String() string
+}
+
+// EqConst is the predicate attribute = constant.
+type EqConst struct {
+	// Attr is the tested attribute; Col its column in the view layout.
+	Attr  attr.ID
+	Col   int
+	Value value.Value
+	// attrName and valueName are kept for diagnostics.
+	attrName, valueName string
+}
+
+// NewEqConst builds an attribute = constant predicate for a view over x.
+func NewEqConst(x attr.Set, id attr.ID, v value.Value, valueName string) (*EqConst, error) {
+	if !x.Has(id) {
+		return nil, fmt.Errorf("core: predicate attribute %d not in view %v", id, x)
+	}
+	col := 0
+	for _, c := range x.IDs() {
+		if c == id {
+			break
+		}
+		col++
+	}
+	return &EqConst{Attr: id, Col: col, Value: v,
+		attrName: x.Universe().Name(id), valueName: valueName}, nil
+}
+
+// Eval implements Predicate.
+func (p *EqConst) Eval(t relation.Tuple) bool { return t[p.Col] == p.Value }
+
+func (p *EqConst) String() string {
+	return fmt.Sprintf("%s = %s", p.attrName, p.valueName)
+}
+
+// Not negates a predicate.
+type Not struct{ P Predicate }
+
+// Eval implements Predicate.
+func (n Not) Eval(t relation.Tuple) bool { return !n.P.Eval(t) }
+
+func (n Not) String() string { return "¬(" + n.P.String() + ")" }
+
+// And conjoins predicates.
+type And []Predicate
+
+// Eval implements Predicate.
+func (a And) Eval(t relation.Tuple) bool {
+	for _, p := range a {
+		if !p.Eval(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a And) String() string {
+	out := ""
+	for i, p := range a {
+		if i > 0 {
+			out += " ∧ "
+		}
+		out += p.String()
+	}
+	return out
+}
+
+// RestrictedPair is a view σ_P π_X with the complement (σ_¬P π_X, π_Y):
+// updates through the restricted view must keep both the unrestricted
+// rows and the Y-projection constant.
+type RestrictedPair struct {
+	pair *Pair
+	pred Predicate
+}
+
+// NewRestrictedPair builds the restricted view over an existing
+// complementary pair.
+func NewRestrictedPair(p *Pair, pred Predicate) *RestrictedPair {
+	return &RestrictedPair{pair: p, pred: pred}
+}
+
+// Pair returns the underlying projective pair.
+func (rp *RestrictedPair) Pair() *Pair { return rp.pair }
+
+// Predicate returns P.
+func (rp *RestrictedPair) Predicate() Predicate { return rp.pred }
+
+// Instance computes σ_P π_X(R).
+func (rp *RestrictedPair) Instance(r *relation.Relation) *relation.Relation {
+	return r.Project(rp.pair.x).Select(rp.pred.Eval)
+}
+
+// errOutsideRestriction is returned when a tuple does not satisfy P.
+var errOutsideRestriction = errors.New("core: tuple outside the view restriction")
+
+// DecideInsert decides translatability of inserting t into the restricted
+// view, given the *full* projection instance v = π_X(R). The tuple must
+// satisfy P (otherwise it is not a view tuple at all); the σ_¬P part of
+// the complement is then untouched by construction, and the remaining
+// conditions are exactly Theorem 3's against the unrestricted view.
+func (rp *RestrictedPair) DecideInsert(v *relation.Relation, t relation.Tuple) (*Decision, error) {
+	if err := rp.pair.checkViewInstance(v); err != nil {
+		return nil, err
+	}
+	if len(t) != v.Width() {
+		return nil, fmt.Errorf("core: tuple arity %d, view arity %d", len(t), v.Width())
+	}
+	if !rp.pred.Eval(t) {
+		return nil, fmt.Errorf("%w: %v", errOutsideRestriction, rp.pred)
+	}
+	return rp.pair.DecideInsert(v, t)
+}
+
+// DecideDelete is the deletion analogue of DecideInsert.
+func (rp *RestrictedPair) DecideDelete(v *relation.Relation, t relation.Tuple) (*Decision, error) {
+	if err := rp.pair.checkViewInstance(v); err != nil {
+		return nil, err
+	}
+	if len(t) != v.Width() {
+		return nil, fmt.Errorf("core: tuple arity %d, view arity %d", len(t), v.Width())
+	}
+	if !rp.pred.Eval(t) {
+		return nil, fmt.Errorf("%w: %v", errOutsideRestriction, rp.pred)
+	}
+	return rp.pair.DecideDelete(v, t)
+}
+
+// ApplyInsert translates the insertion on the database, additionally
+// verifying that the σ_¬P part of the view stayed constant.
+func (rp *RestrictedPair) ApplyInsert(r *relation.Relation, t relation.Tuple) (*relation.Relation, error) {
+	if !rp.pred.Eval(t) {
+		return nil, fmt.Errorf("%w: %v", errOutsideRestriction, rp.pred)
+	}
+	before := r.Project(rp.pair.x).Select(Not{rp.pred}.Eval)
+	out, err := rp.pair.ApplyInsert(r, t)
+	if err != nil {
+		return nil, err
+	}
+	after := out.Project(rp.pair.x).Select(Not{rp.pred}.Eval)
+	if !after.Equal(before) {
+		return nil, errors.New("core: restricted insert changed σ_¬P π_X")
+	}
+	return out, nil
+}
+
+// DecideReplace decides translatability of replacing t1 by t2 in the
+// restricted view; both tuples must satisfy P.
+func (rp *RestrictedPair) DecideReplace(v *relation.Relation, t1, t2 relation.Tuple) (*Decision, error) {
+	if err := rp.pair.checkViewInstance(v); err != nil {
+		return nil, err
+	}
+	if !rp.pred.Eval(t1) || !rp.pred.Eval(t2) {
+		return nil, fmt.Errorf("%w: %v", errOutsideRestriction, rp.pred)
+	}
+	return rp.pair.DecideReplace(v, t1, t2)
+}
+
+// ApplyReplace translates the replacement on the database, verifying
+// σ_¬P π_X constancy.
+func (rp *RestrictedPair) ApplyReplace(r *relation.Relation, t1, t2 relation.Tuple) (*relation.Relation, error) {
+	if !rp.pred.Eval(t1) || !rp.pred.Eval(t2) {
+		return nil, fmt.Errorf("%w: %v", errOutsideRestriction, rp.pred)
+	}
+	before := r.Project(rp.pair.x).Select(Not{rp.pred}.Eval)
+	out, err := rp.pair.ApplyReplace(r, t1, t2)
+	if err != nil {
+		return nil, err
+	}
+	after := out.Project(rp.pair.x).Select(Not{rp.pred}.Eval)
+	if !after.Equal(before) {
+		return nil, errors.New("core: restricted replace changed σ_¬P π_X")
+	}
+	return out, nil
+}
+
+// ApplyDelete translates the deletion on the database, verifying σ_¬P π_X
+// constancy.
+func (rp *RestrictedPair) ApplyDelete(r *relation.Relation, t relation.Tuple) (*relation.Relation, error) {
+	if !rp.pred.Eval(t) {
+		return nil, fmt.Errorf("%w: %v", errOutsideRestriction, rp.pred)
+	}
+	before := r.Project(rp.pair.x).Select(Not{rp.pred}.Eval)
+	out, err := rp.pair.ApplyDelete(r, t)
+	if err != nil {
+		return nil, err
+	}
+	after := out.Project(rp.pair.x).Select(Not{rp.pred}.Eval)
+	if !after.Equal(before) {
+		return nil, errors.New("core: restricted delete changed σ_¬P π_X")
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/constcomp/constcomp/internal/relation"
+)
+
+// UpdateKind labels the three view-update operations of §3–§4.
+type UpdateKind int
+
+// Update kinds.
+const (
+	UpdateInsert UpdateKind = iota
+	UpdateDelete
+	UpdateReplace
+)
+
+func (k UpdateKind) String() string {
+	switch k {
+	case UpdateInsert:
+		return "insert"
+	case UpdateDelete:
+		return "delete"
+	case UpdateReplace:
+		return "replace"
+	}
+	return fmt.Sprintf("UpdateKind(%d)", int(k))
+}
+
+// UpdateOp is one view update: an insertion or deletion of Tuple, or a
+// replacement of Tuple by With.
+type UpdateOp struct {
+	Kind  UpdateKind
+	Tuple relation.Tuple
+	With  relation.Tuple
+}
+
+// Insert builds an insertion op.
+func Insert(t relation.Tuple) UpdateOp { return UpdateOp{Kind: UpdateInsert, Tuple: t} }
+
+// Delete builds a deletion op.
+func Delete(t relation.Tuple) UpdateOp { return UpdateOp{Kind: UpdateDelete, Tuple: t} }
+
+// Replace builds a replacement op.
+func Replace(t1, t2 relation.Tuple) UpdateOp {
+	return UpdateOp{Kind: UpdateReplace, Tuple: t1, With: t2}
+}
+
+// LogEntry records one applied (or rejected) update in a Session.
+type LogEntry struct {
+	Op       UpdateOp
+	Decision *Decision
+	Applied  bool
+}
+
+// Session drives a sequence of view updates against a database under a
+// fixed constant complement, keeping the update log and checking the
+// framework invariants after every step: the complement never changes
+// and the database stays legal. The morphism property of Bancilhon–
+// Spyratos fact (ii) manifests operationally: applying a sequence of
+// updates equals applying their composition.
+type Session struct {
+	pair *Pair
+	db   *relation.Relation
+	// complement is π_Y of the initial database; it must never change.
+	complement *relation.Relation
+	log        []LogEntry
+}
+
+// NewSession starts a session on a legal database instance.
+func NewSession(pair *Pair, db *relation.Relation) (*Session, error) {
+	if ok, bad := pair.Schema().Legal(db); !ok {
+		return nil, fmt.Errorf("core: initial database violates %v", bad)
+	}
+	return &Session{
+		pair:       pair,
+		db:         db.Clone(),
+		complement: db.Project(pair.ComplementAttrs()),
+	}, nil
+}
+
+// Database returns a snapshot of the current database.
+func (s *Session) Database() *relation.Relation { return s.db.Clone() }
+
+// View returns the current view instance.
+func (s *Session) View() *relation.Relation { return s.db.Project(s.pair.ViewAttrs()) }
+
+// Log returns the update log (shared slice; do not modify).
+func (s *Session) Log() []LogEntry { return s.log }
+
+// Decide tests an update without applying it.
+func (s *Session) Decide(op UpdateOp) (*Decision, error) {
+	v := s.View()
+	switch op.Kind {
+	case UpdateInsert:
+		return s.pair.DecideInsert(v, op.Tuple)
+	case UpdateDelete:
+		return s.pair.DecideDelete(v, op.Tuple)
+	case UpdateReplace:
+		return s.pair.DecideReplace(v, op.Tuple, op.With)
+	}
+	return nil, fmt.Errorf("core: unknown update kind %v", op.Kind)
+}
+
+// ErrRejected is returned by Apply for untranslatable updates; the
+// database is unchanged and the rejection is logged.
+var ErrRejected = errors.New("core: update rejected as untranslatable")
+
+// Apply decides and, if translatable, performs one update, enforcing the
+// constant-complement and legality invariants. On rejection it returns
+// ErrRejected (wrapped with the reason).
+func (s *Session) Apply(op UpdateOp) (*Decision, error) {
+	d, err := s.Decide(op)
+	if err != nil {
+		return nil, err
+	}
+	if !d.Translatable {
+		s.log = append(s.log, LogEntry{Op: op, Decision: d})
+		return d, fmt.Errorf("%w: %s", ErrRejected, d.Reason)
+	}
+	var out *relation.Relation
+	switch op.Kind {
+	case UpdateInsert:
+		out, err = s.pair.ApplyInsert(s.db, op.Tuple)
+	case UpdateDelete:
+		out, err = s.pair.ApplyDelete(s.db, op.Tuple)
+	case UpdateReplace:
+		out, err = s.pair.ApplyReplace(s.db, op.Tuple, op.With)
+	}
+	if err != nil {
+		return d, err
+	}
+	if !out.Project(s.pair.ComplementAttrs()).Equal(s.complement) {
+		return d, errors.New("core: internal: complement drifted")
+	}
+	if ok, bad := s.pair.Schema().Legal(out); !ok {
+		return d, fmt.Errorf("core: internal: database became illegal (%v)", bad)
+	}
+	s.db = out
+	s.log = append(s.log, LogEntry{Op: op, Decision: d, Applied: true})
+	return d, nil
+}
+
+// ApplyAll applies a sequence of updates, stopping at the first rejection
+// or error. It returns the number applied.
+func (s *Session) ApplyAll(ops []UpdateOp) (int, error) {
+	for i, op := range ops {
+		if _, err := s.Apply(op); err != nil {
+			return i, err
+		}
+	}
+	return len(ops), nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// NonComplementaryWitness constructs the counterexample of Theorem 1's
+// proof for a non-complementary pair: two *distinct* legal instances R and
+// R' with π_X(R) = π_X(R') and π_Y(R) = π_Y(R'). By the proof, when Σ
+// consists of FDs and JDs a two-tuple witness always exists, built from a
+// two-tuple relation violating *[X, Y]: R = {μ, ν} and R' obtained by
+// swapping the X−Y parts of μ and ν.
+//
+// The search enumerates two-tuple agreement patterns S ⊆ U (the columns
+// where μ and ν agree): legality of a two-tuple relation depends only on
+// the pattern, so the enumeration is exact and costs O(2^|U| · |Σ|).
+// Constants are interned in syms. It errors if X, Y are in fact
+// complementary.
+func NonComplementaryWitness(s *Schema, x, y attr.Set, syms *value.Symbols) (*relation.Relation, *relation.Relation, error) {
+	if s.sigma.HasEFDs() {
+		return nil, nil, errors.New("core: witness construction supports FDs and JDs only")
+	}
+	if Complementary(s, x, y) {
+		return nil, nil, errors.New("core: views are complementary; no witness exists")
+	}
+	u := s.u
+	n := u.Size()
+	shared := x.Intersect(y)
+
+	var found *relation.Relation
+	var foundSwap *relation.Relation
+	u.All().Subsets(func(agree attr.Set) bool {
+		// μ and ν agree exactly on the columns of `agree`. The proof
+		// needs μ[X∩Y] = ν[X∩Y], μ and ν differing on X−Y and on Y−X
+		// (otherwise one of the projections already collapses and the
+		// swap is the identity or the relations coincide).
+		if !shared.SubsetOf(agree) {
+			return true
+		}
+		if x.Diff(y).SubsetOf(agree) || y.Diff(x).SubsetOf(agree) {
+			return true
+		}
+		mu := make(relation.Tuple, n)
+		nu := make(relation.Tuple, n)
+		for c := 0; c < n; c++ {
+			name := "a" + u.Name(attr.ID(c))
+			mu[c] = syms.Const(name)
+			if agree.Has(attr.ID(c)) {
+				nu[c] = mu[c]
+			} else {
+				nu[c] = syms.Const("b" + u.Name(attr.ID(c)))
+			}
+		}
+		r := relation.New(u.All())
+		r.Insert(mu.Clone())
+		r.Insert(nu.Clone())
+		if legal, _ := s.Legal(r); !legal {
+			return true
+		}
+		// R': μ' agrees with μ on X and with ν on Y−X (and elsewhere
+		// outside X∪Y keeps μ's values); ν' symmetric.
+		muP := mu.Clone()
+		nuP := nu.Clone()
+		y.Diff(x).Each(func(id attr.ID) bool {
+			muP[id], nuP[id] = nu[id], mu[id]
+			return true
+		})
+		r2 := relation.New(u.All())
+		r2.Insert(muP)
+		r2.Insert(nuP)
+		if legal, _ := s.Legal(r2); !legal {
+			return true
+		}
+		if r.Equal(r2) {
+			return true
+		}
+		if !r.Project(x).Equal(r2.Project(x)) || !r.Project(y).Equal(r2.Project(y)) {
+			return true
+		}
+		found, foundSwap = r, r2
+		return false
+	})
+	if found == nil {
+		// Complementarity can also fail because X ∪ Y ≠ U (information
+		// entirely outside both views): two one-tuple instances
+		// differing only outside X ∪ Y witness that.
+		rest := u.All().Diff(x.Union(y))
+		if !rest.IsEmpty() {
+			mu := make(relation.Tuple, n)
+			muP := make(relation.Tuple, n)
+			for c := 0; c < n; c++ {
+				mu[c] = syms.Const("a" + u.Name(attr.ID(c)))
+				muP[c] = mu[c]
+			}
+			rest.Each(func(id attr.ID) bool {
+				muP[id] = syms.Const("b" + u.Name(id))
+				return true
+			})
+			r := relation.New(u.All())
+			r.Insert(mu)
+			r2 := relation.New(u.All())
+			r2.Insert(muP)
+			okR, _ := s.Legal(r)
+			okR2, _ := s.Legal(r2)
+			if okR && okR2 {
+				return r, r2, nil
+			}
+		}
+		return nil, nil, errors.New("core: internal: no two-tuple witness found for a non-complementary pair")
+	}
+	return found, foundSwap, nil
+}

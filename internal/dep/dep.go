@@ -1,0 +1,496 @@
+// Package dep defines the dependency classes of Cosmadakis–Papadimitriou:
+// functional dependencies (FDs), multivalued dependencies (MVDs), join
+// dependencies (JDs) and the paper's explicit functional dependencies
+// (EFDs), together with a small text syntax for them.
+//
+// Text syntax (attributes separated by spaces or commas):
+//
+//	A B -> C D     functional dependency
+//	A B ->> C D    multivalued dependency *[AB∪CD-complement ...]; see MVD
+//	*[A B; B C]    join dependency with components AB and BC
+//	A B =>e C      explicit functional dependency
+package dep
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/constcomp/constcomp/internal/attr"
+)
+
+// Kind discriminates dependency classes.
+type Kind int
+
+// Dependency kinds.
+const (
+	KindFD Kind = iota
+	KindMVD
+	KindJD
+	KindEFD
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFD:
+		return "FD"
+	case KindMVD:
+		return "MVD"
+	case KindJD:
+		return "JD"
+	case KindEFD:
+		return "EFD"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Dependency is implemented by FD, MVD, JD and EFD.
+type Dependency interface {
+	Kind() Kind
+	// Universe returns the attribute universe the dependency is over.
+	Universe() *attr.Universe
+	// String renders the dependency in the package's text syntax.
+	String() string
+	// Key is a canonical representation: two dependencies over the same
+	// universe are semantically identical syntax iff keys are equal.
+	Key() string
+}
+
+// FD is a functional dependency From → To.
+type FD struct {
+	From, To attr.Set
+}
+
+// NewFD builds an FD, validating that both sides share a universe.
+func NewFD(from, to attr.Set) FD {
+	if from.Universe() != to.Universe() {
+		panic("dep: FD sides over different universes")
+	}
+	return FD{From: from, To: to}
+}
+
+// Kind returns KindFD.
+func (f FD) Kind() Kind { return KindFD }
+
+// Universe returns the FD's attribute universe.
+func (f FD) Universe() *attr.Universe { return f.From.Universe() }
+
+func (f FD) String() string {
+	return f.From.String() + " -> " + f.To.String()
+}
+
+// Key implements Dependency.
+func (f FD) Key() string { return "F" + f.From.Key() + "|" + f.To.Key() }
+
+// IsTrivial reports whether To ⊆ From, i.e. the FD holds in every relation.
+func (f FD) IsTrivial() bool { return f.To.SubsetOf(f.From) }
+
+// Split rewrites the FD into the equivalent set of FDs with single-attribute
+// right-hand sides, as assumed throughout §3 of the paper.
+func (f FD) Split() []FD {
+	out := make([]FD, 0, f.To.Len())
+	f.To.Each(func(a attr.ID) bool {
+		out = append(out, FD{From: f.From, To: f.From.Universe().Empty().With(a)})
+		return true
+	})
+	return out
+}
+
+// MVD is a multivalued dependency X →→ Y over universe U, equivalent to the
+// join dependency *[X∪Y, X∪(U−Y)].
+type MVD struct {
+	From, To attr.Set
+}
+
+// NewMVD builds an MVD, validating that both sides share a universe.
+func NewMVD(from, to attr.Set) MVD {
+	if from.Universe() != to.Universe() {
+		panic("dep: MVD sides over different universes")
+	}
+	return MVD{From: from, To: to}
+}
+
+// Kind returns KindMVD.
+func (m MVD) Kind() Kind { return KindMVD }
+
+// Universe returns the MVD's attribute universe.
+func (m MVD) Universe() *attr.Universe { return m.From.Universe() }
+
+func (m MVD) String() string {
+	return m.From.String() + " ->> " + m.To.String()
+}
+
+// Key implements Dependency.
+func (m MVD) Key() string {
+	// Canonicalize: X →→ Y ≡ X →→ (Y − X) ≡ X →→ (U − X − Y).
+	u := m.Universe()
+	y := m.To.Diff(m.From)
+	z := u.All().Diff(m.From).Diff(y)
+	a, b := y.Key(), z.Key()
+	if b < a {
+		a, b = b, a
+	}
+	return "M" + m.From.Key() + "|" + a + "|" + b
+}
+
+// IsTrivial reports whether the MVD holds in every relation over U: Y ⊆ X or
+// X ∪ Y = U.
+func (m MVD) IsTrivial() bool {
+	return m.To.SubsetOf(m.From) || m.From.Union(m.To).Equal(m.Universe().All())
+}
+
+// JD returns the equivalent binary join dependency *[X∪Y, X∪(U−Y)].
+func (m MVD) JD() JD {
+	u := m.Universe()
+	left := m.From.Union(m.To)
+	right := m.From.Union(u.All().Diff(m.To))
+	return JD{Components: []attr.Set{left, right}}
+}
+
+// JD is a join dependency *[R1, …, Rq]: every legal instance is the join of
+// its projections onto the components. Components must cover U.
+type JD struct {
+	Components []attr.Set
+}
+
+// NewJD builds a JD, validating that components are nonempty, share a
+// universe and cover it.
+func NewJD(components ...attr.Set) (JD, error) {
+	if len(components) == 0 {
+		return JD{}, fmt.Errorf("dep: JD with no components")
+	}
+	u := components[0].Universe()
+	cover := u.Empty()
+	for _, c := range components {
+		if c.Universe() != u {
+			return JD{}, fmt.Errorf("dep: JD components over different universes")
+		}
+		cover = cover.Union(c)
+	}
+	if !cover.Equal(u.All()) {
+		return JD{}, fmt.Errorf("dep: JD components do not cover the universe (missing %v)", u.All().Diff(cover))
+	}
+	return JD{Components: components}, nil
+}
+
+// MustJD is NewJD, panicking on error.
+func MustJD(components ...attr.Set) JD {
+	j, err := NewJD(components...)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// Kind returns KindJD.
+func (j JD) Kind() Kind { return KindJD }
+
+// Universe returns the JD's attribute universe.
+func (j JD) Universe() *attr.Universe { return j.Components[0].Universe() }
+
+func (j JD) String() string {
+	parts := make([]string, len(j.Components))
+	for i, c := range j.Components {
+		parts[i] = c.String()
+	}
+	return "*[" + strings.Join(parts, "; ") + "]"
+}
+
+// Key implements Dependency.
+func (j JD) Key() string {
+	keys := make([]string, len(j.Components))
+	for i, c := range j.Components {
+		keys[i] = c.Key()
+	}
+	// Order-insensitive.
+	for i := range keys {
+		for k := i + 1; k < len(keys); k++ {
+			if keys[k] < keys[i] {
+				keys[i], keys[k] = keys[k], keys[i]
+			}
+		}
+	}
+	return "J" + strings.Join(keys, "|")
+}
+
+// Binary reports whether the JD has exactly two components, i.e. is an MVD
+// in JD clothing.
+func (j JD) Binary() bool { return len(j.Components) == 2 }
+
+// MVDs returns the set M(j) of MVDs implied by j by partitioning its
+// components in two, as in the proof of Theorem 1: for every bipartition
+// (S1, S2) of components, the MVD *[∪S1, ∪S2], rendered as ∪S1∩∪S2 →→ ∪S1.
+func (j JD) MVDs() []MVD {
+	u := j.Universe()
+	q := len(j.Components)
+	var out []MVD
+	// Enumerate nonempty proper subsets; fix component 0 in S1 to halve work.
+	for mask := 0; mask < 1<<uint(q-1); mask++ {
+		s1 := j.Components[0]
+		s2 := u.Empty()
+		for i := 1; i < q; i++ {
+			if mask&(1<<uint(i-1)) != 0 {
+				s1 = s1.Union(j.Components[i])
+			} else {
+				s2 = s2.Union(j.Components[i])
+			}
+		}
+		if s2.IsEmpty() {
+			continue
+		}
+		out = append(out, MVD{From: s1.Intersect(s2), To: s1})
+	}
+	return out
+}
+
+// EFD is an explicit functional dependency X →e Y (§5): there is an
+// instance-independent witness function f with π_XY(R) = f(π_X(R)) for every
+// legal R.
+type EFD struct {
+	From, To attr.Set
+}
+
+// NewEFD builds an EFD, validating that both sides share a universe.
+func NewEFD(from, to attr.Set) EFD {
+	if from.Universe() != to.Universe() {
+		panic("dep: EFD sides over different universes")
+	}
+	return EFD{From: from, To: to}
+}
+
+// Kind returns KindEFD.
+func (e EFD) Kind() Kind { return KindEFD }
+
+// Universe returns the EFD's attribute universe.
+func (e EFD) Universe() *attr.Universe { return e.From.Universe() }
+
+func (e EFD) String() string {
+	return e.From.String() + " =>e " + e.To.String()
+}
+
+// Key implements Dependency.
+func (e EFD) Key() string { return "E" + e.From.Key() + "|" + e.To.Key() }
+
+// FD returns the ordinary functional dependency underlying the EFD: every
+// EFD X →e Y implies the FD X → Y (the witness function is in particular a
+// many-one mapping).
+func (e EFD) FD() FD { return FD{From: e.From, To: e.To} }
+
+// Set is a finite set Σ of dependencies over one universe, the integrity
+// constraints of a schema.
+type Set struct {
+	u    *attr.Universe
+	deps []Dependency
+	keys map[string]bool
+}
+
+// NewSet returns an empty dependency set over u.
+func NewSet(u *attr.Universe) *Set {
+	return &Set{u: u, keys: make(map[string]bool)}
+}
+
+// Universe returns the set's attribute universe.
+func (s *Set) Universe() *attr.Universe { return s.u }
+
+// Add inserts d, ignoring syntactic duplicates. It panics if d is over a
+// different universe.
+func (s *Set) Add(deps ...Dependency) *Set {
+	for _, d := range deps {
+		if d.Universe() != s.u {
+			panic("dep: adding dependency over a different universe")
+		}
+		k := d.Key()
+		if s.keys[k] {
+			continue
+		}
+		s.keys[k] = true
+		s.deps = append(s.deps, d)
+	}
+	return s
+}
+
+// All returns the dependencies in insertion order. The slice is shared;
+// callers must not modify it.
+func (s *Set) All() []Dependency { return s.deps }
+
+// Len reports the number of dependencies.
+func (s *Set) Len() int { return len(s.deps) }
+
+// FDs returns the functional dependencies in Σ, in order.
+func (s *Set) FDs() []FD {
+	var out []FD
+	for _, d := range s.deps {
+		if f, ok := d.(FD); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// JDs returns the join dependencies in Σ, with MVDs rewritten as binary JDs.
+func (s *Set) JDs() []JD {
+	var out []JD
+	for _, d := range s.deps {
+		switch x := d.(type) {
+		case JD:
+			out = append(out, x)
+		case MVD:
+			out = append(out, x.JD())
+		}
+	}
+	return out
+}
+
+// MVDs returns the multivalued dependencies in Σ, in order.
+func (s *Set) MVDs() []MVD {
+	var out []MVD
+	for _, d := range s.deps {
+		if m, ok := d.(MVD); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// EFDs returns the explicit functional dependencies in Σ, in order.
+func (s *Set) EFDs() []EFD {
+	var out []EFD
+	for _, d := range s.deps {
+		if e, ok := d.(EFD); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// HasJDs reports whether Σ contains any JD or MVD.
+func (s *Set) HasJDs() bool {
+	for _, d := range s.deps {
+		if d.Kind() == KindJD || d.Kind() == KindMVD {
+			return true
+		}
+	}
+	return false
+}
+
+// HasEFDs reports whether Σ contains any EFD.
+func (s *Set) HasEFDs() bool {
+	for _, d := range s.deps {
+		if d.Kind() == KindEFD {
+			return true
+		}
+	}
+	return false
+}
+
+// SplitFDs returns the FDs of Σ rewritten to single-attribute right-hand
+// sides with trivial FDs dropped, as assumed by the algorithms of §3.
+func (s *Set) SplitFDs() []FD {
+	var out []FD
+	for _, f := range s.FDs() {
+		for _, g := range f.Split() {
+			if !g.IsTrivial() {
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// WithFD returns a copy of Σ with the EFDs replaced by their underlying FDs
+// (the set Σ_F ∪ Σ' of Proposition 2).
+func (s *Set) WithFD() *Set {
+	out := NewSet(s.u)
+	for _, d := range s.deps {
+		if e, ok := d.(EFD); ok {
+			out.Add(e.FD())
+		} else {
+			out.Add(d)
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of Σ sharing no mutable state.
+func (s *Set) Clone() *Set {
+	out := NewSet(s.u)
+	out.Add(s.deps...)
+	return out
+}
+
+// String renders Σ one dependency per line.
+func (s *Set) String() string {
+	lines := make([]string, len(s.deps))
+	for i, d := range s.deps {
+		lines[i] = d.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Parse parses one dependency in the package text syntax over u.
+func Parse(u *attr.Universe, text string) (Dependency, error) {
+	t := strings.TrimSpace(text)
+	switch {
+	case strings.HasPrefix(t, "*["):
+		if !strings.HasSuffix(t, "]") {
+			return nil, fmt.Errorf("dep: JD %q missing closing bracket", text)
+		}
+		body := t[2 : len(t)-1]
+		parts := strings.Split(body, ";")
+		comps := make([]attr.Set, 0, len(parts))
+		for _, p := range parts {
+			c, err := u.ParseSet(p)
+			if err != nil {
+				return nil, fmt.Errorf("dep: JD %q: %w", text, err)
+			}
+			comps = append(comps, c)
+		}
+		return NewJD(comps...)
+	case strings.Contains(t, "=>e"):
+		return parseBinary(u, t, "=>e", func(a, b attr.Set) Dependency { return NewEFD(a, b) })
+	case strings.Contains(t, "->>"):
+		return parseBinary(u, t, "->>", func(a, b attr.Set) Dependency { return NewMVD(a, b) })
+	case strings.Contains(t, "->"):
+		return parseBinary(u, t, "->", func(a, b attr.Set) Dependency { return NewFD(a, b) })
+	}
+	return nil, fmt.Errorf("dep: cannot parse %q", text)
+}
+
+func parseBinary(u *attr.Universe, text, op string, mk func(a, b attr.Set) Dependency) (Dependency, error) {
+	i := strings.Index(text, op)
+	lhs, err := u.ParseSet(text[:i])
+	if err != nil {
+		return nil, fmt.Errorf("dep: %q lhs: %w", text, err)
+	}
+	rhs, err := u.ParseSet(text[i+len(op):])
+	if err != nil {
+		return nil, fmt.Errorf("dep: %q rhs: %w", text, err)
+	}
+	return mk(lhs, rhs), nil
+}
+
+// ParseSet parses a newline- or semicolon-free list of dependencies, one per
+// line, skipping blank lines and lines starting with '#'.
+func ParseSet(u *attr.Universe, text string) (*Set, error) {
+	s := NewSet(u)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, err := Parse(u, line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		s.Add(d)
+	}
+	return s, nil
+}
+
+// MustParseSet is ParseSet, panicking on error.
+func MustParseSet(u *attr.Universe, text string) *Set {
+	s, err := ParseSet(u, text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

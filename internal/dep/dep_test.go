@@ -1,0 +1,315 @@
+package dep
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/attr"
+)
+
+func edm() *attr.Universe { return attr.MustUniverse("E", "D", "M") }
+
+func TestFDBasics(t *testing.T) {
+	u := edm()
+	f := NewFD(u.MustSet("E"), u.MustSet("D"))
+	if f.Kind() != KindFD {
+		t.Error("Kind")
+	}
+	if f.String() != "E -> D" {
+		t.Errorf("String = %q", f.String())
+	}
+	if f.IsTrivial() {
+		t.Error("E->D reported trivial")
+	}
+	if !NewFD(u.MustSet("E", "D"), u.MustSet("D")).IsTrivial() {
+		t.Error("ED->D not trivial")
+	}
+}
+
+func TestFDSplit(t *testing.T) {
+	u := edm()
+	f := NewFD(u.MustSet("E"), u.MustSet("D", "M"))
+	parts := f.Split()
+	if len(parts) != 2 {
+		t.Fatalf("Split returned %d FDs", len(parts))
+	}
+	want := map[string]bool{"E -> D": true, "E -> M": true}
+	for _, p := range parts {
+		if !want[p.String()] {
+			t.Errorf("unexpected split FD %q", p)
+		}
+	}
+}
+
+func TestMVDBasics(t *testing.T) {
+	u := edm()
+	m := NewMVD(u.MustSet("E"), u.MustSet("D"))
+	if m.Kind() != KindMVD {
+		t.Error("Kind")
+	}
+	if m.String() != "E ->> D" {
+		t.Errorf("String = %q", m.String())
+	}
+	j := m.JD()
+	if !j.Binary() {
+		t.Error("MVD.JD not binary")
+	}
+	if j.String() != "*[E D; E M]" {
+		t.Errorf("JD = %q", j.String())
+	}
+}
+
+func TestMVDTrivial(t *testing.T) {
+	u := edm()
+	if !NewMVD(u.MustSet("E", "D"), u.MustSet("D")).IsTrivial() {
+		t.Error("Y⊆X not trivial")
+	}
+	if !NewMVD(u.MustSet("E"), u.MustSet("D", "M")).IsTrivial() {
+		t.Error("X∪Y=U not trivial")
+	}
+	if NewMVD(u.MustSet("E"), u.MustSet("D")).IsTrivial() {
+		t.Error("E->>D reported trivial")
+	}
+}
+
+func TestMVDKeyCanonical(t *testing.T) {
+	u := edm()
+	// X →→ Y and X →→ (U−X−Y) are the same dependency.
+	m1 := NewMVD(u.MustSet("E"), u.MustSet("D"))
+	m2 := NewMVD(u.MustSet("E"), u.MustSet("M"))
+	if m1.Key() != m2.Key() {
+		t.Error("complementary MVDs have distinct keys")
+	}
+	// Adding X into Y does not change the MVD.
+	m3 := NewMVD(u.MustSet("E"), u.MustSet("E", "D"))
+	if m1.Key() != m3.Key() {
+		t.Error("X-augmented MVD has distinct key")
+	}
+	m4 := NewMVD(u.MustSet("D"), u.MustSet("E"))
+	if m1.Key() == m4.Key() {
+		t.Error("different MVDs share key")
+	}
+}
+
+func TestJDValidation(t *testing.T) {
+	u := edm()
+	if _, err := NewJD(); err == nil {
+		t.Error("empty JD accepted")
+	}
+	if _, err := NewJD(u.MustSet("E", "D"), u.MustSet("D")); err == nil {
+		t.Error("non-covering JD accepted")
+	}
+	j, err := NewJD(u.MustSet("E", "D"), u.MustSet("D", "M"))
+	if err != nil {
+		t.Fatalf("NewJD: %v", err)
+	}
+	if j.Kind() != KindJD {
+		t.Error("Kind")
+	}
+}
+
+func TestJDKeyOrderInsensitive(t *testing.T) {
+	u := edm()
+	j1 := MustJD(u.MustSet("E", "D"), u.MustSet("D", "M"))
+	j2 := MustJD(u.MustSet("D", "M"), u.MustSet("E", "D"))
+	if j1.Key() != j2.Key() {
+		t.Error("component order affects JD key")
+	}
+}
+
+func TestJDMVDs(t *testing.T) {
+	u := attr.MustUniverse("A", "B", "C", "D")
+	j := MustJD(u.MustSet("A", "B"), u.MustSet("B", "C"), u.MustSet("C", "D"))
+	mvds := j.MVDs()
+	// 2^(q-1) - 1 = 3 bipartitions for q = 3.
+	if len(mvds) != 3 {
+		t.Fatalf("got %d MVDs, want 3", len(mvds))
+	}
+	seen := map[string]bool{}
+	for _, m := range mvds {
+		seen[m.Key()] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("duplicate MVDs in M(j)")
+	}
+}
+
+func TestEFD(t *testing.T) {
+	u := attr.MustUniverse("Cost", "Rate", "Price")
+	e := NewEFD(u.MustSet("Cost", "Rate"), u.MustSet("Price"))
+	if e.Kind() != KindEFD {
+		t.Error("Kind")
+	}
+	if e.String() != "Cost Rate =>e Price" {
+		t.Errorf("String = %q", e.String())
+	}
+	f := e.FD()
+	if f.String() != "Cost Rate -> Price" {
+		t.Errorf("FD = %q", f.String())
+	}
+}
+
+func TestSetAddDedup(t *testing.T) {
+	u := edm()
+	s := NewSet(u)
+	f := NewFD(u.MustSet("E"), u.MustSet("D"))
+	s.Add(f)
+	s.Add(NewFD(u.MustSet("E"), u.MustSet("D")))
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after duplicate add", s.Len())
+	}
+	s.Add(NewMVD(u.MustSet("E"), u.MustSet("D")))
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSetAccessors(t *testing.T) {
+	u := edm()
+	s := NewSet(u)
+	s.Add(
+		NewFD(u.MustSet("E"), u.MustSet("D", "M")),
+		NewMVD(u.MustSet("D"), u.MustSet("E")),
+		MustJD(u.MustSet("E", "D"), u.MustSet("D", "M")),
+		NewEFD(u.MustSet("E", "D"), u.MustSet("M")),
+	)
+	if len(s.FDs()) != 1 || len(s.MVDs()) != 1 || len(s.EFDs()) != 1 {
+		t.Error("accessor counts wrong")
+	}
+	// JDs includes the MVD as a binary JD.
+	if len(s.JDs()) != 2 {
+		t.Errorf("JDs = %d, want 2", len(s.JDs()))
+	}
+	if !s.HasJDs() || !s.HasEFDs() {
+		t.Error("Has predicates wrong")
+	}
+	split := s.SplitFDs()
+	if len(split) != 2 {
+		t.Errorf("SplitFDs = %d, want 2", len(split))
+	}
+	for _, f := range split {
+		if f.To.Len() != 1 {
+			t.Errorf("split FD %v has wide RHS", f)
+		}
+	}
+}
+
+func TestWithFD(t *testing.T) {
+	u := edm()
+	s := NewSet(u)
+	s.Add(NewEFD(u.MustSet("E"), u.MustSet("D")), NewFD(u.MustSet("D"), u.MustSet("M")))
+	w := s.WithFD()
+	if w.HasEFDs() {
+		t.Error("WithFD kept EFDs")
+	}
+	if len(w.FDs()) != 2 {
+		t.Errorf("WithFD FDs = %d, want 2", len(w.FDs()))
+	}
+	// Original untouched.
+	if !s.HasEFDs() {
+		t.Error("WithFD mutated receiver")
+	}
+}
+
+func TestClone(t *testing.T) {
+	u := edm()
+	s := NewSet(u)
+	s.Add(NewFD(u.MustSet("E"), u.MustSet("D")))
+	c := s.Clone()
+	c.Add(NewFD(u.MustSet("D"), u.MustSet("M")))
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestParse(t *testing.T) {
+	u := edm()
+	for _, tc := range []struct {
+		in, want string
+	}{
+		{"E -> D", "E -> D"},
+		{"E,D -> M", "E D -> M"},
+		{"E ->> D", "E ->> D"},
+		{"*[E D; D M]", "*[E D; D M]"},
+		{"E D =>e M", "E D =>e M"},
+	} {
+		d, err := Parse(u, tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if d.String() != tc.want {
+			t.Errorf("Parse(%q) = %q, want %q", tc.in, d, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	u := edm()
+	for _, in := range []string{
+		"E",           // no operator
+		"E -> Z",      // unknown attribute
+		"Z -> E",      // unknown attribute lhs
+		"*[E D; D",    // missing bracket
+		"*[E; D]",     // does not cover U
+		"*[E Q; D M]", // unknown attribute in JD
+	} {
+		if _, err := Parse(u, in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestParseSetText(t *testing.T) {
+	u := edm()
+	s, err := ParseSet(u, `
+# the classic EDM schema
+E -> D
+D -> M
+
+E ->> D
+`)
+	if err != nil {
+		t.Fatalf("ParseSet: %v", err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !strings.Contains(s.String(), "E -> D") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestParseSetError(t *testing.T) {
+	u := edm()
+	if _, err := ParseSet(u, "E -> D\ngarbage\n"); err == nil {
+		t.Error("ParseSet accepted garbage")
+	}
+}
+
+func TestCrossUniversePanics(t *testing.T) {
+	u1, u2 := edm(), edm()
+	t.Run("fd", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		NewFD(u1.MustSet("E"), u2.MustSet("D"))
+	})
+	t.Run("set-add", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		NewSet(u1).Add(NewFD(u2.MustSet("E"), u2.MustSet("D")))
+	})
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindFD: "FD", KindMVD: "MVD", KindJD: "JD", KindEFD: "EFD", Kind(9): "Kind(9)"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k, want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package dep
+
+import (
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/attr"
+)
+
+// FuzzParse checks that the dependency parser never panics and that
+// anything it accepts round-trips through String back to a semantically
+// identical dependency. Run the seeds with `go test`; fuzz with
+// `go test -fuzz=FuzzParse ./internal/dep`.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"E -> D",
+		"E,D -> M",
+		"E ->> D",
+		"*[E D; D M]",
+		"E D =>e M",
+		"->",
+		"-> E",
+		"E ->",
+		"*[",
+		"*[]",
+		"*[;]",
+		"=>e",
+		"E =>e ->> D",
+		"E - > D",
+		"E —> D",
+		"E \t\n-> D",
+		"E -> D -> M",
+		"E ->>> D",
+	} {
+		f.Add(seed)
+	}
+	u := attr.MustUniverse("E", "D", "M")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Parse(u, input)
+		if err != nil {
+			return
+		}
+		// Round trip: the printed form must reparse to the same Key.
+		d2, err := Parse(u, d.String())
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", d.String(), err)
+		}
+		if d.Key() != d2.Key() {
+			t.Fatalf("round trip changed %q -> %q", d.String(), d2.String())
+		}
+	})
+}
+
+// FuzzParseSet exercises multi-line parsing.
+func FuzzParseSet(f *testing.F) {
+	f.Add("E -> D\nD -> M\n")
+	f.Add("# comment\n\nE ->> D")
+	f.Add("E -> D\ngarbage")
+	u := attr.MustUniverse("E", "D", "M")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseSet(u, input)
+		if err != nil {
+			return
+		}
+		// Reparsing the printed set succeeds and preserves count.
+		s2, err := ParseSet(u, s.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if s.Len() != s2.Len() {
+			t.Fatalf("round trip changed size %d -> %d", s.Len(), s2.Len())
+		}
+	})
+}

@@ -1,0 +1,378 @@
+// Package logic provides propositional logic substrates for verifying the
+// paper's hardness reductions: 3-CNF formulas, a DPLL SAT solver with unit
+// propagation and pure-literal elimination, a brute-force baseline, random
+// formula generation, and a ∀∃ QBF evaluator (the Π₂ᵖ canonical problem of
+// Theorem 4).
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Lit is a literal: +v is variable v, −v is its negation. Variables are
+// numbered from 1.
+type Lit int
+
+// Var returns the literal's variable (always positive).
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Pos reports whether the literal is positive.
+func (l Lit) Pos() bool { return l > 0 }
+
+// Neg returns the negated literal.
+func (l Lit) Neg() Lit { return -l }
+
+func (l Lit) String() string {
+	if l < 0 {
+		return fmt.Sprintf("¬x%d", -l)
+	}
+	return fmt.Sprintf("x%d", l)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// CNF is a conjunction of clauses over variables 1..Vars.
+type CNF struct {
+	Vars    int
+	Clauses []Clause
+}
+
+// NewCNF builds a CNF, validating that literals mention variables in
+// range and clauses are nonempty.
+func NewCNF(vars int, clauses ...Clause) (*CNF, error) {
+	if vars < 0 {
+		return nil, fmt.Errorf("logic: negative variable count")
+	}
+	for i, c := range clauses {
+		if len(c) == 0 {
+			return nil, fmt.Errorf("logic: clause %d empty", i)
+		}
+		for _, l := range c {
+			if l == 0 || l.Var() > vars {
+				return nil, fmt.Errorf("logic: clause %d: literal %d out of range", i, l)
+			}
+		}
+	}
+	return &CNF{Vars: vars, Clauses: clauses}, nil
+}
+
+// MustCNF is NewCNF, panicking on error.
+func MustCNF(vars int, clauses ...Clause) *CNF {
+	f, err := NewCNF(vars, clauses...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (f *CNF) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Assignment maps variable → truth value; index 0 unused.
+type Assignment []bool
+
+// Eval reports whether the assignment satisfies the formula. The
+// assignment must cover all variables.
+func (f *CNF) Eval(a Assignment) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if a[l.Var()] == l.Pos() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Is3CNF reports whether every clause has at most three literals.
+func (f *CNF) Is3CNF() bool {
+	for _, c := range f.Clauses {
+		if len(c) > 3 {
+			return false
+		}
+	}
+	return true
+}
+
+// value is a three-valued assignment entry.
+type tval int8
+
+const (
+	unset tval = iota
+	tTrue
+	tFalse
+)
+
+// Solve decides satisfiability with DPLL (unit propagation + pure-literal
+// elimination + first-unset branching). On satisfiable formulas it returns
+// a witness assignment.
+func (f *CNF) Solve() (Assignment, bool) {
+	vals := make([]tval, f.Vars+1)
+	if !dpll(f, vals) {
+		return nil, false
+	}
+	out := make(Assignment, f.Vars+1)
+	for v := 1; v <= f.Vars; v++ {
+		out[v] = vals[v] == tTrue
+	}
+	return out, true
+}
+
+// Satisfiable reports whether the formula has a model.
+func (f *CNF) Satisfiable() bool {
+	_, ok := f.Solve()
+	return ok
+}
+
+func dpll(f *CNF, vals []tval) bool {
+	// Snapshot for backtracking.
+	saved := make([]tval, len(vals))
+	copy(saved, vals)
+	restore := func() { copy(vals, saved) }
+
+	// Unit propagation + pure literal to fixpoint.
+	for {
+		changed := false
+		// Track literal polarity occurrences among unresolved clauses.
+		occ := make([]int8, f.Vars+1) // bit0: positive occurs, bit1: negative occurs
+		conflict := false
+		for _, c := range f.Clauses {
+			satisfied := false
+			var unassigned []Lit
+			for _, l := range c {
+				switch vals[l.Var()] {
+				case unset:
+					unassigned = append(unassigned, l)
+				case tTrue:
+					if l.Pos() {
+						satisfied = true
+					}
+				case tFalse:
+					if !l.Pos() {
+						satisfied = true
+					}
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch len(unassigned) {
+			case 0:
+				conflict = true
+			case 1:
+				l := unassigned[0]
+				if l.Pos() {
+					vals[l.Var()] = tTrue
+				} else {
+					vals[l.Var()] = tFalse
+				}
+				changed = true
+			default:
+				for _, l := range unassigned {
+					if l.Pos() {
+						occ[l.Var()] |= 1
+					} else {
+						occ[l.Var()] |= 2
+					}
+				}
+			}
+			if conflict {
+				restore()
+				return false
+			}
+		}
+		if changed {
+			continue
+		}
+		// Pure literals.
+		pure := false
+		for v := 1; v <= f.Vars; v++ {
+			if vals[v] != unset {
+				continue
+			}
+			switch occ[v] {
+			case 1:
+				vals[v] = tTrue
+				pure = true
+			case 2:
+				vals[v] = tFalse
+				pure = true
+			}
+		}
+		if !pure {
+			break
+		}
+	}
+	// All clauses satisfied?
+	allSat := true
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if (vals[l.Var()] == tTrue && l.Pos()) || (vals[l.Var()] == tFalse && !l.Pos()) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			allSat = false
+			break
+		}
+	}
+	if allSat {
+		return true
+	}
+	// Branch on the first unset variable appearing in an unsatisfied clause.
+	branch := 0
+	for _, c := range f.Clauses {
+		sat := false
+		cand := 0
+		for _, l := range c {
+			switch vals[l.Var()] {
+			case tTrue:
+				sat = l.Pos() || sat
+			case tFalse:
+				sat = !l.Pos() || sat
+			case unset:
+				if cand == 0 {
+					cand = l.Var()
+				}
+			}
+		}
+		if !sat && cand != 0 {
+			branch = cand
+			break
+		}
+	}
+	if branch == 0 {
+		// No unset variable in any unsatisfied clause, yet not all
+		// satisfied: contradiction.
+		restore()
+		return false
+	}
+	vals[branch] = tTrue
+	if dpll(f, vals) {
+		return true
+	}
+	vals[branch] = tFalse
+	if dpll(f, vals) {
+		return true
+	}
+	restore()
+	return false
+}
+
+// SatisfiableBrute decides satisfiability by enumerating all 2^Vars
+// assignments. Oracle for testing the DPLL solver; keep Vars small.
+func (f *CNF) SatisfiableBrute() bool {
+	if f.Vars > 24 {
+		panic("logic: SatisfiableBrute on too many variables")
+	}
+	a := make(Assignment, f.Vars+1)
+	for mask := 0; mask < 1<<uint(f.Vars); mask++ {
+		for v := 1; v <= f.Vars; v++ {
+			a[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if f.Eval(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// SolveWithFixed decides satisfiability of f with the variables in fixed
+// forced to the given values. Used for QBF evaluation and for checking
+// "satisfying assignment extending r" in the Theorem 4 reduction.
+func (f *CNF) SolveWithFixed(fixed map[int]bool) (Assignment, bool) {
+	clauses := make([]Clause, 0, len(f.Clauses)+len(fixed))
+	clauses = append(clauses, f.Clauses...)
+	for v, val := range fixed {
+		l := Lit(v)
+		if !val {
+			l = l.Neg()
+		}
+		clauses = append(clauses, Clause{l})
+	}
+	g := &CNF{Vars: f.Vars, Clauses: clauses}
+	return g.Solve()
+}
+
+// ForallExists evaluates the Π₂ᵖ-canonical sentence
+// ∀ x_1..x_k ∃ x_{k+1}..x_n : f — the statement of Theorem 4 — by
+// enumerating universal assignments and calling the solver for each.
+// Exponential in k by design.
+func (f *CNF) ForallExists(k int) bool {
+	if k < 0 || k > f.Vars {
+		panic("logic: universal prefix out of range")
+	}
+	if k > 24 {
+		panic("logic: universal prefix too large to enumerate")
+	}
+	fixed := make(map[int]bool, k)
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		for v := 1; v <= k; v++ {
+			fixed[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if _, ok := f.SolveWithFixed(fixed); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Random3CNF draws m clauses of exactly three distinct variables over n ≥ 3
+// variables. The density m/n controls hardness (~4.26 is the classic
+// threshold).
+func Random3CNF(rng *rand.Rand, n, m int) *CNF {
+	if n < 3 {
+		panic("logic: Random3CNF needs at least 3 variables")
+	}
+	clauses := make([]Clause, m)
+	for i := range clauses {
+		v1 := 1 + rng.Intn(n)
+		v2 := v1
+		for v2 == v1 {
+			v2 = 1 + rng.Intn(n)
+		}
+		v3 := v1
+		for v3 == v1 || v3 == v2 {
+			v3 = 1 + rng.Intn(n)
+		}
+		c := Clause{Lit(v1), Lit(v2), Lit(v3)}
+		for j := range c {
+			if rng.Intn(2) == 0 {
+				c[j] = c[j].Neg()
+			}
+		}
+		clauses[i] = c
+	}
+	return &CNF{Vars: n, Clauses: clauses}
+}

@@ -1,0 +1,243 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitBasics(t *testing.T) {
+	l := Lit(3)
+	if l.Var() != 3 || !l.Pos() {
+		t.Error("positive literal wrong")
+	}
+	n := l.Neg()
+	if n.Var() != 3 || n.Pos() {
+		t.Error("negation wrong")
+	}
+	if l.String() != "x3" || n.String() != "¬x3" {
+		t.Errorf("String: %q %q", l, n)
+	}
+}
+
+func TestNewCNFValidation(t *testing.T) {
+	if _, err := NewCNF(-1); err == nil {
+		t.Error("negative vars accepted")
+	}
+	if _, err := NewCNF(2, Clause{}); err == nil {
+		t.Error("empty clause accepted")
+	}
+	if _, err := NewCNF(2, Clause{Lit(3)}); err == nil {
+		t.Error("out-of-range literal accepted")
+	}
+	if _, err := NewCNF(2, Clause{Lit(0)}); err == nil {
+		t.Error("zero literal accepted")
+	}
+	if _, err := NewCNF(2, Clause{Lit(1), Lit(-2)}); err != nil {
+		t.Errorf("valid CNF rejected: %v", err)
+	}
+}
+
+func TestEval(t *testing.T) {
+	f := MustCNF(2, Clause{1, 2}, Clause{-1, 2})
+	if !f.Eval(Assignment{false, true, true}) {
+		t.Error("satisfying assignment rejected")
+	}
+	if f.Eval(Assignment{false, true, false}) {
+		t.Error("falsifying assignment accepted")
+	}
+}
+
+func TestSolveSatisfiable(t *testing.T) {
+	f := MustCNF(3,
+		Clause{1, 2, 3},
+		Clause{-1, 2},
+		Clause{-2, 3},
+		Clause{-3, -1},
+	)
+	a, ok := f.Solve()
+	if !ok {
+		t.Fatal("satisfiable formula reported unsat")
+	}
+	if !f.Eval(a) {
+		t.Fatalf("returned assignment %v does not satisfy", a)
+	}
+}
+
+func TestSolveUnsatisfiable(t *testing.T) {
+	// (x)(¬x) is unsat.
+	f := MustCNF(1, Clause{1}, Clause{-1})
+	if f.Satisfiable() {
+		t.Error("unsat formula reported sat")
+	}
+	// Full contradiction on 2 vars.
+	g := MustCNF(2,
+		Clause{1, 2}, Clause{1, -2}, Clause{-1, 2}, Clause{-1, -2},
+	)
+	if g.Satisfiable() {
+		t.Error("unsat 2-var formula reported sat")
+	}
+}
+
+func TestSolveEmptyFormula(t *testing.T) {
+	f := MustCNF(3)
+	if !f.Satisfiable() {
+		t.Error("empty formula unsat")
+	}
+}
+
+func TestIs3CNF(t *testing.T) {
+	if !MustCNF(3, Clause{1, 2, 3}).Is3CNF() {
+		t.Error("3-clause not 3CNF")
+	}
+	if MustCNF(4, Clause{1, 2, 3, 4}).Is3CNF() {
+		t.Error("4-clause is 3CNF")
+	}
+}
+
+func TestQuickDPLLMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6) // 3..8 vars
+		m := 1 + rng.Intn(20)
+		cnf := Random3CNF(rng, n, m)
+		return cnf.Satisfiable() == cnf.SatisfiableBrute()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSolveWitnessValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cnf := Random3CNF(rng, 4+rng.Intn(5), 1+rng.Intn(15))
+		a, ok := cnf.Solve()
+		if !ok {
+			return true
+		}
+		return cnf.Eval(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveWithFixed(t *testing.T) {
+	// x1 ∨ x2, with x1 fixed false, forces x2.
+	f := MustCNF(2, Clause{1, 2})
+	a, ok := f.SolveWithFixed(map[int]bool{1: false})
+	if !ok {
+		t.Fatal("unsat with fixed x1=false")
+	}
+	if a[1] || !a[2] {
+		t.Errorf("assignment %v violates fixing", a)
+	}
+	// Fixing both against the clause is unsat.
+	if _, ok := f.SolveWithFixed(map[int]bool{1: false, 2: false}); ok {
+		t.Error("contradictory fixing reported sat")
+	}
+}
+
+func TestForallExists(t *testing.T) {
+	// ∀x1 ∃x2: (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2): choose x2 = ¬x1. True.
+	f := MustCNF(2, Clause{1, 2}, Clause{-1, -2})
+	if !f.ForallExists(1) {
+		t.Error("valid ∀∃ sentence rejected")
+	}
+	// ∀x1 ∃x2: x1 — false (x1=false has no witness).
+	g := MustCNF(2, Clause{1})
+	if g.ForallExists(1) {
+		t.Error("invalid ∀∃ sentence accepted")
+	}
+	// k = 0 degenerates to satisfiability.
+	if f.ForallExists(0) != f.Satisfiable() {
+		t.Error("k=0 mismatch")
+	}
+	// k = Vars degenerates to validity.
+	tauto := MustCNF(1, Clause{1, -1})
+	if !tauto.ForallExists(1) {
+		t.Error("tautology rejected at k=Vars")
+	}
+}
+
+func TestForallExistsPanics(t *testing.T) {
+	f := MustCNF(1, Clause{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on out-of-range k")
+		}
+	}()
+	f.ForallExists(2)
+}
+
+func TestQuickForallExistsMatchesBrute(t *testing.T) {
+	bruteFA := func(f *CNF, k int) bool {
+		a := make(Assignment, f.Vars+1)
+		var outer func(v int) bool
+		var inner func(v int) bool
+		inner = func(v int) bool {
+			if v > f.Vars {
+				return f.Eval(a)
+			}
+			a[v] = false
+			if inner(v + 1) {
+				return true
+			}
+			a[v] = true
+			return inner(v + 1)
+		}
+		outer = func(v int) bool {
+			if v > k {
+				return inner(k + 1)
+			}
+			a[v] = false
+			if !outer(v + 1) {
+				return false
+			}
+			a[v] = true
+			return outer(v + 1)
+		}
+		return outer(1)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		cnf := Random3CNF(rng, n, 1+rng.Intn(12))
+		k := rng.Intn(n + 1)
+		return cnf.ForallExists(k) == bruteFA(cnf, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandom3CNFShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := Random3CNF(rng, 10, 30)
+	if f.Vars != 10 || len(f.Clauses) != 30 {
+		t.Fatal("shape wrong")
+	}
+	for _, c := range f.Clauses {
+		if len(c) != 3 {
+			t.Fatal("non-3 clause")
+		}
+		vars := map[int]bool{}
+		for _, l := range c {
+			if l.Var() < 1 || l.Var() > 10 {
+				t.Fatal("var out of range")
+			}
+			vars[l.Var()] = true
+		}
+		if len(vars) != 3 {
+			t.Fatal("repeated variable in clause")
+		}
+	}
+}
+
+func TestCNFString(t *testing.T) {
+	f := MustCNF(2, Clause{1, -2})
+	if got := f.String(); got != "(x1 ∨ ¬x2)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,180 @@
+// Package multirel models multi-relation databases as decompositions of
+// a universal relation — the paper's §6 further-research item (3) in the
+// form Theorem 1 already supports: the database consists of relations
+// R₁…R_k over schemes S₁…S_k covering U, constrained by FDs plus the join
+// dependency *[S₁, …, S_k] (the instance is consistent iff the relations
+// join losslessly to a legal universal instance). Views are projections
+// of the join; complementarity analysis goes through core.Complementary,
+// whose chase handles the JD. Update translation under constant
+// complement remains restricted to the FD-only single-relation setting of
+// §3 (the paper's open problem) — the package surfaces that restriction
+// rather than guessing semantics.
+package multirel
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+)
+
+// Schema is a multi-relation schema: named relation schemes over a shared
+// universe, FD constraints, and the implicit lossless-join dependency.
+type Schema struct {
+	universal *core.Schema
+	names     []string
+	schemes   []attr.Set
+}
+
+// New builds a multi-relation schema. Schemes must be nonempty, cover U,
+// and names must be distinct. fds may be nil.
+func New(u *attr.Universe, fds []dep.FD, names []string, schemes []attr.Set) (*Schema, error) {
+	if len(names) != len(schemes) || len(schemes) == 0 {
+		return nil, errors.New("multirel: need matching, nonempty names and schemes")
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" || seen[n] {
+			return nil, fmt.Errorf("multirel: bad relation name %q", n)
+		}
+		seen[n] = true
+		if schemes[i].Universe() != u {
+			return nil, errors.New("multirel: scheme over a different universe")
+		}
+	}
+	jd, err := dep.NewJD(schemes...)
+	if err != nil {
+		return nil, fmt.Errorf("multirel: %w", err)
+	}
+	sigma := dep.NewSet(u)
+	for _, f := range fds {
+		sigma.Add(f)
+	}
+	sigma.Add(jd)
+	s, err := core.NewSchema(u, sigma)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{universal: s, names: names, schemes: schemes}, nil
+}
+
+// Universal returns the induced single-relation schema (U, FDs ∪ {*[S…]}).
+func (s *Schema) Universal() *core.Schema { return s.universal }
+
+// Names returns the relation names in declaration order.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Scheme returns the attribute set of the named relation.
+func (s *Schema) Scheme(name string) (attr.Set, bool) {
+	for i, n := range s.names {
+		if n == name {
+			return s.schemes[i], true
+		}
+	}
+	return attr.Set{}, false
+}
+
+// Instance is a multi-relation database state: one relation per scheme.
+type Instance struct {
+	schema *Schema
+	rels   map[string]*relation.Relation
+}
+
+// NewInstance returns an empty instance (every relation empty).
+func (s *Schema) NewInstance() *Instance {
+	rels := make(map[string]*relation.Relation, len(s.names))
+	for i, n := range s.names {
+		rels[n] = relation.New(s.schemes[i])
+	}
+	return &Instance{schema: s, rels: rels}
+}
+
+// Relation returns the named component relation (shared; mutate via Set).
+func (in *Instance) Relation(name string) (*relation.Relation, bool) {
+	r, ok := in.rels[name]
+	return r, ok
+}
+
+// Set replaces the named component relation. The attribute set must match
+// the scheme.
+func (in *Instance) Set(name string, r *relation.Relation) error {
+	scheme, ok := in.schema.Scheme(name)
+	if !ok {
+		return fmt.Errorf("multirel: unknown relation %q", name)
+	}
+	if !r.Attrs().Equal(scheme) {
+		return fmt.Errorf("multirel: relation %q must be over %v", name, scheme)
+	}
+	in.rels[name] = r
+	return nil
+}
+
+// Join computes the universal instance R₁ ⋈ … ⋈ R_k.
+func (in *Instance) Join() *relation.Relation {
+	var out *relation.Relation
+	for _, n := range in.schema.names {
+		if out == nil {
+			out = in.rels[n].Clone()
+		} else {
+			out = out.Join(in.rels[n])
+		}
+	}
+	return out
+}
+
+// Consistent reports whether the instance is globally consistent: the
+// join satisfies the FDs and every component is exactly the projection of
+// the join (no dangling tuples), so the database represents a legal
+// universal instance. On failure it names the offending check.
+func (in *Instance) Consistent() (bool, string) {
+	j := in.Join()
+	if ok, bad := in.schema.universal.Legal(j); !ok {
+		return false, fmt.Sprintf("join violates %v", bad)
+	}
+	for i, n := range in.schema.names {
+		if !j.Project(in.schema.schemes[i]).Equal(in.rels[n]) {
+			return false, fmt.Sprintf("relation %s has dangling tuples", n)
+		}
+	}
+	return true, ""
+}
+
+// ViewInstance computes the projection view π_X of the joined database.
+func (in *Instance) ViewInstance(x attr.Set) *relation.Relation {
+	return in.Join().Project(x)
+}
+
+// Complementary reports whether π_X and π_Y (of the join) are
+// complementary views of the multi-relation schema — Theorem 1 with the
+// lossless-join dependency participating in the chase.
+func (s *Schema) Complementary(x, y attr.Set) bool {
+	return core.Complementary(s.universal, x, y)
+}
+
+// MinimalComplement computes a nonredundant complement of π_X over the
+// multi-relation schema.
+func (s *Schema) MinimalComplement(x attr.Set) attr.Set {
+	return core.MinimalComplement(s.universal, x)
+}
+
+// Reconstruct rebuilds the universal instance from complementary view
+// instances (join reconstruction, Theorem 1).
+func (s *Schema) Reconstruct(x, y attr.Set, vx, vy *relation.Relation) (*relation.Relation, error) {
+	return core.Reconstruct(s.universal, x, y, vx, vy)
+}
+
+// ErrUpdatesUnsupported is returned by TranslateInsert: update
+// translation under constant complement with join dependencies present is
+// the paper's open problem (§6 item 3 / the remark after Theorem 3 that
+// Σ must consist of FDs).
+var ErrUpdatesUnsupported = errors.New("multirel: update translation with join dependencies is the paper's open problem (§6)")
+
+// TranslateInsert always fails with ErrUpdatesUnsupported; it exists so
+// callers discover the restriction through the API rather than a core
+// error about Σ's shape.
+func (s *Schema) TranslateInsert(x, y attr.Set, v *relation.Relation, t relation.Tuple) error {
+	return ErrUpdatesUnsupported
+}

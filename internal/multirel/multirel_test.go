@@ -1,0 +1,205 @@
+package multirel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// edmDecomp is the EDM universal relation decomposed into EMP(E,D) and
+// DEPT(D,M).
+func edmDecomp(t testing.TB) (*Schema, *value.Symbols) {
+	t.Helper()
+	u := attr.MustUniverse("E", "D", "M")
+	fds := []dep.FD{
+		dep.NewFD(u.MustSet("E"), u.MustSet("D")),
+		dep.NewFD(u.MustSet("D"), u.MustSet("M")),
+	}
+	s, err := New(u, fds,
+		[]string{"EMP", "DEPT"},
+		[]attr.Set{u.MustSet("E", "D"), u.MustSet("D", "M")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, value.NewSymbols()
+}
+
+func fill(t testing.TB, in *Instance, syms *value.Symbols, name string, rows ...[]string) {
+	t.Helper()
+	r, ok := in.Relation(name)
+	if !ok {
+		t.Fatalf("no relation %q", name)
+	}
+	for _, row := range rows {
+		tp := make(relation.Tuple, len(row))
+		for i, c := range row {
+			tp[i] = syms.Const(c)
+		}
+		r.Insert(tp)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	u := attr.MustUniverse("A", "B")
+	if _, err := New(u, nil, []string{"R"}, nil); err == nil {
+		t.Error("mismatched names/schemes accepted")
+	}
+	if _, err := New(u, nil, []string{"R", "R"},
+		[]attr.Set{u.MustSet("A"), u.MustSet("B")}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := New(u, nil, []string{"R"}, []attr.Set{u.MustSet("A")}); err == nil {
+		t.Error("non-covering schemes accepted")
+	}
+	if _, err := New(u, nil, []string{"R", "S"},
+		[]attr.Set{u.MustSet("A"), u.MustSet("B")}); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+}
+
+func TestJoinAndConsistency(t *testing.T) {
+	s, syms := edmDecomp(t)
+	in := s.NewInstance()
+	fill(t, in, syms, "EMP", []string{"ed", "toys"}, []string{"flo", "toys"})
+	fill(t, in, syms, "DEPT", []string{"toys", "mo"})
+	j := in.Join()
+	if j.Len() != 2 {
+		t.Fatalf("join has %d tuples", j.Len())
+	}
+	ok, why := in.Consistent()
+	if !ok {
+		t.Fatalf("consistent instance rejected: %s", why)
+	}
+	// Dangling DEPT tuple: no employee in tools.
+	fill(t, in, syms, "DEPT", []string{"tools", "tim"})
+	ok, why = in.Consistent()
+	if ok {
+		t.Fatal("dangling tuple not detected")
+	}
+	if why == "" {
+		t.Error("no diagnosis")
+	}
+}
+
+func TestConsistencyFDViolation(t *testing.T) {
+	s, syms := edmDecomp(t)
+	in := s.NewInstance()
+	fill(t, in, syms, "EMP", []string{"ed", "toys"})
+	fill(t, in, syms, "DEPT", []string{"toys", "mo"}, []string{"toys", "tim"})
+	ok, why := in.Consistent()
+	if ok {
+		t.Fatal("D -> M violation not detected")
+	}
+	_ = why
+}
+
+func TestViewAndComplementarity(t *testing.T) {
+	s, syms := edmDecomp(t)
+	u := s.Universal().Universe()
+	in := s.NewInstance()
+	fill(t, in, syms, "EMP", []string{"ed", "toys"}, []string{"bob", "tools"})
+	fill(t, in, syms, "DEPT", []string{"toys", "mo"}, []string{"tools", "tim"})
+	v := in.ViewInstance(u.MustSet("E", "M"))
+	if v.Len() != 2 {
+		t.Fatalf("view has %d tuples", v.Len())
+	}
+	// Complementarity over the multi-relation schema (JD in the chase).
+	if !s.Complementary(u.MustSet("E", "D"), u.MustSet("D", "M")) {
+		t.Error("(ED, DM) not complementary")
+	}
+	if s.Complementary(u.MustSet("E", "M"), u.MustSet("D", "M")) {
+		t.Error("(EM, DM) complementary")
+	}
+	y := s.MinimalComplement(u.MustSet("E", "D"))
+	if !s.Complementary(u.MustSet("E", "D"), y) {
+		t.Errorf("minimal complement %v wrong", y)
+	}
+}
+
+func TestReconstruct(t *testing.T) {
+	s, syms := edmDecomp(t)
+	u := s.Universal().Universe()
+	in := s.NewInstance()
+	fill(t, in, syms, "EMP", []string{"ed", "toys"}, []string{"bob", "tools"})
+	fill(t, in, syms, "DEPT", []string{"toys", "mo"}, []string{"tools", "tim"})
+	j := in.Join()
+	x, y := u.MustSet("E", "D"), u.MustSet("D", "M")
+	got, err := s.Reconstruct(x, y, j.Project(x), j.Project(y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(j) {
+		t.Error("reconstruction failed")
+	}
+}
+
+func TestTranslateInsertUnsupported(t *testing.T) {
+	s, _ := edmDecomp(t)
+	u := s.Universal().Universe()
+	err := s.TranslateInsert(u.MustSet("E", "D"), u.MustSet("D", "M"), nil, nil)
+	if !errors.Is(err, ErrUpdatesUnsupported) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSetRelation(t *testing.T) {
+	s, syms := edmDecomp(t)
+	u := s.Universal().Universe()
+	in := s.NewInstance()
+	good := relation.New(u.MustSet("E", "D"))
+	good.InsertVals(syms.Const("x"), syms.Const("y"))
+	if err := in.Set("EMP", good); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Set("EMP", relation.New(u.MustSet("D", "M"))); err == nil {
+		t.Error("wrong scheme accepted")
+	}
+	if err := in.Set("NOPE", good); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+// TestQuickJoinProjectionRoundTrip: for consistent instances, projecting
+// the join back onto the schemes recovers the component relations.
+func TestQuickJoinProjectionRoundTrip(t *testing.T) {
+	s, syms := edmDecomp(t)
+	depts := []string{"toys", "tools", "books"}
+	mgrs := []string{"mo", "tim", "ann"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := s.NewInstance()
+		// Build a consistent instance: employees reference existing
+		// departments, one manager per department.
+		usedDepts := map[int]bool{}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			d := rng.Intn(3)
+			usedDepts[d] = true
+			fill(t, in, syms, "EMP", []string{"e" + string(rune('0'+i)), depts[d]})
+		}
+		for d := range usedDepts {
+			fill(t, in, syms, "DEPT", []string{depts[d], mgrs[d]})
+		}
+		ok, _ := in.Consistent()
+		if !ok {
+			return false
+		}
+		j := in.Join()
+		for _, n := range s.Names() {
+			scheme, _ := s.Scheme(n)
+			r, _ := in.Relation(n)
+			if !j.Project(scheme).Equal(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

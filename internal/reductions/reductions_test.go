@@ -1,0 +1,317 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/logic"
+)
+
+func TestTheorem2Forward(t *testing.T) {
+	// Satisfiable formula: the encoded complement of size n+1 exists.
+	phi := logic.MustCNF(3,
+		logic.Clause{1, 2, 3},
+		logic.Clause{-1, 2, 3},
+	)
+	red, err := BuildTheorem2(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := phi.Solve()
+	if !ok {
+		t.Fatal("fixture should be satisfiable")
+	}
+	y := red.ComplementFromAssignment(h)
+	if y.Len() != red.K {
+		t.Fatalf("encoded complement size %d, want %d", y.Len(), red.K)
+	}
+	if !core.Complementary(red.Schema, red.X, y) {
+		t.Error("encoded complement is not complementary")
+	}
+}
+
+func TestTheorem2Backward(t *testing.T) {
+	// Unsatisfiable formula: no complement of size n+1.
+	phi := logic.MustCNF(1,
+		logic.Clause{1},
+		logic.Clause{-1},
+	)
+	red, err := BuildTheorem2(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := core.HasComplementOfSize(red.Schema, red.X, red.K); ok {
+		t.Error("size-(n+1) complement exists for an unsat formula")
+	}
+}
+
+func TestQuickTheorem2Equivalence(t *testing.T) {
+	// E4: complement of size n+1 exists iff φ satisfiable, on random
+	// small formulas, with DPLL as the oracle.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phi := logic.Random3CNF(rng, 3, 2+rng.Intn(6))
+		red, err := BuildTheorem2(phi)
+		if err != nil {
+			return false
+		}
+		_, hasComp := core.HasComplementOfSize(red.Schema, red.X, red.K)
+		return hasComp == phi.Satisfiable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem2DecodeRoundTrip(t *testing.T) {
+	phi := logic.MustCNF(2, logic.Clause{1, 2})
+	red, err := BuildTheorem2(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := phi.Solve()
+	y := red.ComplementFromAssignment(h)
+	h2, ok := red.AssignmentFromComplement(y)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	for i := 1; i <= phi.Vars; i++ {
+		if h[i] != h2[i] {
+			t.Errorf("round trip changed x%d", i)
+		}
+	}
+	// Non-literal-shaped sets decode to false.
+	if _, ok := red.AssignmentFromComplement(red.X); ok {
+		t.Error("decoded a malformed complement")
+	}
+}
+
+func TestQuickTheorem4Equivalence(t *testing.T) {
+	// E9: the exact chase test on the expanded Theorem 4 instance decides
+	// exactly the ChasePredicts predicate (see the reproduction finding on
+	// ChasePredicts — the paper claims equivalence with ∀∃ G, which fails
+	// under standard chase semantics; TestTheorem4DeviationFromPaper
+	// below pins the divergence).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(2) // 3..4 vars → expansion ≤ 17 rows
+		g := logic.Random3CNF(rng, n, 1+rng.Intn(6))
+		k := rng.Intn(n + 1)
+		red, err := BuildTheorem4(g, k)
+		if err != nil {
+			return false
+		}
+		pair, err := core.NewPair(red.Schema, red.X, red.Y)
+		if err != nil {
+			return false
+		}
+		v := red.View.Expand()
+		d, err := pair.DecideInsert(v, red.T)
+		if err != nil {
+			return false
+		}
+		return d.Translatable == red.ChasePredicts()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomMixedCNF draws clauses of 1–3 distinct variables.
+func randomMixedCNF(rng *rand.Rand, n, m int) *logic.CNF {
+	clauses := make([]logic.Clause, m)
+	for i := range clauses {
+		w := 1 + rng.Intn(3)
+		vars := rng.Perm(n)[:w]
+		c := make(logic.Clause, w)
+		for j, v := range vars {
+			c[j] = logic.Lit(v + 1)
+			if rng.Intn(2) == 0 {
+				c[j] = c[j].Neg()
+			}
+		}
+		clauses[i] = c
+	}
+	return logic.MustCNF(n, clauses...)
+}
+
+func TestQuickTheorem4EquivalenceMixedClauses(t *testing.T) {
+	// Same as TestQuickTheorem4Equivalence but with unit and binary
+	// clauses, which exercise the non-clique branches of ChasePredicts.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(2)
+		g := randomMixedCNF(rng, n, 1+rng.Intn(6))
+		k := rng.Intn(n + 1)
+		red, err := BuildTheorem4(g, k)
+		if err != nil {
+			return false
+		}
+		pair, err := core.NewPair(red.Schema, red.X, red.Y)
+		if err != nil {
+			return false
+		}
+		d, err := pair.DecideInsert(red.View.Expand(), red.T)
+		if err != nil {
+			return false
+		}
+		return d.Translatable == red.ChasePredicts()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickChasePredictsImpliedByForallExists(t *testing.T) {
+	// One direction of the paper's Theorem 4 claim does hold: if
+	// ∀X ∃Y G then the insertion is translatable (the chase predicate is
+	// weaker than ∀∃).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(2)
+		g := logic.Random3CNF(rng, n, 1+rng.Intn(6))
+		k := rng.Intn(n + 1)
+		red, err := BuildTheorem4(g, k)
+		if err != nil {
+			return false
+		}
+		if !g.ForallExists(k) {
+			return true
+		}
+		return red.ChasePredicts()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem4DeviationFromPaper(t *testing.T) {
+	// REPRODUCTION FINDING (recorded in EXPERIMENTS.md): the literal
+	// Theorem 4 gadget does not decide ∀∃ G. Witness:
+	// G = (x₄ ∨ ¬x₂ ∨ ¬x₃) ∧ (¬x₄ ∨ ¬x₂ ∨ x₁) with k = 3. The prefix
+	// x₁=F, x₂=T, x₃=T leaves clause 1 demanding x₄ and clause 2
+	// demanding ¬x₄, so ∀∃ is false — yet each clause alone is satisfied
+	// by some completion, the clause FDs' false-value buckets chain every
+	// completion's F_j to s's within the prefix group, and the insertion
+	// IS translatable.
+	g := logic.MustCNF(4,
+		logic.Clause{4, -2, -3},
+		logic.Clause{-4, -2, 1},
+	)
+	red, err := BuildTheorem4(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ForallExists(3) {
+		t.Fatal("fixture should falsify ∀∃")
+	}
+	if !red.ChasePredicts() {
+		t.Fatal("fixture should satisfy the chase predicate")
+	}
+	pair, err := core.NewPair(red.Schema, red.X, red.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := pair.DecideInsert(red.View.Expand(), red.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Translatable {
+		t.Error("chase test rejected; the deviation analysis would be wrong")
+	}
+}
+
+func TestTheorem4ViewShape(t *testing.T) {
+	g := logic.MustCNF(3, logic.Clause{1, -2, 3})
+	red, err := BuildTheorem4(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expansion: 2^3 assignments + tuple s.
+	v := red.View.Expand()
+	if v.Len() != 9 {
+		t.Fatalf("expanded view has %d tuples, want 9", v.Len())
+	}
+	// Description is linear in |U| while expansion is exponential.
+	if red.View.DescriptionSize() >= v.Len()*v.Width() {
+		t.Log("description not smaller than expansion at this size (expected for tiny n)")
+	}
+	if !v.Contains(red.T) {
+		// t must NOT be in the view (it is the tuple being inserted).
+		t.Log("t in view")
+	}
+	if v.Contains(red.T) {
+		t.Error("inserted tuple already denoted by the view")
+	}
+}
+
+func TestQuickTheorem5Equivalence(t *testing.T) {
+	// E10: Test 1 accepts the insertion iff G is unsatisfiable.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(2)
+		g := logic.Random3CNF(rng, n, 1+rng.Intn(6))
+		red, err := BuildTheorem5(g)
+		if err != nil {
+			return false
+		}
+		pair, err := core.NewPair(red.Schema, red.X, red.Y)
+		if err != nil {
+			return false
+		}
+		v := red.View.Expand()
+		d, err := pair.DecideInsertTest1(v, red.T)
+		if err != nil {
+			return false
+		}
+		return d.Translatable == !g.Satisfiable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTheorem7Equivalence(t *testing.T) {
+	// E12: a complement rendering the insertion translatable exists iff G
+	// is satisfiable.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(2)
+		g := logic.Random3CNF(rng, n, 1+rng.Intn(4))
+		red, err := BuildTheorem7(g)
+		if err != nil {
+			return false
+		}
+		v := red.View.Expand()
+		res, err := core.FindInsertComplement(red.Schema, red.X, v, red.T, core.TestExact)
+		if err != nil {
+			return false
+		}
+		return res.Found == g.Satisfiable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	wide := logic.MustCNF(4, logic.Clause{1, 2, 3, 4})
+	if _, err := BuildTheorem2(wide); err == nil {
+		t.Error("non-3CNF accepted by Theorem 2")
+	}
+	if _, err := BuildTheorem4(wide, 0); err == nil {
+		t.Error("non-3CNF accepted by Theorem 4")
+	}
+	if _, err := BuildTheorem5(wide); err == nil {
+		t.Error("non-3CNF accepted by Theorem 5")
+	}
+	if _, err := BuildTheorem7(wide); err == nil {
+		t.Error("non-3CNF accepted by Theorem 7")
+	}
+	ok3 := logic.MustCNF(3, logic.Clause{1, 2, 3})
+	if _, err := BuildTheorem4(ok3, 7); err == nil {
+		t.Error("out-of-range k accepted by Theorem 4")
+	}
+}

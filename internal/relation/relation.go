@@ -1,0 +1,557 @@
+// Package relation implements an in-memory relational engine with set
+// semantics: tuples over attribute sets, projection, selection, natural
+// join (hash and sort-merge), Cartesian product, lexicographic sorting and
+// dependency satisfaction checks.
+//
+// This is the substrate the Cosmadakis–Papadimitriou algorithms run on: a
+// view instance is a Relation, the translation of an insertion is the join
+// R ∪ t*π_Y(R), and the chase of §3 repeatedly sorts/buckets relations by
+// attribute subsets. Entries are value.Value, so relations can freely mix
+// constants and the labeled nulls the chase introduces.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// Tuple is a row; its entries are in ascending attribute-ID order of the
+// owning relation's attribute set.
+type Tuple []value.Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports whether two tuples have identical entries.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// key renders the tuple as a compact map key.
+func (t Tuple) key() string {
+	var b strings.Builder
+	b.Grow(len(t) * 8)
+	for _, v := range t {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			b.WriteByte(byte(u >> (8 * i)))
+		}
+	}
+	return b.String()
+}
+
+// Less orders tuples lexicographically.
+func (t Tuple) Less(o Tuple) bool {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if t[i] != o[i] {
+			return t[i] < o[i]
+		}
+	}
+	return len(t) < len(o)
+}
+
+// Relation is a set of tuples over a fixed attribute set. Duplicate
+// inserts are ignored (set semantics). The zero Relation is invalid; use
+// New.
+type Relation struct {
+	attrs  attr.Set
+	cols   []attr.ID       // ascending; cols[i] is the attribute of column i
+	pos    map[attr.ID]int // inverse of cols
+	tuples []Tuple
+	index  map[string]int // tuple key -> index in tuples
+}
+
+// New returns an empty relation over the given attribute set.
+func New(attrs attr.Set) *Relation {
+	cols := attrs.IDs()
+	pos := make(map[attr.ID]int, len(cols))
+	for i, c := range cols {
+		pos[c] = i
+	}
+	return &Relation{attrs: attrs, cols: cols, pos: pos, index: make(map[string]int)}
+}
+
+// Attrs returns the relation's attribute set.
+func (r *Relation) Attrs() attr.Set { return r.attrs }
+
+// Universe returns the attribute universe of the relation.
+func (r *Relation) Universe() *attr.Universe { return r.attrs.Universe() }
+
+// Width reports the number of columns.
+func (r *Relation) Width() int { return len(r.cols) }
+
+// Len reports the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Cols returns the column attribute IDs in ascending order. The slice is
+// shared; callers must not modify it.
+func (r *Relation) Cols() []attr.ID { return r.cols }
+
+// Col returns the column position of attribute id, or -1 if the relation
+// does not contain it.
+func (r *Relation) Col(id attr.ID) int {
+	if i, ok := r.pos[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Tuples returns the backing tuple slice in insertion order. Callers must
+// not modify it or the tuples it contains.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Tuple returns the i-th tuple.
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Insert adds a tuple (a copy is not taken; the caller relinquishes the
+// slice). It reports whether the tuple was new. It panics if the arity is
+// wrong.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != len(r.cols) {
+		panic(fmt.Sprintf("relation: inserting %d-tuple into %d-ary relation", len(t), len(r.cols)))
+	}
+	k := t.key()
+	if _, dup := r.index[k]; dup {
+		return false
+	}
+	r.index[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	return true
+}
+
+// InsertVals builds and inserts a tuple from values given in column order.
+func (r *Relation) InsertVals(vals ...value.Value) bool {
+	t := make(Tuple, len(vals))
+	copy(t, vals)
+	return r.Insert(t)
+}
+
+// InsertNamed inserts a tuple given as attribute-name → constant-name
+// mappings interned in syms. Every column must be assigned.
+func (r *Relation) InsertNamed(syms *value.Symbols, vals map[string]string) error {
+	t := make(Tuple, len(r.cols))
+	seen := 0
+	for name, cv := range vals {
+		id, ok := r.attrs.Universe().Lookup(name)
+		if !ok {
+			return fmt.Errorf("relation: unknown attribute %q", name)
+		}
+		c := r.Col(id)
+		if c < 0 {
+			return fmt.Errorf("relation: attribute %q not in relation", name)
+		}
+		t[c] = syms.Const(cv)
+		seen++
+	}
+	if seen != len(r.cols) {
+		return fmt.Errorf("relation: tuple assigns %d of %d columns", seen, len(r.cols))
+	}
+	r.Insert(t)
+	return nil
+}
+
+// Contains reports whether the relation holds the tuple.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.index[t.key()]
+	return ok
+}
+
+// Delete removes the tuple if present, reporting whether it was found.
+func (r *Relation) Delete(t Tuple) bool {
+	k := t.key()
+	i, ok := r.index[k]
+	if !ok {
+		return false
+	}
+	last := len(r.tuples) - 1
+	if i != last {
+		r.tuples[i] = r.tuples[last]
+		r.index[r.tuples[i].key()] = i
+	}
+	r.tuples = r.tuples[:last]
+	delete(r.index, k)
+	return true
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := New(r.attrs)
+	for _, t := range r.tuples {
+		out.Insert(t.Clone())
+	}
+	return out
+}
+
+// Equal reports set equality of two relations over the same attribute set.
+func (r *Relation) Equal(s *Relation) bool {
+	if !r.attrs.Equal(s.attrs) || r.Len() != s.Len() {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// projector precomputes the column mapping for projecting r onto attrs.
+func (r *Relation) projector(attrs attr.Set) []int {
+	if !attrs.SubsetOf(r.attrs) {
+		panic(fmt.Sprintf("relation: projecting %v out of %v", attrs, r.attrs))
+	}
+	ids := attrs.IDs()
+	m := make([]int, len(ids))
+	for i, id := range ids {
+		m[i] = r.pos[id]
+	}
+	return m
+}
+
+// ProjectTuple projects a single tuple of r onto attrs.
+func (r *Relation) ProjectTuple(t Tuple, attrs attr.Set) Tuple {
+	m := r.projector(attrs)
+	out := make(Tuple, len(m))
+	for i, c := range m {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// Project returns π_attrs(r) with duplicates removed.
+func (r *Relation) Project(attrs attr.Set) *Relation {
+	m := r.projector(attrs)
+	out := New(attrs)
+	for _, t := range r.tuples {
+		p := make(Tuple, len(m))
+		for i, c := range m {
+			p[i] = t[c]
+		}
+		out.Insert(p)
+	}
+	return out
+}
+
+// Select returns the tuples satisfying pred, as a new relation.
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := New(r.attrs)
+	for _, t := range r.tuples {
+		if pred(t) {
+			out.Insert(t.Clone())
+		}
+	}
+	return out
+}
+
+// SelectEq returns the tuples whose projection onto attrs equals key
+// (key's entries in ascending attribute order of attrs).
+func (r *Relation) SelectEq(attrs attr.Set, key Tuple) *Relation {
+	m := r.projector(attrs)
+	out := New(r.attrs)
+	for _, t := range r.tuples {
+		ok := true
+		for i, c := range m {
+			if t[c] != key[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Insert(t.Clone())
+		}
+	}
+	return out
+}
+
+// Union returns r ∪ s over the same attribute set.
+func (r *Relation) Union(s *Relation) *Relation {
+	if !r.attrs.Equal(s.attrs) {
+		panic("relation: union over different attribute sets")
+	}
+	out := r.Clone()
+	for _, t := range s.tuples {
+		out.Insert(t.Clone())
+	}
+	return out
+}
+
+// Diff returns r − s over the same attribute set.
+func (r *Relation) Diff(s *Relation) *Relation {
+	if !r.attrs.Equal(s.attrs) {
+		panic("relation: difference over different attribute sets")
+	}
+	out := New(r.attrs)
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
+			out.Insert(t.Clone())
+		}
+	}
+	return out
+}
+
+// JoinAlgorithm selects the natural-join implementation.
+type JoinAlgorithm int
+
+// Join algorithms.
+const (
+	// HashJoin buckets the smaller operand by the shared attributes.
+	HashJoin JoinAlgorithm = iota
+	// SortMergeJoin sorts both operands by the shared attributes and
+	// merges.
+	SortMergeJoin
+)
+
+// Join computes the natural join r ⋈ s with the default (hash) algorithm.
+func (r *Relation) Join(s *Relation) *Relation {
+	return r.JoinWith(s, HashJoin)
+}
+
+// JoinWith computes the natural join r ⋈ s with the chosen algorithm.
+// If the operands share no attributes the result is the Cartesian product.
+func (r *Relation) JoinWith(s *Relation, alg JoinAlgorithm) *Relation {
+	if r.Universe() != s.Universe() {
+		panic("relation: join across universes")
+	}
+	switch alg {
+	case SortMergeJoin:
+		return joinSortMerge(r, s)
+	default:
+		return joinHash(r, s)
+	}
+}
+
+// combine merges a tuple of r and a tuple of s into the union schema.
+// The shared attributes are taken from r's tuple (they agree by
+// construction).
+func joinPlan(r, s *Relation) (out *Relation, fromR, fromS []int) {
+	union := r.attrs.Union(s.attrs)
+	out = New(union)
+	fromR = make([]int, len(out.cols))
+	fromS = make([]int, len(out.cols))
+	for i, id := range out.cols {
+		fromR[i], fromS[i] = -1, -1
+		if c := r.Col(id); c >= 0 {
+			fromR[i] = c
+		} else {
+			fromS[i] = s.Col(id)
+		}
+	}
+	return out, fromR, fromS
+}
+
+func joinHash(r, s *Relation) *Relation {
+	shared := r.attrs.Intersect(s.attrs)
+	// Build on the smaller side.
+	build, probe := r, s
+	if s.Len() < r.Len() {
+		build, probe = s, r
+	}
+	bm := build.projector(shared)
+	pm := probe.projector(shared)
+	buckets := make(map[string][]Tuple, build.Len())
+	kbuf := make(Tuple, len(bm))
+	for _, t := range build.tuples {
+		for i, c := range bm {
+			kbuf[i] = t[c]
+		}
+		k := kbuf.key()
+		buckets[k] = append(buckets[k], t)
+	}
+	out, fromR, fromS := joinPlan(r, s)
+	emit := func(rt, st Tuple) {
+		nt := make(Tuple, len(out.cols))
+		for i := range nt {
+			if fromR[i] >= 0 {
+				nt[i] = rt[fromR[i]]
+			} else {
+				nt[i] = st[fromS[i]]
+			}
+		}
+		out.Insert(nt)
+	}
+	for _, t := range probe.tuples {
+		for i, c := range pm {
+			kbuf[i] = t[c]
+		}
+		for _, bt := range buckets[kbuf.key()] {
+			if build == r {
+				emit(bt, t)
+			} else {
+				emit(t, bt)
+			}
+		}
+	}
+	return out
+}
+
+func joinSortMerge(r, s *Relation) *Relation {
+	shared := r.attrs.Intersect(s.attrs)
+	rm := r.projector(shared)
+	sm := s.projector(shared)
+	rt := make([]Tuple, len(r.tuples))
+	copy(rt, r.tuples)
+	st := make([]Tuple, len(s.tuples))
+	copy(st, s.tuples)
+	sortBy(rt, rm)
+	sortBy(st, sm)
+	out, fromR, fromS := joinPlan(r, s)
+	i, j := 0, 0
+	for i < len(rt) && j < len(st) {
+		c := compareOn(rt[i], rm, st[j], sm)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Find the equal runs on both sides.
+			i2 := i
+			for i2 < len(rt) && compareOn(rt[i2], rm, st[j], sm) == 0 {
+				i2++
+			}
+			j2 := j
+			for j2 < len(st) && compareOn(rt[i], rm, st[j2], sm) == 0 {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					nt := make(Tuple, len(out.cols))
+					for k := range nt {
+						if fromR[k] >= 0 {
+							nt[k] = rt[a][fromR[k]]
+						} else {
+							nt[k] = st[b][fromS[k]]
+						}
+					}
+					out.Insert(nt)
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out
+}
+
+func sortBy(ts []Tuple, cols []int) {
+	sort.Slice(ts, func(a, b int) bool {
+		for _, c := range cols {
+			if ts[a][c] != ts[b][c] {
+				return ts[a][c] < ts[b][c]
+			}
+		}
+		return false
+	})
+}
+
+func compareOn(a Tuple, am []int, b Tuple, bm []int) int {
+	for i := range am {
+		av, bv := a[am[i]], b[bm[i]]
+		if av != bv {
+			if av < bv {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Product returns the Cartesian product of relations over disjoint
+// attribute sets.
+func (r *Relation) Product(s *Relation) *Relation {
+	if r.attrs.Intersects(s.attrs) {
+		panic("relation: product of overlapping relations")
+	}
+	return joinHash(r, s)
+}
+
+// Sorted returns the tuples sorted lexicographically by the given
+// attribute order (remaining columns break ties in ascending ID order).
+// The relation itself is unchanged.
+func (r *Relation) Sorted(by attr.Set) []Tuple {
+	m := r.projector(by)
+	// Append the remaining columns for a total order.
+	rest := r.attrs.Diff(by)
+	m = append(m, r.projector(rest)...)
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sortBy(out, m)
+	return out
+}
+
+// Singleton returns a one-tuple relation over attrs.
+func Singleton(attrs attr.Set, t Tuple) *Relation {
+	r := New(attrs)
+	r.Insert(t)
+	return r
+}
+
+// Format renders the relation as an aligned table using syms for constant
+// names, with columns in ascending attribute order and rows sorted
+// lexicographically (deterministic output).
+func (r *Relation) Format(syms *value.Symbols) string {
+	var b strings.Builder
+	u := r.Universe()
+	widths := make([]int, len(r.cols))
+	header := make([]string, len(r.cols))
+	for i, id := range r.cols {
+		header[i] = u.Name(id)
+		widths[i] = len(header[i])
+	}
+	rows := r.Sorted(r.attrs)
+	cells := make([][]string, len(rows))
+	for ri, t := range rows {
+		cells[ri] = make([]string, len(t))
+		for ci, v := range t {
+			s := syms.Name(v)
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// String renders a compact representation without a symbol table.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v (%d tuples)", r.attrs, r.Len())
+	return b.String()
+}

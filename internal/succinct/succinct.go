@@ -1,0 +1,321 @@
+// Package succinct represents view instances as unions of Cartesian
+// products, the exponentially compact encoding of §3.2: a description of
+// total size O(|U|) can denote a view with 2^Ω(|U|) tuples. Theorems 4, 5
+// and 7 show that translatability questions become Π₂ᵖ-, co-NP- and
+// NP-hard respectively when the view is presented this way.
+package succinct
+
+import (
+	"fmt"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// Product is a Cartesian product of per-attribute value lists over a fixed
+// attribute set: it denotes every tuple whose value in each attribute is
+// drawn from that attribute's list.
+type Product struct {
+	attrs attr.Set
+	// lists[i] holds the options for the i-th attribute (ascending ID
+	// order).
+	lists [][]value.Value
+}
+
+// NewProduct builds a product over attrs; lists must be parallel to
+// attrs.IDs() and nonempty.
+func NewProduct(attrs attr.Set, lists [][]value.Value) (*Product, error) {
+	if len(lists) != attrs.Len() {
+		return nil, fmt.Errorf("succinct: %d lists for %d attributes", len(lists), attrs.Len())
+	}
+	for i, l := range lists {
+		if len(l) == 0 {
+			return nil, fmt.Errorf("succinct: empty list for attribute %d", i)
+		}
+	}
+	return &Product{attrs: attrs, lists: lists}, nil
+}
+
+// MustProduct is NewProduct, panicking on error.
+func MustProduct(attrs attr.Set, lists [][]value.Value) *Product {
+	p, err := NewProduct(attrs, lists)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Attrs returns the product's attribute set.
+func (p *Product) Attrs() attr.Set { return p.attrs }
+
+// Size returns the number of tuples the product denotes.
+func (p *Product) Size() int64 {
+	n := int64(1)
+	for _, l := range p.lists {
+		n *= int64(len(l))
+	}
+	return n
+}
+
+// DescriptionSize returns the total length of the value lists — the size
+// of the succinct encoding.
+func (p *Product) DescriptionSize() int {
+	n := 0
+	for _, l := range p.lists {
+		n += len(l)
+	}
+	return n
+}
+
+// Contains reports whether the product denotes the tuple (entries in
+// ascending attribute order).
+func (p *Product) Contains(t relation.Tuple) bool {
+	if len(t) != len(p.lists) {
+		return false
+	}
+	for i, l := range p.lists {
+		ok := false
+		for _, v := range l {
+			if v == t[i] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Each enumerates the product's tuples; fn returning false stops early.
+func (p *Product) Each(fn func(relation.Tuple) bool) {
+	idx := make([]int, len(p.lists))
+	for {
+		t := make(relation.Tuple, len(p.lists))
+		for i, l := range p.lists {
+			t[i] = l[idx[i]]
+		}
+		if !fn(t) {
+			return
+		}
+		i := 0
+		for i < len(idx) {
+			idx[i]++
+			if idx[i] < len(p.lists[i]) {
+				break
+			}
+			idx[i] = 0
+			i++
+		}
+		if i == len(idx) {
+			return
+		}
+	}
+}
+
+// Component is one term of a union-of-products view: something that
+// denotes a set of tuples compactly. Product and FilteredProduct
+// implement it.
+type Component interface {
+	Attrs() attr.Set
+	Size() int64
+	DescriptionSize() int
+	Contains(t relation.Tuple) bool
+	Each(fn func(relation.Tuple) bool)
+}
+
+// FilteredProduct is a Cartesian product of per-attribute lists with
+// disequality constraints between designated column pairs. It expresses
+// the paper's S_{X_iX_i'} blocks — two-row relations {(0,1), (1,0)} —
+// whose Cartesian product with the other columns forms the view of
+// Theorems 4, 5 and 7: the pair constraint X_i ≠ X_i' keeps exactly the
+// rows that encode consistent truth assignments.
+type FilteredProduct struct {
+	inner *Product
+	// pairs lists column index pairs whose values must differ.
+	pairs [][2]int
+}
+
+// NewFilteredProduct builds a filtered product; each pair must index two
+// distinct columns.
+func NewFilteredProduct(attrs attr.Set, lists [][]value.Value, pairs [][2]int) (*FilteredProduct, error) {
+	inner, err := NewProduct(attrs, lists)
+	if err != nil {
+		return nil, err
+	}
+	for _, pr := range pairs {
+		if pr[0] == pr[1] || pr[0] < 0 || pr[1] < 0 || pr[0] >= len(lists) || pr[1] >= len(lists) {
+			return nil, fmt.Errorf("succinct: bad column pair %v", pr)
+		}
+	}
+	return &FilteredProduct{inner: inner, pairs: pairs}, nil
+}
+
+// MustFilteredProduct is NewFilteredProduct, panicking on error.
+func MustFilteredProduct(attrs attr.Set, lists [][]value.Value, pairs [][2]int) *FilteredProduct {
+	p, err := NewFilteredProduct(attrs, lists, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Attrs returns the product's attribute set.
+func (p *FilteredProduct) Attrs() attr.Set { return p.inner.attrs }
+
+// DescriptionSize is the encoding size (lists plus constraints).
+func (p *FilteredProduct) DescriptionSize() int {
+	return p.inner.DescriptionSize() + 2*len(p.pairs)
+}
+
+// Size returns an upper bound (the unfiltered product size); the exact
+// count requires enumeration.
+func (p *FilteredProduct) Size() int64 { return p.inner.Size() }
+
+func (p *FilteredProduct) ok(t relation.Tuple) bool {
+	for _, pr := range p.pairs {
+		if t[pr[0]] == t[pr[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether the filtered product denotes the tuple.
+func (p *FilteredProduct) Contains(t relation.Tuple) bool {
+	return p.inner.Contains(t) && p.ok(t)
+}
+
+// Each enumerates the denoted tuples.
+func (p *FilteredProduct) Each(fn func(relation.Tuple) bool) {
+	p.inner.Each(func(t relation.Tuple) bool {
+		if !p.ok(t) {
+			return true
+		}
+		return fn(t)
+	})
+}
+
+// View is a view instance presented as a union of Cartesian products (all
+// over the same attribute set).
+type View struct {
+	attrs    attr.Set
+	products []Component
+}
+
+// NewView builds a view from products sharing one attribute set.
+func NewView(products ...Component) (*View, error) {
+	if len(products) == 0 {
+		return nil, fmt.Errorf("succinct: view with no products")
+	}
+	a := products[0].Attrs()
+	for _, p := range products[1:] {
+		if !p.Attrs().Equal(a) {
+			return nil, fmt.Errorf("succinct: products over different attribute sets")
+		}
+	}
+	return &View{attrs: a, products: products}, nil
+}
+
+// MustView is NewView, panicking on error.
+func MustView(products ...Component) *View {
+	v, err := NewView(products...)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Attrs returns the view's attribute set.
+func (v *View) Attrs() attr.Set { return v.attrs }
+
+// Products returns the constituent products.
+func (v *View) Products() []Component { return v.products }
+
+// DescriptionSize is the size of the succinct encoding.
+func (v *View) DescriptionSize() int {
+	n := 0
+	for _, p := range v.products {
+		n += p.DescriptionSize()
+	}
+	return n
+}
+
+// SizeBound returns an upper bound on the denoted cardinality (products
+// may overlap).
+func (v *View) SizeBound() int64 {
+	n := int64(0)
+	for _, p := range v.products {
+		n += p.Size()
+	}
+	return n
+}
+
+// Contains reports membership in the denoted set.
+func (v *View) Contains(t relation.Tuple) bool {
+	for _, p := range v.products {
+		if p.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Expand materializes the denoted view instance (deduplicated). This is
+// the exponential step the hardness theorems are about; callers must keep
+// SizeBound in check.
+func (v *View) Expand() *relation.Relation {
+	r := relation.New(v.attrs)
+	for _, p := range v.products {
+		p.Each(func(t relation.Tuple) bool {
+			r.Insert(t)
+			return true
+		})
+	}
+	return r
+}
+
+// Each enumerates the denoted tuples with duplicates removed; fn
+// returning false stops early.
+func (v *View) Each(fn func(relation.Tuple) bool) {
+	seen := map[string]bool{}
+	for _, p := range v.products {
+		stop := false
+		p.Each(func(t relation.Tuple) bool {
+			k := tupleKey(t)
+			if seen[k] {
+				return true
+			}
+			seen[k] = true
+			if !fn(t) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+func tupleKey(t relation.Tuple) string {
+	b := make([]byte, 0, len(t)*8)
+	for _, v := range t {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(u>>(8*i)))
+		}
+	}
+	return string(b)
+}
+
+// Len counts the denoted tuples exactly (deduplicated); linear in the
+// expansion.
+func (v *View) Len() int {
+	n := 0
+	v.Each(func(relation.Tuple) bool { n++; return true })
+	return n
+}

@@ -1,0 +1,176 @@
+package succinct
+
+import (
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+func fixture(t *testing.T) (attr.Set, *value.Symbols) {
+	t.Helper()
+	u := attr.MustUniverse("A", "B", "C")
+	return u.All(), value.NewSymbols()
+}
+
+func TestProductBasics(t *testing.T) {
+	attrs, syms := fixture(t)
+	v0, v1 := syms.Const("0"), syms.Const("1")
+	p := MustProduct(attrs, [][]value.Value{{v0, v1}, {v0}, {v0, v1}})
+	if p.Size() != 4 {
+		t.Errorf("Size = %d", p.Size())
+	}
+	if p.DescriptionSize() != 5 {
+		t.Errorf("DescriptionSize = %d", p.DescriptionSize())
+	}
+	if !p.Contains(relation.Tuple{v1, v0, v0}) {
+		t.Error("member rejected")
+	}
+	if p.Contains(relation.Tuple{v0, v1, v0}) {
+		t.Error("non-member accepted")
+	}
+	if p.Contains(relation.Tuple{v0, v0}) {
+		t.Error("wrong arity accepted")
+	}
+	count := 0
+	p.Each(func(relation.Tuple) bool { count++; return true })
+	if count != 4 {
+		t.Errorf("Each enumerated %d", count)
+	}
+	// Early stop.
+	count = 0
+	p.Each(func(relation.Tuple) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("Each did not stop: %d", count)
+	}
+}
+
+func TestProductValidation(t *testing.T) {
+	attrs, syms := fixture(t)
+	v0 := syms.Const("0")
+	if _, err := NewProduct(attrs, [][]value.Value{{v0}}); err == nil {
+		t.Error("wrong list count accepted")
+	}
+	if _, err := NewProduct(attrs, [][]value.Value{{v0}, {}, {v0}}); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestFilteredProduct(t *testing.T) {
+	attrs, syms := fixture(t)
+	v0, v1 := syms.Const("0"), syms.Const("1")
+	fp := MustFilteredProduct(attrs,
+		[][]value.Value{{v0, v1}, {v0, v1}, {v0}},
+		[][2]int{{0, 1}})
+	// Only (0,1,0) and (1,0,0) survive the filter.
+	var got []relation.Tuple
+	fp.Each(func(t relation.Tuple) bool { got = append(got, t.Clone()); return true })
+	if len(got) != 2 {
+		t.Fatalf("enumerated %d tuples, want 2", len(got))
+	}
+	if !fp.Contains(relation.Tuple{v0, v1, v0}) || fp.Contains(relation.Tuple{v0, v0, v0}) {
+		t.Error("Contains wrong")
+	}
+	if fp.Size() != 4 {
+		t.Errorf("Size bound = %d", fp.Size())
+	}
+	if fp.DescriptionSize() != 7 {
+		t.Errorf("DescriptionSize = %d", fp.DescriptionSize())
+	}
+}
+
+func TestFilteredProductValidation(t *testing.T) {
+	attrs, syms := fixture(t)
+	v0 := syms.Const("0")
+	lists := [][]value.Value{{v0}, {v0}, {v0}}
+	if _, err := NewFilteredProduct(attrs, lists, [][2]int{{0, 0}}); err == nil {
+		t.Error("self pair accepted")
+	}
+	if _, err := NewFilteredProduct(attrs, lists, [][2]int{{0, 9}}); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+}
+
+func TestViewUnion(t *testing.T) {
+	attrs, syms := fixture(t)
+	v0, v1 := syms.Const("0"), syms.Const("1")
+	p1 := MustProduct(attrs, [][]value.Value{{v0}, {v0, v1}, {v0}})
+	p2 := MustProduct(attrs, [][]value.Value{{v0}, {v0}, {v0, v1}})
+	v := MustView(p1, p2)
+	// p1: (0,0,0),(0,1,0); p2: (0,0,0),(0,0,1) — union has 3 tuples.
+	if v.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (overlap deduped)", v.Len())
+	}
+	if v.SizeBound() != 4 {
+		t.Errorf("SizeBound = %d", v.SizeBound())
+	}
+	ex := v.Expand()
+	if ex.Len() != 3 {
+		t.Errorf("Expand Len = %d", ex.Len())
+	}
+	for _, tp := range ex.Tuples() {
+		if !v.Contains(tp) {
+			t.Error("expanded tuple not contained")
+		}
+	}
+	if v.Contains(relation.Tuple{v1, v1, v1}) {
+		t.Error("non-member accepted")
+	}
+}
+
+func TestViewEachEarlyStopAndDedup(t *testing.T) {
+	attrs, syms := fixture(t)
+	v0 := syms.Const("0")
+	p1 := MustProduct(attrs, [][]value.Value{{v0}, {v0}, {v0}})
+	p2 := MustProduct(attrs, [][]value.Value{{v0}, {v0}, {v0}})
+	v := MustView(p1, p2)
+	count := 0
+	v.Each(func(relation.Tuple) bool { count++; return true })
+	if count != 1 {
+		t.Errorf("duplicate tuple enumerated %d times", count)
+	}
+	count = 0
+	v.Each(func(relation.Tuple) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop failed")
+	}
+}
+
+func TestViewValidation(t *testing.T) {
+	u := attr.MustUniverse("A", "B")
+	syms := value.NewSymbols()
+	v0 := syms.Const("0")
+	if _, err := NewView(); err == nil {
+		t.Error("empty view accepted")
+	}
+	pa := MustProduct(u.MustSet("A"), [][]value.Value{{v0}})
+	pb := MustProduct(u.MustSet("B"), [][]value.Value{{v0}})
+	if _, err := NewView(pa, pb); err == nil {
+		t.Error("mixed attribute sets accepted")
+	}
+}
+
+func TestExponentialCompression(t *testing.T) {
+	// A description of size O(n) denoting 2^n tuples — the point of §3.2.
+	n := 16
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	u := attr.MustUniverse(names...)
+	syms := value.NewSymbols()
+	v0, v1 := syms.Const("0"), syms.Const("1")
+	lists := make([][]value.Value, n)
+	for i := range lists {
+		lists[i] = []value.Value{v0, v1}
+	}
+	p := MustProduct(u.All(), lists)
+	v := MustView(p)
+	if v.DescriptionSize() != 2*n {
+		t.Errorf("description size = %d", v.DescriptionSize())
+	}
+	if v.SizeBound() != 1<<uint(n) {
+		t.Errorf("size bound = %d", v.SizeBound())
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// ParseSchema parses the schema text format used by the command-line
+// tools:
+//
+//	attrs: E D M
+//	E -> D
+//	D -> M
+//	# comments and blank lines are skipped
+//
+// The first non-comment line must declare the universe; the rest are
+// dependencies in the internal/dep syntax.
+func ParseSchema(text string) (*core.Schema, error) {
+	var u *attr.Universe
+	var sigma *dep.Set
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if u == nil {
+			if !strings.HasPrefix(line, "attrs:") {
+				return nil, fmt.Errorf("line %d: expected \"attrs: ...\" before dependencies", ln+1)
+			}
+			names := strings.Fields(strings.TrimPrefix(line, "attrs:"))
+			var err error
+			u, err = attr.NewUniverse(names...)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			sigma = dep.NewSet(u)
+			continue
+		}
+		d, err := dep.Parse(u, line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		sigma.Add(d)
+	}
+	if u == nil {
+		return nil, fmt.Errorf("no attrs declaration found")
+	}
+	return core.NewSchema(u, sigma)
+}
+
+// ParseData parses a whitespace-separated table: first line is the header
+// (attribute names), following lines are rows. Attributes may be any
+// subset of the schema's universe; the relation is over exactly the
+// header's attributes.
+func ParseData(s *core.Schema, syms *value.Symbols, text string) (*relation.Relation, error) {
+	u := s.Universe()
+	var rel *relation.Relation
+	var cols []int // header position -> relation column
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if rel == nil {
+			set, err := u.Set(fields...)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			if set.Len() != len(fields) {
+				return nil, fmt.Errorf("line %d: duplicate attribute in header", ln+1)
+			}
+			rel = relation.New(set)
+			cols = make([]int, len(fields))
+			for i, name := range fields {
+				id, _ := u.Lookup(name)
+				cols[i] = rel.Col(id)
+			}
+			continue
+		}
+		if len(fields) != len(cols) {
+			return nil, fmt.Errorf("line %d: %d values for %d columns", ln+1, len(fields), len(cols))
+		}
+		t := make(relation.Tuple, len(cols))
+		for i, f := range fields {
+			t[cols[i]] = syms.Const(f)
+		}
+		rel.Insert(t)
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("no header found")
+	}
+	return rel, nil
+}
+
+// ParseTuple parses a whitespace-separated tuple over the given relation's
+// attributes, in header (ascending attribute) order.
+func ParseTuple(r *relation.Relation, syms *value.Symbols, text string) (relation.Tuple, error) {
+	fields := strings.Fields(text)
+	if len(fields) != r.Width() {
+		return nil, fmt.Errorf("tuple has %d values, relation has %d columns", len(fields), r.Width())
+	}
+	t := make(relation.Tuple, len(fields))
+	for i, f := range fields {
+		t[i] = syms.Const(f)
+	}
+	return t, nil
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+func TestParseSchemaBasic(t *testing.T) {
+	s, err := ParseSchema(`
+# EDM
+attrs: E D M
+E -> D
+D -> M
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Universe().Size() != 3 {
+		t.Fatalf("|U| = %d", s.Universe().Size())
+	}
+	if s.Sigma().Len() != 2 {
+		t.Fatalf("|Σ| = %d", s.Sigma().Len())
+	}
+}
+
+func TestParseSchemaAllDependencyKinds(t *testing.T) {
+	s, err := ParseSchema(`
+attrs: A B C
+A -> B
+A ->> B
+*[A B; B C]
+A B =>e C
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sigma().Len() != 4 {
+		t.Fatalf("|Σ| = %d", s.Sigma().Len())
+	}
+	if !s.Sigma().HasJDs() || !s.Sigma().HasEFDs() {
+		t.Error("kinds lost in parsing")
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, tc := range []string{
+		"",                      // no attrs line
+		"E -> D",                // dependency before attrs
+		"attrs: E E",            // duplicate attribute
+		"attrs: E D\nE -> Z",    // unknown attribute
+		"attrs: E D\ngibberish", // unparsable line
+	} {
+		if _, err := ParseSchema(tc); err == nil {
+			t.Errorf("ParseSchema(%q) succeeded", tc)
+		}
+	}
+}
+
+func TestParseDataBasic(t *testing.T) {
+	s, err := ParseSchema("attrs: E D M\nE -> D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := value.NewSymbols()
+	r, err := ParseData(s, syms, `
+E D M
+ed toys mo
+flo toys mo
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Width() != 3 {
+		t.Fatalf("parsed %d×%d", r.Len(), r.Width())
+	}
+	if !r.Attrs().Equal(s.Universe().All()) {
+		t.Error("attrs wrong")
+	}
+}
+
+func TestParseDataSubsetHeader(t *testing.T) {
+	s, err := ParseSchema("attrs: E D M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := value.NewSymbols()
+	r, err := ParseData(s, syms, "E D\ned toys\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width() != 2 {
+		t.Fatalf("width = %d", r.Width())
+	}
+}
+
+func TestParseDataHeaderOrderIndependent(t *testing.T) {
+	// Header may list attributes in any order; values land in the right
+	// columns.
+	s, err := ParseSchema("attrs: E D M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := value.NewSymbols()
+	r, err := ParseData(s, syms, "M E D\nmo ed toys\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := s.Universe()
+	eID, _ := u.Lookup("E")
+	if got := syms.Name(r.Tuple(0)[r.Col(eID)]); got != "ed" {
+		t.Errorf("E column holds %q", got)
+	}
+}
+
+func TestParseDataErrors(t *testing.T) {
+	s, err := ParseSchema("attrs: E D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := value.NewSymbols()
+	for _, tc := range []string{
+		"",             // no header
+		"E Z\nx y",     // unknown attribute
+		"E E\nx y",     // duplicate header
+		"E D\nonlyone", // arity mismatch
+		"E D\nx y z",   // arity mismatch
+	} {
+		if _, err := ParseData(s, syms, tc); err == nil {
+			t.Errorf("ParseData(%q) succeeded", strings.ReplaceAll(tc, "\n", "\\n"))
+		}
+	}
+}
+
+func TestParseTuple(t *testing.T) {
+	s, err := ParseSchema("attrs: E D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := value.NewSymbols()
+	r, err := ParseData(s, syms, "E D\ned toys\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := ParseTuple(r, syms, "flo tools")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp) != 2 || syms.Name(tp[0]) != "flo" {
+		t.Errorf("tuple = %v", tp)
+	}
+	if _, err := ParseTuple(r, syms, "justone"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}

@@ -1,0 +1,217 @@
+// Package workload synthesizes schemas and legal instances for tests,
+// experiments and benchmarks: random FD sets, random legal instances
+// (rejection-sampled against Σ), the classic Employee–Department–Manager
+// family the paper's §2 discussion uses, and parameterized scaling
+// families for the complexity experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// RandomFDs draws k random nontrivial FDs over u, with LHS/RHS densities
+// tuned to produce interesting (neither empty nor total) closures.
+func RandomFDs(u *attr.Universe, rng *rand.Rand, k int) []dep.FD {
+	out := make([]dep.FD, 0, k)
+	for len(out) < k {
+		lhs, rhs := u.Empty(), u.Empty()
+		for a := 0; a < u.Size(); a++ {
+			switch rng.Intn(4) {
+			case 0:
+				lhs = lhs.With(attr.ID(a))
+			case 1:
+				rhs = rhs.With(attr.ID(a))
+			}
+		}
+		rhs = rhs.Diff(lhs)
+		if lhs.IsEmpty() || rhs.IsEmpty() {
+			continue
+		}
+		out = append(out, dep.NewFD(lhs, rhs))
+	}
+	return out
+}
+
+// RandomLegalInstance builds a relation over U with up to n tuples drawn
+// from a domain of the given size per column, satisfying Σ by rejection:
+// tuples that would violate Σ are dropped. The result may have fewer than
+// n tuples.
+func RandomLegalInstance(s *core.Schema, syms *value.Symbols, rng *rand.Rand, n, domain int) *relation.Relation {
+	u := s.Universe()
+	vals := syms.Ints(domain)
+	r := relation.New(u.All())
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, u.Size())
+		for c := range t {
+			t[c] = vals[rng.Intn(domain)]
+		}
+		if !r.Insert(t) {
+			continue
+		}
+		if ok, _ := r.SatisfiesAll(s.Sigma()); !ok {
+			r.Delete(t)
+		}
+	}
+	return r
+}
+
+// EDM is the Employee–Department–Manager fixture of the paper's §2:
+// U = {E, D, M}, Σ = {E → D, D → M}. The decomposition X = ED, Y = DM is
+// complementary (D is a key of DM) although not independent in Rissanen's
+// sense, and X = ED, Y = EM is also complementary.
+type EDM struct {
+	Schema *core.Schema
+	Syms   *value.Symbols
+	// ED and DM are the canonical complementary pair.
+	ED, DM attr.Set
+	// EM is the alternative complement of ED.
+	EM attr.Set
+}
+
+// NewEDM constructs the fixture.
+func NewEDM() *EDM {
+	u := attr.MustUniverse("E", "D", "M")
+	sigma := dep.MustParseSet(u, "E -> D\nD -> M")
+	return &EDM{
+		Schema: core.MustSchema(u, sigma),
+		Syms:   value.NewSymbols(),
+		ED:     u.MustSet("E", "D"),
+		DM:     u.MustSet("D", "M"),
+		EM:     u.MustSet("E", "M"),
+	}
+}
+
+// Instance builds a legal EDM database with nEmp employees spread over
+// nDept departments (each department has one manager). Deterministic.
+func (e *EDM) Instance(nEmp, nDept int) *relation.Relation {
+	u := e.Schema.Universe()
+	r := relation.New(u.All())
+	for i := 0; i < nEmp; i++ {
+		d := i % nDept
+		t := make(relation.Tuple, 3)
+		t[mustCol(u, "E")] = e.Syms.Const(fmt.Sprintf("emp%d", i))
+		t[mustCol(u, "D")] = e.Syms.Const(fmt.Sprintf("dept%d", d))
+		t[mustCol(u, "M")] = e.Syms.Const(fmt.Sprintf("mgr%d", d))
+		r.Insert(t)
+	}
+	return r
+}
+
+// ViewInstance builds the ED view of Instance(nEmp, nDept) directly.
+func (e *EDM) ViewInstance(nEmp, nDept int) *relation.Relation {
+	return e.Instance(nEmp, nDept).Project(e.ED)
+}
+
+// NewEmployeeTuple builds an (E, D) view tuple for inserting employee name
+// into department d.
+func (e *EDM) NewEmployeeTuple(name string, dept int) relation.Tuple {
+	u := e.Schema.Universe()
+	t := make(relation.Tuple, 2)
+	// ED view columns are in ascending attribute order: E then D.
+	eCol, dCol := 0, 1
+	if mustCol(u, "E") > mustCol(u, "D") {
+		eCol, dCol = 1, 0
+	}
+	t[eCol] = e.Syms.Const(name)
+	t[dCol] = e.Syms.Const(fmt.Sprintf("dept%d", dept))
+	return t
+}
+
+func mustCol(u *attr.Universe, name string) int {
+	id, ok := u.Lookup(name)
+	if !ok {
+		panic(name)
+	}
+	return int(id)
+}
+
+// Chain builds the scaling family used by the complexity experiments:
+// U = {A₀ … A_{w-1}}, Σ = {A₀→A₁, A₁→A₂, …}, view X = first h attributes,
+// complement Y = X∩Y-pivot ∪ rest. The chained FDs force long chase
+// derivations.
+type Chain struct {
+	Schema *core.Schema
+	Syms   *value.Symbols
+	X, Y   attr.Set
+}
+
+// NewChain builds a chain schema of width w with the view covering the
+// first h attributes (1 < h < w). The complement is A_{h-1} … A_{w-1}, so
+// the shared part is the single pivot attribute A_{h-1}.
+func NewChain(w, h int) *Chain {
+	if h < 2 || h >= w {
+		panic("workload: need 2 <= h < w")
+	}
+	names := make([]string, w)
+	for i := range names {
+		names[i] = fmt.Sprintf("A%02d", i)
+	}
+	u := attr.MustUniverse(names...)
+	sigma := dep.NewSet(u)
+	for i := 0; i+1 < w; i++ {
+		sigma.Add(dep.NewFD(u.MustSet(names[i]), u.MustSet(names[i+1])))
+	}
+	x := u.Empty()
+	for i := 0; i < h; i++ {
+		x = x.With(attr.ID(i))
+	}
+	y := u.Empty()
+	for i := h - 1; i < w; i++ {
+		y = y.With(attr.ID(i))
+	}
+	return &Chain{Schema: core.MustSchema(u, sigma), Syms: value.NewSymbols(), X: x, Y: y}
+}
+
+// groupSize returns the number of distinct values of attribute j in a
+// chain view of n rows: powers of two halving along the chain, so that
+// each group size divides the previous one and the FDs A_j → A_{j+1} hold.
+func groupSize(n, j int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	l -= j
+	if l < 1 {
+		// Floor of two groups: keeps a constant fraction of the view in
+		// the inserted tuple's pivot group, so the chase workload of the
+		// complexity experiments scales with |V|.
+		return 2
+	}
+	return 1 << l
+}
+
+// ViewInstance builds a view instance with n tuples: tuple i is unique in
+// A₀ and has A_j = "v<j>_<i mod g_j>" for j ≥ 1, where the group sizes
+// g_j halve along the chain so every FD holds. n must be positive.
+func (c *Chain) ViewInstance(n int) *relation.Relation {
+	v := relation.New(c.X)
+	h := c.X.Len()
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, h)
+		t[0] = c.Syms.Const(fmt.Sprintf("v0_%d", i))
+		for j := 1; j < h; j++ {
+			t[j] = c.Syms.Const(fmt.Sprintf("v%d_%d", j, i%groupSize(n, j)))
+		}
+		v.Insert(t)
+	}
+	return v
+}
+
+// InsertTuple builds a fresh view tuple whose non-A₀ values match row 0 of
+// ViewInstance(n), so condition (a) holds for the pivot attribute.
+func (c *Chain) InsertTuple(n int) relation.Tuple {
+	h := c.X.Len()
+	t := make(relation.Tuple, h)
+	t[0] = c.Syms.Const("fresh0")
+	for j := 1; j < h; j++ {
+		t[j] = c.Syms.Const(fmt.Sprintf("v%d_%d", j, 0))
+	}
+	return t
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+func TestRandomFDsShape(t *testing.T) {
+	e := NewEDM()
+	rng := rand.New(rand.NewSource(1))
+	fds := RandomFDs(e.Schema.Universe(), rng, 5)
+	if len(fds) != 5 {
+		t.Fatalf("got %d FDs", len(fds))
+	}
+	for _, f := range fds {
+		if f.From.IsEmpty() || f.To.IsEmpty() {
+			t.Errorf("degenerate FD %v", f)
+		}
+		if f.IsTrivial() {
+			t.Errorf("trivial FD %v", f)
+		}
+	}
+}
+
+func TestQuickRandomLegalInstanceIsLegal(t *testing.T) {
+	e := NewEDM()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		syms := value.NewSymbols()
+		r := RandomLegalInstance(e.Schema, syms, rng, 20, 4)
+		ok, _ := e.Schema.Legal(r)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEDMFixture(t *testing.T) {
+	e := NewEDM()
+	if !core.Complementary(e.Schema, e.ED, e.DM) {
+		t.Error("ED/DM not complementary")
+	}
+	if !core.Complementary(e.Schema, e.ED, e.EM) {
+		t.Error("ED/EM not complementary")
+	}
+	r := e.Instance(10, 3)
+	if r.Len() != 10 {
+		t.Fatalf("instance has %d tuples", r.Len())
+	}
+	if ok, bad := e.Schema.Legal(r); !ok {
+		t.Fatalf("EDM instance violates %v", bad)
+	}
+	v := e.ViewInstance(10, 3)
+	if !v.Attrs().Equal(e.ED) {
+		t.Error("view attrs wrong")
+	}
+	if v.Len() != 10 {
+		t.Errorf("view has %d tuples", v.Len())
+	}
+}
+
+func TestEDMNewEmployeeTupleTranslatable(t *testing.T) {
+	e := NewEDM()
+	p := core.MustPair(e.Schema, e.ED, e.DM)
+	v := e.ViewInstance(12, 4)
+	tup := e.NewEmployeeTuple("zoe", 2)
+	d, err := p.DecideInsert(v, tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Translatable {
+		t.Fatalf("EDM insert not translatable: %+v", d)
+	}
+}
+
+func TestChainFixture(t *testing.T) {
+	for _, tc := range []struct{ w, h int }{{4, 2}, {6, 3}, {8, 4}} {
+		c := NewChain(tc.w, tc.h)
+		if c.X.Len() != tc.h {
+			t.Fatalf("w=%d h=%d: |X| = %d", tc.w, tc.h, c.X.Len())
+		}
+		if !core.Complementary(c.Schema, c.X, c.Y) {
+			t.Fatalf("w=%d h=%d: X,Y not complementary", tc.w, tc.h)
+		}
+		if c.X.Intersect(c.Y).Len() != 1 {
+			t.Fatalf("w=%d h=%d: pivot not single", tc.w, tc.h)
+		}
+	}
+}
+
+func TestChainViewSatisfiesProjectedFDs(t *testing.T) {
+	c := NewChain(6, 3)
+	for _, n := range []int{1, 2, 7, 16, 33} {
+		v := c.ViewInstance(n)
+		if v.Len() != n {
+			t.Fatalf("n=%d: view has %d tuples", n, v.Len())
+		}
+		// Every FD of Σ whose attributes lie in X must hold in the view.
+		for _, f := range c.Schema.Sigma().FDs() {
+			if f.From.Union(f.To).SubsetOf(c.X) && !v.SatisfiesFD(f) {
+				t.Fatalf("n=%d: view violates %v", n, f)
+			}
+		}
+	}
+}
+
+func TestChainInsertTranslatable(t *testing.T) {
+	c := NewChain(6, 3)
+	p := core.MustPair(c.Schema, c.X, c.Y)
+	for _, n := range []int{4, 16, 64} {
+		v := c.ViewInstance(n)
+		tup := c.InsertTuple(n)
+		if v.Contains(tup) {
+			t.Fatalf("n=%d: insert tuple already present", n)
+		}
+		d, err := p.DecideInsert(v, tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Translatable {
+			t.Fatalf("n=%d: chain insert not translatable: %+v", n, d)
+		}
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	for _, tc := range []struct{ w, h int }{{3, 1}, {3, 3}, {2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewChain(%d, %d) did not panic", tc.w, tc.h)
+				}
+			}()
+			NewChain(tc.w, tc.h)
+		}()
+	}
+}
+
+func TestGroupSizeDivisibility(t *testing.T) {
+	for n := 2; n <= 257; n += 17 {
+		prev := 0
+		for j := 1; j < 8; j++ {
+			g := groupSize(n, j)
+			if g < 2 {
+				t.Fatalf("groupSize(%d,%d) = %d < 2", n, j, g)
+			}
+			if prev > 0 && prev%g != 0 {
+				t.Fatalf("groupSize(%d,%d)=%d does not divide previous %d", n, j, g, prev)
+			}
+			prev = g
+		}
+	}
+}
+
+func TestRandomLegalInstanceRespectsDomain(t *testing.T) {
+	e := NewEDM()
+	syms := value.NewSymbols()
+	rng := rand.New(rand.NewSource(3))
+	r := RandomLegalInstance(e.Schema, syms, rng, 50, 3)
+	if r.Len() == 0 {
+		t.Fatal("empty instance")
+	}
+	for _, tp := range r.Tuples() {
+		for _, v := range tp {
+			if v.IsNull() {
+				t.Fatal("null in generated instance")
+			}
+		}
+	}
+	_ = relation.Tuple{}
+}
