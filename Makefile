@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench examples experiments fuzz clean
+.PHONY: all check build vet test race cover bench examples experiments fuzz clean
 
 all: build vet test
+
+# Tier-1 gate: everything CI requires green (see README).
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -21,8 +24,9 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# Run the kernel/experiment benchmarks and record them as JSON.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_relation.json
 
 # Run every example binary (smoke test).
 examples:

@@ -442,13 +442,152 @@ func BenchmarkA3Join(b *testing.B) {
 	vy := db.Project(e.DM)
 	tx := relation.Singleton(e.ED, e.NewEmployeeTuple("probe", 0))
 	b.Run("hash", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tx.JoinWith(vy, relation.HashJoin)
 		}
 	})
 	b.Run("sort-merge", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tx.JoinWith(vy, relation.SortMergeJoin)
 		}
 	})
+}
+
+// --- Kernel micro-benchmarks ---
+//
+// These track the relational-kernel perf trajectory across PRs (make
+// bench writes them to BENCH_relation.json). Unlike E1–E16 they measure
+// single engine operations, so allocation counts are meaningful.
+
+func BenchmarkRelInsert100k(b *testing.B) {
+	const n, w = 100000, 4
+	rng := rand.New(rand.NewSource(7))
+	u := attr.MustUniverse("A", "B", "C", "D")
+	tuples := workload.BulkTuples(rng, n, w, 1<<20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := relation.New(u.All())
+		for _, t := range tuples {
+			r.Insert(t)
+		}
+	}
+}
+
+func BenchmarkRelContains(b *testing.B) {
+	const n, w = 100000, 4
+	rng := rand.New(rand.NewSource(8))
+	u := attr.MustUniverse("A", "B", "C", "D")
+	tuples := workload.BulkTuples(rng, n, w, 1<<20)
+	r := relation.New(u.All())
+	for _, t := range tuples {
+		r.Insert(t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !r.Contains(tuples[i%n]) {
+			b.Fatal("missing tuple")
+		}
+	}
+}
+
+func BenchmarkRelProject(b *testing.B) {
+	const n, w = 100000, 6
+	rng := rand.New(rand.NewSource(9))
+	u := attr.MustUniverse("A", "B", "C", "D", "E", "F")
+	tuples := workload.BulkTuples(rng, n, w, 64)
+	r := relation.New(u.All())
+	for _, t := range tuples {
+		r.Insert(t)
+	}
+	onto := u.MustSet("B", "D", "F")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Project(onto)
+	}
+}
+
+func BenchmarkRelUnionDiff(b *testing.B) {
+	const n, w = 50000, 4
+	rng := rand.New(rand.NewSource(10))
+	u := attr.MustUniverse("A", "B", "C", "D")
+	mk := func() *relation.Relation {
+		r := relation.New(u.All())
+		for _, t := range workload.BulkTuples(rng, n, w, 1<<16) {
+			r.Insert(t)
+		}
+		return r
+	}
+	r, s := mk(), mk()
+	b.Run("union", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Union(s)
+		}
+	})
+	b.Run("diff", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Diff(s)
+		}
+	})
+}
+
+func BenchmarkRelChaseInstance(b *testing.B) {
+	c := workload.NewChain(6, 3)
+	fds := c.Schema.Sigma().SplitFDs()
+	u := c.Schema.Universe()
+	v := c.ViewInstance(1024)
+	var gen value.NullGen
+	padded := relation.New(u.All())
+	for _, t := range v.Tuples() {
+		nt := make(relation.Tuple, u.Size())
+		for col := 0; col < u.Size(); col++ {
+			if vc := v.Col(attr.ID(col)); vc >= 0 {
+				nt[col] = t[vc]
+			} else {
+				nt[col] = gen.Fresh()
+			}
+		}
+		padded.Insert(nt)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chase.Instance(padded, fds)
+	}
+}
+
+// BenchmarkRelJoin100k joins two 100k-tuple relations sharing two
+// attributes, serially and with the partitioned parallel kernel, to
+// record the Parallelism knob's effect at scale.
+func BenchmarkRelJoin100k(b *testing.B) {
+	const n = 100000
+	rng := rand.New(rand.NewSource(11))
+	ur := attr.MustUniverse("A", "B", "C", "D")
+	rset, _ := ur.ParseSet("A B C")
+	sset, _ := ur.ParseSet("B C D")
+	mkRel := func(set attr.Set) *relation.Relation {
+		r := relation.New(set)
+		for _, t := range workload.BulkTuples(rng, n, 3, 512) {
+			r.Insert(t)
+		}
+		return r
+	}
+	r, s := mkRel(rset), mkRel(sset)
+	for _, nw := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", nw), func(b *testing.B) {
+			relation.Parallelism(nw)
+			defer relation.Parallelism(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Join(s)
+			}
+		})
+	}
 }

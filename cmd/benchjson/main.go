@@ -1,0 +1,81 @@
+// Command benchjson converts `go test -bench` output (read from stdin or
+// a file argument) into a JSON array of benchmark records, so benchmark
+// runs can be committed and diffed (see the Makefile's bench target,
+// which writes BENCH_relation.json).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result line.
+type Record struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	in := os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	recs := []Record{} // non-nil so no-input still marshals as []
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		rec := Record{Name: fields[0], Procs: 1}
+		if i := strings.LastIndex(rec.Name, "-"); i > 0 {
+			if p, err := strconv.Atoi(rec.Name[i+1:]); err == nil {
+				rec.Name, rec.Procs = rec.Name[:i], p
+			}
+		}
+		var err error
+		if rec.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		if rec.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			continue
+		}
+		for i := 4; i+1 < len(fields); i += 2 {
+			switch fields[i+1] {
+			case "B/op":
+				rec.BytesPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+			case "allocs/op":
+				rec.AllocsPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+			}
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}

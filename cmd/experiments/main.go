@@ -8,6 +8,13 @@
 //	experiments              # run everything
 //	experiments -run E5,E7   # run selected experiments
 //	experiments -quick       # smaller sweeps (CI-sized)
+//	experiments -parallel 8  # 8-way parallel relational kernels
+//
+// -parallel n sets relation.Parallelism: n > 1 switches the joins,
+// Project, SelectEq and FD-satisfaction scans to n worker goroutines
+// (0 means GOMAXPROCS; inputs under 4096 tuples stay serial). Results
+// are identical for any value — the complexity experiments' timings are
+// meaningful only at the default -parallel=1.
 package main
 
 import (
@@ -17,6 +24,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"github.com/constcomp/constcomp/internal/relation"
 )
 
 // experiment is one runnable table.
@@ -41,7 +50,9 @@ func main() {
 	runSpec := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	par := flag.Int("parallel", 1, "relational kernel workers (0 = GOMAXPROCS; >1 enables parallel kernels)")
 	flag.Parse()
+	relation.Parallelism(*par)
 
 	sort.Slice(registry, func(i, j int) bool { return registry[i].id < registry[j].id })
 	if *list {

@@ -16,8 +16,21 @@
 //	internal/bs         the abstract Bancilhon–Spyratos framework
 //	internal/workload   schema/instance generators
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The benchmarks in bench_test.go regenerate every experiment's
-// micro-measurements; cmd/experiments prints the full tables.
+// # Parallelism
+//
+// The relational kernels are serial by default. relation.Parallelism(n)
+// switches the joins, Project, SelectEq and the FD-satisfaction scan to
+// n worker goroutines (n <= 0 selects GOMAXPROCS); inputs smaller than
+// 4096 tuples always take the serial path, where goroutine fan-out costs
+// more than it saves. Parallel results are deterministic — tuple-for-
+// tuple identical to the serial output for any worker count — so the
+// knob never changes answers, only wall-clock time. cmd/experiments
+// exposes it as -parallel; the complexity experiments are meaningful
+// only at the default -parallel=1.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, the
+// kernel architecture and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go regenerate
+// every experiment's micro-measurements (make bench records them in
+// BENCH_relation.json); cmd/experiments prints the full tables.
 package constcomp

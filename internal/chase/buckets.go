@@ -1,0 +1,90 @@
+package chase
+
+// Hash bucketing for the chase passes.
+//
+// Every chase variant repeatedly groups rows by the (resolved) values of
+// an FD's left-hand side. These buckets used to be Go maps keyed by
+// per-row string serializations — one string allocation per row per FD
+// per pass. They are now 64-bit FNV-1a hashes over the resolved value
+// words feeding a fixed-size open-addressing head table with intrusive
+// chains; collisions are verified against the actual resolved values, so
+// hash quality affects only speed, never results. This mirrors
+// internal/relation's tuple index (kept separate so the relation
+// package's kernel internals stay unexported).
+
+const (
+	hashSeed  = 14695981039346656037
+	hashPrime = 1099511628211
+)
+
+// hashVal folds one 64-bit word into a running FNV-1a hash.
+func hashVal(h, x uint64) uint64 { return (h ^ x) * hashPrime }
+
+// hashMix applies a splitmix64 finalizer so the low bits are well mixed.
+func hashMix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// bucketSlot maps a key hash to the head of an intrusive chain
+// (head == -1 marks an empty slot).
+type bucketSlot struct {
+	key  uint64
+	head int
+}
+
+// bucketTable is a fixed-size open-addressing map from hash to chain
+// head. It is sized once for a known number of entries and never grows;
+// chains are threaded through a caller-owned next array.
+type bucketTable struct {
+	slots []bucketSlot
+}
+
+// newBucketTable returns a table with room for n entries at ≤ 3/4 load.
+func newBucketTable(n int) *bucketTable {
+	size := 8
+	for size*3 < n*4 {
+		size *= 2
+	}
+	bt := &bucketTable{slots: make([]bucketSlot, size)}
+	for i := range bt.slots {
+		bt.slots[i].head = -1
+	}
+	return bt
+}
+
+// get returns the chain head for key h, or -1.
+func (bt *bucketTable) get(h uint64) int {
+	m := len(bt.slots) - 1
+	for i := int(h & uint64(m)); ; i = (i + 1) & m {
+		s := bt.slots[i]
+		if s.head < 0 {
+			return -1
+		}
+		if s.key == h {
+			return s.head
+		}
+	}
+}
+
+// put sets the chain head for key h, returning the previous head or -1.
+func (bt *bucketTable) put(h uint64, head int) int {
+	m := len(bt.slots) - 1
+	for i := int(h & uint64(m)); ; i = (i + 1) & m {
+		s := &bt.slots[i]
+		if s.head < 0 {
+			s.key = h
+			s.head = head
+			return -1
+		}
+		if s.key == h {
+			prev := s.head
+			s.head = head
+			return prev
+		}
+	}
+}

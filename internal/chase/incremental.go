@@ -17,9 +17,11 @@ type Prepared struct {
 	rel *relation.Relation
 	// plans[i] holds the Z and A column indexes of fds[i].
 	plans [][2][]int
-	// buckets[i] maps the base Z-key of fds[i] to a representative row.
-	// In a fixpoint, all rows of a bucket agree on the A columns.
-	buckets []map[string]int
+	// baseBuckets[i]/baseNext[i] chain one representative row per
+	// distinct base Z-key of fds[i], keyed by the Z-key hash. In a
+	// fixpoint, all rows with a chained row's Z-key agree on A.
+	baseBuckets []*bucketTable
+	baseNext    [][]int
 	// valueRows maps each value to the rows containing it.
 	valueRows map[value.Value][]int
 }
@@ -35,16 +37,26 @@ func Prepare(rel *relation.Relation, fds []dep.FD) *Prepared {
 		f.To.Each(func(id attr.ID) bool { ac = append(ac, rel.Col(id)); return true })
 		p.plans = append(p.plans, [2][]int{zc, ac})
 	}
-	p.buckets = make([]map[string]int, len(p.plans))
+	p.baseBuckets = make([]*bucketTable, len(p.plans))
+	p.baseNext = make([][]int, len(p.plans))
 	for fi, plan := range p.plans {
-		m := make(map[string]int, rel.Len())
+		bt := newBucketTable(rel.Len())
+		nx := make([]int, rel.Len())
 		for ri, row := range rel.Tuples() {
-			k := keyOf(row, plan[0], nil)
-			if _, ok := m[k]; !ok {
-				m[k] = ri
+			h := zHash(row, plan[0], nil)
+			dup := false
+			for j := bt.get(h); j >= 0; j = nx[j] {
+				if zEqual(rel.Tuple(j), row, plan[0], nil) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				nx[ri] = bt.put(h, ri)
 			}
 		}
-		p.buckets[fi] = m
+		p.baseBuckets[fi] = bt
+		p.baseNext[fi] = nx
 	}
 	for ri, row := range rel.Tuples() {
 		seen := map[value.Value]bool{}
@@ -58,20 +70,33 @@ func Prepare(rel *relation.Relation, fds []dep.FD) *Prepared {
 	return p
 }
 
-// keyOf serializes the resolved values of the given columns.
-func keyOf(row relation.Tuple, cols []int, ov *Overlay) string {
-	b := make([]byte, 0, len(cols)*8)
+// zHash hashes the given columns of a row, resolving each value through
+// the overlay when ov is non-nil.
+func zHash(row relation.Tuple, cols []int, ov *Overlay) uint64 {
+	h := uint64(hashSeed)
 	for _, c := range cols {
 		v := row[c]
 		if ov != nil {
 			v = ov.findBase(v)
 		}
-		u := uint64(v)
-		for i := 0; i < 8; i++ {
-			b = append(b, byte(u>>(8*i)))
+		h = hashVal(h, uint64(v))
+	}
+	return hashMix(h)
+}
+
+// zEqual compares two rows on the given columns, resolving through the
+// overlay when ov is non-nil.
+func zEqual(a, b relation.Tuple, cols []int, ov *Overlay) bool {
+	for _, c := range cols {
+		va, vb := a[c], b[c]
+		if ov != nil {
+			va, vb = ov.findBase(va), ov.findBase(vb)
+		}
+		if va != vb {
+			return false
 		}
 	}
-	return string(b)
+	return true
 }
 
 // Overlay is the result of imposing equalities on a Prepared fixpoint:
@@ -81,9 +106,10 @@ type Overlay struct {
 	parent  map[value.Value]value.Value
 	members map[value.Value][]value.Value
 	clash   bool
-	// overlayBuckets[fi] maps overlay Z-keys discovered during
-	// propagation to a representative row.
-	overlayBuckets []map[string]int
+	// overlayBuckets[fi] maps overlay Z-key hashes discovered during
+	// propagation to representative rows (one per distinct key; a list
+	// because distinct keys can share a hash).
+	overlayBuckets []map[uint64][]int
 }
 
 // WithEqualities imposes the given value pairs (over the base relation's
@@ -94,10 +120,10 @@ func (p *Prepared) WithEqualities(pairs [][2]value.Value) *Overlay {
 		p:              p,
 		parent:         make(map[value.Value]value.Value),
 		members:        make(map[value.Value][]value.Value),
-		overlayBuckets: make([]map[string]int, len(p.plans)),
+		overlayBuckets: make([]map[uint64][]int, len(p.plans)),
 	}
 	for i := range ov.overlayBuckets {
-		ov.overlayBuckets[i] = make(map[string]int)
+		ov.overlayBuckets[i] = make(map[uint64][]int)
 	}
 	var queue []value.Value
 	for _, pr := range pairs {
@@ -121,19 +147,28 @@ func (p *Prepared) WithEqualities(pairs [][2]value.Value) *Overlay {
 		for ri := range rows {
 			row := p.rel.Tuple(ri)
 			for fi, plan := range p.plans {
-				k := keyOf(row, plan[0], ov)
-				other, ok := ov.overlayBuckets[fi][k]
-				if !ok {
-					// Fall back to the base bucket, validating that its
-					// representative still has this overlay key.
-					if base, ok2 := p.buckets[fi][k]; ok2 &&
-						keyOf(p.rel.Tuple(base), plan[0], ov) == k {
-						other = base
-						ok = true
+				h := zHash(row, plan[0], ov)
+				other := -1
+				for _, cand := range ov.overlayBuckets[fi][h] {
+					if zEqual(p.rel.Tuple(cand), row, plan[0], ov) {
+						other = cand
+						break
 					}
 				}
-				if !ok {
-					ov.overlayBuckets[fi][k] = ri
+				if other < 0 {
+					// Fall back to the base chains: a representative whose
+					// resolved key equals this row's (verified, so it does
+					// not matter that chains are keyed by base hashes).
+					nx := p.baseNext[fi]
+					for j := p.baseBuckets[fi].get(h); j >= 0; j = nx[j] {
+						if zEqual(p.rel.Tuple(j), row, plan[0], ov) {
+							other = j
+							break
+						}
+					}
+				}
+				if other < 0 {
+					ov.overlayBuckets[fi][h] = append(ov.overlayBuckets[fi][h], ri)
 					continue
 				}
 				if other == ri {

@@ -1,8 +1,6 @@
 package chase
 
 import (
-	"sort"
-
 	"github.com/constcomp/constcomp/internal/attr"
 	"github.com/constcomp/constcomp/internal/dep"
 	"github.com/constcomp/constcomp/internal/relation"
@@ -95,32 +93,39 @@ func Instance(rel *relation.Relation, fds []dep.FD) *Result {
 		plans = append(plans, [2][]int{zc, ac})
 	}
 	tuples := rel.Tuples()
-	key := make([]byte, 0, 64)
+	next := make([]int, len(tuples))
 	for {
 		changed := false
 		for _, p := range plans {
 			zc, ac := p[0], p[1]
-			buckets := make(map[string]relation.Tuple, len(tuples))
-			for _, t := range tuples {
-				key = key[:0]
+			// Bucket rows by the hash of their resolved Z values; one
+			// chain entry per distinct resolved Z (collisions verified).
+			bt := newBucketTable(len(tuples))
+			for ti, t := range tuples {
+				h := uint64(hashSeed)
 				for _, c := range zc {
-					v := res.Find(t[c])
-					u := uint64(v)
-					key = append(key, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-						byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+					h = hashVal(h, uint64(res.Find(t[c])))
 				}
-				k := string(key)
-				if prev, ok := buckets[k]; ok {
-					for _, c := range ac {
-						if res.union(prev[c], t[c]) {
-							changed = true
-						}
-						if res.clash {
-							return res
-						}
+				h = hashMix(h)
+				rep := -1
+				for j := bt.get(h); j >= 0; j = next[j] {
+					if sameResolved(tuples[j], t, zc, res) {
+						rep = j
+						break
 					}
-				} else {
-					buckets[k] = t
+				}
+				if rep < 0 {
+					next[ti] = bt.put(h, ti)
+					continue
+				}
+				prev := tuples[rep]
+				for _, c := range ac {
+					if res.union(prev[c], t[c]) {
+						changed = true
+					}
+					if res.clash {
+						return res
+					}
 				}
 			}
 		}
@@ -130,6 +135,17 @@ func Instance(rel *relation.Relation, fds []dep.FD) *Result {
 	}
 	res.rel = canonicalize(rel, res)
 	return res
+}
+
+// sameResolved reports whether two rows agree on the given columns after
+// resolving through the chase's union-find.
+func sameResolved(a, b relation.Tuple, cols []int, res *Result) bool {
+	for _, c := range cols {
+		if res.Find(a[c]) != res.Find(b[c]) {
+			return false
+		}
+	}
+	return true
 }
 
 // InstanceSortBased chases rel with fds using the literal algorithm of the
@@ -166,14 +182,7 @@ func InstanceSortBased(rel *relation.Relation, fds []dep.FD) *Result {
 		for _, p := range plans {
 			for {
 				// Sort lexicographically by the Z columns.
-				sort.Slice(work, func(a, b int) bool {
-					for _, c := range p.zc {
-						if work[a][c] != work[b][c] {
-							return work[a][c] < work[b][c]
-						}
-					}
-					return false
-				})
+				relation.SortTuplesBy(work, p.zc)
 				// First adjacent violating pair.
 				fired := false
 				for i := 1; i < len(work) && !fired; i++ {

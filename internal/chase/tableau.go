@@ -32,11 +32,13 @@ type tableau struct {
 	width  int
 	parent []int
 	rows   [][]int
-	seen   map[string]bool
+	// seen maps a canonical row's hash to the indices of rows with that
+	// hash (verified by element comparison on lookup).
+	seen map[uint64][]int
 }
 
 func newTableau(width int) *tableau {
-	t := &tableau{width: width, seen: make(map[string]bool)}
+	t := &tableau{width: width, seen: make(map[uint64][]int)}
 	t.parent = make([]int, width)
 	for i := range t.parent {
 		t.parent[i] = i
@@ -73,37 +75,63 @@ func (t *tableau) union(a, b int) bool {
 	return true
 }
 
+// sameFind reports whether two symbol rows agree on the given columns
+// after resolving through the union-find.
+func (t *tableau) sameFind(a, b []int, cols []int) bool {
+	for _, c := range cols {
+		if t.find(a[c]) != t.find(b[c]) {
+			return false
+		}
+	}
+	return true
+}
+
 // addRow canonicalizes and inserts a row, reporting whether it was new.
 func (t *tableau) addRow(row []int) bool {
 	c := make([]int, t.width)
 	for i, s := range row {
 		c[i] = t.find(s)
 	}
-	k := rowKey(c)
-	if t.seen[k] {
-		return false
+	h := hashInts(c)
+	for _, ri := range t.seen[h] {
+		if intsEqual(t.rows[ri], c) {
+			return false
+		}
 	}
 	if len(t.rows) >= maxTableauRows {
 		panic(fmt.Sprintf("chase: tableau exceeded %d rows", maxTableauRows))
 	}
-	t.seen[k] = true
+	t.seen[h] = append(t.seen[h], len(t.rows))
 	t.rows = append(t.rows, c)
 	return true
 }
 
-func rowKey(row []int) string {
-	b := make([]byte, 0, len(row)*4)
-	for _, s := range row {
-		b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+// hashInts hashes a symbol row (FNV-1a over the words, mixed).
+func hashInts(xs []int) uint64 {
+	h := uint64(hashSeed)
+	for _, x := range xs {
+		h = hashVal(h, uint64(x))
 	}
-	return string(b)
+	return hashMix(h)
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // recanonicalize rewrites every row with representatives and dedups.
 func (t *tableau) recanonicalize() {
 	rows := t.rows
 	t.rows = nil
-	t.seen = make(map[string]bool, len(rows))
+	t.seen = make(map[uint64][]int, len(rows))
 	for _, r := range rows {
 		t.addRow(r)
 	}
@@ -117,21 +145,31 @@ func (t *tableau) applyFDs(fds []dep.FD, cols map[attr.ID]int) bool {
 		for _, f := range fds {
 			zc := colIdx(f.From, cols)
 			ac := colIdx(f.To, cols)
-			buckets := make(map[string][]int, len(t.rows))
-			key := make([]int, len(zc))
+			// Chain rows by the hash of their resolved Z symbols; one
+			// entry per distinct resolved Z (collisions verified).
+			bt := newBucketTable(len(t.rows))
+			next := make([]int, len(t.rows))
 			for ri, row := range t.rows {
-				for i, c := range zc {
-					key[i] = t.find(row[c])
+				h := uint64(hashSeed)
+				for _, c := range zc {
+					h = hashVal(h, uint64(t.find(row[c])))
 				}
-				k := rowKey(key)
-				if prev, ok := buckets[k]; ok {
-					for _, c := range ac {
-						if t.union(t.rows[prev[0]][c], row[c]) {
-							changed = true
-						}
+				h = hashMix(h)
+				rep := -1
+				for j := bt.get(h); j >= 0; j = next[j] {
+					if t.sameFind(t.rows[j], row, zc) {
+						rep = j
+						break
 					}
-				} else {
-					buckets[k] = []int{ri}
+				}
+				if rep < 0 {
+					next[ri] = bt.put(h, ri)
+					continue
+				}
+				for _, c := range ac {
+					if t.union(t.rows[rep][c], row[c]) {
+						changed = true
+					}
 				}
 			}
 		}

@@ -476,7 +476,9 @@ func (p *Pair) ApplyInsert(r *relation.Relation, t relation.Tuple) (*relation.Re
 	}
 	out := r.Clone()
 	for _, nt := range joined.Tuples() {
-		out.Insert(nt.Clone())
+		// Tuples are immutable once inserted (relation's sharing
+		// invariant), so the joined tuples can be shared, not copied.
+		out.Insert(nt)
 	}
 	if ok, bad := p.schema.Legal(out); !ok {
 		return nil, fmt.Errorf("core: translated insertion violates %v", bad)

@@ -159,7 +159,8 @@ func (p *Pair) ApplyReplace(r *relation.Relation, t1, t2 relation.Tuple) (*relat
 		out.Delete(dt)
 	}
 	for _, nt := range added.Tuples() {
-		out.Insert(nt.Clone())
+		// Shared, not copied: tuples are immutable once inserted.
+		out.Insert(nt)
 	}
 	if ok, bad := p.schema.Legal(out); !ok {
 		return nil, fmt.Errorf("core: translated replacement violates %v", bad)

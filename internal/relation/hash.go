@@ -1,0 +1,264 @@
+package relation
+
+import "github.com/constcomp/constcomp/internal/value"
+
+// Tuple hashing and the open-addressing tuple index.
+//
+// Tuples are hashed as 64-bit FNV-1a over their value.Value machine
+// words, followed by a splitmix64-style finalizer so the low bits (used
+// as the table mask) are well mixed even for the small dense integers
+// Symbols hands out. Hash collisions are possible and are always
+// resolved by verifying against the actual tuple contents, so no
+// correctness rests on hash quality — only speed does.
+//
+// The index stores (hash, position) pairs in a linear-probing table and
+// keeps no keys of its own: equality is checked against the backing
+// []Tuple slice. Insert/Contains/Delete therefore allocate nothing per
+// tuple (the old implementation rendered every tuple into a fresh
+// string key on every operation).
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashWord folds one value into a running FNV-1a word hash.
+func hashWord(h uint64, v value.Value) uint64 {
+	return (h ^ uint64(v)) * fnvPrime64
+}
+
+// hashFinish applies a splitmix64 finalizer to the accumulated hash.
+func hashFinish(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// hashTuple hashes a whole tuple.
+func hashTuple(t Tuple) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range t {
+		h = hashWord(h, v)
+	}
+	return hashFinish(h)
+}
+
+// hashCols hashes the projection of t onto the given columns.
+func hashCols(t Tuple, cols []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range cols {
+		h = hashWord(h, t[c])
+	}
+	return hashFinish(h)
+}
+
+// equalOn reports whether a's cols am equal b's cols bm pointwise.
+func equalOn(a Tuple, am []int, b Tuple, bm []int) bool {
+	for i := range am {
+		if a[am[i]] != b[bm[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// tslot is one index slot: the tuple's hash and its position in the
+// backing slice, or idx == -1 for an empty slot.
+type tslot struct {
+	hash uint64
+	idx  int
+}
+
+// table is the open-addressing index. The zero value is an empty index;
+// slots are allocated on first add.
+type table struct {
+	slots []tslot
+	n     int
+}
+
+// minTableSize is the initial slot count (power of two).
+const minTableSize = 8
+
+// reset empties the table, reserving space for capHint entries.
+func (tb *table) reset(capHint int) {
+	size := minTableSize
+	for size*3 < capHint*4 { // grow until load ≤ 3/4 at capHint entries
+		size *= 2
+	}
+	if len(tb.slots) != size {
+		tb.slots = make([]tslot, size)
+	}
+	for i := range tb.slots {
+		tb.slots[i] = tslot{idx: -1}
+	}
+	tb.n = 0
+}
+
+// lookup returns the backing position of t, or -1 if absent.
+func (tb *table) lookup(h uint64, t Tuple, tuples []Tuple) int {
+	if len(tb.slots) == 0 {
+		return -1
+	}
+	m := len(tb.slots) - 1
+	for i := int(h & uint64(m)); ; i = (i + 1) & m {
+		s := tb.slots[i]
+		if s.idx < 0 {
+			return -1
+		}
+		if s.hash == h && tuples[s.idx].Equal(t) {
+			return s.idx
+		}
+	}
+}
+
+// add records that the tuple with hash h lives at backing position idx.
+// The caller must have verified absence (lookup < 0).
+func (tb *table) add(h uint64, idx int) {
+	if tb.n*4 >= len(tb.slots)*3 {
+		tb.grow()
+	}
+	m := len(tb.slots) - 1
+	i := int(h & uint64(m))
+	for tb.slots[i].idx >= 0 {
+		i = (i + 1) & m
+	}
+	tb.slots[i] = tslot{hash: h, idx: idx}
+	tb.n++
+}
+
+// grow doubles the slot array and reinserts every live entry (the stored
+// hashes make this a pure memory shuffle; tuples are never re-hashed).
+func (tb *table) grow() {
+	size := minTableSize
+	if len(tb.slots) > 0 {
+		size = len(tb.slots) * 2
+	}
+	old := tb.slots
+	tb.slots = make([]tslot, size)
+	for i := range tb.slots {
+		tb.slots[i].idx = -1
+	}
+	m := size - 1
+	for _, s := range old {
+		if s.idx < 0 {
+			continue
+		}
+		i := int(s.hash & uint64(m))
+		for tb.slots[i].idx >= 0 {
+			i = (i + 1) & m
+		}
+		tb.slots[i] = s
+	}
+}
+
+// fix rewrites the backing position of the entry (h, old) to new; used
+// when a delete swaps the last tuple into the vacated position.
+func (tb *table) fix(h uint64, old, new int) {
+	m := len(tb.slots) - 1
+	for i := int(h & uint64(m)); ; i = (i + 1) & m {
+		if tb.slots[i].idx == old && tb.slots[i].hash == h {
+			tb.slots[i].idx = new
+			return
+		}
+		if tb.slots[i].idx < 0 {
+			panic("relation: index entry to fix not found")
+		}
+	}
+}
+
+// remove deletes the entry (h, idx), backward-shifting the probe chain
+// (standard linear-probing deletion) so later lookups stay correct.
+func (tb *table) remove(h uint64, idx int) {
+	m := len(tb.slots) - 1
+	i := int(h & uint64(m))
+	for {
+		if tb.slots[i].idx < 0 {
+			panic("relation: index entry to remove not found")
+		}
+		if tb.slots[i].idx == idx && tb.slots[i].hash == h {
+			break
+		}
+		i = (i + 1) & m
+	}
+	for {
+		tb.slots[i].idx = -1
+		k := i
+		for {
+			k = (k + 1) & m
+			if tb.slots[k].idx < 0 {
+				tb.n--
+				return
+			}
+			home := int(tb.slots[k].hash & uint64(m))
+			// k's entry may move back to i only if its home position
+			// does not lie cyclically in (i, k].
+			if (k-home)&m >= (k-i)&m {
+				break
+			}
+		}
+		tb.slots[i] = tb.slots[k]
+		i = k
+	}
+}
+
+// headSlot maps a join/bucket hash to the head of a chain; head == -1
+// marks an empty slot.
+type headSlot struct {
+	key  uint64
+	head int
+}
+
+// headTable is a fixed-size open-addressing map from hash to chain head,
+// used by the hash join and the FD-satisfaction scan. It is sized once
+// for a known number of entries and never grows.
+type headTable struct {
+	slots []headSlot
+}
+
+// newHeadTable returns a table with room for n entries at ≤3/4 load.
+func newHeadTable(n int) *headTable {
+	size := minTableSize
+	for size*3 < n*4 {
+		size *= 2
+	}
+	ht := &headTable{slots: make([]headSlot, size)}
+	for i := range ht.slots {
+		ht.slots[i].head = -1
+	}
+	return ht
+}
+
+// get returns the chain head for key h, or -1.
+func (ht *headTable) get(h uint64) int {
+	m := len(ht.slots) - 1
+	for i := int(h & uint64(m)); ; i = (i + 1) & m {
+		s := ht.slots[i]
+		if s.head < 0 {
+			return -1
+		}
+		if s.key == h {
+			return s.head
+		}
+	}
+}
+
+// put sets the chain head for key h, returning the previous head or -1.
+func (ht *headTable) put(h uint64, head int) int {
+	m := len(ht.slots) - 1
+	for i := int(h & uint64(m)); ; i = (i + 1) & m {
+		s := &ht.slots[i]
+		if s.head < 0 {
+			s.key = h
+			s.head = head
+			return -1
+		}
+		if s.key == h {
+			prev := s.head
+			s.head = head
+			return prev
+		}
+	}
+}

@@ -12,7 +12,6 @@ package relation
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"github.com/constcomp/constcomp/internal/attr"
@@ -43,19 +42,6 @@ func (t Tuple) Equal(o Tuple) bool {
 	return true
 }
 
-// key renders the tuple as a compact map key.
-func (t Tuple) key() string {
-	var b strings.Builder
-	b.Grow(len(t) * 8)
-	for _, v := range t {
-		u := uint64(v)
-		for i := 0; i < 8; i++ {
-			b.WriteByte(byte(u >> (8 * i)))
-		}
-	}
-	return b.String()
-}
-
 // Less orders tuples lexicographically.
 func (t Tuple) Less(o Tuple) bool {
 	n := len(t)
@@ -73,12 +59,18 @@ func (t Tuple) Less(o Tuple) bool {
 // Relation is a set of tuples over a fixed attribute set. Duplicate
 // inserts are ignored (set semantics). The zero Relation is invalid; use
 // New.
+//
+// Tuples are immutable once inserted: neither the relation nor any
+// caller may modify a tuple reachable through Tuples or Tuple. Every
+// kernel relies on this invariant to share tuple slices instead of
+// copying them (Clone, Union, Diff, Select, the joins); mutate a Clone()
+// of a tuple, never the tuple itself.
 type Relation struct {
 	attrs  attr.Set
 	cols   []attr.ID       // ascending; cols[i] is the attribute of column i
 	pos    map[attr.ID]int // inverse of cols
 	tuples []Tuple
-	index  map[string]int // tuple key -> index in tuples
+	index  table // open-addressing hash index over tuples
 }
 
 // New returns an empty relation over the given attribute set.
@@ -88,7 +80,7 @@ func New(attrs attr.Set) *Relation {
 	for i, c := range cols {
 		pos[c] = i
 	}
-	return &Relation{attrs: attrs, cols: cols, pos: pos, index: make(map[string]int)}
+	return &Relation{attrs: attrs, cols: cols, pos: pos}
 }
 
 // Attrs returns the relation's attribute set.
@@ -124,17 +116,17 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
 
 // Insert adds a tuple (a copy is not taken; the caller relinquishes the
-// slice). It reports whether the tuple was new. It panics if the arity is
-// wrong.
+// slice and must never mutate it afterwards). It reports whether the
+// tuple was new. It panics if the arity is wrong.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != len(r.cols) {
 		panic(fmt.Sprintf("relation: inserting %d-tuple into %d-ary relation", len(t), len(r.cols)))
 	}
-	k := t.key()
-	if _, dup := r.index[k]; dup {
+	h := hashTuple(t)
+	if r.index.lookup(h, t, r.tuples) >= 0 {
 		return false
 	}
-	r.index[k] = len(r.tuples)
+	r.index.add(h, len(r.tuples))
 	r.tuples = append(r.tuples, t)
 	return true
 }
@@ -172,32 +164,39 @@ func (r *Relation) InsertNamed(syms *value.Symbols, vals map[string]string) erro
 
 // Contains reports whether the relation holds the tuple.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.index[t.key()]
-	return ok
+	return r.index.lookup(hashTuple(t), t, r.tuples) >= 0
 }
 
 // Delete removes the tuple if present, reporting whether it was found.
 func (r *Relation) Delete(t Tuple) bool {
-	k := t.key()
-	i, ok := r.index[k]
-	if !ok {
+	h := hashTuple(t)
+	i := r.index.lookup(h, t, r.tuples)
+	if i < 0 {
 		return false
 	}
+	r.index.remove(h, i)
 	last := len(r.tuples) - 1
 	if i != last {
-		r.tuples[i] = r.tuples[last]
-		r.index[r.tuples[i].key()] = i
+		moved := r.tuples[last]
+		r.tuples[i] = moved
+		r.index.fix(hashTuple(moved), last, i)
 	}
+	r.tuples[last] = nil
 	r.tuples = r.tuples[:last]
-	delete(r.index, k)
 	return true
 }
 
-// Clone returns a deep copy of the relation.
+// Clone returns an independent copy of the relation. Tuple slices are
+// shared with the receiver (tuples are immutable after insert), so this
+// is O(n) slot copying with no per-tuple allocation.
 func (r *Relation) Clone() *Relation {
 	out := New(r.attrs)
-	for _, t := range r.tuples {
-		out.Insert(t.Clone())
+	out.tuples = make([]Tuple, len(r.tuples))
+	copy(out.tuples, r.tuples)
+	out.index.n = r.index.n
+	if len(r.index.slots) > 0 {
+		out.index.slots = make([]tslot, len(r.index.slots))
+		copy(out.index.slots, r.index.slots)
 	}
 	return out
 }
@@ -238,64 +237,142 @@ func (r *Relation) ProjectTuple(t Tuple, attrs attr.Set) Tuple {
 	return out
 }
 
+// slab hands out tuple storage carved from block allocations, so kernels
+// that materialize many small tuples (Project, the joins) pay one
+// allocation per block instead of one per tuple.
+type slab struct {
+	buf []value.Value
+	off int
+}
+
+// slabBlock is how many tuples a slab block holds.
+const slabBlock = 256
+
+// tuple carves a fresh w-entry tuple.
+func (s *slab) tuple(w int) Tuple {
+	if s.off+w > len(s.buf) {
+		s.buf = make([]value.Value, (slabBlock+1)*w)
+		s.off = 0
+	}
+	t := Tuple(s.buf[s.off : s.off+w : s.off+w])
+	s.off += w
+	return t
+}
+
+// undo returns the storage of the tuple just carved (valid only
+// immediately after the matching tuple call, before the tuple escapes).
+func (s *slab) undo(w int) { s.off -= w }
+
+// insertProjection inserts π_m(src) into r, carving storage from sl only
+// when the projected tuple is new; duplicates allocate nothing.
+func (r *Relation) insertProjection(src Tuple, m []int, sl *slab) bool {
+	h := uint64(fnvOffset64)
+	for _, c := range m {
+		h = hashWord(h, src[c])
+	}
+	h = hashFinish(h)
+	if len(r.index.slots) > 0 {
+		msk := len(r.index.slots) - 1
+		for i := int(h & uint64(msk)); ; i = (i + 1) & msk {
+			s := r.index.slots[i]
+			if s.idx < 0 {
+				break
+			}
+			if s.hash != h {
+				continue
+			}
+			cand := r.tuples[s.idx]
+			dup := true
+			for j, c := range m {
+				if cand[j] != src[c] {
+					dup = false
+					break
+				}
+			}
+			if dup {
+				return false
+			}
+		}
+	}
+	t := sl.tuple(len(m))
+	for j, c := range m {
+		t[j] = src[c]
+	}
+	r.index.add(h, len(r.tuples))
+	r.tuples = append(r.tuples, t)
+	return true
+}
+
 // Project returns π_attrs(r) with duplicates removed.
 func (r *Relation) Project(attrs attr.Set) *Relation {
 	m := r.projector(attrs)
+	if n := len(r.tuples); n >= parallelThreshold && workers() > 1 {
+		return projectParallel(r, attrs, m)
+	}
 	out := New(attrs)
+	var sl slab
 	for _, t := range r.tuples {
-		p := make(Tuple, len(m))
-		for i, c := range m {
-			p[i] = t[c]
-		}
-		out.Insert(p)
+		out.insertProjection(t, m, &sl)
 	}
 	return out
 }
 
-// Select returns the tuples satisfying pred, as a new relation.
+// Select returns the tuples satisfying pred, as a new relation sharing
+// the selected tuples (tuples are immutable after insert).
 func (r *Relation) Select(pred func(Tuple) bool) *Relation {
 	out := New(r.attrs)
 	for _, t := range r.tuples {
 		if pred(t) {
-			out.Insert(t.Clone())
+			out.Insert(t)
 		}
 	}
 	return out
 }
 
 // SelectEq returns the tuples whose projection onto attrs equals key
-// (key's entries in ascending attribute order of attrs).
+// (key's entries in ascending attribute order of attrs). The key must
+// have exactly one entry per attribute.
 func (r *Relation) SelectEq(attrs attr.Set, key Tuple) *Relation {
 	m := r.projector(attrs)
+	if len(key) != len(m) {
+		panic(fmt.Sprintf("relation: SelectEq key has %d entries for %d attributes", len(key), len(m)))
+	}
+	if n := len(r.tuples); n >= parallelThreshold && workers() > 1 {
+		return selectEqParallel(r, m, key)
+	}
 	out := New(r.attrs)
 	for _, t := range r.tuples {
-		ok := true
-		for i, c := range m {
-			if t[c] != key[i] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out.Insert(t.Clone())
+		if equalKey(t, m, key) {
+			out.Insert(t)
 		}
 	}
 	return out
 }
 
-// Union returns r ∪ s over the same attribute set.
+// equalKey reports whether t's cols m equal key pointwise.
+func equalKey(t Tuple, m []int, key Tuple) bool {
+	for i, c := range m {
+		if t[c] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns r ∪ s over the same attribute set, sharing tuples with
+// both operands.
 func (r *Relation) Union(s *Relation) *Relation {
 	if !r.attrs.Equal(s.attrs) {
 		panic("relation: union over different attribute sets")
 	}
 	out := r.Clone()
 	for _, t := range s.tuples {
-		out.Insert(t.Clone())
+		out.Insert(t)
 	}
 	return out
 }
 
-// Diff returns r − s over the same attribute set.
+// Diff returns r − s over the same attribute set, sharing tuples with r.
 func (r *Relation) Diff(s *Relation) *Relation {
 	if !r.attrs.Equal(s.attrs) {
 		panic("relation: difference over different attribute sets")
@@ -303,7 +380,7 @@ func (r *Relation) Diff(s *Relation) *Relation {
 	out := New(r.attrs)
 	for _, t := range r.tuples {
 		if !s.Contains(t) {
-			out.Insert(t.Clone())
+			out.Insert(t)
 		}
 	}
 	return out
@@ -359,6 +436,55 @@ func joinPlan(r, s *Relation) (out *Relation, fromR, fromS []int) {
 	return out, fromR, fromS
 }
 
+// joinIndex is a chained hash index of one join operand's shared
+// columns: heads maps a key hash to the first tuple of its chain, next
+// threads tuples with equal hash. Collisions are verified by comparing
+// the actual shared columns.
+type joinIndex struct {
+	heads *headTable
+	next  []int
+}
+
+// buildJoinIndex indexes tuples[lo:hi] by hashCols(·, bm) into ji.
+func buildJoinIndex(ji *joinIndex, tuples []Tuple, bm []int, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ji.next[i] = ji.heads.put(hashCols(tuples[i], bm), i)
+	}
+}
+
+// probeJoin emits the join of probe tuples [lo, hi) against the build
+// index into out (which must be over the joinPlan schema). emit order
+// follows probe order, so chunked parallel probes merged in chunk order
+// reproduce the serial output exactly.
+func probeJoin(out *Relation, ji *joinIndex, build, probe *Relation, bm, pm, fromR, fromS []int, buildIsR bool, lo, hi int, sl *slab) {
+	w := len(out.cols)
+	for pi := lo; pi < hi; pi++ {
+		t := probe.tuples[pi]
+		h := hashCols(t, pm)
+		for j := ji.heads.get(h); j >= 0; j = ji.next[j] {
+			bt := build.tuples[j]
+			if !equalOn(bt, bm, t, pm) {
+				continue
+			}
+			rt, st := bt, t
+			if !buildIsR {
+				rt, st = t, bt
+			}
+			nt := sl.tuple(w)
+			for i := range nt {
+				if fromR[i] >= 0 {
+					nt[i] = rt[fromR[i]]
+				} else {
+					nt[i] = st[fromS[i]]
+				}
+			}
+			if !out.Insert(nt) {
+				sl.undo(w)
+			}
+		}
+	}
+}
+
 func joinHash(r, s *Relation) *Relation {
 	shared := r.attrs.Intersect(s.attrs)
 	// Build on the smaller side.
@@ -366,41 +492,16 @@ func joinHash(r, s *Relation) *Relation {
 	if s.Len() < r.Len() {
 		build, probe = s, r
 	}
+	if probe.Len() >= parallelThreshold && workers() > 1 {
+		return joinHashParallel(r, s, build, probe, shared)
+	}
 	bm := build.projector(shared)
 	pm := probe.projector(shared)
-	buckets := make(map[string][]Tuple, build.Len())
-	kbuf := make(Tuple, len(bm))
-	for _, t := range build.tuples {
-		for i, c := range bm {
-			kbuf[i] = t[c]
-		}
-		k := kbuf.key()
-		buckets[k] = append(buckets[k], t)
-	}
+	ji := &joinIndex{heads: newHeadTable(build.Len()), next: make([]int, build.Len())}
+	buildJoinIndex(ji, build.tuples, bm, 0, build.Len())
 	out, fromR, fromS := joinPlan(r, s)
-	emit := func(rt, st Tuple) {
-		nt := make(Tuple, len(out.cols))
-		for i := range nt {
-			if fromR[i] >= 0 {
-				nt[i] = rt[fromR[i]]
-			} else {
-				nt[i] = st[fromS[i]]
-			}
-		}
-		out.Insert(nt)
-	}
-	for _, t := range probe.tuples {
-		for i, c := range pm {
-			kbuf[i] = t[c]
-		}
-		for _, bt := range buckets[kbuf.key()] {
-			if build == r {
-				emit(bt, t)
-			} else {
-				emit(t, bt)
-			}
-		}
-	}
+	var sl slab
+	probeJoin(out, ji, build, probe, bm, pm, fromR, fromS, build == r, 0, probe.Len(), &sl)
 	return out
 }
 
@@ -412,8 +513,8 @@ func joinSortMerge(r, s *Relation) *Relation {
 	copy(rt, r.tuples)
 	st := make([]Tuple, len(s.tuples))
 	copy(st, s.tuples)
-	sortBy(rt, rm)
-	sortBy(st, sm)
+	SortTuplesBy(rt, rm)
+	SortTuplesBy(st, sm)
 	out, fromR, fromS := joinPlan(r, s)
 	i, j := 0, 0
 	for i < len(rt) && j < len(st) {
@@ -452,17 +553,6 @@ func joinSortMerge(r, s *Relation) *Relation {
 	return out
 }
 
-func sortBy(ts []Tuple, cols []int) {
-	sort.Slice(ts, func(a, b int) bool {
-		for _, c := range cols {
-			if ts[a][c] != ts[b][c] {
-				return ts[a][c] < ts[b][c]
-			}
-		}
-		return false
-	})
-}
-
 func compareOn(a Tuple, am []int, b Tuple, bm []int) int {
 	for i := range am {
 		av, bv := a[am[i]], b[bm[i]]
@@ -495,7 +585,7 @@ func (r *Relation) Sorted(by attr.Set) []Tuple {
 	m = append(m, r.projector(rest)...)
 	out := make([]Tuple, len(r.tuples))
 	copy(out, r.tuples)
-	sortBy(out, m)
+	SortTuplesBy(out, m)
 	return out
 }
 

@@ -152,6 +152,18 @@ func TestSelect(t *testing.T) {
 	}
 }
 
+func TestSelectEqBadKeyPanics(t *testing.T) {
+	u := attr.MustUniverse("A", "B")
+	syms := value.NewSymbols()
+	r := mk(t, u, syms, "A B", []string{"1", "x"})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on key/attrs arity mismatch")
+		}
+	}()
+	r.SelectEq(u.MustSet("B"), Tuple{syms.Const("x"), syms.Const("y")})
+}
+
 func TestUnionDiff(t *testing.T) {
 	u := attr.MustUniverse("A")
 	syms := value.NewSymbols()

@@ -14,21 +14,32 @@ func (r *Relation) SatisfiesFD(f dep.FD) bool {
 	}
 	fm := r.projector(f.From)
 	tm := r.projector(f.To)
-	seen := make(map[string]Tuple, r.Len())
-	kbuf := make(Tuple, len(fm))
-	for _, t := range r.tuples {
-		for i, c := range fm {
-			kbuf[i] = t[c]
-		}
-		k := kbuf.key()
-		if prev, ok := seen[k]; ok {
-			for _, c := range tm {
-				if prev[c] != t[c] {
+	if len(r.tuples) >= parallelThreshold && workers() > 1 {
+		return satisfiesFDParallel(r.tuples, fm, tm)
+	}
+	return satisfiesFDScan(r.tuples, fm, tm)
+}
+
+// satisfiesFDScan checks the FD over tuples with a chained hash index of
+// the From columns: one witness per distinct From key, every later tuple
+// with that key must agree on the To columns.
+func satisfiesFDScan(tuples []Tuple, fm, tm []int) bool {
+	heads := newHeadTable(len(tuples))
+	next := make([]int, len(tuples))
+	for i, t := range tuples {
+		h := hashCols(t, fm)
+		matched := false
+		for j := heads.get(h); j >= 0; j = next[j] {
+			if equalOn(tuples[j], fm, t, fm) {
+				if !equalOn(tuples[j], tm, t, tm) {
 					return false
 				}
+				matched = true
+				break
 			}
-		} else {
-			seen[k] = t
+		}
+		if !matched {
+			next[i] = heads.put(h, i)
 		}
 	}
 	return true

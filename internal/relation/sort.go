@@ -1,0 +1,143 @@
+package relation
+
+import "math/bits"
+
+// Specialized multi-column tuple sorting.
+//
+// The engine sorts []Tuple by a column list in three hot paths: Sorted,
+// the sort-merge join, and the paper-literal sort-based chase
+// (chase.InstanceSortBased). sort.Slice pays for reflection and an
+// indirect less() call per comparison; this introsort compares columns
+// directly and uses a three-way partition so the long equal-key runs the
+// sort-merge join produces cost O(n) instead of quadratic.
+
+// SortTuplesBy sorts ts in place, lexicographically by the given column
+// indices. Ties on the column list are left in an unspecified (but
+// deterministic) order.
+func SortTuplesBy(ts []Tuple, cols []int) {
+	if len(ts) < 2 {
+		return
+	}
+	// Already-ordered inputs are common (re-sorting between chase passes,
+	// relations built in key order); detect them in one cheap pass.
+	sorted := true
+	for i := 1; i < len(ts); i++ {
+		if compareCols(ts[i], ts[i-1], cols) < 0 {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	introsortTuples(ts, cols, 2*bits.Len(uint(len(ts))))
+}
+
+// compareCols orders two tuples by the column list.
+func compareCols(a, b Tuple, cols []int) int {
+	for _, c := range cols {
+		av, bv := a[c], b[c]
+		if av != bv {
+			if av < bv {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// introsortTuples is a quicksort with three-way partitioning, insertion
+// sort below 12 elements, and a heapsort fallback when the recursion
+// depth budget runs out (guaranteeing O(n log n)).
+func introsortTuples(ts []Tuple, cols []int, depth int) {
+	for len(ts) > 12 {
+		if depth == 0 {
+			heapsortTuples(ts, cols)
+			return
+		}
+		depth--
+		lt, gt := partition3(ts, cols)
+		// Recurse into the smaller side, iterate on the larger.
+		if lt < len(ts)-gt {
+			introsortTuples(ts[:lt], cols, depth)
+			ts = ts[gt:]
+		} else {
+			introsortTuples(ts[gt:], cols, depth)
+			ts = ts[:lt]
+		}
+	}
+	insertionSortTuples(ts, cols)
+}
+
+// partition3 partitions ts around a median-of-three pivot into
+// [less | equal | greater], returning the equal range [lt, gt).
+func partition3(ts []Tuple, cols []int) (lt, gt int) {
+	n := len(ts)
+	mid := n / 2
+	if compareCols(ts[mid], ts[0], cols) < 0 {
+		ts[mid], ts[0] = ts[0], ts[mid]
+	}
+	if compareCols(ts[n-1], ts[0], cols) < 0 {
+		ts[n-1], ts[0] = ts[0], ts[n-1]
+	}
+	if compareCols(ts[n-1], ts[mid], cols) < 0 {
+		ts[n-1], ts[mid] = ts[mid], ts[n-1]
+	}
+	pivot := ts[mid]
+	lo, i, hi := 0, 0, n
+	for i < hi {
+		switch c := compareCols(ts[i], pivot, cols); {
+		case c < 0:
+			ts[lo], ts[i] = ts[i], ts[lo]
+			lo++
+			i++
+		case c > 0:
+			hi--
+			ts[i], ts[hi] = ts[hi], ts[i]
+		default:
+			i++
+		}
+	}
+	return lo, hi
+}
+
+func insertionSortTuples(ts []Tuple, cols []int) {
+	for i := 1; i < len(ts); i++ {
+		t := ts[i]
+		j := i - 1
+		for j >= 0 && compareCols(t, ts[j], cols) < 0 {
+			ts[j+1] = ts[j]
+			j--
+		}
+		ts[j+1] = t
+	}
+}
+
+func heapsortTuples(ts []Tuple, cols []int) {
+	n := len(ts)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownTuples(ts, i, n, cols)
+	}
+	for i := n - 1; i > 0; i-- {
+		ts[0], ts[i] = ts[i], ts[0]
+		siftDownTuples(ts, 0, i, cols)
+	}
+}
+
+func siftDownTuples(ts []Tuple, root, end int, cols []int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && compareCols(ts[child], ts[child+1], cols) < 0 {
+			child++
+		}
+		if compareCols(ts[root], ts[child], cols) >= 0 {
+			return
+		}
+		ts[root], ts[child] = ts[child], ts[root]
+		root = child
+	}
+}

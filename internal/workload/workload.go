@@ -215,3 +215,20 @@ func (c *Chain) InsertTuple(n int) relation.Tuple {
 	}
 	return t
 }
+
+// BulkTuples synthesizes n width-w tuples with entries drawn uniformly
+// from a domain of the given size, backed by a single slab allocation.
+// Tuples may repeat when n approaches domain^w; insert-heavy benchmarks
+// and the kernel equivalence oracles use them as raw material.
+func BulkTuples(rng *rand.Rand, n, w, domain int) []relation.Tuple {
+	out := make([]relation.Tuple, n)
+	slab := make([]value.Value, n*w)
+	for i := range out {
+		t := slab[i*w : (i+1)*w : (i+1)*w]
+		for c := range t {
+			t[c] = value.Value(rng.Intn(domain))
+		}
+		out[i] = relation.Tuple(t)
+	}
+	return out
+}
