@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench examples experiments fuzz clean
+.PHONY: all check build vet test race cover bench examples experiments fuzz fuzz-smoke clean
 
 all: build vet test
 
 # Tier-1 gate: everything CI requires green (see README).
-check: build vet test race
+check: build vet test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -44,8 +44,14 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick
 
+# Quick fuzz pass over the journal record decoder: corrupt bytes must
+# never panic the recovery path.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzJournal$$' -fuzztime=5s -run '^$$' ./internal/store
+
 fuzz:
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s -run XXX ./internal/dep
+	$(GO) test -fuzz='^FuzzJournal$$' -fuzztime=30s -run XXX ./internal/store
 
 clean:
 	$(GO) clean ./...

@@ -5,47 +5,85 @@
 //
 // Usage:
 //
-//	viewupd -schema schema.txt -data data.txt -view "E D" [-complement "D M"] [-script s.txt]
+//	viewupd -schema schema.txt -data data.txt -view "E D" [-complement "D M"]
+//	        [-script s.txt] [-journal dir] [-recover] [-timeout 2s]
 //
 // Without -complement, the minimal complement of Corollary 2 is used.
+// With -journal, the session is durable: every applied update is
+// journaled and fsynced in dir before it is acknowledged, and -recover
+// resumes a session killed mid-run by replaying the journal onto the
+// last snapshot (pass the same -schema/-view/-complement flags; -data
+// is not needed). With -timeout, each command's decision procedure is
+// bounded and times out instead of hanging on adversarial schemas.
+//
 // Commands (from -script or stdin), one per line:
 //
-//	insert  <v1> <v2> ...      insert a view tuple
-//	delete  <v1> <v2> ...      delete a view tuple
-//	replace <v1> ... / <w1>... replace one view tuple by another
-//	decide  insert <v1> ...    test translatability without applying
-//	show                       print the database
-//	view                       print the view instance
+//	insert  <v1> <v2> ...         insert a view tuple
+//	delete  <v1> <v2> ...         delete a view tuple
+//	replace <v1> ... / <w1>...    replace one view tuple by another
+//	decide  <insert|delete> <t>   test translatability without applying
+//	decide  replace <t> / <t>
+//	show                          print the database
+//	view                          print the view instance
 //	quit
+//
+// A malformed or failed command is reported with its line number and
+// skipped; the session continues. In scripted mode the exit status is
+// non-zero if any command failed (rejected updates are a normal outcome,
+// not a failure).
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/constcomp/constcomp/internal/core"
 	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/store"
 	"github.com/constcomp/constcomp/internal/value"
 	"github.com/constcomp/constcomp/internal/workload"
+)
+
+// updSession is the slice of a session the command loop needs; both the
+// in-memory core.Session and the durable store.Session satisfy it.
+type updSession interface {
+	Database() *relation.Relation
+	View() *relation.Relation
+	DecideCtx(context.Context, core.UpdateOp) (*core.Decision, error)
+	ApplyCtx(context.Context, core.UpdateOp) (*core.Decision, error)
+}
+
+var (
+	_ updSession = (*core.Session)(nil)
+	_ updSession = (*store.Session)(nil)
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("viewupd: ")
 	schemaPath := flag.String("schema", "", "path to the schema file (required)")
-	dataPath := flag.String("data", "", "path to the instance file (required)")
+	dataPath := flag.String("data", "", "path to the instance file (required unless -recover)")
 	viewSpec := flag.String("view", "", "view attributes, e.g. \"E D\" (required)")
 	compSpec := flag.String("complement", "", "complement attributes (default: minimal complement)")
 	scriptPath := flag.String("script", "", "command script (default: stdin)")
+	journalDir := flag.String("journal", "", "directory for the durable journal + snapshots")
+	recoverFlag := flag.Bool("recover", false, "resume a crashed session from -journal")
+	timeout := flag.Duration("timeout", 0, "per-command decision budget (0 = unlimited)")
 	flag.Parse()
-	if *schemaPath == "" || *dataPath == "" || *viewSpec == "" {
+	if *schemaPath == "" || *viewSpec == "" || (*dataPath == "" && !*recoverFlag) {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *recoverFlag && *journalDir == "" {
+		log.Fatal("-recover requires -journal")
 	}
 
 	schemaText, err := os.ReadFile(*schemaPath)
@@ -56,22 +94,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	syms := value.NewSymbols()
-	dataText, err := os.ReadFile(*dataPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	db, err := workload.ParseData(schema, syms, string(dataText))
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !db.Attrs().Equal(schema.Universe().All()) {
-		log.Fatalf("instance must cover all of U = %v", schema.Universe().All())
-	}
-	if ok, bad := schema.Legal(db); !ok {
-		log.Fatalf("instance violates %v", bad)
-	}
-
 	u := schema.Universe()
 	x, err := u.ParseSet(*viewSpec)
 	if err != nil {
@@ -87,13 +109,63 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	syms := value.NewSymbols()
+
+	var db *relation.Relation
+	if *dataPath != "" {
+		dataText, err := os.ReadFile(*dataPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if db, err = workload.ParseData(schema, syms, string(dataText)); err != nil {
+			log.Fatal(err)
+		}
+		if !db.Attrs().Equal(u.All()) {
+			log.Fatalf("instance must cover all of U = %v", u.All())
+		}
+		if ok, bad := schema.Legal(db); !ok {
+			log.Fatalf("instance violates %v", bad)
+		}
+	}
+
+	var sess updSession
+	switch {
+	case *journalDir != "":
+		fsys, err := store.NewDirFS(*journalDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *recoverFlag {
+			st, rep, err := store.Recover(fsys, pair, syms, store.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(rep)
+			sess = st
+		} else {
+			st, err := store.Create(fsys, pair, db, syms, store.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer st.Close()
+			sess = st
+		}
+	default:
+		s, err := core.NewSession(pair, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess = s
+	}
+
 	fmt.Printf("view X = %v, constant complement Y = %v\n", x, y)
 	if good, err := pair.IsGoodComplement(); err == nil {
 		fmt.Printf("good complement: %v\n", good)
 	}
 
 	var in io.Reader = os.Stdin
-	if *scriptPath != "" {
+	scripted := *scriptPath != ""
+	if scripted {
 		f, err := os.Open(*scriptPath)
 		if err != nil {
 			log.Fatal(err)
@@ -101,8 +173,33 @@ func main() {
 		defer f.Close()
 		in = f
 	}
+	r := &runner{sess: sess, syms: syms, out: os.Stdout, timeout: *timeout}
+	if err := runScript(r, in); err != nil {
+		if scripted {
+			log.Fatal(err)
+		}
+		log.Print(err)
+	}
+}
+
+// runner executes commands against a session, skipping bad lines.
+type runner struct {
+	sess    updSession
+	syms    *value.Symbols
+	out     io.Writer
+	timeout time.Duration
+	errs    int
+}
+
+// runScript feeds commands to the runner, numbering raw lines from 1. A
+// malformed or failed command is reported and skipped; the script keeps
+// going. The returned error summarizes how many commands failed (nil if
+// none), so scripted callers can exit non-zero.
+func runScript(r *runner, in io.Reader) error {
 	sc := bufio.NewScanner(in)
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -110,113 +207,115 @@ func main() {
 		if line == "quit" {
 			break
 		}
-		db = execute(pair, db, syms, line)
+		if err := r.execute(line); err != nil {
+			r.errs++
+			fmt.Fprintf(r.out, "line %d: error: %v (command skipped)\n", lineNo, err)
+		}
 	}
 	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+		return err
 	}
+	if r.errs > 0 {
+		return fmt.Errorf("%d command(s) failed", r.errs)
+	}
+	return nil
 }
 
-// execute runs one command against the database and returns the (possibly
-// updated) database.
-func execute(pair *core.Pair, db *relation.Relation, syms *value.Symbols, line string) *relation.Relation {
-	view := db.Project(pair.ViewAttrs())
+func (r *runner) ctx() (context.Context, context.CancelFunc) {
+	if r.timeout > 0 {
+		return context.WithTimeout(context.Background(), r.timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// parseOp parses "insert"/"delete"/"replace" operand text into an
+// update op over the current view.
+func (r *runner) parseOp(kind, rest string) (core.UpdateOp, error) {
+	view := r.sess.View()
+	switch kind {
+	case "insert", "delete":
+		t, err := workload.ParseTuple(view, r.syms, rest)
+		if err != nil {
+			return core.UpdateOp{}, err
+		}
+		if kind == "insert" {
+			return core.Insert(t), nil
+		}
+		return core.Delete(t), nil
+	case "replace":
+		parts := strings.SplitN(rest, "/", 2)
+		if len(parts) != 2 {
+			return core.UpdateOp{}, fmt.Errorf("usage: replace <tuple> / <tuple>")
+		}
+		t1, err := workload.ParseTuple(view, r.syms, strings.TrimSpace(parts[0]))
+		if err != nil {
+			return core.UpdateOp{}, err
+		}
+		t2, err := workload.ParseTuple(view, r.syms, strings.TrimSpace(parts[1]))
+		if err != nil {
+			return core.UpdateOp{}, err
+		}
+		return core.Replace(t1, t2), nil
+	}
+	return core.UpdateOp{}, fmt.Errorf("unknown update kind %q", kind)
+}
+
+// execute runs one command. A non-nil error means the command was
+// malformed or could not run (the caller reports and skips it); a
+// rejected update is a normal outcome and returns nil.
+func (r *runner) execute(line string) error {
 	fields := strings.SplitN(line, " ", 2)
 	cmd := fields[0]
 	rest := ""
 	if len(fields) > 1 {
 		rest = fields[1]
 	}
-	fail := func(err error) *relation.Relation {
-		fmt.Printf("%-8s error: %v\n", cmd, err)
-		return db
-	}
 	switch cmd {
 	case "show":
-		fmt.Print(db.Format(syms))
+		fmt.Fprint(r.out, r.sess.Database().Format(r.syms))
 	case "view":
-		fmt.Print(view.Format(syms))
+		fmt.Fprint(r.out, r.sess.View().Format(r.syms))
 	case "decide":
 		sub := strings.SplitN(rest, " ", 2)
-		if len(sub) != 2 || sub[0] != "insert" {
-			return fail(fmt.Errorf("usage: decide insert <tuple>"))
+		if len(sub) != 2 {
+			return fmt.Errorf("usage: decide <insert|delete|replace> <tuple>")
 		}
-		t, err := workload.ParseTuple(view, syms, sub[1])
+		op, err := r.parseOp(sub[0], sub[1])
 		if err != nil {
-			return fail(err)
+			return err
 		}
-		d, err := pair.DecideInsert(view, t)
+		ctx, cancel := r.ctx()
+		defer cancel()
+		d, err := r.sess.DecideCtx(ctx, op)
 		if err != nil {
-			return fail(err)
+			return r.describeTimeout(err)
 		}
-		fmt.Printf("decide   insert %s: translatable=%v (%s)\n", sub[1], d.Translatable, d.Reason)
-	case "insert":
-		t, err := workload.ParseTuple(view, syms, rest)
+		fmt.Fprintf(r.out, "decide   %s %s: translatable=%v (%s)\n", sub[0], sub[1], d.Translatable, d.Reason)
+	case "insert", "delete", "replace":
+		op, err := r.parseOp(cmd, rest)
 		if err != nil {
-			return fail(err)
+			return err
 		}
-		d, err := pair.DecideInsert(view, t)
-		if err != nil {
-			return fail(err)
+		ctx, cancel := r.ctx()
+		defer cancel()
+		d, err := r.sess.ApplyCtx(ctx, op)
+		switch {
+		case errors.Is(err, core.ErrRejected):
+			fmt.Fprintf(r.out, "%-8s rejected: %s\n", cmd, d.Reason)
+		case err != nil:
+			return r.describeTimeout(err)
+		default:
+			fmt.Fprintf(r.out, "%-8s ok (%s)\n", cmd, d.Reason)
 		}
-		if !d.Translatable {
-			fmt.Printf("insert   rejected: %s\n", d.Reason)
-			return db
-		}
-		out, err := pair.ApplyInsert(db, t)
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Printf("insert   ok (%s)\n", d.Reason)
-		return out
-	case "delete":
-		t, err := workload.ParseTuple(view, syms, rest)
-		if err != nil {
-			return fail(err)
-		}
-		d, err := pair.DecideDelete(view, t)
-		if err != nil {
-			return fail(err)
-		}
-		if !d.Translatable {
-			fmt.Printf("delete   rejected: %s\n", d.Reason)
-			return db
-		}
-		out, err := pair.ApplyDelete(db, t)
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Printf("delete   ok (%s)\n", d.Reason)
-		return out
-	case "replace":
-		parts := strings.SplitN(rest, "/", 2)
-		if len(parts) != 2 {
-			return fail(fmt.Errorf("usage: replace <tuple> / <tuple>"))
-		}
-		t1, err := workload.ParseTuple(view, syms, strings.TrimSpace(parts[0]))
-		if err != nil {
-			return fail(err)
-		}
-		t2, err := workload.ParseTuple(view, syms, strings.TrimSpace(parts[1]))
-		if err != nil {
-			return fail(err)
-		}
-		d, err := pair.DecideReplace(view, t1, t2)
-		if err != nil {
-			return fail(err)
-		}
-		if !d.Translatable {
-			fmt.Printf("replace  rejected: %s\n", d.Reason)
-			return db
-		}
-		out, err := pair.ApplyReplace(db, t1, t2)
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Printf("replace  ok (%s)\n", d.Reason)
-		return out
 	default:
-		return fail(fmt.Errorf("unknown command %q", cmd))
+		return fmt.Errorf("unknown command %q", cmd)
 	}
-	return db
+	return nil
+}
+
+func (r *runner) describeTimeout(err error) error {
+	if errors.Is(err, core.ErrBudgetExceeded) {
+		return fmt.Errorf("decision timed out after %v: %w", r.timeout, err)
+	}
+	return err
 }

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/constcomp/constcomp/internal/core"
 	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/store"
 	"github.com/constcomp/constcomp/internal/value"
 	"github.com/constcomp/constcomp/internal/workload"
 )
@@ -35,74 +38,182 @@ bob tools tim
 	return pair, db, syms
 }
 
-func TestExecuteInsertDeleteReplace(t *testing.T) {
+// newRunner wraps the fixture in an in-memory session runner capturing
+// output.
+func newRunner(t *testing.T) (*runner, *bytes.Buffer) {
+	t.Helper()
 	pair, db, syms := fixture(t)
-	db = execute(pair, db, syms, "insert ann toys")
-	if !db.Project(pair.ViewAttrs()).Contains(relation.Tuple{syms.Const("ann"), syms.Const("toys")}) {
-		t.Fatal("insert not applied")
+	sess, err := core.NewSession(pair, db)
+	if err != nil {
+		t.Fatal(err)
 	}
-	db = execute(pair, db, syms, "delete ed toys")
-	if db.Project(pair.ViewAttrs()).Contains(relation.Tuple{syms.Const("ed"), syms.Const("toys")}) {
-		t.Fatal("delete not applied")
+	var out bytes.Buffer
+	return &runner{sess: sess, syms: syms, out: &out}, &out
+}
+
+func viewHas(r *runner, vals ...string) bool {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = r.syms.Const(v)
 	}
-	db = execute(pair, db, syms, "replace ann toys / ann tools")
-	if !db.Project(pair.ViewAttrs()).Contains(relation.Tuple{syms.Const("ann"), syms.Const("tools")}) {
-		t.Fatal("replace not applied")
+	return r.sess.View().Contains(t)
+}
+
+func TestExecuteInsertDeleteReplace(t *testing.T) {
+	r, _ := newRunner(t)
+	for _, cmd := range []string{
+		"insert ann toys",
+		"delete ed toys",
+		"replace ann toys / ann tools",
+	} {
+		if err := r.execute(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	if !viewHas(r, "ann", "tools") {
+		t.Error("replace not applied")
+	}
+	if viewHas(r, "ed", "toys") {
+		t.Error("delete not applied")
 	}
 }
 
-func TestExecuteRejectionsKeepDatabase(t *testing.T) {
-	pair, db, syms := fixture(t)
-	before := db.Clone()
+func TestExecuteRejectionsAndErrorsKeepDatabase(t *testing.T) {
+	r, _ := newRunner(t)
+	before := r.sess.Database()
+	// Untranslatable updates are normal outcomes: no error, no change.
 	for _, cmd := range []string{
-		"insert zoe plants",     // condition (a)
-		"delete bob tools",      // last sharer
-		"insert onlyone",        // arity error
-		"replace ed toys",       // missing separator
-		"replace ed toys / ed",  // arity error
-		"frobnicate ed toys",    // unknown command
-		"decide insert",         // malformed decide
-		"decide delete ed toys", // unsupported decide target
+		"insert zoe plants", // condition (a)
+		"delete bob tools",  // last sharer
 	} {
-		db = execute(pair, db, syms, cmd)
+		if err := r.execute(cmd); err != nil {
+			t.Errorf("%q: rejection surfaced as error: %v", cmd, err)
+		}
 	}
-	if !db.Equal(before) {
+	// Malformed commands are errors: reported, skipped, no change.
+	for _, cmd := range []string{
+		"insert onlyone",       // arity error
+		"insert",               // empty tuple
+		"replace ed toys",      // missing separator
+		"replace ed toys / ed", // arity error
+		"frobnicate ed toys",   // unknown command
+		"decide insert",        // malformed decide
+		"decide launch ed",     // unknown decide target
+	} {
+		if err := r.execute(cmd); err == nil {
+			t.Errorf("%q: no error", cmd)
+		}
+	}
+	if !r.sess.Database().Equal(before) {
 		t.Error("rejected/erroneous commands mutated the database")
 	}
 }
 
-func TestExecuteDecideAndShow(t *testing.T) {
-	pair, db, syms := fixture(t)
-	before := db.Clone()
-	db = execute(pair, db, syms, "decide insert ann toys")
-	db = execute(pair, db, syms, "show")
-	db = execute(pair, db, syms, "view")
-	if !db.Equal(before) {
+func TestExecuteDecideAllKindsAndShow(t *testing.T) {
+	r, out := newRunner(t)
+	before := r.sess.Database()
+	for _, cmd := range []string{
+		"decide insert ann toys",
+		"decide delete ed toys",
+		"decide replace ed toys / ed tools",
+		"show",
+		"view",
+	} {
+		if err := r.execute(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	if !r.sess.Database().Equal(before) {
 		t.Error("read-only commands mutated the database")
+	}
+	if got := out.String(); strings.Count(got, "translatable=") != 3 {
+		t.Errorf("decide output missing verdicts:\n%s", got)
 	}
 }
 
-func TestScriptEndToEnd(t *testing.T) {
-	pair, db, syms := fixture(t)
-	script := `
-# a session
+// TestScriptBadLineInMiddle is the satellite acceptance case: a
+// malformed command mid-script is reported with its line number and
+// skipped, the rest of the script still runs, and the summary error
+// makes scripted mode exit non-zero.
+func TestScriptBadLineInMiddle(t *testing.T) {
+	r, out := newRunner(t)
+	script := `# header comment
 insert ann toys
-delete flo toys
-replace ann toys / ann tools
+insert bogus
+delete ed toys
+insert zed tools
 `
-	for _, line := range strings.Split(script, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		db = execute(pair, db, syms, line)
+	err := runScript(r, strings.NewReader(script))
+	if err == nil {
+		t.Fatal("script with a bad line reported success")
 	}
-	v := db.Project(pair.ViewAttrs())
-	if v.Len() != 3 {
-		t.Fatalf("view has %d tuples, want 3", v.Len())
+	if !strings.Contains(err.Error(), "1 command(s) failed") {
+		t.Errorf("summary error = %v", err)
 	}
-	// Complement constant across the whole script.
-	if !db.Project(pair.ComplementAttrs()).Equal(db.Project(pair.ComplementAttrs())) {
-		t.Error("complement drifted")
+	if !strings.Contains(out.String(), "line 3: error:") {
+		t.Errorf("bad line not reported with its number:\n%s", out.String())
+	}
+	// Commands after the bad line still ran.
+	if !viewHas(r, "zed", "tools") || viewHas(r, "ed", "toys") || !viewHas(r, "ann", "toys") {
+		t.Errorf("commands around the bad line did not run;\n%s", out.String())
+	}
+}
+
+func TestScriptQuitStopsEarly(t *testing.T) {
+	r, _ := newRunner(t)
+	script := "insert ann toys\nquit\ninsert zed tools\n"
+	if err := runScript(r, strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	if viewHas(r, "zed", "tools") {
+		t.Error("commands after quit ran")
+	}
+}
+
+// TestRunnerOverDurableSession drives the same command loop over a
+// store.Session and checks a recovery sees the scripted updates.
+func TestRunnerOverDurableSession(t *testing.T) {
+	pair, db, syms := fixture(t)
+	mem := store.NewMemFS()
+	st, err := store.Create(mem, pair, db, syms, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &runner{sess: st, syms: syms, out: &bytes.Buffer{}}
+	script := "insert ann toys\ndelete ed toys\n"
+	if err := runScript(r, strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	mem.Crash() // journaled ops are fsynced; nothing should be lost
+	syms2 := value.NewSymbols()
+	rec, rep, err := store.Recover(mem, pair, syms2, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SnapshotSeq+uint64(rep.Replayed) != 2 || !rep.InvariantOK {
+		t.Errorf("recovery report %+v", rep)
+	}
+	v := rec.View()
+	if !v.Contains(relation.Tuple{syms2.Const("ann"), syms2.Const("toys")}) {
+		t.Error("recovered session lost a scripted insert")
+	}
+}
+
+// TestRunnerTimeout: with an already-expired budget every update
+// command fails as a timeout error (and is skipped) instead of
+// hanging or crashing the session.
+func TestRunnerTimeout(t *testing.T) {
+	r, out := newRunner(t)
+	r.timeout = time.Nanosecond
+	before := r.sess.Database()
+	err := runScript(r, strings.NewReader("insert ann toys\n"))
+	if err == nil {
+		t.Fatal("timed-out command not counted as failed")
+	}
+	if !strings.Contains(out.String(), "timed out") {
+		t.Errorf("timeout not reported:\n%s", out.String())
+	}
+	if !r.sess.Database().Equal(before) {
+		t.Error("timed-out command mutated the database")
 	}
 }

@@ -8,6 +8,7 @@
 package attr
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -17,6 +18,11 @@ import (
 // ID identifies an attribute within its Universe. IDs are dense: the i-th
 // attribute added to a Universe has ID i.
 type ID int
+
+// ErrUnknown is wrapped by every error a name lookup produces, so
+// callers can classify "unknown attribute" without matching message
+// text: errors.Is(err, attr.ErrUnknown).
+var ErrUnknown = errors.New("attr: unknown attribute")
 
 // Universe is an ordered collection of named attributes. It is immutable
 // after construction; all Sets are interpreted relative to one Universe.
@@ -95,7 +101,7 @@ func (u *Universe) Set(names ...string) (Set, error) {
 	for _, n := range names {
 		id, ok := u.index[n]
 		if !ok {
-			return Set{}, fmt.Errorf("attr: unknown attribute %q", n)
+			return Set{}, fmt.Errorf("%w %q", ErrUnknown, n)
 		}
 		s.add(id)
 	}

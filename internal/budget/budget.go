@@ -1,0 +1,82 @@
+// Package budget bounds the execution of the repository's expensive
+// decision procedures — the NP-complete minimum-complement search
+// (Theorem 2), the tableau and instance chases, and the DPLL/QBF
+// solvers — with a combination of context cancellation and a step
+// counter. A nil *B means "unlimited" so hot paths can share one code
+// path for budgeted and unbudgeted callers.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrExceeded is returned (wrapped) whenever a procedure runs out of
+// budget: its context was cancelled, its deadline passed, or its step
+// allowance ran dry. Callers test with errors.Is.
+var ErrExceeded = errors.New("budget exceeded")
+
+// B tracks the remaining budget of one logical operation. The zero
+// value and the nil pointer are both unlimited; construct bounded
+// budgets with New or WithSteps.
+//
+// A B is not safe for concurrent use; budgeted procedures are
+// sequential by design.
+type B struct {
+	ctx   context.Context
+	steps int64
+	// limited reports whether the step counter is enforced.
+	limited bool
+	// err is sticky: once the budget trips, every Check fails.
+	err error
+}
+
+// New returns a budget bounded only by ctx. A nil ctx means unlimited.
+func New(ctx context.Context) *B {
+	return &B{ctx: ctx}
+}
+
+// WithSteps returns a budget bounded by ctx and by a step allowance:
+// after steps calls' worth of Step(n) the budget trips.
+func WithSteps(ctx context.Context, steps int64) *B {
+	return &B{ctx: ctx, steps: steps, limited: true}
+}
+
+// Step consumes n steps and reports whether the budget still holds. It
+// is nil-safe: a nil receiver is unlimited and always returns nil. On
+// exhaustion it returns an error wrapping ErrExceeded, and keeps
+// returning it on every subsequent call.
+func (b *B) Step(n int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.err != nil {
+		return b.err
+	}
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			b.err = fmt.Errorf("%w: %v", ErrExceeded, err)
+			return b.err
+		}
+	}
+	if b.limited {
+		b.steps -= n
+		if b.steps < 0 {
+			b.err = fmt.Errorf("%w: step allowance exhausted", ErrExceeded)
+			return b.err
+		}
+	}
+	return nil
+}
+
+// Check is Step(0): it tests cancellation without consuming steps.
+func (b *B) Check() error { return b.Step(0) }
+
+// Err returns the sticky error if the budget has tripped, else nil.
+func (b *B) Err() error {
+	if b == nil {
+		return nil
+	}
+	return b.err
+}

@@ -1,0 +1,61 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetUnlimited(t *testing.T) {
+	var b *B
+	for i := 0; i < 1000; i++ {
+		if err := b.Step(1 << 40); err != nil {
+			t.Fatalf("nil budget tripped: %v", err)
+		}
+	}
+	if b.Err() != nil {
+		t.Fatal("nil budget has sticky error")
+	}
+}
+
+func TestStepAllowance(t *testing.T) {
+	b := WithSteps(context.Background(), 3)
+	for i := 0; i < 3; i++ {
+		if err := b.Step(1); err != nil {
+			t.Fatalf("step %d tripped early: %v", i, err)
+		}
+	}
+	err := b.Step(1)
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("want ErrExceeded, got %v", err)
+	}
+	// Sticky.
+	if err := b.Check(); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("budget not sticky: %v", err)
+	}
+	if !errors.Is(b.Err(), ErrExceeded) {
+		t.Fatalf("Err() = %v", b.Err())
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx)
+	if err := b.Step(1); err != nil {
+		t.Fatalf("pre-cancel step tripped: %v", err)
+	}
+	cancel()
+	if err := b.Step(1); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("want ErrExceeded after cancel, got %v", err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	b := WithSteps(ctx, 1<<30)
+	if err := b.Check(); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("want ErrExceeded past deadline, got %v", err)
+	}
+}

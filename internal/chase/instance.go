@@ -2,6 +2,7 @@ package chase
 
 import (
 	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/budget"
 	"github.com/constcomp/constcomp/internal/dep"
 	"github.com/constcomp/constcomp/internal/relation"
 	"github.com/constcomp/constcomp/internal/value"
@@ -83,6 +84,16 @@ func (r *Result) union(a, b value.Value) bool {
 // O(|V|²·|Σ|·|Y−X|) symbol-elimination argument of the paper's Corollary
 // (each productive pass retires at least one symbol).
 func Instance(rel *relation.Relation, fds []dep.FD) *Result {
+	res, _ := InstanceBudget(nil, rel, fds)
+	return res
+}
+
+// InstanceBudget is Instance under a budget: the fixpoint loop consumes
+// one step per row examined in each FD pass and aborts with a
+// budget.ErrExceeded-wrapping error as soon as the budget trips —
+// cancellation is honored between chase passes, never mid-pass. A nil
+// budget is unlimited and never errors.
+func InstanceBudget(b *budget.B, rel *relation.Relation, fds []dep.FD) (*Result, error) {
 	res := &Result{parent: make(map[value.Value]value.Value)}
 	plans := make([][2][]int, 0, len(fds))
 	for _, f := range fds {
@@ -97,6 +108,9 @@ func Instance(rel *relation.Relation, fds []dep.FD) *Result {
 	for {
 		changed := false
 		for _, p := range plans {
+			if err := b.Step(int64(len(tuples))); err != nil {
+				return nil, err
+			}
 			zc, ac := p[0], p[1]
 			// Bucket rows by the hash of their resolved Z values; one
 			// chain entry per distinct resolved Z (collisions verified).
@@ -124,7 +138,7 @@ func Instance(rel *relation.Relation, fds []dep.FD) *Result {
 						changed = true
 					}
 					if res.clash {
-						return res
+						return res, nil
 					}
 				}
 			}
@@ -134,7 +148,7 @@ func Instance(rel *relation.Relation, fds []dep.FD) *Result {
 		}
 	}
 	res.rel = canonicalize(rel, res)
-	return res
+	return res, nil
 }
 
 // sameResolved reports whether two rows agree on the given columns after

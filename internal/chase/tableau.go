@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/budget"
 	"github.com/constcomp/constcomp/internal/dep"
 )
 
@@ -35,6 +36,22 @@ type tableau struct {
 	// seen maps a canonical row's hash to the indices of rows with that
 	// hash (verified by element comparison on lookup).
 	seen map[uint64][]int
+	// b bounds the chase; err is its sticky trip, checked by run.
+	b   *budget.B
+	err error
+}
+
+// step charges n steps to the tableau's budget, recording the sticky
+// error. It reports whether the chase may continue.
+func (t *tableau) step(n int64) bool {
+	if t.err != nil {
+		return false
+	}
+	if err := t.b.Step(n); err != nil {
+		t.err = err
+		return false
+	}
+	return true
 }
 
 func newTableau(width int) *tableau {
@@ -143,6 +160,9 @@ func (t *tableau) applyFDs(fds []dep.FD, cols map[attr.ID]int) bool {
 	for {
 		changed := false
 		for _, f := range fds {
+			if !t.step(int64(len(t.rows))) {
+				return changedEver
+			}
 			zc := colIdx(f.From, cols)
 			ac := colIdx(f.To, cols)
 			// Chain rows by the hash of their resolved Z symbols; one
@@ -196,6 +216,9 @@ func (t *tableau) applyJD(j dep.JD, cols map[attr.ID]int) bool {
 	n := len(t.rows)
 	var rec func(depth int, acc []int)
 	rec = func(depth int, acc []int) {
+		if !t.step(int64(n)) {
+			return
+		}
 		if depth == len(comps) {
 			row := make([]int, t.width)
 			copy(row, acc)
@@ -232,8 +255,9 @@ func (t *tableau) applyJD(j dep.JD, cols map[attr.ID]int) bool {
 	return added
 }
 
-// run chases the tableau with Σ's FDs and JDs to fixpoint.
-func (t *tableau) run(sigma *dep.Set, cols map[attr.ID]int) {
+// run chases the tableau with Σ's FDs and JDs to fixpoint, or until the
+// tableau's budget trips; it returns the budget error, if any.
+func (t *tableau) run(sigma *dep.Set, cols map[attr.ID]int) error {
 	fds := sigma.SplitFDs()
 	jds := sigma.JDs()
 	for {
@@ -243,8 +267,11 @@ func (t *tableau) run(sigma *dep.Set, cols map[attr.ID]int) {
 				changed = true
 			}
 		}
+		if t.err != nil {
+			return t.err
+		}
 		if !changed {
-			return
+			return nil
 		}
 	}
 }
@@ -290,9 +317,18 @@ func (t *tableau) hasDistinguishedRow(colSet []int) bool {
 // underlying FDs, justified by Proposition 2(a)) implies the join
 // dependency j, by the classical tableau chase.
 func ImpliesJD(sigma *dep.Set, j dep.JD) bool {
+	ok, _ := ImpliesJDBudget(nil, sigma, j)
+	return ok
+}
+
+// ImpliesJDBudget is ImpliesJD under a budget: the chase charges one
+// step per row examined per rule pass and aborts between passes with a
+// budget.ErrExceeded-wrapping error once the budget trips.
+func ImpliesJDBudget(b *budget.B, sigma *dep.Set, j dep.JD) (bool, error) {
 	u := sigma.Universe()
 	cols := columnMap(u)
 	t := newTableau(u.Size())
+	t.b = b
 	for _, comp := range j.Components {
 		row := make([]int, t.width)
 		for c := 0; c < t.width; c++ {
@@ -304,12 +340,14 @@ func ImpliesJD(sigma *dep.Set, j dep.JD) bool {
 		})
 		t.addRow(row)
 	}
-	t.run(sigma.WithFD(), cols)
+	if err := t.run(sigma.WithFD(), cols); err != nil {
+		return false, err
+	}
 	all := make([]int, t.width)
 	for i := range all {
 		all[i] = i
 	}
-	return t.hasDistinguishedRow(all)
+	return t.hasDistinguishedRow(all), nil
 }
 
 // ImpliesMVD reports whether Σ implies the multivalued dependency m.
@@ -317,14 +355,26 @@ func ImpliesMVD(sigma *dep.Set, m dep.MVD) bool {
 	return ImpliesJD(sigma, m.JD())
 }
 
+// ImpliesMVDBudget is ImpliesMVD under a budget.
+func ImpliesMVDBudget(b *budget.B, sigma *dep.Set, m dep.MVD) (bool, error) {
+	return ImpliesJDBudget(b, sigma, m.JD())
+}
+
 // ImpliesEmbeddedMVD reports whether Σ implies the embedded MVD
 // X∩Y →→ X−Y | Y−X within X∪Y, i.e. that π_{X∪Y}(R) = π_X(R) ⋈ π_Y(R) for
 // every legal R. With X∪Y = U this coincides with Σ ⊨ *[X, Y]. This is
 // condition (a) of Theorem 10.
 func ImpliesEmbeddedMVD(sigma *dep.Set, x, y attr.Set) bool {
+	ok, _ := ImpliesEmbeddedMVDBudget(nil, sigma, x, y)
+	return ok
+}
+
+// ImpliesEmbeddedMVDBudget is ImpliesEmbeddedMVD under a budget.
+func ImpliesEmbeddedMVDBudget(b *budget.B, sigma *dep.Set, x, y attr.Set) (bool, error) {
 	u := sigma.Universe()
 	cols := columnMap(u)
 	t := newTableau(u.Size())
+	t.b = b
 	for _, comp := range []attr.Set{x, y} {
 		row := make([]int, t.width)
 		for c := 0; c < t.width; c++ {
@@ -336,16 +386,25 @@ func ImpliesEmbeddedMVD(sigma *dep.Set, x, y attr.Set) bool {
 		})
 		t.addRow(row)
 	}
-	t.run(sigma.WithFD(), cols)
-	return t.hasDistinguishedRow(colIdx(x.Union(y), cols))
+	if err := t.run(sigma.WithFD(), cols); err != nil {
+		return false, err
+	}
+	return t.hasDistinguishedRow(colIdx(x.Union(y), cols)), nil
 }
 
 // ImpliesFD reports whether Σ (which may contain JDs) implies the
 // functional dependency f, by the tableau chase.
 func ImpliesFD(sigma *dep.Set, f dep.FD) bool {
+	ok, _ := ImpliesFDBudget(nil, sigma, f)
+	return ok
+}
+
+// ImpliesFDBudget is ImpliesFD under a budget.
+func ImpliesFDBudget(b *budget.B, sigma *dep.Set, f dep.FD) (bool, error) {
 	u := sigma.Universe()
 	cols := columnMap(u)
 	t := newTableau(u.Size())
+	t.b = b
 	// Row 1: all distinguished. Row 2: distinguished on f.From, fresh
 	// elsewhere; remember the fresh symbols of the f.To columns.
 	row1 := make([]int, t.width)
@@ -367,13 +426,15 @@ func ImpliesFD(sigma *dep.Set, f dep.FD) bool {
 		return true
 	})
 	t.addRow(row2)
-	t.run(sigma.WithFD(), cols)
+	if err := t.run(sigma.WithFD(), cols); err != nil {
+		return false, err
+	}
 	for c, s := range targets {
 		if t.find(s) != t.find(c) {
-			return false
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 // FDOnlyImpliesMVD reports whether a set of FDs implies the MVD m, using

@@ -31,11 +31,20 @@ import (
 	"fmt"
 
 	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/budget"
 	"github.com/constcomp/constcomp/internal/chase"
 	"github.com/constcomp/constcomp/internal/closure"
 	"github.com/constcomp/constcomp/internal/dep"
 	"github.com/constcomp/constcomp/internal/relation"
 )
+
+// ErrBudgetExceeded is returned (wrapped) by the Ctx/Budget variants of
+// the long-running procedures — DecideInsert/Replace, the complement
+// searches, FindInsertComplement — when their context is cancelled, a
+// deadline passes, or a step allowance runs out. It aliases
+// budget.ErrExceeded so the chase and solver layers trip the same typed
+// error; test with errors.Is.
+var ErrBudgetExceeded = budget.ErrExceeded
 
 // Schema is a universal relation schema (U, Σ).
 type Schema struct {

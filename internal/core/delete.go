@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"github.com/constcomp/constcomp/internal/budget"
 	"github.com/constcomp/constcomp/internal/relation"
 )
 
@@ -14,6 +16,20 @@ import (
 // Σ ⊭ X∩Y → X. No chase is needed: with Σ of FDs only, deleting tuples
 // from a legal instance keeps it legal.
 func (p *Pair) DecideDelete(v *relation.Relation, t relation.Tuple) (*Decision, error) {
+	return p.decideDelete(nil, v, t)
+}
+
+// DecideDeleteCtx is DecideDelete bounded by a context. The deletion
+// test is linear-time, so the budget is checked once per view scan; it
+// exists for API symmetry with the chase-backed tests.
+func (p *Pair) DecideDeleteCtx(ctx context.Context, v *relation.Relation, t relation.Tuple) (*Decision, error) {
+	return p.decideDelete(budget.New(ctx), v, t)
+}
+
+func (p *Pair) decideDelete(b *budget.B, v *relation.Relation, t relation.Tuple) (*Decision, error) {
+	if err := b.Step(int64(v.Len())); err != nil {
+		return nil, err
+	}
 	if err := p.requireFDOnly(); err != nil {
 		return nil, err
 	}

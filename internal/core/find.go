@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/budget"
 	"github.com/constcomp/constcomp/internal/relation"
 )
 
@@ -57,6 +59,19 @@ type FindResult struct {
 // kind selects the underlying test; with TestOne or TestTwo the same
 // candidate-reduction argument applies (see the remark after Theorem 7).
 func FindInsertComplement(s *Schema, x attr.Set, v *relation.Relation, t relation.Tuple, kind TestKind) (*FindResult, error) {
+	return findInsertComplement(nil, s, x, v, t, kind)
+}
+
+// FindInsertComplementCtx is FindInsertComplement bounded by a context:
+// every candidate W_r charges one step and the underlying
+// translatability tests run under the same budget, so the Theorem 6
+// search aborts within one test of cancellation with an error wrapping
+// ErrBudgetExceeded.
+func FindInsertComplementCtx(ctx context.Context, s *Schema, x attr.Set, v *relation.Relation, t relation.Tuple, kind TestKind) (*FindResult, error) {
+	return findInsertComplement(budget.New(ctx), s, x, v, t, kind)
+}
+
+func findInsertComplement(b *budget.B, s *Schema, x attr.Set, v *relation.Relation, t relation.Tuple, kind TestKind) (*FindResult, error) {
 	if !s.fdsOnly() {
 		return nil, errors.New("core: complement finding requires Σ of FDs only")
 	}
@@ -82,9 +97,14 @@ func FindInsertComplement(s *Schema, x attr.Set, v *relation.Relation, t relatio
 			continue
 		}
 		seen[w.Key()] = true
+		if err := b.Step(1); err != nil {
+			return nil, err
+		}
 		res.Candidates++
 		y := w.Union(rest)
-		if !Complementary(s, x, y) {
+		if comp, err := ComplementaryBudget(b, s, x, y); err != nil {
+			return nil, err
+		} else if !comp {
 			continue
 		}
 		pair, err := NewPair(s, x, y)
@@ -99,7 +119,7 @@ func FindInsertComplement(s *Schema, x attr.Set, v *relation.Relation, t relatio
 		case TestTwo:
 			d, err = pair.DecideInsertTest2(v, t)
 		default:
-			d, err = pair.DecideInsert(v, t)
+			d, err = pair.decideInsert(b, v, t)
 		}
 		if err != nil {
 			return nil, err

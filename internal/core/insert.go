@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/budget"
 	"github.com/constcomp/constcomp/internal/chase"
 	"github.com/constcomp/constcomp/internal/dep"
 	"github.com/constcomp/constcomp/internal/relation"
@@ -92,6 +94,8 @@ type Decision struct {
 // labeled nulls in the U−X columns, chased to its canonical form.
 type padding struct {
 	pair *Pair
+	// b bounds the chases run through this padding; nil is unlimited.
+	b *budget.B
 	// raw has row i aligned with view row i, nulls un-chased.
 	raw *relation.Relation
 	// res is the base chase result over raw.
@@ -150,6 +154,12 @@ func pairsSignature(pairs [][2]value.Value) string {
 
 // newPadding pads v with fresh nulls and runs the base chase.
 func (p *Pair) newPadding(v *relation.Relation) (*padding, error) {
+	return p.newPaddingBudget(nil, v)
+}
+
+// newPaddingBudget is newPadding with the base chase (and every later
+// imposition chase through the padding) bounded by b.
+func (p *Pair) newPaddingBudget(b *budget.B, v *relation.Relation) (*padding, error) {
 	u := p.schema.u
 	var gen value.NullGen
 	raw := relation.New(u.All())
@@ -168,11 +178,14 @@ func (p *Pair) newPadding(v *relation.Relation) (*padding, error) {
 		return nil, errors.New("core: internal: padding changed cardinality")
 	}
 	fds := p.schema.sigma.SplitFDs()
-	res := chase.Instance(raw, fds)
+	res, err := chase.InstanceBudget(b, raw, fds)
+	if err != nil {
+		return nil, err
+	}
 	if res.ConstClash() {
 		return nil, errConstClash
 	}
-	return &padding{pair: p, raw: raw, res: res, fds: fds}, nil
+	return &padding{pair: p, b: b, raw: raw, res: res, fds: fds}, nil
 }
 
 var errConstClash = errors.New("core: view instance inconsistent with Σ")
@@ -191,6 +204,18 @@ func (pd *padding) cell(i int, id attr.ID) value.Value {
 // such chase succeeds (equates two distinct constants of V, or forces
 // r[A] = μ[A]). Worst-case O(|V|³ log |V|) per the paper's Corollary.
 func (p *Pair) DecideInsert(v *relation.Relation, t relation.Tuple) (*Decision, error) {
+	return p.decideInsert(nil, v, t)
+}
+
+// DecideInsertCtx is DecideInsert bounded by a context: the base chase
+// honors cancellation between passes and every candidate (f, r) chase
+// charges a step, so the test aborts within one chase step of
+// cancellation with an error wrapping ErrBudgetExceeded.
+func (p *Pair) DecideInsertCtx(ctx context.Context, v *relation.Relation, t relation.Tuple) (*Decision, error) {
+	return p.decideInsert(budget.New(ctx), v, t)
+}
+
+func (p *Pair) decideInsert(b *budget.B, v *relation.Relation, t relation.Tuple) (*Decision, error) {
 	if err := p.requireFDOnly(); err != nil {
 		return nil, err
 	}
@@ -212,7 +237,7 @@ func (p *Pair) DecideInsert(v *relation.Relation, t relation.Tuple) (*Decision, 
 	if r, done := p.checkConditionB(d); done {
 		return r, nil
 	}
-	pd, err := p.newPadding(v)
+	pd, err := p.newPaddingBudget(b, v)
 	if err != nil {
 		if errors.Is(err, errConstClash) {
 			d.Reason = ReasonViewInconsistent
@@ -240,10 +265,16 @@ func (p *Pair) DecideInsert(v *relation.Relation, t relation.Tuple) (*Decision, 
 			// Impose r[Z∩(U−X)] = μ[Z∩(U−X)] on the chased base and
 			// propagate (incremental overlay by default; full rebuild
 			// + re-chase under ImposeRebuild, kept for the A5 ablation).
+			if err := b.Step(1); err != nil {
+				return nil, err
+			}
 			d.ChaseCalls++
 			var success bool
 			if p.strategy == ImposeRebuild {
-				res, clash := pd.imposeAndChase(ri, mu, zOutX)
+				res, clash, err := pd.imposeAndChase(ri, mu, zOutX)
+				if err != nil {
+					return nil, err
+				}
 				success = clash
 				if !success && res != nil {
 					success = res.ConstClash()
@@ -333,8 +364,10 @@ type imposeState struct {
 
 // imposeAndChase equates r's and μ's canonical values on the columns of
 // zOut, then re-chases. It reports (result, immediateClash): if imposing
-// already equates two distinct constants, it returns (nil, true).
-func (pd *padding) imposeAndChase(ri, mu int, zOut attr.Set) (*chase.Result, bool) {
+// already equates two distinct constants, it returns (nil, true). The
+// re-chase runs under the padding's budget; a budget trip surfaces as
+// the error.
+func (pd *padding) imposeAndChase(ri, mu int, zOut attr.Set) (*chase.Result, bool, error) {
 	sub := make(subst)
 	clash := false
 	zOut.Each(func(id attr.ID) bool {
@@ -356,7 +389,7 @@ func (pd *padding) imposeAndChase(ri, mu int, zOut attr.Set) (*chase.Result, boo
 	})
 	if clash {
 		pd.lastImpose = nil
-		return nil, true
+		return nil, true, nil
 	}
 	if len(sub) == 0 {
 		// Nothing new was imposed (Z ∩ (U−X) empty, or the cells already
@@ -364,11 +397,11 @@ func (pd *padding) imposeAndChase(ri, mu int, zOut attr.Set) (*chase.Result, boo
 		// the chase of R(V, t, r, f). Skipping the re-chase turns the
 		// common Z ⊆ X case from O(|Σ|·|V|) into O(1) per candidate.
 		pd.lastImpose = &imposeState{sub: sub, res: pd.res}
-		return pd.res, false
+		return pd.res, false, nil
 	}
 	if st, ok := pd.cache[sub.signature()]; ok {
 		pd.lastImpose = st
-		return st.res, false
+		return st.res, false, nil
 	}
 	rebuilt := relation.New(pd.raw.Attrs())
 	for i := 0; i < pd.raw.Len(); i++ {
@@ -379,14 +412,17 @@ func (pd *padding) imposeAndChase(ri, mu int, zOut attr.Set) (*chase.Result, boo
 		}
 		rebuilt.Insert(nt)
 	}
-	res := chase.Instance(rebuilt, pd.fds)
+	res, err := chase.InstanceBudget(pd.b, rebuilt, pd.fds)
+	if err != nil {
+		return nil, false, err
+	}
 	st := &imposeState{sub: sub, res: res}
 	if pd.cache == nil {
 		pd.cache = make(map[string]*imposeState)
 	}
 	pd.cache[sub.signature()] = st
 	pd.lastImpose = st
-	return res, false
+	return res, false, nil
 }
 
 // signature canonically serializes the substitution for memoization.

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/budget"
 )
 
 // This file implements the paper's usage scenario (§1): "Before updating
@@ -31,6 +33,13 @@ type Recommendation struct {
 	// Overlap is |X ∩ Y| — smaller overlap means the complement pins
 	// less of the view itself.
 	Overlap int
+	// Degraded reports that the recommendation ran out of budget before
+	// completing: the exact minimum search (and possibly some minimality
+	// refinement) was skipped or aborted, so Minimum flags may be
+	// missing and the Corollary-2 fallback may be less reduced than the
+	// true minimal complement. The recommended sets are still verified
+	// complements.
+	Degraded bool
 }
 
 // Manager recommends and registers view complements over one schema.
@@ -60,6 +69,25 @@ func (m *Manager) SetExactSearchLimit(n int) { m.exactSearchLimit = n }
 // ranked: good before not-good, then smaller, then smaller overlap with
 // X, then lexicographic.
 func (m *Manager) Recommend(x attr.Set) []Recommendation {
+	return m.RecommendBudget(nil, x)
+}
+
+// RecommendCtx is Recommend bounded by a context; see RecommendBudget.
+func (m *Manager) RecommendCtx(ctx context.Context, x attr.Set) []Recommendation {
+	return m.RecommendBudget(budget.New(ctx), x)
+}
+
+// RecommendBudget is Recommend under a budget, with graceful
+// degradation instead of an error: when the budget trips, the
+// NP-complete Theorem 2 minimum search is abandoned and the manager
+// falls back to the polynomial Corollary-2 minimal complement (or, if
+// even that was cut short, its partially-reduced prefix — still a
+// verified complement, since the reduction only commits
+// verified-complementary shrinks). Every returned recommendation is
+// then flagged Degraded. The result is never empty: the trivial
+// complement U backstops a budget that was exhausted on arrival.
+func (m *Manager) RecommendBudget(b *budget.B, x attr.Set) []Recommendation {
+	degraded := false
 	seen := map[string]bool{}
 	var out []Recommendation
 	add := func(y attr.Set, minimum bool) {
@@ -80,7 +108,13 @@ func (m *Manager) Recommend(x attr.Set) []Recommendation {
 		}
 		rec.Minimal = true
 		y.Each(func(id attr.ID) bool {
-			if Complementary(m.schema, x, y.Without(id)) {
+			drop, err := ComplementaryBudget(b, m.schema, x, y.Without(id))
+			if err != nil {
+				degraded = true
+				rec.Minimal = false // unknown; claim nothing
+				return false
+			}
+			if drop {
 				rec.Minimal = false
 				return false
 			}
@@ -95,16 +129,33 @@ func (m *Manager) Recommend(x attr.Set) []Recommendation {
 		}
 		out = append(out, rec)
 	}
-	add(MinimalComplement(m.schema, x), false)
+	minimal, err := MinimalComplementBudget(b, m.schema, x)
+	if err != nil {
+		degraded = true
+	}
+	add(minimal, false)
 	if m.schema.u.Size() <= m.exactSearchLimit {
-		if y, ok := MinimumComplement(m.schema, x); ok {
+		switch y, ok, err := MinimumComplementBudget(b, m.schema, x); {
+		case err != nil:
+			degraded = true
+		case ok:
 			k := y.Len()
 			m.schema.u.All().SubsetsOfSize(k, func(cand attr.Set) bool {
-				if Complementary(m.schema, x, cand) {
+				comp, err := ComplementaryBudget(b, m.schema, x, cand)
+				if err != nil {
+					degraded = true
+					return false
+				}
+				if comp {
 					add(cand, true)
 				}
 				return true
 			})
+		}
+	}
+	if degraded {
+		for i := range out {
+			out[i].Degraded = true
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/budget"
 	"github.com/constcomp/constcomp/internal/relation"
 )
 
@@ -18,6 +20,17 @@ import (
 // Case 2 (t1[X∩Y] = t2[X∩Y]): conditions (a) and (b) are vacuous; only
 // the chase condition (c) is tested.
 func (p *Pair) DecideReplace(v *relation.Relation, t1, t2 relation.Tuple) (*Decision, error) {
+	return p.decideReplace(nil, v, t1, t2)
+}
+
+// DecideReplaceCtx is DecideReplace bounded by a context; see
+// DecideInsertCtx for the cancellation granularity. On exhaustion the
+// error wraps ErrBudgetExceeded.
+func (p *Pair) DecideReplaceCtx(ctx context.Context, v *relation.Relation, t1, t2 relation.Tuple) (*Decision, error) {
+	return p.decideReplace(budget.New(ctx), v, t1, t2)
+}
+
+func (p *Pair) decideReplace(b *budget.B, v *relation.Relation, t1, t2 relation.Tuple) (*Decision, error) {
 	if err := p.requireFDOnly(); err != nil {
 		return nil, err
 	}
@@ -57,7 +70,7 @@ func (p *Pair) DecideReplace(v *relation.Relation, t1, t2 relation.Tuple) (*Deci
 		}
 	}
 	// Condition (c): chase R(V, t2, r, f) for all f ∈ Σ, r ∈ V, r ≠ t1.
-	pd, err := p.newPadding(v)
+	pd, err := p.newPaddingBudget(b, v)
 	if err != nil {
 		if errors.Is(err, errConstClash) {
 			d.Reason = ReasonViewInconsistent
@@ -96,10 +109,16 @@ func (p *Pair) DecideReplace(v *relation.Relation, t1, t2 relation.Tuple) (*Deci
 			if !aInX && ri == mu {
 				continue
 			}
+			if err := b.Step(1); err != nil {
+				return nil, err
+			}
 			d.ChaseCalls++
 			var success bool
 			if p.strategy == ImposeRebuild {
-				res, clash := pd.imposeAndChase(ri, mu, zOutX)
+				res, clash, err := pd.imposeAndChase(ri, mu, zOutX)
+				if err != nil {
+					return nil, err
+				}
 				success = clash
 				if !success && res != nil {
 					success = res.ConstClash()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -92,14 +93,21 @@ func (s *Session) Log() []LogEntry { return s.log }
 
 // Decide tests an update without applying it.
 func (s *Session) Decide(op UpdateOp) (*Decision, error) {
+	return s.DecideCtx(context.Background(), op)
+}
+
+// DecideCtx is Decide bounded by a context: the chase-backed insert and
+// replace tests honor cancellation within one chase step and return an
+// error wrapping ErrBudgetExceeded instead of hanging.
+func (s *Session) DecideCtx(ctx context.Context, op UpdateOp) (*Decision, error) {
 	v := s.View()
 	switch op.Kind {
 	case UpdateInsert:
-		return s.pair.DecideInsert(v, op.Tuple)
+		return s.pair.DecideInsertCtx(ctx, v, op.Tuple)
 	case UpdateDelete:
-		return s.pair.DecideDelete(v, op.Tuple)
+		return s.pair.DecideDeleteCtx(ctx, v, op.Tuple)
 	case UpdateReplace:
-		return s.pair.DecideReplace(v, op.Tuple, op.With)
+		return s.pair.DecideReplaceCtx(ctx, v, op.Tuple, op.With)
 	}
 	return nil, fmt.Errorf("core: unknown update kind %v", op.Kind)
 }
@@ -112,7 +120,14 @@ var ErrRejected = errors.New("core: update rejected as untranslatable")
 // constant-complement and legality invariants. On rejection it returns
 // ErrRejected (wrapped with the reason).
 func (s *Session) Apply(op UpdateOp) (*Decision, error) {
-	d, err := s.Decide(op)
+	return s.ApplyCtx(context.Background(), op)
+}
+
+// ApplyCtx is Apply bounded by a context. A budget trip during the
+// decision leaves the database and the log untouched; the returned
+// error wraps ErrBudgetExceeded.
+func (s *Session) ApplyCtx(ctx context.Context, op UpdateOp) (*Decision, error) {
+	d, err := s.DecideCtx(ctx, op)
 	if err != nil {
 		return nil, err
 	}
@@ -146,8 +161,13 @@ func (s *Session) Apply(op UpdateOp) (*Decision, error) {
 // ApplyAll applies a sequence of updates, stopping at the first rejection
 // or error. It returns the number applied.
 func (s *Session) ApplyAll(ops []UpdateOp) (int, error) {
+	return s.ApplyAllCtx(context.Background(), ops)
+}
+
+// ApplyAllCtx is ApplyAll bounded by a context, checked per update.
+func (s *Session) ApplyAllCtx(ctx context.Context, ops []UpdateOp) (int, error) {
 	for i, op := range ops {
-		if _, err := s.Apply(op); err != nil {
+		if _, err := s.ApplyCtx(ctx, op); err != nil {
 			return i, err
 		}
 	}

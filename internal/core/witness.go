@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/budget"
 	"github.com/constcomp/constcomp/internal/relation"
 	"github.com/constcomp/constcomp/internal/value"
 )
@@ -21,6 +23,18 @@ import (
 // Constants are interned in syms. It errors if X, Y are in fact
 // complementary.
 func NonComplementaryWitness(s *Schema, x, y attr.Set, syms *value.Symbols) (*relation.Relation, *relation.Relation, error) {
+	return nonComplementaryWitness(nil, s, x, y, syms)
+}
+
+// NonComplementaryWitnessCtx is NonComplementaryWitness bounded by a
+// context: the O(2^|U|) agreement-pattern enumeration checks
+// cancellation on every pattern and aborts with an error wrapping
+// ErrBudgetExceeded.
+func NonComplementaryWitnessCtx(ctx context.Context, s *Schema, x, y attr.Set, syms *value.Symbols) (*relation.Relation, *relation.Relation, error) {
+	return nonComplementaryWitness(budget.New(ctx), s, x, y, syms)
+}
+
+func nonComplementaryWitness(b *budget.B, s *Schema, x, y attr.Set, syms *value.Symbols) (*relation.Relation, *relation.Relation, error) {
 	if s.sigma.HasEFDs() {
 		return nil, nil, errors.New("core: witness construction supports FDs and JDs only")
 	}
@@ -33,7 +47,12 @@ func NonComplementaryWitness(s *Schema, x, y attr.Set, syms *value.Symbols) (*re
 
 	var found *relation.Relation
 	var foundSwap *relation.Relation
+	var stop error
 	u.All().Subsets(func(agree attr.Set) bool {
+		if err := b.Step(1); err != nil {
+			stop = err
+			return false
+		}
 		// μ and ν agree exactly on the columns of `agree`. The proof
 		// needs μ[X∩Y] = ν[X∩Y], μ and ν differing on X−Y and on Y−X
 		// (otherwise one of the projections already collapses and the
@@ -84,6 +103,9 @@ func NonComplementaryWitness(s *Schema, x, y attr.Set, syms *value.Symbols) (*re
 		found, foundSwap = r, r2
 		return false
 	})
+	if stop != nil {
+		return nil, nil, stop
+	}
 	if found == nil {
 		// Complementarity can also fail because X ∪ Y ≠ U (information
 		// entirely outside both views): two one-tuple instances

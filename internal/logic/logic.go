@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+
+	"github.com/constcomp/constcomp/internal/budget"
 )
 
 // Lit is a literal: +v is variable v, −v is its negation. Variables are
@@ -133,15 +135,28 @@ const (
 // elimination + first-unset branching). On satisfiable formulas it returns
 // a witness assignment.
 func (f *CNF) Solve() (Assignment, bool) {
+	a, ok, _ := f.SolveBudget(nil)
+	return a, ok
+}
+
+// SolveBudget is Solve under a budget: each DPLL search node charges one
+// step, so cancellation is honored within one branching step. A nil
+// budget is unlimited; on exhaustion the error wraps budget.ErrExceeded
+// and the boolean is meaningless.
+func (f *CNF) SolveBudget(b *budget.B) (Assignment, bool, error) {
 	vals := make([]tval, f.Vars+1)
-	if !dpll(f, vals) {
-		return nil, false
+	ok, err := dpll(f, vals, b)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
 	}
 	out := make(Assignment, f.Vars+1)
 	for v := 1; v <= f.Vars; v++ {
 		out[v] = vals[v] == tTrue
 	}
-	return out, true
+	return out, true, nil
 }
 
 // Satisfiable reports whether the formula has a model.
@@ -150,7 +165,10 @@ func (f *CNF) Satisfiable() bool {
 	return ok
 }
 
-func dpll(f *CNF, vals []tval) bool {
+func dpll(f *CNF, vals []tval, b *budget.B) (bool, error) {
+	if err := b.Step(1); err != nil {
+		return false, err
+	}
 	// Snapshot for backtracking.
 	saved := make([]tval, len(vals))
 	copy(saved, vals)
@@ -207,7 +225,7 @@ func dpll(f *CNF, vals []tval) bool {
 			}
 			if conflict {
 				restore()
-				return false
+				return false, nil
 			}
 		}
 		if changed {
@@ -248,7 +266,7 @@ func dpll(f *CNF, vals []tval) bool {
 		}
 	}
 	if allSat {
-		return true
+		return true, nil
 	}
 	// Branch on the first unset variable appearing in an unsatisfied clause.
 	branch := 0
@@ -276,18 +294,22 @@ func dpll(f *CNF, vals []tval) bool {
 		// No unset variable in any unsatisfied clause, yet not all
 		// satisfied: contradiction.
 		restore()
-		return false
+		return false, nil
 	}
 	vals[branch] = tTrue
-	if dpll(f, vals) {
-		return true
+	if ok, err := dpll(f, vals, b); err != nil {
+		return false, err
+	} else if ok {
+		return true, nil
 	}
 	vals[branch] = tFalse
-	if dpll(f, vals) {
-		return true
+	if ok, err := dpll(f, vals, b); err != nil {
+		return false, err
+	} else if ok {
+		return true, nil
 	}
 	restore()
-	return false
+	return false, nil
 }
 
 // SatisfiableBrute decides satisfiability by enumerating all 2^Vars
@@ -312,6 +334,12 @@ func (f *CNF) SatisfiableBrute() bool {
 // forced to the given values. Used for QBF evaluation and for checking
 // "satisfying assignment extending r" in the Theorem 4 reduction.
 func (f *CNF) SolveWithFixed(fixed map[int]bool) (Assignment, bool) {
+	a, ok, _ := f.SolveWithFixedBudget(nil, fixed)
+	return a, ok
+}
+
+// SolveWithFixedBudget is SolveWithFixed under a budget (see SolveBudget).
+func (f *CNF) SolveWithFixedBudget(b *budget.B, fixed map[int]bool) (Assignment, bool, error) {
 	clauses := make([]Clause, 0, len(f.Clauses)+len(fixed))
 	clauses = append(clauses, f.Clauses...)
 	for v, val := range fixed {
@@ -322,7 +350,7 @@ func (f *CNF) SolveWithFixed(fixed map[int]bool) (Assignment, bool) {
 		clauses = append(clauses, Clause{l})
 	}
 	g := &CNF{Vars: f.Vars, Clauses: clauses}
-	return g.Solve()
+	return g.SolveBudget(b)
 }
 
 // ForallExists evaluates the Π₂ᵖ-canonical sentence
@@ -330,6 +358,15 @@ func (f *CNF) SolveWithFixed(fixed map[int]bool) (Assignment, bool) {
 // enumerating universal assignments and calling the solver for each.
 // Exponential in k by design.
 func (f *CNF) ForallExists(k int) bool {
+	ok, _ := f.ForallExistsBudget(nil, k)
+	return ok
+}
+
+// ForallExistsBudget is ForallExists under a budget: each universal
+// assignment charges a step before its existential solve, and the inner
+// DPLL search shares the same budget, so cancellation is honored within
+// one solver step. On exhaustion the error wraps budget.ErrExceeded.
+func (f *CNF) ForallExistsBudget(b *budget.B, k int) (bool, error) {
 	if k < 0 || k > f.Vars {
 		panic("logic: universal prefix out of range")
 	}
@@ -338,14 +375,19 @@ func (f *CNF) ForallExists(k int) bool {
 	}
 	fixed := make(map[int]bool, k)
 	for mask := 0; mask < 1<<uint(k); mask++ {
+		if err := b.Step(1); err != nil {
+			return false, err
+		}
 		for v := 1; v <= k; v++ {
 			fixed[v] = mask&(1<<uint(v-1)) != 0
 		}
-		if _, ok := f.SolveWithFixed(fixed); !ok {
-			return false
+		if _, ok, err := f.SolveWithFixedBudget(b, fixed); err != nil {
+			return false, err
+		} else if !ok {
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 // Random3CNF draws m clauses of exactly three distinct variables over n ≥ 3

@@ -1,0 +1,109 @@
+// Package store is the crash-safe durability layer under core.Session:
+// a checksummed, length-prefixed journal of applied update operations
+// plus periodic snapshots, with recovery that replays the journal onto
+// the last good snapshot, truncates torn or corrupt tails, and
+// re-verifies the constant-complement invariant after replay.
+//
+// All file access goes through the small FS interface so that tests can
+// inject faults — failed or torn writes, failed fsyncs, simulated power
+// loss — at every journal record boundary (see FaultFS and MemFS). The
+// production implementation is DirFS.
+//
+// Durability contract: a record is appended to the journal and fsynced
+// after the in-memory apply succeeds and before Apply returns success,
+// so the journal holds exactly the applied operations in order. A crash
+// at any point loses at most the operation whose success was never
+// acknowledged; replaying the journal onto the last good snapshot is
+// deterministic because the translation procedures themselves are.
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the slice of *os.File the store needs: sequential reads or
+// writes plus fsync.
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the injectable filesystem under the store. Implementations:
+// DirFS (production, a directory on disk), MemFS (tests, with an
+// explicit synced/unsynced distinction so power loss can be simulated),
+// FaultFS (wraps another FS and injects faults).
+//
+// Missing files surface as errors satisfying errors.Is(err,
+// io/fs.ErrNotExist).
+type FS interface {
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+}
+
+// DirFS is the production FS: files inside a root directory.
+type DirFS struct {
+	root string
+}
+
+// NewDirFS returns an FS rooted at dir, creating the directory if
+// needed.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	return &DirFS{root: dir}, nil
+}
+
+func (d *DirFS) path(name string) string { return filepath.Join(d.root, name) }
+
+// Create implements FS.
+func (d *DirFS) Create(name string) (File, error) { return os.Create(d.path(name)) }
+
+// OpenAppend implements FS.
+func (d *DirFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(d.path(name), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o666)
+}
+
+// Open implements FS.
+func (d *DirFS) Open(name string) (File, error) { return os.Open(d.path(name)) }
+
+// Rename implements FS.
+func (d *DirFS) Rename(oldname, newname string) error {
+	return os.Rename(d.path(oldname), d.path(newname))
+}
+
+// Remove implements FS.
+func (d *DirFS) Remove(name string) error { return os.Remove(d.path(name)) }
+
+// Truncate implements FS.
+func (d *DirFS) Truncate(name string, size int64) error {
+	return os.Truncate(d.path(name), size)
+}
+
+// readAll reads the full contents of name, returning a nil slice (and
+// nil error) when the file does not exist.
+func readAll(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

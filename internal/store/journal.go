@@ -1,0 +1,289 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// Journal record framing:
+//
+//	u32 LE  payload length
+//	u32 LE  CRC32-C of payload
+//	payload
+//
+// payload:
+//
+//	uvarint seq      — 1-based op sequence number since database creation
+//	byte    kind     — core.UpdateKind
+//	tuple            — the op's Tuple
+//	tuple            — the op's With (replace only)
+//
+// tuple:
+//
+//	uvarint width
+//	width × (uvarint len, len bytes)   — constant *names*, not value ids
+//
+// Constants travel by name because symbol-interning order differs
+// between the process that wrote the journal and the one replaying it.
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const recordHeaderLen = 8
+
+// maxPayload bounds a single record; a declared length beyond it is
+// corruption, not a huge pending read.
+const maxPayload = 1 << 26
+
+// Decode errors. A torn tail is the expected residue of a crash
+// mid-append; corruption means the checksum or structure is wrong in
+// bytes that claim to be complete.
+var (
+	ErrTorn    = errors.New("store: torn journal record (partial tail)")
+	ErrCorrupt = errors.New("store: corrupt journal record")
+)
+
+// Record is one decoded journal entry, with constants as names.
+type Record struct {
+	Seq   uint64
+	Kind  core.UpdateKind
+	Tuple []string
+	With  []string
+}
+
+// Op rebuilds the update operation, interning constants in syms.
+func (r Record) Op(syms *value.Symbols) core.UpdateOp {
+	mk := func(names []string) relation.Tuple {
+		t := make(relation.Tuple, len(names))
+		for i, n := range names {
+			t[i] = syms.Const(n)
+		}
+		return t
+	}
+	op := core.UpdateOp{Kind: r.Kind, Tuple: mk(r.Tuple)}
+	if r.Kind == core.UpdateReplace {
+		op.With = mk(r.With)
+	}
+	return op
+}
+
+func appendTuple(dst []byte, names []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
+	for _, n := range names {
+		dst = binary.AppendUvarint(dst, uint64(len(n)))
+		dst = append(dst, n...)
+	}
+	return dst
+}
+
+// tupleNames renders a tuple's constants by name. Labeled nulls never
+// appear in update operations; encoding one is a caller bug.
+func tupleNames(t relation.Tuple, syms *value.Symbols) ([]string, error) {
+	out := make([]string, len(t))
+	for i, v := range t {
+		if !v.IsConst() {
+			return nil, fmt.Errorf("store: cannot journal labeled null in %v", t)
+		}
+		out[i] = syms.Name(v)
+	}
+	return out, nil
+}
+
+// EncodeRecord frames one journal record (header + checksummed
+// payload). with must be nil unless kind is UpdateReplace.
+func EncodeRecord(seq uint64, kind core.UpdateKind, tuple, with []string) []byte {
+	payload := binary.AppendUvarint(nil, seq)
+	payload = append(payload, byte(kind))
+	payload = appendTuple(payload, tuple)
+	if kind == core.UpdateReplace {
+		payload = appendTuple(payload, with)
+	}
+	rec := make([]byte, recordHeaderLen, recordHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
+	return append(rec, payload...)
+}
+
+// EncodeOp frames an update operation as a journal record.
+func EncodeOp(seq uint64, op core.UpdateOp, syms *value.Symbols) ([]byte, error) {
+	tuple, err := tupleNames(op.Tuple, syms)
+	if err != nil {
+		return nil, err
+	}
+	var with []string
+	if op.Kind == core.UpdateReplace {
+		if with, err = tupleNames(op.With, syms); err != nil {
+			return nil, err
+		}
+	}
+	switch op.Kind {
+	case core.UpdateInsert, core.UpdateDelete, core.UpdateReplace:
+	default:
+		return nil, fmt.Errorf("store: cannot journal unknown update kind %v", op.Kind)
+	}
+	return EncodeRecord(seq, op.Kind, tuple, with), nil
+}
+
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *byteReader) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	r.off += n
+	return v, true
+}
+
+func (r *byteReader) tuple() ([]string, bool) {
+	w, ok := r.uvarint()
+	if !ok || w > uint64(len(r.data)-r.off) {
+		return nil, false
+	}
+	out := make([]string, w)
+	for i := range out {
+		n, ok := r.uvarint()
+		if !ok || n > uint64(len(r.data)-r.off) {
+			return nil, false
+		}
+		out[i] = string(r.data[r.off : r.off+int(n)])
+		r.off += int(n)
+	}
+	return out, true
+}
+
+// DecodeRecord parses one record from the front of data, returning the
+// record and the bytes consumed. A prefix of a record (data ends before
+// the declared payload does) yields ErrTorn; a complete-looking record
+// whose checksum or structure is wrong yields ErrCorrupt. Arbitrary
+// input never panics (fuzzed by FuzzJournal).
+func DecodeRecord(data []byte) (Record, int, error) {
+	if len(data) < recordHeaderLen {
+		return Record{}, 0, ErrTorn
+	}
+	plen := binary.LittleEndian.Uint32(data[0:4])
+	if plen > maxPayload {
+		return Record{}, 0, ErrCorrupt
+	}
+	if uint64(len(data)-recordHeaderLen) < uint64(plen) {
+		return Record{}, 0, ErrTorn
+	}
+	payload := data[recordHeaderLen : recordHeaderLen+int(plen)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
+		return Record{}, 0, ErrCorrupt
+	}
+	r := byteReader{data: payload}
+	var rec Record
+	var ok bool
+	if rec.Seq, ok = r.uvarint(); !ok {
+		return Record{}, 0, ErrCorrupt
+	}
+	if r.off >= len(payload) {
+		return Record{}, 0, ErrCorrupt
+	}
+	rec.Kind = core.UpdateKind(payload[r.off])
+	r.off++
+	switch rec.Kind {
+	case core.UpdateInsert, core.UpdateDelete, core.UpdateReplace:
+	default:
+		return Record{}, 0, ErrCorrupt
+	}
+	if rec.Tuple, ok = r.tuple(); !ok {
+		return Record{}, 0, ErrCorrupt
+	}
+	if rec.Kind == core.UpdateReplace {
+		if rec.With, ok = r.tuple(); !ok {
+			return Record{}, 0, ErrCorrupt
+		}
+	}
+	if r.off != len(payload) {
+		return Record{}, 0, ErrCorrupt
+	}
+	return rec, recordHeaderLen + int(plen), nil
+}
+
+// JournalScan is the result of decoding a journal image: the good
+// record prefix, where it ends, and what (if anything) cut it short.
+type JournalScan struct {
+	Records []Record
+	// GoodBytes is the offset just past the last intact record; recovery
+	// truncates the journal here.
+	GoodBytes int64
+	// Torn reports a partial record tail (the normal residue of a crash
+	// mid-append); Corrupt reports a checksum or structure failure.
+	Torn    bool
+	Corrupt bool
+}
+
+// ScanJournal decodes records from the front of a journal image until
+// the bytes run out or stop checking out. It never fails: damage is
+// reported in the scan, and everything before it is preserved.
+func ScanJournal(data []byte) JournalScan {
+	var s JournalScan
+	for int(s.GoodBytes) < len(data) {
+		rec, n, err := DecodeRecord(data[s.GoodBytes:])
+		if err != nil {
+			s.Torn = errors.Is(err, ErrTorn)
+			s.Corrupt = errors.Is(err, ErrCorrupt)
+			break
+		}
+		s.Records = append(s.Records, rec)
+		s.GoodBytes += int64(n)
+	}
+	return s
+}
+
+// Journal is an append-only record writer. Each Append frames the op,
+// writes it in a single Write call, and fsyncs before returning: when
+// Append returns nil the record is durable.
+type Journal struct {
+	f File
+}
+
+func createJournal(fsys FS, name string) (*Journal, error) {
+	f, err := fsys.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+func openJournalAppend(fsys FS, name string) (*Journal, error) {
+	f, err := fsys.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append makes op durable as record seq.
+func (j *Journal) Append(seq uint64, op core.UpdateOp, syms *value.Symbols) error {
+	rec, err := EncodeOp(seq, op, syms)
+	if err != nil {
+		return err
+	}
+	n, err := j.f.Write(rec)
+	if err != nil {
+		return fmt.Errorf("store: journal write (%d/%d bytes): %w", n, len(rec), err)
+	}
+	if n < len(rec) {
+		return fmt.Errorf("store: short journal write (%d/%d bytes)", n, len(rec))
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close releases the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }

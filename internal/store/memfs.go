@@ -1,0 +1,205 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models the durability boundary real
+// disks have: bytes written to a file are *unsynced* until Sync is
+// called on the handle, and Crash simulates power loss by discarding
+// every unsynced byte. Tests drive a store against MemFS, kill it at an
+// arbitrary point, call Crash, and then recover from what a real disk
+// would have retained.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memEntry
+}
+
+type memEntry struct {
+	synced  []byte
+	pending []byte
+}
+
+func (e *memEntry) combined() []byte {
+	out := make([]byte, 0, len(e.synced)+len(e.pending))
+	out = append(out, e.synced...)
+	return append(out, e.pending...)
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memEntry)}
+}
+
+// Crash simulates power loss: every byte not yet fsynced is discarded.
+// Open handles into the filesystem keep working (the dead process's
+// handles are never used again by a well-formed test).
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.files {
+		e.pending = nil
+	}
+}
+
+// Bytes returns the current durable+pending content of name, for test
+// assertions. The second result reports whether the file exists.
+func (m *MemFS) Bytes(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.files[name]
+	if !ok {
+		return nil, false
+	}
+	return e.combined(), true
+}
+
+// Corrupt flips one byte of name at offset, modeling media corruption
+// underneath the checksums. It syncs the damage immediately.
+func (m *MemFS) Corrupt(name string, offset int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("store: corrupt %s: %w", name, fs.ErrNotExist)
+	}
+	all := e.combined()
+	if offset < 0 || offset >= len(all) {
+		return fmt.Errorf("store: corrupt %s: offset %d out of range", name, offset)
+	}
+	all[offset] ^= 0xff
+	e.synced, e.pending = all, nil
+	return nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memEntry{}
+	return &memWriteFile{fs: m, name: name}, nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = &memEntry{}
+	}
+	return &memWriteFile{fs: m, name: name}, nil
+}
+
+// Open implements FS. The handle reads a snapshot of the content at
+// open time (synced and pending bytes alike — an OS page cache serves
+// unsynced writes to readers too).
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("store: open %s: %w", name, fs.ErrNotExist)
+	}
+	return &memReadFile{data: e.combined()}, nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("store: rename %s: %w", oldname, fs.ErrNotExist)
+	}
+	m.files[newname] = e
+	delete(m.files, oldname)
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("store: remove %s: %w", name, fs.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Truncate implements FS. The cut preserves the synced/pending split of
+// the surviving prefix.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("store: truncate %s: %w", name, fs.ErrNotExist)
+	}
+	n := int(size)
+	if n < 0 {
+		return fmt.Errorf("store: truncate %s: negative size", name)
+	}
+	switch {
+	case n <= len(e.synced):
+		e.synced = e.synced[:n]
+		e.pending = nil
+	case n <= len(e.synced)+len(e.pending):
+		e.pending = e.pending[:n-len(e.synced)]
+	default:
+		return fmt.Errorf("store: truncate %s: size %d beyond end", name, n)
+	}
+	return nil
+}
+
+type memWriteFile struct {
+	fs   *MemFS
+	name string
+}
+
+func (f *memWriteFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	e, ok := f.fs.files[f.name]
+	if !ok {
+		return 0, fmt.Errorf("store: write %s: %w", f.name, fs.ErrNotExist)
+	}
+	e.pending = append(e.pending, p...)
+	return len(p), nil
+}
+
+func (f *memWriteFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	e, ok := f.fs.files[f.name]
+	if !ok {
+		return fmt.Errorf("store: sync %s: %w", f.name, fs.ErrNotExist)
+	}
+	e.synced = append(e.synced, e.pending...)
+	e.pending = nil
+	return nil
+}
+
+func (f *memWriteFile) Read([]byte) (int, error) { return 0, io.EOF }
+func (f *memWriteFile) Close() error             { return nil }
+
+type memReadFile struct {
+	data []byte
+	off  int
+}
+
+func (f *memReadFile) Read(p []byte) (int, error) {
+	if f.off >= len(f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[f.off:])
+	f.off += n
+	return n, nil
+}
+
+func (f *memReadFile) Write([]byte) (int, error) { return 0, fmt.Errorf("store: file opened read-only") }
+func (f *memReadFile) Sync() error               { return nil }
+func (f *memReadFile) Close() error              { return nil }

@@ -1,0 +1,303 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// File names inside the store's FS root.
+const (
+	JournalFile  = "journal"
+	SnapshotFile = "snapshot"
+)
+
+// ErrSessionBroken marks a durable session whose in-memory state ran
+// ahead of the disk: an operation was applied but its journal record
+// could not be made durable. Accepting further updates would journal
+// them on top of the missing record and make replay diverge, so the
+// session refuses all further work; restart and Recover instead (the
+// unacknowledged op is the one that is lost, exactly as reported to its
+// caller).
+var ErrSessionBroken = errors.New("store: session broken (applied op not durable); restart and recover")
+
+// Options tunes a durable session.
+type Options struct {
+	// SnapshotEvery is the number of applied operations between
+	// snapshots; each snapshot resets the journal. Zero means 64.
+	SnapshotEvery int
+}
+
+func (o Options) every() int {
+	if o.SnapshotEvery <= 0 {
+		return 64
+	}
+	return o.SnapshotEvery
+}
+
+// Session is a core.Session with crash safety: every applied update is
+// journaled and fsynced before Apply acknowledges it, and the database
+// is periodically checkpointed into an atomically replaced snapshot.
+// After a crash, Recover rebuilds the exact acknowledged state.
+type Session struct {
+	fsys FS
+	pair *core.Pair
+	syms *value.Symbols
+	sess *core.Session
+	j    *Journal
+	opts Options
+
+	// seq counts acknowledged (journaled) operations since Create.
+	seq       uint64
+	sinceSnap int
+	broken    error
+	snapErr   error
+}
+
+// Create starts a fresh durable session: the initial database becomes
+// snapshot 0 and the journal starts empty. Any previous store contents
+// under fsys are overwritten.
+func Create(fsys FS, pair *core.Pair, db *relation.Relation, syms *value.Symbols, opts Options) (*Session, error) {
+	sess, err := core.NewSession(pair, db)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeSnapshot(fsys, SnapshotFile, 0, db, syms); err != nil {
+		return nil, err
+	}
+	j, err := createJournal(fsys, JournalFile)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{fsys: fsys, pair: pair, syms: syms, sess: sess, j: j, opts: opts}, nil
+}
+
+// RecoveryReport describes what Recover found and did.
+type RecoveryReport struct {
+	// SnapshotSeq is the sequence number of the snapshot used as the
+	// replay floor.
+	SnapshotSeq uint64
+	// Replayed counts journal records applied on top of the snapshot;
+	// Skipped counts records the snapshot had already absorbed (left
+	// behind when a crash hit between snapshot rename and journal
+	// reset).
+	Replayed int
+	Skipped  int
+	// TruncatedBytes is the length of the journal tail cut off, with
+	// Torn/Corrupt saying why: a partial record (crash mid-append) or a
+	// checksum/structure failure.
+	TruncatedBytes int64
+	Torn           bool
+	Corrupt        bool
+	// InvariantOK confirms the post-replay re-verification: the database
+	// is legal and the complement projection matches the snapshot's.
+	InvariantOK bool
+}
+
+func (r *RecoveryReport) String() string {
+	s := fmt.Sprintf("recovered at snapshot seq %d: %d replayed, %d skipped", r.SnapshotSeq, r.Replayed, r.Skipped)
+	if r.TruncatedBytes > 0 {
+		why := "corrupt"
+		if r.Torn {
+			why = "torn"
+		}
+		s += fmt.Sprintf(", %d-byte %s tail truncated", r.TruncatedBytes, why)
+	}
+	if r.InvariantOK {
+		s += "; invariant verified"
+	}
+	return s
+}
+
+// Recover rebuilds the durable session from fsys: it loads the last
+// good snapshot, replays every journal record past it (truncating a
+// torn or corrupt tail first), and re-verifies the constant-complement
+// invariant on the result. Constants are interned into syms, which is
+// typically empty — the journal and snapshot carry names, not ids, so
+// recovery does not depend on the dead process's interning order.
+func Recover(fsys FS, pair *core.Pair, syms *value.Symbols, opts Options) (*Session, *RecoveryReport, error) {
+	snapSeq, db, err := readSnapshot(fsys, SnapshotFile, pair.Schema().Universe(), syms)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: recover: %w", err)
+	}
+	data, err := readAll(fsys, JournalFile)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: recover: journal: %w", err)
+	}
+	rep := &RecoveryReport{SnapshotSeq: snapSeq}
+
+	// Decode the good prefix, validating the sequence numbers: records
+	// at or below the snapshot seq are leftovers of an interrupted
+	// journal reset; past it they must run contiguously. A gap can only
+	// come from damage, so it truncates like a bad checksum.
+	var recs []Record
+	var off int64
+	next := snapSeq + 1
+	for int(off) < len(data) {
+		rec, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			rep.Torn = errors.Is(err, ErrTorn)
+			rep.Corrupt = errors.Is(err, ErrCorrupt)
+			break
+		}
+		if rec.Seq <= snapSeq {
+			rep.Skipped++
+			off += int64(n)
+			continue
+		}
+		if rec.Seq != next {
+			rep.Corrupt = true
+			break
+		}
+		recs = append(recs, rec)
+		next++
+		off += int64(n)
+	}
+	if int(off) < len(data) {
+		rep.TruncatedBytes = int64(len(data)) - off
+		if err := fsys.Truncate(JournalFile, off); err != nil {
+			return nil, nil, fmt.Errorf("store: recover: truncating journal tail: %w", err)
+		}
+	}
+
+	sess, err := core.NewSession(pair, db)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: recover: snapshot database: %w", err)
+	}
+	for _, rec := range recs {
+		if _, err := sess.Apply(rec.Op(syms)); err != nil {
+			return nil, nil, fmt.Errorf("store: recover: replaying record %d: journal diverges from snapshot: %w", rec.Seq, err)
+		}
+		rep.Replayed++
+	}
+
+	// Re-verify the framework invariant on the recovered state: legal
+	// database, complement projection unchanged from the snapshot.
+	cur := sess.Database()
+	legal, _ := pair.Schema().Legal(cur)
+	y := pair.ComplementAttrs()
+	rep.InvariantOK = legal && cur.Project(y).Equal(db.Project(y))
+	if !rep.InvariantOK {
+		return nil, rep, errors.New("store: recover: constant-complement invariant failed after replay")
+	}
+
+	j, err := openJournalAppend(fsys, JournalFile)
+	if err != nil {
+		return nil, rep, fmt.Errorf("store: recover: reopening journal: %w", err)
+	}
+	return &Session{
+		fsys:      fsys,
+		pair:      pair,
+		syms:      syms,
+		sess:      sess,
+		j:         j,
+		opts:      opts,
+		seq:       next - 1,
+		sinceSnap: rep.Replayed,
+	}, rep, nil
+}
+
+// Open resumes from an existing store (Recover) or starts a fresh one
+// with db (Create) when fsys holds no snapshot. The report is nil on
+// the fresh path.
+func Open(fsys FS, pair *core.Pair, db *relation.Relation, syms *value.Symbols, opts Options) (*Session, *RecoveryReport, error) {
+	sess, rep, err := Recover(fsys, pair, syms, opts)
+	if errors.Is(err, fs.ErrNotExist) {
+		s, err := Create(fsys, pair, db, syms, opts)
+		return s, nil, err
+	}
+	return sess, rep, err
+}
+
+// Database returns a snapshot of the current database.
+func (s *Session) Database() *relation.Relation { return s.sess.Database() }
+
+// View returns the current view instance.
+func (s *Session) View() *relation.Relation { return s.sess.View() }
+
+// Log returns the in-memory update log of this process's lifetime
+// (rejections included; the journal holds only applied ops).
+func (s *Session) Log() []core.LogEntry { return s.sess.Log() }
+
+// Seq returns the number of acknowledged operations since Create.
+func (s *Session) Seq() uint64 { return s.seq }
+
+// SnapshotErr returns the most recent snapshot failure, if the store is
+// running degraded on journal-only durability. It clears when a later
+// snapshot succeeds.
+func (s *Session) SnapshotErr() error { return s.snapErr }
+
+// Decide tests an update without applying it.
+func (s *Session) Decide(op core.UpdateOp) (*core.Decision, error) { return s.sess.Decide(op) }
+
+// DecideCtx is Decide bounded by a context.
+func (s *Session) DecideCtx(ctx context.Context, op core.UpdateOp) (*core.Decision, error) {
+	return s.sess.DecideCtx(ctx, op)
+}
+
+// Apply decides, applies, and makes durable one update.
+func (s *Session) Apply(op core.UpdateOp) (*core.Decision, error) {
+	return s.ApplyCtx(context.Background(), op)
+}
+
+// ApplyCtx is Apply bounded by a context. The durability contract: when
+// ApplyCtx returns nil the operation is fsynced in the journal; on any
+// error the operation is not acknowledged. A rejection or budget trip
+// leaves the database unchanged and the store healthy; a journal
+// failure after the in-memory apply breaks the session (ErrSessionBroken
+// thereafter), because memory is ahead of disk. A snapshot failure does
+// not fail the op — durability degrades gracefully to journal-only and
+// is retried at the next snapshot point (see SnapshotErr).
+func (s *Session) ApplyCtx(ctx context.Context, op core.UpdateOp) (*core.Decision, error) {
+	if s.broken != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSessionBroken, s.broken)
+	}
+	d, err := s.sess.ApplyCtx(ctx, op)
+	if err != nil {
+		return d, err
+	}
+	if err := s.j.Append(s.seq+1, op, s.syms); err != nil {
+		s.broken = err
+		return d, fmt.Errorf("%w: %v", ErrSessionBroken, err)
+	}
+	s.seq++
+	s.sinceSnap++
+	if s.sinceSnap >= s.opts.every() {
+		s.snapErr = s.rotate()
+	}
+	return d, nil
+}
+
+// rotate checkpoints the database into the snapshot and starts a fresh
+// journal. A crash between the two steps is safe: the stale journal
+// records carry seqs the new snapshot already covers, and Recover
+// skips them.
+func (s *Session) rotate() error {
+	if err := writeSnapshot(s.fsys, SnapshotFile, s.seq, s.sess.Database(), s.syms); err != nil {
+		// Old snapshot + full journal still reconstruct everything.
+		return err
+	}
+	if err := s.j.Close(); err != nil {
+		s.broken = err
+		return err
+	}
+	j, err := createJournal(s.fsys, JournalFile)
+	if err != nil {
+		// No journal to write future ops into: the session cannot
+		// accept more work.
+		s.broken = err
+		return err
+	}
+	s.j = j
+	s.sinceSnap = 0
+	return nil
+}
+
+// Close releases the journal handle. The store is consistent at every
+// instant, so Close is not a commit point.
+func (s *Session) Close() error { return s.j.Close() }

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// Snapshot file layout:
+//
+//	8 bytes  magic "CCSNAP1\n"
+//	u32 LE   body length
+//	u32 LE   CRC32-C of body
+//	body:
+//	  uvarint seq                 — ops folded into this snapshot
+//	  uvarint width
+//	  width × (uvarint len, name) — universe attribute names, column order
+//	  uvarint count
+//	  count × width × (uvarint len, name) — tuples, constants by name
+//
+// A snapshot is written to <name>.tmp, fsynced, then renamed over
+// <name>, so a crash mid-write leaves the previous snapshot intact and
+// at most a stray .tmp file.
+
+var snapMagic = []byte("CCSNAP1\n")
+
+const snapHeaderLen = 16
+
+// EncodeSnapshot serializes a database image at sequence seq.
+func EncodeSnapshot(seq uint64, db *relation.Relation, syms *value.Symbols) ([]byte, error) {
+	u := db.Universe()
+	body := binary.AppendUvarint(nil, seq)
+	body = binary.AppendUvarint(body, uint64(u.Size()))
+	for i := 0; i < u.Size(); i++ {
+		name := u.Name(attr.ID(i))
+		body = binary.AppendUvarint(body, uint64(len(name)))
+		body = append(body, name...)
+	}
+	body = binary.AppendUvarint(body, uint64(db.Len()))
+	for _, t := range db.Tuples() {
+		names, err := tupleNames(t, syms)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			body = binary.AppendUvarint(body, uint64(len(n)))
+			body = append(body, n...)
+		}
+	}
+	out := make([]byte, snapHeaderLen, snapHeaderLen+len(body))
+	copy(out, snapMagic)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(len(body)))
+	binary.LittleEndian.PutUint32(out[12:16], crc32.Checksum(body, castagnoli))
+	return append(out, body...), nil
+}
+
+// DecodeSnapshot parses a snapshot image against the expected universe,
+// interning constants in syms. Any framing, checksum, or schema
+// mismatch is an error: a snapshot is the recovery floor and must be
+// wholly intact.
+func DecodeSnapshot(data []byte, u *attr.Universe, syms *value.Symbols) (uint64, *relation.Relation, error) {
+	if len(data) < snapHeaderLen || string(data[:8]) != string(snapMagic) {
+		return 0, nil, fmt.Errorf("store: snapshot: bad magic")
+	}
+	blen := binary.LittleEndian.Uint32(data[8:12])
+	if uint64(blen) != uint64(len(data)-snapHeaderLen) {
+		return 0, nil, fmt.Errorf("store: snapshot: length mismatch (declared %d, have %d)", blen, len(data)-snapHeaderLen)
+	}
+	body := data[snapHeaderLen:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(data[12:16]) {
+		return 0, nil, fmt.Errorf("store: snapshot: checksum mismatch")
+	}
+	r := byteReader{data: body}
+	seq, ok := r.uvarint()
+	if !ok {
+		return 0, nil, fmt.Errorf("store: snapshot: truncated seq")
+	}
+	width, ok := r.uvarint()
+	if !ok || width != uint64(u.Size()) {
+		return 0, nil, fmt.Errorf("store: snapshot: universe width %d, want %d", width, u.Size())
+	}
+	for i := 0; i < u.Size(); i++ {
+		n, ok := r.uvarint()
+		if !ok || n > uint64(len(body)-r.off) {
+			return 0, nil, fmt.Errorf("store: snapshot: truncated attribute name")
+		}
+		name := string(body[r.off : r.off+int(n)])
+		r.off += int(n)
+		if want := u.Name(attr.ID(i)); name != want {
+			return 0, nil, fmt.Errorf("store: snapshot: attribute %d is %q, want %q", i, name, want)
+		}
+	}
+	count, ok := r.uvarint()
+	if !ok {
+		return 0, nil, fmt.Errorf("store: snapshot: truncated tuple count")
+	}
+	db := relation.New(u.All())
+	for i := uint64(0); i < count; i++ {
+		t := make(relation.Tuple, u.Size())
+		for c := range t {
+			n, ok := r.uvarint()
+			if !ok || n > uint64(len(body)-r.off) {
+				return 0, nil, fmt.Errorf("store: snapshot: truncated tuple %d", i)
+			}
+			t[c] = syms.Const(string(body[r.off : r.off+int(n)]))
+			r.off += int(n)
+		}
+		db.Insert(t)
+	}
+	if r.off != len(body) {
+		return 0, nil, fmt.Errorf("store: snapshot: %d trailing bytes", len(body)-r.off)
+	}
+	return seq, db, nil
+}
+
+// writeSnapshot atomically replaces the snapshot at name: the image is
+// written and fsynced under a temporary name and renamed into place.
+func writeSnapshot(fsys FS, name string, seq uint64, db *relation.Relation, syms *value.Symbols) error {
+	img, err := EncodeSnapshot(seq, db, syms)
+	if err != nil {
+		return err
+	}
+	tmp := name + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: snapshot create: %w", err)
+	}
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		return fmt.Errorf("store: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: snapshot close: %w", err)
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot loads the snapshot at name. A missing file returns an
+// error satisfying errors.Is(err, fs.ErrNotExist).
+func readSnapshot(fsys FS, name string, u *attr.Universe, syms *value.Symbols) (uint64, *relation.Relation, error) {
+	data, err := readAll(fsys, name)
+	if err != nil {
+		return 0, nil, err
+	}
+	if data == nil {
+		return 0, nil, fmt.Errorf("store: snapshot %s: %w", name, fs.ErrNotExist)
+	}
+	return DecodeSnapshot(data, u, syms)
+}

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel classes for parse failures. Every error the parsers in this
+// package return wraps exactly one of these, so callers branch with
+// errors.Is instead of matching message text.
+var (
+	// ErrEmptyInput marks input with no usable content: no attrs
+	// declaration, no table header, or a blank tuple.
+	ErrEmptyInput = errors.New("workload: empty input")
+	// ErrArity marks a row or tuple with the wrong number of values.
+	ErrArity = errors.New("workload: wrong arity")
+	// ErrUnknownAttr marks a reference to an attribute outside the
+	// universe.
+	ErrUnknownAttr = errors.New("workload: unknown attribute")
+	// ErrSyntax marks everything else that fails to parse.
+	ErrSyntax = errors.New("workload: syntax error")
+)
+
+// ParseError locates a parse failure: the 1-based input line (0 when
+// the input is not line-addressed, as in ParseTuple), the sentinel
+// class, and the underlying cause, both reachable through errors.Is /
+// errors.As.
+type ParseError struct {
+	Line  int
+	Class error
+	Msg   string
+	Cause error
+}
+
+func (e *ParseError) Error() string {
+	var b []byte
+	if e.Line > 0 {
+		b = fmt.Appendf(b, "line %d: ", e.Line)
+	}
+	b = append(b, e.Msg...)
+	if e.Cause != nil {
+		b = fmt.Appendf(b, ": %v", e.Cause)
+	}
+	return string(b)
+}
+
+func (e *ParseError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{e.Class, e.Cause}
+	}
+	return []error{e.Class}
+}
+
+func parseErr(line int, class error, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Class: class, Msg: fmt.Sprintf(format, args...)}
+}
+
+func parseWrap(line int, class error, cause error, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Class: class, Msg: fmt.Sprintf(format, args...), Cause: cause}
+}

@@ -1,7 +1,7 @@
 package workload
 
 import (
-	"fmt"
+	"errors"
 	"strings"
 
 	"github.com/constcomp/constcomp/internal/attr"
@@ -10,6 +10,16 @@ import (
 	"github.com/constcomp/constcomp/internal/relation"
 	"github.com/constcomp/constcomp/internal/value"
 )
+
+// classify maps an underlying attr/dep error to this package's
+// sentinels: unknown attribute keeps its identity, everything else is a
+// syntax failure.
+func classify(err error) error {
+	if errors.Is(err, attr.ErrUnknown) {
+		return ErrUnknownAttr
+	}
+	return ErrSyntax
+}
 
 // ParseSchema parses the schema text format used by the command-line
 // tools:
@@ -20,7 +30,9 @@ import (
 //	# comments and blank lines are skipped
 //
 // The first non-comment line must declare the universe; the rest are
-// dependencies in the internal/dep syntax.
+// dependencies in the internal/dep syntax. Failures are *ParseError
+// values wrapping the package sentinels (ErrEmptyInput, ErrUnknownAttr,
+// ErrSyntax) with the offending line number.
 func ParseSchema(text string) (*core.Schema, error) {
 	var u *attr.Universe
 	var sigma *dep.Set
@@ -31,33 +43,41 @@ func ParseSchema(text string) (*core.Schema, error) {
 		}
 		if u == nil {
 			if !strings.HasPrefix(line, "attrs:") {
-				return nil, fmt.Errorf("line %d: expected \"attrs: ...\" before dependencies", ln+1)
+				return nil, parseErr(ln+1, ErrSyntax, "expected %q before dependencies", "attrs: ...")
 			}
 			names := strings.Fields(strings.TrimPrefix(line, "attrs:"))
+			if len(names) == 0 {
+				return nil, parseErr(ln+1, ErrEmptyInput, "attrs declaration lists no attributes")
+			}
 			var err error
 			u, err = attr.NewUniverse(names...)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+				return nil, parseWrap(ln+1, ErrSyntax, err, "bad attrs declaration")
 			}
 			sigma = dep.NewSet(u)
 			continue
 		}
 		d, err := dep.Parse(u, line)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			return nil, parseWrap(ln+1, classify(err), err, "bad dependency")
 		}
 		sigma.Add(d)
 	}
 	if u == nil {
-		return nil, fmt.Errorf("no attrs declaration found")
+		return nil, parseErr(0, ErrEmptyInput, "no attrs declaration found")
 	}
-	return core.NewSchema(u, sigma)
+	s, err := core.NewSchema(u, sigma)
+	if err != nil {
+		return nil, parseWrap(0, ErrSyntax, err, "bad schema")
+	}
+	return s, nil
 }
 
 // ParseData parses a whitespace-separated table: first line is the header
 // (attribute names), following lines are rows. Attributes may be any
 // subset of the schema's universe; the relation is over exactly the
-// header's attributes.
+// header's attributes. Failures are *ParseError values wrapping the
+// package sentinels.
 func ParseData(s *core.Schema, syms *value.Symbols, text string) (*relation.Relation, error) {
 	u := s.Universe()
 	var rel *relation.Relation
@@ -71,10 +91,10 @@ func ParseData(s *core.Schema, syms *value.Symbols, text string) (*relation.Rela
 		if rel == nil {
 			set, err := u.Set(fields...)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+				return nil, parseWrap(ln+1, classify(err), err, "bad header")
 			}
 			if set.Len() != len(fields) {
-				return nil, fmt.Errorf("line %d: duplicate attribute in header", ln+1)
+				return nil, parseErr(ln+1, ErrSyntax, "duplicate attribute in header")
 			}
 			rel = relation.New(set)
 			cols = make([]int, len(fields))
@@ -85,7 +105,7 @@ func ParseData(s *core.Schema, syms *value.Symbols, text string) (*relation.Rela
 			continue
 		}
 		if len(fields) != len(cols) {
-			return nil, fmt.Errorf("line %d: %d values for %d columns", ln+1, len(fields), len(cols))
+			return nil, parseErr(ln+1, ErrArity, "%d values for %d columns", len(fields), len(cols))
 		}
 		t := make(relation.Tuple, len(cols))
 		for i, f := range fields {
@@ -94,17 +114,21 @@ func ParseData(s *core.Schema, syms *value.Symbols, text string) (*relation.Rela
 		rel.Insert(t)
 	}
 	if rel == nil {
-		return nil, fmt.Errorf("no header found")
+		return nil, parseErr(0, ErrEmptyInput, "no header found")
 	}
 	return rel, nil
 }
 
 // ParseTuple parses a whitespace-separated tuple over the given relation's
-// attributes, in header (ascending attribute) order.
+// attributes, in header (ascending attribute) order. A blank input is
+// ErrEmptyInput; a value-count mismatch is ErrArity.
 func ParseTuple(r *relation.Relation, syms *value.Symbols, text string) (relation.Tuple, error) {
 	fields := strings.Fields(text)
+	if len(fields) == 0 && r.Width() != 0 {
+		return nil, parseErr(0, ErrEmptyInput, "empty tuple for %d columns", r.Width())
+	}
 	if len(fields) != r.Width() {
-		return nil, fmt.Errorf("tuple has %d values, relation has %d columns", len(fields), r.Width())
+		return nil, parseErr(0, ErrArity, "tuple has %d values, relation has %d columns", len(fields), r.Width())
 	}
 	t := make(relation.Tuple, len(fields))
 	for i, f := range fields {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -130,6 +131,111 @@ func TestParseDataErrors(t *testing.T) {
 		if _, err := ParseData(s, syms, tc); err == nil {
 			t.Errorf("ParseData(%q) succeeded", strings.ReplaceAll(tc, "\n", "\\n"))
 		}
+	}
+}
+
+// TestParseSchemaErrorsTyped pins the error contract: every failure is
+// a *ParseError carrying the offending line and wrapping the right
+// sentinel.
+func TestParseSchemaErrorsTyped(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		in    string
+		class error
+		line  int
+	}{
+		{"empty", "", ErrEmptyInput, 0},
+		{"comments only", "# nothing\n\n# here\n", ErrEmptyInput, 0},
+		{"attrs with no names", "attrs:", ErrEmptyInput, 1},
+		{"dep before attrs", "E -> D", ErrSyntax, 1},
+		{"duplicate attribute", "attrs: E E", ErrSyntax, 1},
+		{"empty attribute name", "attrs: E D\n\ngibber", ErrSyntax, 3},
+		{"unknown attr in dep", "attrs: E D\nE -> Z", ErrUnknownAttr, 2},
+		{"unknown attr in JD", "attrs: E D\n*[E D; D Q]", ErrUnknownAttr, 2},
+		{"unparsable dep", "attrs: E D\n# fine\nE <- D", ErrSyntax, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSchema(tc.in)
+			if err == nil {
+				t.Fatal("parse succeeded")
+			}
+			if !errors.Is(err, tc.class) {
+				t.Errorf("error %v does not wrap %v", err, tc.class)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not a *ParseError", err)
+			}
+			if pe.Line != tc.line {
+				t.Errorf("line = %d, want %d", pe.Line, tc.line)
+			}
+		})
+	}
+}
+
+func TestParseDataErrorsTyped(t *testing.T) {
+	s, err := ParseSchema("attrs: E D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := value.NewSymbols()
+	for _, tc := range []struct {
+		name  string
+		in    string
+		class error
+		line  int
+	}{
+		{"empty", "", ErrEmptyInput, 0},
+		{"comments only", "# just\n# comments", ErrEmptyInput, 0},
+		{"unknown attribute", "E Z\nx y", ErrUnknownAttr, 1},
+		{"duplicate header", "E E\nx y", ErrSyntax, 1},
+		{"row too short", "E D\nx y\nonlyone", ErrArity, 3},
+		{"row too long", "E D\nx y z", ErrArity, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseData(s, syms, tc.in)
+			if err == nil {
+				t.Fatal("parse succeeded")
+			}
+			if !errors.Is(err, tc.class) {
+				t.Errorf("error %v does not wrap %v", err, tc.class)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not a *ParseError", err)
+			}
+			if pe.Line != tc.line {
+				t.Errorf("line = %d, want %d", pe.Line, tc.line)
+			}
+		})
+	}
+}
+
+func TestParseTupleErrorsTyped(t *testing.T) {
+	s, err := ParseSchema("attrs: E D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := value.NewSymbols()
+	r, err := ParseData(s, syms, "E D\ned toys\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		in    string
+		class error
+	}{
+		{"empty", "", ErrEmptyInput},
+		{"whitespace only", "  \t ", ErrEmptyInput},
+		{"too few", "justone", ErrArity},
+		{"too many", "a b c", ErrArity},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseTuple(r, syms, tc.in); !errors.Is(err, tc.class) {
+				t.Errorf("ParseTuple(%q) = %v, want %v", tc.in, err, tc.class)
+			}
+		})
 	}
 }
 
