@@ -6,15 +6,17 @@
 // Usage:
 //
 //	viewupd -schema schema.txt -data data.txt -view "E D" [-complement "D M"]
-//	        [-script s.txt] [-journal dir] [-recover] [-timeout 2s]
+//	        [-script s.txt] [-journal dir] [-recover [-force]] [-timeout 2s]
 //
 // Without -complement, the minimal complement of Corollary 2 is used.
 // With -journal, the session is durable: every applied update is
 // journaled and fsynced in dir before it is acknowledged, and -recover
 // resumes a session killed mid-run by replaying the journal onto the
 // last snapshot (pass the same -schema/-view/-complement flags; -data
-// is not needed). With -timeout, each command's decision procedure is
-// bounded and times out instead of hanging on adversarial schemas.
+// is not needed). Recovery refuses to truncate mid-journal corruption
+// that would drop acknowledged updates unless -force is given. With
+// -timeout, each command's decision procedure is bounded and times out
+// instead of hanging on adversarial schemas.
 //
 // Commands (from -script or stdin), one per line:
 //
@@ -76,6 +78,7 @@ func main() {
 	scriptPath := flag.String("script", "", "command script (default: stdin)")
 	journalDir := flag.String("journal", "", "directory for the durable journal + snapshots")
 	recoverFlag := flag.Bool("recover", false, "resume a crashed session from -journal")
+	forceFlag := flag.Bool("force", false, "with -recover: truncate mid-journal corruption even if intact records past the damage are lost")
 	timeout := flag.Duration("timeout", 0, "per-command decision budget (0 = unlimited)")
 	flag.Parse()
 	if *schemaPath == "" || *viewSpec == "" || (*dataPath == "" && !*recoverFlag) {
@@ -136,11 +139,12 @@ func main() {
 			log.Fatal(err)
 		}
 		if *recoverFlag {
-			st, rep, err := store.Recover(fsys, pair, syms, store.Options{})
+			st, rep, err := store.Recover(fsys, pair, syms, store.Options{ForceRecover: *forceFlag})
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Println(rep)
+			defer st.Close()
 			sess = st
 		} else {
 			st, err := store.Create(fsys, pair, db, syms, store.Options{})

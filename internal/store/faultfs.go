@@ -27,6 +27,10 @@ type FaultPlan struct {
 	// written; a subsequent Crash on the underlying MemFS then drops
 	// them, modeling "write succeeded, fsync lied".
 	FailSyncAt int
+	// FailSyncDirAt makes the nth SyncDir fail (directory fsyncs have no
+	// file name, so Match does not apply); the namespace changes stay
+	// visible but not durable.
+	FailSyncDirAt int
 }
 
 // FaultFS wraps an FS and injects the faults of a FaultPlan. It is the
@@ -36,10 +40,11 @@ type FaultFS struct {
 	inner FS
 	plan  FaultPlan
 
-	mu      sync.Mutex
-	writes  int
-	syncs   int
-	tripped bool
+	mu       sync.Mutex
+	writes   int
+	syncs    int
+	syncDirs int
+	tripped  bool
 }
 
 // NewFaultFS wraps inner with the given plan.
@@ -95,6 +100,22 @@ func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
 
 // Truncate implements FS.
 func (f *FaultFS) Truncate(name string, size int64) error { return f.inner.Truncate(name, size) }
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir() error {
+	f.mu.Lock()
+	f.syncDirs++
+	n := f.syncDirs
+	failAt := f.plan.FailSyncDirAt
+	if n == failAt {
+		f.tripped = true
+	}
+	f.mu.Unlock()
+	if n == failAt {
+		return ErrInjected
+	}
+	return f.inner.SyncDir()
+}
 
 type faultFile struct {
 	fs    *FaultFS

@@ -12,13 +12,18 @@
 // Durability contract: a record is appended to the journal and fsynced
 // after the in-memory apply succeeds and before Apply returns success,
 // so the journal holds exactly the applied operations in order. A crash
-// at any point loses at most the operation whose success was never
-// acknowledged; replaying the journal onto the last good snapshot is
-// deterministic because the translation procedures themselves are.
+// at any point preserves every acknowledged operation; the single op in
+// flight (if any) was never acknowledged and its outcome is
+// indeterminate — it is usually lost, but a record that reached the
+// disk before the failure surfaced is replayed by Recover. Replaying
+// the journal onto the last good snapshot is deterministic because the
+// translation procedures themselves are.
 package store
 
 import (
+	"errors"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 )
@@ -34,8 +39,14 @@ type File interface {
 
 // FS is the injectable filesystem under the store. Implementations:
 // DirFS (production, a directory on disk), MemFS (tests, with an
-// explicit synced/unsynced distinction so power loss can be simulated),
-// FaultFS (wraps another FS and injects faults).
+// explicit synced/unsynced distinction for both file contents and
+// directory metadata, so power loss can be simulated), FaultFS (wraps
+// another FS and injects faults).
+//
+// Namespace operations (Create, OpenAppend's implicit create, Rename,
+// Remove) take effect immediately but are not durable across power
+// loss until SyncDir returns; File.Sync makes only a file's *contents*
+// durable. Truncate is durable on return.
 //
 // Missing files surface as errors satisfying errors.Is(err,
 // io/fs.ErrNotExist).
@@ -50,8 +61,12 @@ type FS interface {
 	Rename(oldname, newname string) error
 	// Remove deletes name.
 	Remove(name string) error
-	// Truncate cuts name to size bytes.
+	// Truncate cuts name to size bytes, durably.
 	Truncate(name string, size int64) error
+	// SyncDir makes all prior namespace changes (creates, renames,
+	// removes) durable, the way fsyncing a directory does on a POSIX
+	// filesystem.
+	SyncDir() error
 }
 
 // DirFS is the production FS: files inside a root directory.
@@ -89,9 +104,36 @@ func (d *DirFS) Rename(oldname, newname string) error {
 // Remove implements FS.
 func (d *DirFS) Remove(name string) error { return os.Remove(d.path(name)) }
 
-// Truncate implements FS.
+// Truncate implements FS. The new size is fsynced before returning, so
+// a cut journal tail cannot reappear after power loss.
 func (d *DirFS) Truncate(name string, size int64) error {
-	return os.Truncate(d.path(name), size)
+	f, err := os.OpenFile(d.path(name), os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SyncDir implements FS: it fsyncs the root directory so renames,
+// creates, and removes survive power loss.
+func (d *DirFS) SyncDir() error {
+	f, err := os.Open(d.root)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // readAll reads the full contents of name, returning a nil slice (and
@@ -99,7 +141,7 @@ func (d *DirFS) Truncate(name string, size int64) error {
 func readAll(fsys FS, name string) ([]byte, error) {
 	f, err := fsys.Open(name)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return nil, nil
 		}
 		return nil, err

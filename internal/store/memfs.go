@@ -8,14 +8,25 @@ import (
 )
 
 // MemFS is an in-memory FS that models the durability boundary real
-// disks have: bytes written to a file are *unsynced* until Sync is
-// called on the handle, and Crash simulates power loss by discarding
-// every unsynced byte. Tests drive a store against MemFS, kill it at an
+// disks have, for file contents and directory metadata alike: bytes
+// written to a file are *unsynced* until Sync is called on the handle,
+// and namespace changes (create, rename, remove) are *unsynced* until
+// SyncDir. Crash simulates power loss by discarding every unsynced
+// byte and reverting the namespace to its last SyncDir'd state — so a
+// renamed-in snapshot or a freshly created journal vanishes on Crash
+// unless the store fsynced the directory, exactly as on a POSIX
+// filesystem. Tests drive a store against MemFS, kill it at an
 // arbitrary point, call Crash, and then recover from what a real disk
 // would have retained.
 type MemFS struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	// files is the visible namespace (what Open and new writes see);
+	// dir is the durable namespace captured by the last SyncDir. Both
+	// map names to shared *memEntry values, so content durability
+	// (synced vs pending bytes) is tracked per entry regardless of
+	// which names reach it.
 	files map[string]*memEntry
+	dir   map[string]*memEntry
 }
 
 type memEntry struct {
@@ -31,15 +42,26 @@ func (e *memEntry) combined() []byte {
 
 // NewMemFS returns an empty in-memory filesystem.
 func NewMemFS() *MemFS {
-	return &MemFS{files: make(map[string]*memEntry)}
+	return &MemFS{files: make(map[string]*memEntry), dir: make(map[string]*memEntry)}
 }
 
-// Crash simulates power loss: every byte not yet fsynced is discarded.
-// Open handles into the filesystem keep working (the dead process's
-// handles are never used again by a well-formed test).
+func cloneNamespace(src map[string]*memEntry) map[string]*memEntry {
+	dst := make(map[string]*memEntry, len(src))
+	for name, e := range src {
+		dst[name] = e
+	}
+	return dst
+}
+
+// Crash simulates power loss: every byte not yet fsynced is discarded
+// and the namespace reverts to the last SyncDir — unsynced creates and
+// removes are undone, unsynced renames revert to the old binding. Open
+// handles into the filesystem keep working (the dead process's handles
+// are never used again by a well-formed test).
 func (m *MemFS) Crash() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.files = cloneNamespace(m.dir)
 	for _, e := range m.files {
 		e.pending = nil
 	}
@@ -130,8 +152,20 @@ func (m *MemFS) Remove(name string) error {
 	return nil
 }
 
+// SyncDir implements FS: the current namespace becomes the one Crash
+// reverts to. File contents keep their own synced/pending split — a
+// directory fsync does not flush file data.
+func (m *MemFS) SyncDir() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dir = cloneNamespace(m.files)
+	return nil
+}
+
 // Truncate implements FS. The cut preserves the synced/pending split of
-// the surviving prefix.
+// the surviving prefix; like DirFS.Truncate it is durable on return
+// (the cut never un-happens on Crash, though the entry itself still
+// vanishes if its name was never SyncDir'd).
 func (m *MemFS) Truncate(name string, size int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()

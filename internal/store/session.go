@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io/fs"
 
 	"github.com/constcomp/constcomp/internal/core"
 	"github.com/constcomp/constcomp/internal/relation"
@@ -19,18 +18,34 @@ const (
 
 // ErrSessionBroken marks a durable session whose in-memory state ran
 // ahead of the disk: an operation was applied but its journal record
-// could not be made durable. Accepting further updates would journal
-// them on top of the missing record and make replay diverge, so the
-// session refuses all further work; restart and Recover instead (the
-// unacknowledged op is the one that is lost, exactly as reported to its
-// caller).
-var ErrSessionBroken = errors.New("store: session broken (applied op not durable); restart and recover")
+// could not be confirmed durable. Accepting further updates would
+// journal them on top of the uncertain record and make replay diverge,
+// so the session refuses all further work; restart and Recover instead.
+// The unacknowledged op's outcome is indeterminate: it was reported as
+// failed, but when only the fsync failed its record may still have
+// reached the disk, and Recover will then replay it. Callers that need
+// to know must compare the recovered Seq (or re-read the state) against
+// what they acknowledged.
+var ErrSessionBroken = errors.New("store: session broken (applied op not confirmed durable); restart and recover")
+
+// ErrDataLoss reports corruption in the *middle* of the journal:
+// intact-looking records exist past the damage, so truncating at the
+// corruption point would silently drop acknowledged operations. Recover
+// refuses and leaves the journal untouched unless Options.ForceRecover
+// is set.
+var ErrDataLoss = errors.New("store: journal corrupt mid-stream with intact records past the damage; recovering would lose acknowledged ops (set ForceRecover to truncate anyway)")
 
 // Options tunes a durable session.
 type Options struct {
 	// SnapshotEvery is the number of applied operations between
 	// snapshots; each snapshot resets the journal. Zero means 64.
 	SnapshotEvery int
+	// ForceRecover lets Recover truncate mid-journal corruption even
+	// when intact-looking records survive past the damage — those are
+	// acknowledged operations and will be lost. Without it such damage
+	// fails recovery with ErrDataLoss; a torn or corrupt tail with
+	// nothing readable after it never needs forcing.
+	ForceRecover bool
 }
 
 func (o Options) every() int {
@@ -73,6 +88,12 @@ func Create(fsys FS, pair *core.Pair, db *relation.Relation, syms *value.Symbols
 	j, err := createJournal(fsys, JournalFile)
 	if err != nil {
 		return nil, err
+	}
+	// The journal file must exist durably before any append's fsync can
+	// be trusted: an fsynced record in a file whose directory entry is
+	// lost with power is lost with it.
+	if err := fsys.SyncDir(); err != nil {
+		return nil, fmt.Errorf("store: create: journal dir sync: %w", err)
 	}
 	return &Session{fsys: fsys, pair: pair, syms: syms, sess: sess, j: j, opts: opts}, nil
 }
@@ -160,6 +181,14 @@ func Recover(fsys FS, pair *core.Pair, syms *value.Symbols, opts Options) (*Sess
 	}
 	if int(off) < len(data) {
 		rep.TruncatedBytes = int64(len(data)) - off
+		// A torn tail is the expected residue of a crash mid-append and
+		// is always safe to cut. Corruption is only cut freely when
+		// nothing readable lies beyond it; if intact-looking records
+		// survive past the damage they are acknowledged operations, and
+		// silently dropping them needs an explicit ForceRecover.
+		if rep.Corrupt && !opts.ForceRecover && intactRecordIn(data[off:]) {
+			return nil, rep, fmt.Errorf("store: recover: %w", ErrDataLoss)
+		}
 		if err := fsys.Truncate(JournalFile, off); err != nil {
 			return nil, nil, fmt.Errorf("store: recover: truncating journal tail: %w", err)
 		}
@@ -190,6 +219,13 @@ func Recover(fsys FS, pair *core.Pair, syms *value.Symbols, opts Options) (*Sess
 	if err != nil {
 		return nil, rep, fmt.Errorf("store: recover: reopening journal: %w", err)
 	}
+	// OpenAppend may have created the journal (a crash can lose the
+	// file while keeping the snapshot); make its directory entry
+	// durable before acknowledging any new op into it.
+	if err := fsys.SyncDir(); err != nil {
+		j.Close()
+		return nil, rep, fmt.Errorf("store: recover: journal dir sync: %w", err)
+	}
 	return &Session{
 		fsys:      fsys,
 		pair:      pair,
@@ -202,12 +238,29 @@ func Recover(fsys FS, pair *core.Pair, syms *value.Symbols, opts Options) (*Sess
 	}, rep, nil
 }
 
+// intactRecordIn reports whether a complete, checksummed record can be
+// decoded starting at any byte offset of data (a damaged journal tail).
+// Framing is not self-synchronizing, so every offset is tried; tails
+// are bounded by the snapshot cadence, keeping this cheap.
+func intactRecordIn(data []byte) bool {
+	for i := range data {
+		if _, _, err := DecodeRecord(data[i:]); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // Open resumes from an existing store (Recover) or starts a fresh one
-// with db (Create) when fsys holds no snapshot. The report is nil on
-// the fresh path.
+// with db (Create) when fsys holds no snapshot at all. Only the
+// specific "no snapshot" condition falls back to Create — any other
+// recovery failure (damaged snapshot, corrupt journal, a missing
+// journal alongside an intact snapshot) is returned rather than
+// silently overwriting the store with a fresh database. The report is
+// nil on the fresh path.
 func Open(fsys FS, pair *core.Pair, db *relation.Relation, syms *value.Symbols, opts Options) (*Session, *RecoveryReport, error) {
 	sess, rep, err := Recover(fsys, pair, syms, opts)
-	if errors.Is(err, fs.ErrNotExist) {
+	if errors.Is(err, ErrNoSnapshot) {
 		s, err := Create(fsys, pair, db, syms, opts)
 		return s, nil, err
 	}
@@ -250,7 +303,9 @@ func (s *Session) Apply(op core.UpdateOp) (*core.Decision, error) {
 // error the operation is not acknowledged. A rejection or budget trip
 // leaves the database unchanged and the store healthy; a journal
 // failure after the in-memory apply breaks the session (ErrSessionBroken
-// thereafter), because memory is ahead of disk. A snapshot failure does
+// thereafter), because memory is ahead of disk — the failed op's
+// durability is then indeterminate (see ErrSessionBroken). A snapshot
+// failure does
 // not fail the op — durability degrades gracefully to journal-only and
 // is retried at the next snapshot point (see SnapshotErr).
 func (s *Session) ApplyCtx(ctx context.Context, op core.UpdateOp) (*core.Decision, error) {
@@ -274,9 +329,13 @@ func (s *Session) ApplyCtx(ctx context.Context, op core.UpdateOp) (*core.Decisio
 }
 
 // rotate checkpoints the database into the snapshot and starts a fresh
-// journal. A crash between the two steps is safe: the stale journal
-// records carry seqs the new snapshot already covers, and Recover
-// skips them.
+// journal, in strict durability order: snapshot rename + directory
+// fsync first (inside writeSnapshot), only then the journal reset,
+// itself made durable with a second directory fsync. A crash between
+// the two steps is safe: the stale journal records carry seqs the new
+// snapshot already covers, and Recover skips them; the reset can never
+// outlive the rename because the rename is durable before the reset
+// starts.
 func (s *Session) rotate() error {
 	if err := writeSnapshot(s.fsys, SnapshotFile, s.seq, s.sess.Database(), s.syms); err != nil {
 		// Old snapshot + full journal still reconstruct everything.
@@ -294,6 +353,13 @@ func (s *Session) rotate() error {
 		return err
 	}
 	s.j = j
+	if err := s.fsys.SyncDir(); err != nil {
+		// The fresh journal's directory entry is not durable: fsyncs of
+		// future records could be lost with the file, so acknowledging
+		// more ops would be unsound.
+		s.broken = err
+		return err
+	}
 	s.sinceSnap = 0
 	return nil
 }

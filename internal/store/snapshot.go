@@ -23,9 +23,10 @@ import (
 //	  uvarint count
 //	  count × width × (uvarint len, name) — tuples, constants by name
 //
-// A snapshot is written to <name>.tmp, fsynced, then renamed over
-// <name>, so a crash mid-write leaves the previous snapshot intact and
-// at most a stray .tmp file.
+// A snapshot is written to <name>.tmp, fsynced, renamed over <name>,
+// and the directory is fsynced, so a crash mid-write leaves the
+// previous snapshot intact and at most a stray .tmp file, and a crash
+// after writeSnapshot returns cannot revert the rename.
 
 var snapMagic = []byte("CCSNAP1\n")
 
@@ -118,8 +119,9 @@ func DecodeSnapshot(data []byte, u *attr.Universe, syms *value.Symbols) (uint64,
 	return seq, db, nil
 }
 
-// writeSnapshot atomically replaces the snapshot at name: the image is
-// written and fsynced under a temporary name and renamed into place.
+// writeSnapshot atomically and durably replaces the snapshot at name:
+// the image is written and fsynced under a temporary name, renamed into
+// place, and the rename is made durable with a directory fsync.
 func writeSnapshot(fsys FS, name string, seq uint64, db *relation.Relation, syms *value.Symbols) error {
 	img, err := EncodeSnapshot(seq, db, syms)
 	if err != nil {
@@ -144,18 +146,26 @@ func writeSnapshot(fsys FS, name string, seq uint64, db *relation.Relation, syms
 	if err := fsys.Rename(tmp, name); err != nil {
 		return fmt.Errorf("store: snapshot rename: %w", err)
 	}
+	if err := fsys.SyncDir(); err != nil {
+		return fmt.Errorf("store: snapshot dir sync: %w", err)
+	}
 	return nil
 }
 
+// ErrNoSnapshot reports that the store holds no snapshot at all — there
+// is no session to recover, as opposed to a store that is present but
+// damaged. It satisfies errors.Is(err, fs.ErrNotExist).
+var ErrNoSnapshot = fmt.Errorf("store: no snapshot: %w", fs.ErrNotExist)
+
 // readSnapshot loads the snapshot at name. A missing file returns an
-// error satisfying errors.Is(err, fs.ErrNotExist).
+// error satisfying errors.Is(err, ErrNoSnapshot).
 func readSnapshot(fsys FS, name string, u *attr.Universe, syms *value.Symbols) (uint64, *relation.Relation, error) {
 	data, err := readAll(fsys, name)
 	if err != nil {
 		return 0, nil, err
 	}
 	if data == nil {
-		return 0, nil, fmt.Errorf("store: snapshot %s: %w", name, fs.ErrNotExist)
+		return 0, nil, fmt.Errorf("store: snapshot %s: %w", name, ErrNoSnapshot)
 	}
 	return DecodeSnapshot(data, u, syms)
 }

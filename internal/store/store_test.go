@@ -203,8 +203,10 @@ func TestCrashMatrix(t *testing.T) {
 }
 
 // TestRecoverCorruptMiddle flips a byte in the middle of the journal:
-// recovery must keep the records before the damage, truncate everything
-// from it on, and flag the tail corrupt (not torn).
+// intact records survive past the damage, so recovery must refuse with
+// ErrDataLoss until forced, and a forced recovery must keep the records
+// before the damage, truncate everything from it on, and flag the tail
+// corrupt (not torn).
 func TestRecoverCorruptMiddle(t *testing.T) {
 	mem := NewMemFS()
 	pair, db, syms := edmFixture()
@@ -234,10 +236,18 @@ func TestRecoverCorruptMiddle(t *testing.T) {
 	if err := mem.Corrupt(JournalFile, int(off)+recordHeaderLen); err != nil {
 		t.Fatal(err)
 	}
+	// Records 5..10 are intact past the damage: recovery must refuse to
+	// silently drop them, and must leave the journal untouched.
+	if _, _, err := Recover(mem, pair, value.NewSymbols(), Options{}); !errors.Is(err, ErrDataLoss) {
+		t.Fatalf("unforced recover on mid-journal corruption: err=%v, want ErrDataLoss", err)
+	}
+	if img2, _ := mem.Bytes(JournalFile); len(img2) != len(img) {
+		t.Fatalf("refused recovery still truncated the journal: %d bytes, want %d", len(img2), len(img))
+	}
 	syms2 := value.NewSymbols()
-	rec, rep, err := Recover(mem, pair, syms2, Options{})
+	rec, rep, err := Recover(mem, pair, syms2, Options{ForceRecover: true})
 	if err != nil {
-		t.Fatalf("recover: %v", err)
+		t.Fatalf("forced recover: %v", err)
 	}
 	if !rep.Corrupt || rep.Torn {
 		t.Errorf("tail report torn=%v corrupt=%v, want corrupt only", rep.Torn, rep.Corrupt)
@@ -449,6 +459,249 @@ func TestDirFS(t *testing.T) {
 	}
 	if got, want := render(rec.Database(), syms2), referenceAfter(t, 50); got != want {
 		t.Errorf("recovered database:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// memWrite creates name on m with the given contents fsynced (but the
+// directory not).
+func memWrite(t *testing.T, m *MemFS, name, contents string) {
+	t.Helper()
+	f, err := m.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(contents)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemFSMetadataDurability pins the MemFS failure model for
+// directory metadata: creates, renames, and removes are visible
+// immediately but revert on Crash unless SyncDir ran — even when the
+// file's *contents* were fsynced, matching a POSIX directory that was
+// never fsynced.
+func TestMemFSMetadataDurability(t *testing.T) {
+	m := NewMemFS()
+
+	// A created file with fsynced contents still vanishes: its
+	// directory entry was never made durable.
+	memWrite(t, m, "a", "hello")
+	m.Crash()
+	if _, ok := m.Bytes("a"); ok {
+		t.Fatal("unsynced-create file survived crash despite fsynced contents")
+	}
+
+	// A durable file overwritten via an unsynced rename reverts to the
+	// old contents, and the rename source does not resurrect.
+	memWrite(t, m, "a", "old")
+	if err := m.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+	memWrite(t, m, "b", "new")
+	if err := m.Rename("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got, ok := m.Bytes("a"); !ok || string(got) != "old" {
+		t.Fatalf("unsynced rename not reverted: %q (exists=%v), want \"old\"", got, ok)
+	}
+	if _, ok := m.Bytes("b"); ok {
+		t.Fatal("rename source resurrected after crash")
+	}
+
+	// The same rename followed by SyncDir is durable.
+	memWrite(t, m, "b", "new")
+	if err := m.Rename("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got, ok := m.Bytes("a"); !ok || string(got) != "new" {
+		t.Fatalf("synced rename lost: %q (exists=%v), want \"new\"", got, ok)
+	}
+
+	// An unsynced remove reverts; pending (never-fsynced) bytes on a
+	// durable file are still dropped.
+	if err := m.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got, ok := m.Bytes("a"); !ok || string(got) != "new" {
+		t.Fatalf("unsynced remove not reverted: %q (exists=%v)", got, ok)
+	}
+	f, err := m.OpenAppend("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("-unsynced")); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got, _ := m.Bytes("a"); string(got) != "new" {
+		t.Fatalf("unsynced bytes survived crash: %q", got)
+	}
+}
+
+// TestRotationDurableAcrossCrash kills the store by power loss exactly
+// at a snapshot rotation and one op after it. The rename and the
+// journal reset must both survive (rename durable first), and an op
+// acknowledged into the fresh journal must not be lost to a
+// resurrected pre-rotation journal — the failure mode when the
+// directory is never fsynced.
+func TestRotationDurableAcrossCrash(t *testing.T) {
+	for _, n := range []int{16, 17} {
+		mem := NewMemFS()
+		pair, db, syms := edmFixture()
+		st, err := Create(mem, pair, db, syms, Options{SnapshotEvery: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, op := range ops50(syms)[:n] {
+			if _, err := st.Apply(op); err != nil {
+				t.Fatalf("n=%d: op %d: %v", n, i+1, err)
+			}
+		}
+		mem.Crash()
+		syms2 := value.NewSymbols()
+		rec, rep, err := Recover(mem, pair, syms2, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: recover: %v", n, err)
+		}
+		if got := rep.SnapshotSeq + uint64(rep.Replayed); got != uint64(n) {
+			t.Fatalf("n=%d: recovered seq %d (snapshot %d + %d replayed), want %d",
+				n, got, rep.SnapshotSeq, rep.Replayed, n)
+		}
+		if got, want := render(rec.Database(), syms2), referenceAfter(t, n); got != want {
+			t.Fatalf("n=%d: recovered database:\n%s\nwant:\n%s", n, got, want)
+		}
+	}
+}
+
+// TestSyncDirFailures drives the two directory-fsync failure points in
+// rotate: on the snapshot path the store degrades (journal-only
+// durability, retried later); on the journal-reset path it must break —
+// records fsynced into a journal whose directory entry is not durable
+// could vanish with power.
+func TestSyncDirFailures(t *testing.T) {
+	// Create issues SyncDir 1 (snapshot) and 2 (journal); the rotation
+	// at op 4 issues 3 (snapshot rename) and 4 (journal reset).
+	t.Run("snapshotPathDegrades", func(t *testing.T) {
+		mem := NewMemFS()
+		ffs := NewFaultFS(mem, FaultPlan{FailSyncDirAt: 3})
+		pair, db, syms := edmFixture()
+		st, err := Create(ffs, pair, db, syms, Options{SnapshotEvery: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := ops50(syms)
+		for i, op := range ops[:4] {
+			if _, err := st.Apply(op); err != nil {
+				t.Fatalf("op %d: %v", i+1, err)
+			}
+		}
+		if !errors.Is(st.SnapshotErr(), ErrInjected) {
+			t.Fatalf("SnapshotErr = %v, want the injected dir-sync fault", st.SnapshotErr())
+		}
+		// The session stays healthy and the retried rotation clears it.
+		if _, err := st.Apply(ops[4]); err != nil {
+			t.Fatalf("apply after degraded snapshot: %v", err)
+		}
+		if err := st.SnapshotErr(); err != nil {
+			t.Fatalf("degraded state not cleared by retried rotation: %v", err)
+		}
+	})
+	t.Run("journalResetBreaks", func(t *testing.T) {
+		mem := NewMemFS()
+		ffs := NewFaultFS(mem, FaultPlan{FailSyncDirAt: 4})
+		pair, db, syms := edmFixture()
+		st, err := Create(ffs, pair, db, syms, Options{SnapshotEvery: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := ops50(syms)
+		for i, op := range ops[:4] {
+			if _, err := st.Apply(op); err != nil {
+				t.Fatalf("op %d: %v", i+1, err)
+			}
+		}
+		if _, err := st.Apply(ops[4]); !errors.Is(err, ErrSessionBroken) {
+			t.Fatalf("apply after failed journal-reset dir sync: %v, want ErrSessionBroken", err)
+		}
+		// All four acknowledged ops survive the crash: the snapshot at
+		// seq 4 is durable, and the resurrected pre-rotation journal
+		// only holds records the snapshot absorbed.
+		mem.Crash()
+		syms2 := value.NewSymbols()
+		rec, rep, err := Recover(mem, pair, syms2, Options{})
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if got := rep.SnapshotSeq + uint64(rep.Replayed); got != 4 {
+			t.Fatalf("recovered seq %d, want 4 (report %+v)", got, rep)
+		}
+		if got, want := render(rec.Database(), syms2), referenceAfter(t, 4); got != want {
+			t.Fatalf("recovered database:\n%s\nwant:\n%s", got, want)
+		}
+	})
+}
+
+// TestOpenMissingJournalRecovers: a missing journal next to an intact
+// snapshot is a recoverable store, not a fresh one — Open must never
+// reroute to Create and overwrite the snapshot.
+func TestOpenMissingJournalRecovers(t *testing.T) {
+	mem := NewMemFS()
+	pair, db, syms := edmFixture()
+	st, err := Create(mem, pair, db, syms, Options{SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops50(syms)[:4] {
+		if _, err := st.Apply(op); err != nil {
+			t.Fatalf("op %d: %v", i+1, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Remove(JournalFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+	// db is nil: reaching the Create path would be the data-destroying
+	// rewrite this test guards against, and it would fail loudly.
+	syms2 := value.NewSymbols()
+	st2, rep, err := Open(mem, pair, nil, syms2, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if rep == nil {
+		t.Fatal("Open with an intact snapshot did not take the recovery path")
+	}
+	if got, want := render(st2.Database(), syms2), referenceAfter(t, 4); got != want {
+		t.Fatalf("recovered database:\n%s\nwant:\n%s", got, want)
+	}
+	// The re-created journal is live: new ops are accepted and durable.
+	if _, err := st2.Apply(ops50(syms2)[4]); err != nil {
+		t.Fatalf("apply after journal re-creation: %v", err)
+	}
+	mem.Crash()
+	syms3 := value.NewSymbols()
+	st3, _, err := Recover(mem, pair, syms3, Options{})
+	if err != nil {
+		t.Fatalf("second recover: %v", err)
+	}
+	if got, want := render(st3.Database(), syms3), referenceAfter(t, 5); got != want {
+		t.Fatalf("database after crash:\n%s\nwant:\n%s", got, want)
 	}
 }
 
