@@ -2,13 +2,26 @@
 // a file argument) into a JSON array of benchmark records, so benchmark
 // runs can be committed and diffed (see the Makefile's bench target,
 // which writes BENCH_relation.json).
+//
+// With -compare it becomes a regression gate instead:
+//
+//	benchjson -compare baseline.json [-threshold 0.30] [-filter '^BenchmarkRel'] new.json
+//
+// Both files are JSON arrays as written by the convert mode. Benchmarks
+// are matched by name and GOMAXPROCS; any match whose ns/op grew by
+// more than the threshold fails the run (exit 1). A missing baseline is
+// advisory-only: the comparison is skipped with exit 0, so the gate can
+// bootstrap on branches that have never recorded one.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -24,16 +37,42 @@ type Record struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "baseline JSON file; switch to regression-gate mode against the new JSON (file argument or stdin)")
+	threshold := flag.Float64("threshold", 0.30, "with -compare: maximum allowed relative ns/op growth")
+	filter := flag.String("filter", "", "with -compare: regexp restricting which benchmark names are gated")
+	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, flag.Arg(0), *threshold, *filter, os.Stdout))
+	}
+
 	in := os.Stdin
-	if len(os.Args) > 1 {
-		f, err := os.Open(os.Args[1])
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		in = f
 	}
+	recs, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parseBench converts `go test -bench` text into records.
+func parseBench(in io.Reader) ([]Record, error) {
 	recs := []Record{} // non-nil so no-input still marshals as []
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
@@ -68,14 +107,107 @@ func main() {
 		}
 		recs = append(recs, rec)
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return recs, sc.Err()
+}
+
+// readRecords loads a JSON record array.
+func readRecords(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	out, err := json.MarshalIndent(recs, "", "  ")
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// runCompare gates newPath against the baseline, returning the exit
+// code. newPath "" or "-" reads the new records as JSON from stdin.
+func runCompare(basePath, newPath string, threshold float64, filter string, w io.Writer) int {
+	base, err := readRecords(basePath)
+	if os.IsNotExist(err) {
+		fmt.Fprintf(w, "benchjson: baseline %s missing; comparison is advisory-only on the first run\n", basePath)
+		return 0
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Println(string(out))
+	var cur []Record
+	if newPath == "" || newPath == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err == nil {
+			err = json.Unmarshal(data, &cur)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+	} else if cur, err = readRecords(newPath); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	regressions, err := compareRecords(base, cur, threshold, filter, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchjson: %d benchmark(s) regressed more than %.0f%%\n", regressions, threshold*100)
+		return 1
+	}
+	return 0
+}
+
+// compareRecords prints a delta table and returns how many gated
+// benchmarks regressed past the threshold. Benchmarks present on only
+// one side are reported but never fail the gate.
+func compareRecords(base, cur []Record, threshold float64, filter string, w io.Writer) (int, error) {
+	var re *regexp.Regexp
+	if filter != "" {
+		var err error
+		if re, err = regexp.Compile(filter); err != nil {
+			return 0, fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+	old := make(map[string]Record, len(base))
+	for _, r := range base {
+		old[fmt.Sprintf("%s-%d", r.Name, r.Procs)] = r
+	}
+	regressions := 0
+	seen := make(map[string]bool, len(cur))
+	for _, r := range cur {
+		if re != nil && !re.MatchString(r.Name) {
+			continue
+		}
+		key := fmt.Sprintf("%s-%d", r.Name, r.Procs)
+		seen[key] = true
+		b, ok := old[key]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %12.1f ns/op  (new, not gated)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = r.NsPerOp/b.NsPerOp - 1
+		}
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-40s %12.1f -> %12.1f ns/op  %+6.1f%%  %s\n", r.Name, b.NsPerOp, r.NsPerOp, delta*100, verdict)
+	}
+	for _, r := range base {
+		if re != nil && !re.MatchString(r.Name) {
+			continue
+		}
+		key := fmt.Sprintf("%s-%d", r.Name, r.Procs)
+		if !seen[key] {
+			fmt.Fprintf(w, "%-40s gone from the new run (not gated)\n", r.Name)
+		}
+	}
+	return regressions, nil
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	text := `goos: linux
+BenchmarkRelJoin100k-8   	     100	  11000000 ns/op	 5000000 B/op	    2000 allocs/op
+BenchmarkRelProject   	    5000	    250000 ns/op
+not a bench line
+`
+	recs, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(recs))
+	}
+	if recs[0].Name != "BenchmarkRelJoin100k" || recs[0].Procs != 8 || recs[0].NsPerOp != 11000000 || recs[0].AllocsPerOp != 2000 {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Name != "BenchmarkRelProject" || recs[1].Procs != 1 {
+		t.Errorf("record 1 = %+v", recs[1])
+	}
+}
+
+func TestCompareRecords(t *testing.T) {
+	base := []Record{
+		{Name: "BenchmarkRelJoin", Procs: 1, NsPerOp: 1000},
+		{Name: "BenchmarkRelProject", Procs: 1, NsPerOp: 1000},
+		{Name: "BenchmarkOther", Procs: 1, NsPerOp: 1000},
+		{Name: "BenchmarkRelGone", Procs: 1, NsPerOp: 1000},
+	}
+	cur := []Record{
+		{Name: "BenchmarkRelJoin", Procs: 1, NsPerOp: 1200},    // +20%: ok
+		{Name: "BenchmarkRelProject", Procs: 1, NsPerOp: 1400}, // +40%: regression
+		{Name: "BenchmarkOther", Procs: 1, NsPerOp: 9000},      // filtered out
+		{Name: "BenchmarkRelNew", Procs: 1, NsPerOp: 5},        // new: not gated
+	}
+	var out bytes.Buffer
+	n, err := compareRecords(base, cur, 0.30, "^BenchmarkRel", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1:\n%s", n, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"REGRESSION", "new, not gated", "gone from the new run"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "BenchmarkOther") {
+		t.Errorf("filtered benchmark leaked into the gate:\n%s", got)
+	}
+}
+
+func TestRunCompareMissingBaselineIsAdvisory(t *testing.T) {
+	dir := t.TempDir()
+	newPath := filepath.Join(dir, "new.json")
+	data, _ := json.Marshal([]Record{{Name: "BenchmarkRelJoin", Procs: 1, NsPerOp: 1}})
+	if err := os.WriteFile(newPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := runCompare(filepath.Join(dir, "absent.json"), newPath, 0.30, "", &out); code != 0 {
+		t.Fatalf("missing baseline exit code = %d, want 0:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "advisory") {
+		t.Errorf("missing-baseline note absent:\n%s", out.String())
+	}
+}
+
+func TestRunCompareRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, recs []Record) string {
+		p := filepath.Join(dir, name)
+		data, _ := json.Marshal(recs)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	basePath := write("base.json", []Record{{Name: "BenchmarkRelJoin", Procs: 1, NsPerOp: 1000}})
+	newPath := write("new.json", []Record{{Name: "BenchmarkRelJoin", Procs: 1, NsPerOp: 2000}})
+	var out bytes.Buffer
+	if code := runCompare(basePath, newPath, 0.30, "", &out); code != 1 {
+		t.Fatalf("regression exit code = %d, want 1:\n%s", code, out.String())
+	}
+}

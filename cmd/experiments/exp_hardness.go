@@ -113,7 +113,8 @@ func runE10(cfg config) {
 	if cfg.quick {
 		ns = []int{3, 5, 7}
 	}
-	row("n", "descr", "|V|", "test1 time")
+	visits := cfg.meter("chase_instance_row_visits_total")
+	row("n", "descr", "|V|", "test1 time", "rowvisits")
 	for _, n := range ns {
 		clauses := make([]logic.Clause, 0, n-2)
 		for i := 1; i+2 <= n; i++ {
@@ -134,7 +135,7 @@ func runE10(cfg config) {
 				panic(err)
 			}
 		})
-		row(n, red.View.DescriptionSize(), v.Len(), d)
+		row(n, red.View.DescriptionSize(), v.Len(), d, visits.cell(1))
 	}
 }
 

@@ -36,7 +36,8 @@ func chainSweep(cfg config) []int {
 func runE5(cfg config) {
 	c := workload.NewChain(6, 3)
 	p := core.MustPair(c.Schema, c.X, c.Y)
-	row("|V|", "time", "chases", "slope")
+	visits := cfg.meter("chase_instance_row_visits_total")
+	row("|V|", "time", "chases", "rowvisits", "slope")
 	var prev time.Duration
 	var prevN int
 	for _, n := range chainSweep(cfg) {
@@ -54,7 +55,7 @@ func runE5(cfg config) {
 		if prev > 0 {
 			slope = fmt.Sprintf("%.2f", math.Log(float64(elapsed)/float64(prev))/math.Log(float64(n)/float64(prevN)))
 		}
-		row(n, elapsed, d.ChaseCalls, slope)
+		row(n, elapsed, d.ChaseCalls, visits.cell(3), slope)
 		prev, prevN = elapsed, n
 	}
 	fmt.Println("(paper bound: O(|V|³ log |V|); measured slope is the empirical exponent)")

@@ -7,8 +7,13 @@
 //
 //	viewupd -schema schema.txt -data data.txt -view "E D" [-complement "D M"]
 //	        [-script s.txt] [-journal dir] [-recover [-force]] [-timeout 2s]
+//	        [-metrics report.json]
 //
 // Without -complement, the minimal complement of Corollary 2 is used.
+// With -metrics, every subsystem is instrumented and a report is
+// written to the given file on exit (even when a scripted run fails):
+// expvar-style JSON by default, Prometheus text format when the file
+// name ends in .prom, stdout when the name is "-".
 // With -journal, the session is durable: every applied update is
 // journaled and fsynced in dir before it is acknowledged, and -recover
 // resumes a session killed mid-run by replaying the journal onto the
@@ -47,7 +52,11 @@ import (
 	"strings"
 	"time"
 
+	"github.com/constcomp/constcomp/internal/budget"
+	"github.com/constcomp/constcomp/internal/chase"
 	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/logic"
+	"github.com/constcomp/constcomp/internal/obs"
 	"github.com/constcomp/constcomp/internal/relation"
 	"github.com/constcomp/constcomp/internal/store"
 	"github.com/constcomp/constcomp/internal/value"
@@ -80,6 +89,7 @@ func main() {
 	recoverFlag := flag.Bool("recover", false, "resume a crashed session from -journal")
 	forceFlag := flag.Bool("force", false, "with -recover: truncate mid-journal corruption even if intact records past the damage are lost")
 	timeout := flag.Duration("timeout", 0, "per-command decision budget (0 = unlimited)")
+	metricsPath := flag.String("metrics", "", "write a metrics report here on exit (JSON, or Prometheus text if the name ends in .prom; - for stdout)")
 	flag.Parse()
 	if *schemaPath == "" || *viewSpec == "" || (*dataPath == "" && !*recoverFlag) {
 		flag.Usage()
@@ -87,6 +97,20 @@ func main() {
 	}
 	if *recoverFlag && *journalDir == "" {
 		log.Fatal("-recover requires -journal")
+	}
+
+	// With -metrics, instrument every subsystem the session can exercise:
+	// relational kernels, the chases, the solvers, budgets, session
+	// decide/apply, and the durable store.
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+		relation.SetMetrics(reg)
+		chase.SetMetrics(reg)
+		logic.SetMetrics(reg)
+		budget.SetMetrics(reg)
+		core.SetMetrics(reg)
+		store.SetMetrics(reg)
 	}
 
 	schemaText, err := os.ReadFile(*schemaPath)
@@ -178,12 +202,39 @@ func main() {
 		in = f
 	}
 	r := &runner{sess: sess, syms: syms, out: os.Stdout, timeout: *timeout}
-	if err := runScript(r, in); err != nil {
-		if scripted {
-			log.Fatal(err)
+	scriptErr := runScript(r, in)
+	// The metrics report is written before the exit status is decided so
+	// a failing script still leaves its instrumentation behind.
+	if reg != nil {
+		if err := writeMetricsReport(reg, *metricsPath); err != nil {
+			log.Print(err)
 		}
-		log.Print(err)
 	}
+	if scriptErr != nil {
+		if scripted {
+			log.Fatal(scriptErr)
+		}
+		log.Print(scriptErr)
+	}
+}
+
+// writeMetricsReport dumps the registry to path: Prometheus text format
+// when the name ends in .prom, expvar-style JSON otherwise, stdout when
+// path is "-".
+func writeMetricsReport(reg *obs.Registry, path string) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(path, ".prom") {
+		return reg.WritePrometheus(w)
+	}
+	return reg.WriteJSON(w)
 }
 
 // runner executes commands against a session, skipping bad lines.

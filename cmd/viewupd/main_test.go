@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/obs"
 	"github.com/constcomp/constcomp/internal/relation"
 	"github.com/constcomp/constcomp/internal/store"
 	"github.com/constcomp/constcomp/internal/value"
@@ -215,5 +219,56 @@ func TestRunnerTimeout(t *testing.T) {
 	}
 	if !r.sess.Database().Equal(before) {
 		t.Error("timed-out command mutated the database")
+	}
+}
+
+// TestMetricsReport runs a script with every subsystem instrumented and
+// checks the report lands on disk in both formats, covering core
+// decide/apply and the relational kernels underneath.
+func TestMetricsReport(t *testing.T) {
+	reg := obs.NewRegistry()
+	relation.SetMetrics(reg)
+	core.SetMetrics(reg)
+	defer relation.SetMetrics(nil)
+	defer core.SetMetrics(nil)
+
+	r, _ := newRunner(t)
+	if err := runScript(r, strings.NewReader("insert ann toys\ndelete ed toys\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	if err := writeMetricsReport(reg, jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if snap.Counters["core_decide_total"] != 2 {
+		t.Errorf("core_decide_total = %d, want 2", snap.Counters["core_decide_total"])
+	}
+	if snap.Counters["core_apply_applied_total"] != 2 {
+		t.Errorf("core_apply_applied_total = %d, want 2", snap.Counters["core_apply_applied_total"])
+	}
+	if snap.Counters["relation_project_calls_total"] == 0 {
+		t.Error("relation kernels not instrumented through the session")
+	}
+
+	promPath := filepath.Join(dir, "report.prom")
+	if err := writeMetricsReport(reg, promPath); err != nil {
+		t.Fatal(err)
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "# TYPE core_decide_total counter") {
+		t.Errorf("prometheus report missing counter type line:\n%s", prom)
 	}
 }

@@ -10,6 +10,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
+
+	"github.com/constcomp/constcomp/internal/obs"
 )
 
 // ErrExceeded is returned (wrapped) whenever a procedure runs out of
@@ -26,10 +29,41 @@ var ErrExceeded = errors.New("budget exceeded")
 type B struct {
 	ctx   context.Context
 	steps int64
+	// limit is the original step allowance (0 when unlimited); used is
+	// the running consumption, for the obs layer's consumption-vs-limit
+	// reporting.
+	limit int64
+	used  int64
 	// limited reports whether the step counter is enforced.
 	limited bool
 	// err is sticky: once the budget trips, every Check fails.
 	err error
+}
+
+// budgetMetrics holds the resolved metric handles for all budgets.
+type budgetMetrics struct {
+	steps    *obs.Counter
+	exceeded *obs.Counter
+	// utilizationPct records used/limit at the moment a *limited* budget
+	// trips or is inspected via Utilization; unlimited budgets never
+	// observe it.
+	utilizationPct *obs.Histogram
+}
+
+var bmetrics atomic.Pointer[budgetMetrics]
+
+// SetMetrics installs (or, with nil, removes) the metrics sink for
+// budget accounting.
+func SetMetrics(s obs.Sink) {
+	if s == nil {
+		bmetrics.Store(nil)
+		return
+	}
+	bmetrics.Store(&budgetMetrics{
+		steps:          s.Counter("budget_steps_total"),
+		exceeded:       s.Counter("budget_exceeded_total"),
+		utilizationPct: s.Histogram("budget_utilization_pct"),
+	})
 }
 
 // New returns a budget bounded only by ctx. A nil ctx means unlimited.
@@ -40,7 +74,7 @@ func New(ctx context.Context) *B {
 // WithSteps returns a budget bounded by ctx and by a step allowance:
 // after steps calls' worth of Step(n) the budget trips.
 func WithSteps(ctx context.Context, steps int64) *B {
-	return &B{ctx: ctx, steps: steps, limited: true}
+	return &B{ctx: ctx, steps: steps, limit: steps, limited: true}
 }
 
 // Step consumes n steps and reports whether the budget still holds. It
@@ -54,9 +88,14 @@ func (b *B) Step(n int64) error {
 	if b.err != nil {
 		return b.err
 	}
+	b.used += n
+	if m := bmetrics.Load(); m != nil {
+		m.steps.Add(n)
+	}
 	if b.ctx != nil {
 		if err := b.ctx.Err(); err != nil {
 			b.err = fmt.Errorf("%w: %v", ErrExceeded, err)
+			b.trip()
 			return b.err
 		}
 	}
@@ -64,10 +103,40 @@ func (b *B) Step(n int64) error {
 		b.steps -= n
 		if b.steps < 0 {
 			b.err = fmt.Errorf("%w: step allowance exhausted", ErrExceeded)
+			b.trip()
 			return b.err
 		}
 	}
 	return nil
+}
+
+// trip publishes the exhaustion to the obs layer.
+func (b *B) trip() {
+	m := bmetrics.Load()
+	if m == nil {
+		return
+	}
+	m.exceeded.Inc()
+	if b.limited && b.limit > 0 {
+		m.utilizationPct.Observe(100 * float64(b.used) / float64(b.limit))
+	}
+}
+
+// Used returns the steps consumed so far (0 on a nil receiver).
+func (b *B) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used
+}
+
+// Limit returns the original step allowance (0 when the budget has no
+// step limit).
+func (b *B) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
 }
 
 // Check is Step(0): it tests cancellation without consuming steps.

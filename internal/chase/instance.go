@@ -104,6 +104,19 @@ func InstanceBudget(b *budget.B, rel *relation.Relation, fds []dep.FD) (*Result,
 		plans = append(plans, [2][]int{zc, ac})
 	}
 	tuples := rel.Tuples()
+	var passes, equations int64
+	if m := cmetrics.Load(); m != nil {
+		m.instanceRuns.Inc()
+		m.instanceRows.Observe(float64(len(tuples)))
+		defer func() {
+			m.instancePasses.Add(passes)
+			m.instanceRowVisits.Add(passes * int64(len(tuples)))
+			m.instanceEquations.Add(equations)
+			if res.clash {
+				m.instanceClashes.Inc()
+			}
+		}()
+	}
 	next := make([]int, len(tuples))
 	for {
 		changed := false
@@ -111,6 +124,7 @@ func InstanceBudget(b *budget.B, rel *relation.Relation, fds []dep.FD) (*Result,
 			if err := b.Step(int64(len(tuples))); err != nil {
 				return nil, err
 			}
+			passes++
 			zc, ac := p[0], p[1]
 			// Bucket rows by the hash of their resolved Z values; one
 			// chain entry per distinct resolved Z (collisions verified).
@@ -136,6 +150,7 @@ func InstanceBudget(b *budget.B, rel *relation.Relation, fds []dep.FD) (*Result,
 				for _, c := range ac {
 					if res.union(prev[c], t[c]) {
 						changed = true
+						equations++
 					}
 					if res.clash {
 						return res, nil

@@ -39,6 +39,12 @@ type tableau struct {
 	// b bounds the chase; err is its sticky trip, checked by run.
 	b   *budget.B
 	err error
+	// visits accumulates row visits charged through step, published to
+	// the obs layer when run finishes.
+	visits int64
+	// fdPasses and jdPasses count rule applications, published with
+	// visits.
+	fdPasses, jdPasses int64
 }
 
 // step charges n steps to the tableau's budget, recording the sticky
@@ -47,6 +53,7 @@ func (t *tableau) step(n int64) bool {
 	if t.err != nil {
 		return false
 	}
+	t.visits += n
 	if err := t.b.Step(n); err != nil {
 		t.err = err
 		return false
@@ -163,6 +170,7 @@ func (t *tableau) applyFDs(fds []dep.FD, cols map[attr.ID]int) bool {
 			if !t.step(int64(len(t.rows))) {
 				return changedEver
 			}
+			t.fdPasses++
 			zc := colIdx(f.From, cols)
 			ac := colIdx(f.To, cols)
 			// Chain rows by the hash of their resolved Z symbols; one
@@ -258,11 +266,21 @@ func (t *tableau) applyJD(j dep.JD, cols map[attr.ID]int) bool {
 // run chases the tableau with Σ's FDs and JDs to fixpoint, or until the
 // tableau's budget trips; it returns the budget error, if any.
 func (t *tableau) run(sigma *dep.Set, cols map[attr.ID]int) error {
+	if m := cmetrics.Load(); m != nil {
+		m.tableauRuns.Inc()
+		defer func() {
+			m.tableauFDPasses.Add(t.fdPasses)
+			m.tableauJDPasses.Add(t.jdPasses)
+			m.tableauRowVisits.Add(t.visits)
+			m.tableauRows.Observe(float64(len(t.rows)))
+		}()
+	}
 	fds := sigma.SplitFDs()
 	jds := sigma.JDs()
 	for {
 		changed := t.applyFDs(fds, cols)
 		for _, j := range jds {
+			t.jdPasses++
 			if t.applyJD(j, cols) {
 				changed = true
 			}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"github.com/constcomp/constcomp/internal/obs"
+)
+
+// coreMetrics holds the resolved metric handles for session decisions.
+type coreMetrics struct {
+	decideTotal  *obs.Counter
+	translatable *obs.Counter
+	rejected     *obs.Counter
+	applied      *obs.Counter
+	// decideNs and applyNs are indexed by UpdateKind.
+	decideNs [3]*obs.Histogram
+	applyNs  [3]*obs.Histogram
+}
+
+var (
+	coremetrics atomic.Pointer[coreMetrics]
+	coretracer  atomic.Pointer[obs.Tracer]
+)
+
+// SetMetrics installs (or, with nil, removes) the metrics sink for
+// session decide/apply accounting.
+func SetMetrics(s obs.Sink) {
+	if s == nil {
+		coremetrics.Store(nil)
+		return
+	}
+	m := &coreMetrics{
+		decideTotal:  s.Counter("core_decide_total"),
+		translatable: s.Counter("core_decide_translatable_total"),
+		rejected:     s.Counter("core_decide_rejected_total"),
+		applied:      s.Counter("core_apply_applied_total"),
+	}
+	for _, k := range [...]UpdateKind{UpdateInsert, UpdateDelete, UpdateReplace} {
+		m.decideNs[k] = s.Histogram("core_decide_" + k.String() + "_ns")
+		m.applyNs[k] = s.Histogram("core_apply_" + k.String() + "_ns")
+	}
+	coremetrics.Store(m)
+}
+
+// SetTracer installs (or, with nil, removes) the span tracer for
+// session operations: ApplyCtx opens an apply/<kind> root span with a
+// nested decide/<kind> child (and a translate child for the mutation
+// itself), so a trace shows where a slow update spent its time.
+func SetTracer(t *obs.Tracer) {
+	coretracer.Store(t)
+}
+
+// rootSpan opens a root span when tracing is on (the name is not even
+// built otherwise).
+func rootSpan(prefix string, kind UpdateKind) *obs.Span {
+	tr := coretracer.Load()
+	if tr == nil {
+		return nil
+	}
+	return tr.Start(prefix + kind.String())
+}
+
+// childSpan opens a child of parent, which may be nil (no-op).
+func childSpan(parent *obs.Span, prefix string, kind UpdateKind) *obs.Span {
+	if parent == nil {
+		// Fall back to a root span so DecideCtx traces even outside
+		// ApplyCtx.
+		return rootSpan(prefix, kind)
+	}
+	return parent.Child(prefix + kind.String())
+}
+
+// validKind reports whether k indexes the per-kind histogram arrays.
+func validKind(k UpdateKind) bool {
+	return k == UpdateInsert || k == UpdateDelete || k == UpdateReplace
+}

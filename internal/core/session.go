@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"github.com/constcomp/constcomp/internal/obs"
 	"github.com/constcomp/constcomp/internal/relation"
 )
 
@@ -100,16 +102,46 @@ func (s *Session) Decide(op UpdateOp) (*Decision, error) {
 // replace tests honor cancellation within one chase step and return an
 // error wrapping ErrBudgetExceeded instead of hanging.
 func (s *Session) DecideCtx(ctx context.Context, op UpdateOp) (*Decision, error) {
+	return s.decideCtx(ctx, op, nil)
+}
+
+// decideCtx is DecideCtx with an optional parent span (ApplyCtx nests
+// its decision under the apply span).
+func (s *Session) decideCtx(ctx context.Context, op UpdateOp, parent *obs.Span) (*Decision, error) {
+	sp := childSpan(parent, "decide/", op.Kind)
+	defer sp.End()
+	m := coremetrics.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	v := s.View()
+	var d *Decision
+	var err error
 	switch op.Kind {
 	case UpdateInsert:
-		return s.pair.DecideInsertCtx(ctx, v, op.Tuple)
+		d, err = s.pair.DecideInsertCtx(ctx, v, op.Tuple)
 	case UpdateDelete:
-		return s.pair.DecideDeleteCtx(ctx, v, op.Tuple)
+		d, err = s.pair.DecideDeleteCtx(ctx, v, op.Tuple)
 	case UpdateReplace:
-		return s.pair.DecideReplaceCtx(ctx, v, op.Tuple, op.With)
+		d, err = s.pair.DecideReplaceCtx(ctx, v, op.Tuple, op.With)
+	default:
+		return nil, fmt.Errorf("core: unknown update kind %v", op.Kind)
 	}
-	return nil, fmt.Errorf("core: unknown update kind %v", op.Kind)
+	if m != nil {
+		m.decideTotal.Inc()
+		if validKind(op.Kind) {
+			m.decideNs[op.Kind].ObserveDuration(int64(time.Since(t0)))
+		}
+		if err == nil && d != nil {
+			if d.Translatable {
+				m.translatable.Inc()
+			} else {
+				m.rejected.Inc()
+			}
+		}
+	}
+	return d, err
 }
 
 // ErrRejected is returned by Apply for untranslatable updates; the
@@ -127,13 +159,21 @@ func (s *Session) Apply(op UpdateOp) (*Decision, error) {
 // decision leaves the database and the log untouched; the returned
 // error wraps ErrBudgetExceeded.
 func (s *Session) ApplyCtx(ctx context.Context, op UpdateOp) (*Decision, error) {
-	d, err := s.DecideCtx(ctx, op)
+	sp := rootSpan("apply/", op.Kind)
+	defer sp.End()
+	m := coremetrics.Load()
+	d, err := s.decideCtx(ctx, op, sp)
 	if err != nil {
 		return nil, err
 	}
 	if !d.Translatable {
 		s.log = append(s.log, LogEntry{Op: op, Decision: d})
 		return d, fmt.Errorf("%w: %s", ErrRejected, d.Reason)
+	}
+	tsp := sp.Child("translate/" + op.Kind.String())
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
 	}
 	var out *relation.Relation
 	switch op.Kind {
@@ -144,6 +184,10 @@ func (s *Session) ApplyCtx(ctx context.Context, op UpdateOp) (*Decision, error) 
 	case UpdateReplace:
 		out, err = s.pair.ApplyReplace(s.db, op.Tuple, op.With)
 	}
+	if m != nil && validKind(op.Kind) {
+		m.applyNs[op.Kind].ObserveDuration(int64(time.Since(t0)))
+	}
+	tsp.End()
 	if err != nil {
 		return d, err
 	}
@@ -155,6 +199,9 @@ func (s *Session) ApplyCtx(ctx context.Context, op UpdateOp) (*Decision, error) 
 	}
 	s.db = out
 	s.log = append(s.log, LogEntry{Op: op, Decision: d, Applied: true})
+	if m != nil {
+		m.applied.Inc()
+	}
 	return d, nil
 }
 

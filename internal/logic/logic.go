@@ -145,7 +145,14 @@ func (f *CNF) Solve() (Assignment, bool) {
 // and the boolean is meaningless.
 func (f *CNF) SolveBudget(b *budget.B) (Assignment, bool, error) {
 	vals := make([]tval, f.Vars+1)
-	ok, err := dpll(f, vals, b)
+	var st dpllStats
+	ok, err := dpll(f, vals, b, &st)
+	if m := lmetrics.Load(); m != nil {
+		m.solveCalls.Inc()
+		m.dpllNodes.Add(st.nodes)
+		m.dpllBacktracks.Add(st.backtracks)
+		m.nodesPerSolve.Observe(float64(st.nodes))
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -165,7 +172,8 @@ func (f *CNF) Satisfiable() bool {
 	return ok
 }
 
-func dpll(f *CNF, vals []tval, b *budget.B) (bool, error) {
+func dpll(f *CNF, vals []tval, b *budget.B, st *dpllStats) (bool, error) {
+	st.nodes++
 	if err := b.Step(1); err != nil {
 		return false, err
 	}
@@ -297,17 +305,19 @@ func dpll(f *CNF, vals []tval, b *budget.B) (bool, error) {
 		return false, nil
 	}
 	vals[branch] = tTrue
-	if ok, err := dpll(f, vals, b); err != nil {
+	if ok, err := dpll(f, vals, b, st); err != nil {
 		return false, err
 	} else if ok {
 		return true, nil
 	}
+	st.backtracks++
 	vals[branch] = tFalse
-	if ok, err := dpll(f, vals, b); err != nil {
+	if ok, err := dpll(f, vals, b, st); err != nil {
 		return false, err
 	} else if ok {
 		return true, nil
 	}
+	st.backtracks++
 	restore()
 	return false, nil
 }
@@ -373,10 +383,17 @@ func (f *CNF) ForallExistsBudget(b *budget.B, k int) (bool, error) {
 	if k > 24 {
 		panic("logic: universal prefix too large to enumerate")
 	}
+	m := lmetrics.Load()
+	if m != nil {
+		m.qbfCalls.Inc()
+	}
 	fixed := make(map[int]bool, k)
 	for mask := 0; mask < 1<<uint(k); mask++ {
 		if err := b.Step(1); err != nil {
 			return false, err
+		}
+		if m != nil {
+			m.qbfNodes.Inc()
 		}
 		for v := 1; v <= k; v++ {
 			fixed[v] = mask&(1<<uint(v-1)) != 0

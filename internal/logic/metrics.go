@@ -1,0 +1,44 @@
+package logic
+
+import (
+	"sync/atomic"
+
+	"github.com/constcomp/constcomp/internal/obs"
+)
+
+// logicMetrics holds the resolved metric handles for the solvers.
+type logicMetrics struct {
+	solveCalls     *obs.Counter
+	dpllNodes      *obs.Counter
+	dpllBacktracks *obs.Counter
+	nodesPerSolve  *obs.Histogram
+	qbfCalls       *obs.Counter
+	qbfNodes       *obs.Counter
+}
+
+var lmetrics atomic.Pointer[logicMetrics]
+
+// SetMetrics installs (or, with nil, removes) the metrics sink for the
+// DPLL solver and the ∀∃-QBF evaluator.
+func SetMetrics(s obs.Sink) {
+	if s == nil {
+		lmetrics.Store(nil)
+		return
+	}
+	lmetrics.Store(&logicMetrics{
+		solveCalls:     s.Counter("logic_solve_calls_total"),
+		dpllNodes:      s.Counter("logic_dpll_nodes_total"),
+		dpllBacktracks: s.Counter("logic_dpll_backtracks_total"),
+		nodesPerSolve:  s.Histogram("logic_dpll_nodes_per_solve"),
+		qbfCalls:       s.Counter("logic_qbf_calls_total"),
+		qbfNodes:       s.Counter("logic_qbf_nodes_total"),
+	})
+}
+
+// dpllStats accumulates one solve's search counts locally (plain
+// fields, no atomics on the search path); SolveBudget publishes them
+// when metrics are enabled.
+type dpllStats struct {
+	nodes      int64
+	backtracks int64
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// HistSummary is the exported view of one histogram.
+type HistSummary struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics.
+type Snapshot struct {
+	Counters   map[string]int64       `json:"counters"`
+	Histograms map[string]HistSummary `json:"histograms"`
+}
+
+// summary reduces a histogram to its exported form.
+func summary(h *Histogram) HistSummary {
+	return HistSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// Snapshot copies out every metric. Safe to call concurrently with
+// observations (each metric is read atomically; the set is not a
+// consistent cut). Returns an empty snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistSummary{}}
+	if r == nil {
+		return s
+	}
+	for _, n := range r.counterNames() {
+		s.Counters[n] = r.Counter(n).Value()
+	}
+	for _, n := range r.histNames() {
+		s.Histograms[n] = summary(r.Histogram(n))
+	}
+	return s
+}
+
+// WriteJSON writes the registry as an expvar-style JSON object:
+// {"counters": {...}, "histograms": {name: {count, sum, min, max,
+// p50, p95, p99}}}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format: counters as counter samples, histograms as summaries
+// (quantile-labeled samples plus _sum and _count).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, n := range r.counterNames() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, r.Counter(n).Value()); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.histNames() {
+		h := summary(r.Histogram(n))
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", n); err != nil {
+			return err
+		}
+		for _, qv := range [...]struct {
+			q string
+			v float64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", n, qv.q, qv.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.Sum, n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

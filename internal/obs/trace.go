@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer collects spans against one monotonic epoch. Span durations
+// use Go's monotonic clock readings (time.Since), so wall-clock jumps
+// cannot corrupt them. The nil *Tracer is a valid no-op: Start returns
+// a nil *Span, whose methods are in turn no-ops, so instrumented code
+// never branches on "is tracing on".
+//
+// Spans nest explicitly: Start opens a root span, Span.Child opens a
+// child. Records are kept in start order with their nesting depth, so
+// WriteTree renders the call tree without re-sorting.
+type Tracer struct {
+	epoch time.Time
+	mu    sync.Mutex
+	recs  []SpanRecord
+}
+
+// SpanRecord is one completed (or still-open) span.
+type SpanRecord struct {
+	// Name identifies the span; Depth is its nesting level (0 = root).
+	Name  string
+	Depth int
+	// Start is the offset from the tracer's epoch; Dur is zero until the
+	// span ends.
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// NewTracer returns a tracer whose epoch is now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is an open interval of work. End it exactly once; Child may be
+// called any number of times before End. The nil *Span is a valid
+// no-op handle.
+type Span struct {
+	tr    *Tracer
+	idx   int
+	depth int
+	start time.Time
+}
+
+// Start opens a root span. On a nil receiver it returns nil.
+func (t *Tracer) Start(name string) *Span {
+	return t.open(name, 0)
+}
+
+func (t *Tracer) open(name string, depth int) *Span {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	idx := len(t.recs)
+	t.recs = append(t.recs, SpanRecord{Name: name, Depth: depth, Start: now.Sub(t.epoch)})
+	t.mu.Unlock()
+	return &Span{tr: t, idx: idx, depth: depth, start: now}
+}
+
+// Child opens a span nested under s. On a nil receiver it returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.open(name, s.depth+1)
+}
+
+// End closes the span, recording its duration. No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.tr.mu.Lock()
+	s.tr.recs[s.idx].Dur = d
+	s.tr.mu.Unlock()
+}
+
+// Records returns a copy of the span records in start order.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.recs))
+	copy(out, t.recs)
+	return out
+}
+
+// WriteTree renders the span tree, one line per span, indented by
+// nesting depth. No-op on a nil tracer.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	for _, r := range t.Records() {
+		indent := ""
+		for i := 0; i < r.Depth; i++ {
+			indent += "  "
+		}
+		if _, err := fmt.Fprintf(w, "%s%-*s %12v  (+%v)\n",
+			indent, 40-len(indent), r.Name, r.Dur.Round(time.Microsecond), r.Start.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package relation
+
+import (
+	"sync/atomic"
+
+	"github.com/constcomp/constcomp/internal/obs"
+)
+
+// Kernel instrumentation. Disabled by default: the hot paths load one
+// atomic pointer per kernel call and skip everything else, so the
+// uninstrumented cost is a branch. SetMetrics resolves all handles
+// once, up front — no name lookups ever happen on a kernel path.
+
+// kernelMetrics holds the resolved metric handles for the kernels.
+type kernelMetrics struct {
+	joinCalls       *obs.Counter
+	joinBuildTuples *obs.Counter
+	joinProbeTuples *obs.Counter
+	joinChainVisits *obs.Counter
+	joinOutTuples   *obs.Counter
+
+	projectCalls     *obs.Counter
+	projectInTuples  *obs.Counter
+	projectOutTuples *obs.Counter
+
+	selectEqCalls   *obs.Counter
+	selectEqScanned *obs.Counter
+	selectEqMatched *obs.Counter
+
+	fdScanCalls  *obs.Counter
+	fdScanTuples *obs.Counter
+
+	parallelChunks  *obs.Counter
+	parallelChunkNs *obs.Histogram
+	parallelUtilPct *obs.Histogram
+}
+
+var kmetrics atomic.Pointer[kernelMetrics]
+
+// SetMetrics installs (or, with nil, removes) the metrics sink for the
+// relational kernels. Metric names are documented in DESIGN.md's
+// Observability section.
+func SetMetrics(s obs.Sink) {
+	if s == nil {
+		kmetrics.Store(nil)
+		return
+	}
+	kmetrics.Store(&kernelMetrics{
+		joinCalls:       s.Counter("relation_join_calls_total"),
+		joinBuildTuples: s.Counter("relation_join_build_tuples_total"),
+		joinProbeTuples: s.Counter("relation_join_probe_tuples_total"),
+		joinChainVisits: s.Counter("relation_join_chain_visits_total"),
+		joinOutTuples:   s.Counter("relation_join_out_tuples_total"),
+
+		projectCalls:     s.Counter("relation_project_calls_total"),
+		projectInTuples:  s.Counter("relation_project_in_tuples_total"),
+		projectOutTuples: s.Counter("relation_project_out_tuples_total"),
+
+		selectEqCalls:   s.Counter("relation_selecteq_calls_total"),
+		selectEqScanned: s.Counter("relation_selecteq_scanned_tuples_total"),
+		selectEqMatched: s.Counter("relation_selecteq_matched_tuples_total"),
+
+		fdScanCalls:  s.Counter("relation_fdscan_calls_total"),
+		fdScanTuples: s.Counter("relation_fdscan_tuples_total"),
+
+		parallelChunks:  s.Counter("relation_parallel_chunks_total"),
+		parallelChunkNs: s.Histogram("relation_parallel_chunk_ns"),
+		parallelUtilPct: s.Histogram("relation_parallel_utilization_pct"),
+	})
+}

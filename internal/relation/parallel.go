@@ -1,9 +1,13 @@
 package relation
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/constcomp/constcomp/internal/attr"
 )
@@ -53,7 +57,30 @@ const parallelThreshold = 4096
 
 // forChunks splits n items into one contiguous chunk per worker and runs
 // fn(w, lo, hi) concurrently, waiting for all chunks.
+//
+// With metrics enabled, each chunk runs under pprof labels
+// (kernel_worker=<w>) so CPU profiles attribute samples to workers, its
+// busy time feeds the chunk-duration histogram, and the whole fan-out
+// reports worker utilization (total busy time over wall time × workers).
 func forChunks(n, nw int, fn func(w, lo, hi int)) {
+	var busy atomic.Int64
+	var start time.Time
+	m := kmetrics.Load()
+	if m != nil {
+		start = time.Now()
+		inner := fn
+		fn = func(w, lo, hi int) {
+			labels := pprof.Labels("subsystem", "relation", "kernel_worker", strconv.Itoa(w))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				t0 := time.Now()
+				inner(w, lo, hi)
+				d := time.Since(t0)
+				busy.Add(int64(d))
+				m.parallelChunks.Inc()
+				m.parallelChunkNs.ObserveDuration(int64(d))
+			})
+		}
+	}
 	chunk := (n + nw - 1) / nw
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
@@ -72,6 +99,11 @@ func forChunks(n, nw int, fn func(w, lo, hi int)) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if m != nil {
+		if wall := time.Since(start); wall > 0 {
+			m.parallelUtilPct.Observe(100 * float64(busy.Load()) / (float64(wall) * float64(nw)))
+		}
+	}
 }
 
 // projectParallel is Project over chunked workers: each chunk projects
@@ -170,14 +202,17 @@ func joinHashParallel(r, s, build, probe *Relation, shared attr.Set) *Relation {
 	buildIsR := build == r
 	w := len(planRel.cols)
 	outs := make([]*Relation, nw)
+	visits := make([]int64, nw)
 	forChunks(probe.Len(), nw, func(wk, lo, hi int) {
 		loc := New(union)
 		var sl slab
+		var myVisits int64
 		for pi := lo; pi < hi; pi++ {
 			t := probe.tuples[pi]
 			h := hashCols(t, pm)
 			ji := indexes[h>>uint(shift)]
 			for j := ji.heads.get(h); j >= 0; j = ji.next[j] {
+				myVisits++
 				bt := build.tuples[j]
 				if !equalOn(bt, bm, t, pm) {
 					continue
@@ -200,6 +235,7 @@ func joinHashParallel(r, s, build, probe *Relation, shared attr.Set) *Relation {
 			}
 		}
 		outs[wk] = loc
+		visits[wk] = myVisits
 	})
 	out := outs[0]
 	if out == nil {
@@ -212,6 +248,13 @@ func joinHashParallel(r, s, build, probe *Relation, shared attr.Set) *Relation {
 		for _, t := range p.tuples {
 			out.Insert(t)
 		}
+	}
+	if m := kmetrics.Load(); m != nil {
+		var total int64
+		for _, v := range visits {
+			total += v
+		}
+		recordJoin(m, build, probe, out, total)
 	}
 	return out
 }

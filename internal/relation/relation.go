@@ -306,13 +306,20 @@ func (r *Relation) insertProjection(src Tuple, m []int, sl *slab) bool {
 // Project returns π_attrs(r) with duplicates removed.
 func (r *Relation) Project(attrs attr.Set) *Relation {
 	m := r.projector(attrs)
+	var out *Relation
 	if n := len(r.tuples); n >= parallelThreshold && workers() > 1 {
-		return projectParallel(r, attrs, m)
+		out = projectParallel(r, attrs, m)
+	} else {
+		out = New(attrs)
+		var sl slab
+		for _, t := range r.tuples {
+			out.insertProjection(t, m, &sl)
+		}
 	}
-	out := New(attrs)
-	var sl slab
-	for _, t := range r.tuples {
-		out.insertProjection(t, m, &sl)
+	if km := kmetrics.Load(); km != nil {
+		km.projectCalls.Inc()
+		km.projectInTuples.Add(int64(len(r.tuples)))
+		km.projectOutTuples.Add(int64(out.Len()))
 	}
 	return out
 }
@@ -337,14 +344,21 @@ func (r *Relation) SelectEq(attrs attr.Set, key Tuple) *Relation {
 	if len(key) != len(m) {
 		panic(fmt.Sprintf("relation: SelectEq key has %d entries for %d attributes", len(key), len(m)))
 	}
+	var out *Relation
 	if n := len(r.tuples); n >= parallelThreshold && workers() > 1 {
-		return selectEqParallel(r, m, key)
-	}
-	out := New(r.attrs)
-	for _, t := range r.tuples {
-		if equalKey(t, m, key) {
-			out.Insert(t)
+		out = selectEqParallel(r, m, key)
+	} else {
+		out = New(r.attrs)
+		for _, t := range r.tuples {
+			if equalKey(t, m, key) {
+				out.Insert(t)
+			}
 		}
+	}
+	if km := kmetrics.Load(); km != nil {
+		km.selectEqCalls.Inc()
+		km.selectEqScanned.Add(int64(len(r.tuples)))
+		km.selectEqMatched.Add(int64(out.Len()))
 	}
 	return out
 }
@@ -455,13 +469,16 @@ func buildJoinIndex(ji *joinIndex, tuples []Tuple, bm []int, lo, hi int) {
 // probeJoin emits the join of probe tuples [lo, hi) against the build
 // index into out (which must be over the joinPlan schema). emit order
 // follows probe order, so chunked parallel probes merged in chunk order
-// reproduce the serial output exactly.
-func probeJoin(out *Relation, ji *joinIndex, build, probe *Relation, bm, pm, fromR, fromS []int, buildIsR bool, lo, hi int, sl *slab) {
+// reproduce the serial output exactly. It returns the number of hash
+// chain entries visited (the probe cost the obs layer reports).
+func probeJoin(out *Relation, ji *joinIndex, build, probe *Relation, bm, pm, fromR, fromS []int, buildIsR bool, lo, hi int, sl *slab) int64 {
 	w := len(out.cols)
+	var visits int64
 	for pi := lo; pi < hi; pi++ {
 		t := probe.tuples[pi]
 		h := hashCols(t, pm)
 		for j := ji.heads.get(h); j >= 0; j = ji.next[j] {
+			visits++
 			bt := build.tuples[j]
 			if !equalOn(bt, bm, t, pm) {
 				continue
@@ -483,6 +500,16 @@ func probeJoin(out *Relation, ji *joinIndex, build, probe *Relation, bm, pm, fro
 			}
 		}
 	}
+	return visits
+}
+
+// recordJoin publishes one join call's counts to the obs layer.
+func recordJoin(m *kernelMetrics, build, probe, out *Relation, visits int64) {
+	m.joinCalls.Inc()
+	m.joinBuildTuples.Add(int64(build.Len()))
+	m.joinProbeTuples.Add(int64(probe.Len()))
+	m.joinChainVisits.Add(visits)
+	m.joinOutTuples.Add(int64(out.Len()))
 }
 
 func joinHash(r, s *Relation) *Relation {
@@ -501,7 +528,10 @@ func joinHash(r, s *Relation) *Relation {
 	buildJoinIndex(ji, build.tuples, bm, 0, build.Len())
 	out, fromR, fromS := joinPlan(r, s)
 	var sl slab
-	probeJoin(out, ji, build, probe, bm, pm, fromR, fromS, build == r, 0, probe.Len(), &sl)
+	visits := probeJoin(out, ji, build, probe, bm, pm, fromR, fromS, build == r, 0, probe.Len(), &sl)
+	if m := kmetrics.Load(); m != nil {
+		recordJoin(m, build, probe, out, visits)
+	}
 	return out
 }
 

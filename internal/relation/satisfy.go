@@ -14,6 +14,10 @@ func (r *Relation) SatisfiesFD(f dep.FD) bool {
 	}
 	fm := r.projector(f.From)
 	tm := r.projector(f.To)
+	if km := kmetrics.Load(); km != nil {
+		km.fdScanCalls.Inc()
+		km.fdScanTuples.Add(int64(len(r.tuples)))
+	}
 	if len(r.tuples) >= parallelThreshold && workers() > 1 {
 		return satisfiesFDParallel(r.tuples, fm, tm)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"time"
 
 	"github.com/constcomp/constcomp/internal/core"
 	"github.com/constcomp/constcomp/internal/relation"
@@ -268,6 +269,11 @@ func openJournalAppend(fsys FS, name string) (*Journal, error) {
 
 // Append makes op durable as record seq.
 func (j *Journal) Append(seq uint64, op core.UpdateOp, syms *value.Symbols) error {
+	m := smetrics.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	rec, err := EncodeOp(seq, op, syms)
 	if err != nil {
 		return err
@@ -279,8 +285,19 @@ func (j *Journal) Append(seq uint64, op core.UpdateOp, syms *value.Symbols) erro
 	if n < len(rec) {
 		return fmt.Errorf("store: short journal write (%d/%d bytes)", n, len(rec))
 	}
+	var tSync time.Time
+	if m != nil {
+		tSync = time.Now()
+	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("store: journal sync: %w", err)
+	}
+	if m != nil {
+		now := time.Now()
+		m.fsyncNs.ObserveDuration(int64(now.Sub(tSync)))
+		m.appendNs.ObserveDuration(int64(now.Sub(t0)))
+		m.journalRecords.Inc()
+		m.journalBytes.Add(int64(len(rec)))
 	}
 	return nil
 }

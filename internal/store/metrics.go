@@ -1,0 +1,52 @@
+package store
+
+import (
+	"sync/atomic"
+
+	"github.com/constcomp/constcomp/internal/obs"
+)
+
+// storeMetrics holds the resolved metric handles for the durable store:
+// journal append/fsync latencies and volumes, snapshot checkpoint cost,
+// and recovery work.
+type storeMetrics struct {
+	// Journal. appendNs times the full Append (encode + write + fsync);
+	// fsyncNs isolates the Sync call, the dominant cost on real disks.
+	journalRecords *obs.Counter
+	journalBytes   *obs.Counter
+	appendNs       *obs.Histogram
+	fsyncNs        *obs.Histogram
+
+	// Snapshots.
+	snapshots  *obs.Counter
+	snapshotNs *obs.Histogram
+
+	// Recovery.
+	recoveries     *obs.Counter
+	replayed       *obs.Counter
+	truncatedBytes *obs.Counter
+	recoverNs      *obs.Histogram
+}
+
+var smetrics atomic.Pointer[storeMetrics]
+
+// SetMetrics installs (or, with nil, removes) the metrics sink for the
+// durable store's journal, snapshot, and recovery paths.
+func SetMetrics(s obs.Sink) {
+	if s == nil {
+		smetrics.Store(nil)
+		return
+	}
+	smetrics.Store(&storeMetrics{
+		journalRecords: s.Counter("store_journal_records_total"),
+		journalBytes:   s.Counter("store_journal_bytes_total"),
+		appendNs:       s.Histogram("store_journal_append_ns"),
+		fsyncNs:        s.Histogram("store_journal_fsync_ns"),
+		snapshots:      s.Counter("store_snapshot_total"),
+		snapshotNs:     s.Histogram("store_snapshot_write_ns"),
+		recoveries:     s.Counter("store_recover_total"),
+		replayed:       s.Counter("store_recover_replayed_total"),
+		truncatedBytes: s.Counter("store_recover_truncated_bytes_total"),
+		recoverNs:      s.Histogram("store_recover_ns"),
+	})
+}

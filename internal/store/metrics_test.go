@@ -1,0 +1,95 @@
+package store
+
+import (
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/obs"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// TestJournalMetricsRecorded drives applies through the durable session
+// with a metrics sink installed and asserts the journal path records
+// fsync latency, append latency, and byte/record volume — plus snapshot
+// and recovery metrics across a rotate + reopen.
+func TestJournalMetricsRecorded(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	pair, db, syms := edmFixture()
+	mem := NewMemFS()
+	sess, err := Create(mem, pair, db, syms, Options{SnapshotEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := ops50(syms)
+	for _, op := range ops {
+		if _, err := sess.Apply(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("store_journal_records_total").Value(); got != int64(len(ops)) {
+		t.Errorf("store_journal_records_total = %d, want %d", got, len(ops))
+	}
+	if got := reg.Counter("store_journal_bytes_total").Value(); got <= 0 {
+		t.Errorf("store_journal_bytes_total = %d, want > 0", got)
+	}
+	fsync := reg.Histogram("store_journal_fsync_ns")
+	if fsync.Count() != int64(len(ops)) {
+		t.Errorf("store_journal_fsync_ns count = %d, want %d", fsync.Count(), len(ops))
+	}
+	appendH := reg.Histogram("store_journal_append_ns")
+	if appendH.Count() != int64(len(ops)) {
+		t.Errorf("store_journal_append_ns count = %d, want %d", appendH.Count(), len(ops))
+	}
+	// Append includes encode + write + fsync, so its total cannot be
+	// below the fsync total.
+	if appendH.Sum() < fsync.Sum() {
+		t.Errorf("append sum %v < fsync sum %v", appendH.Sum(), fsync.Sum())
+	}
+	// 50 ops at SnapshotEvery=8 must have rotated at least once.
+	if got := reg.Counter("store_snapshot_total").Value(); got < 1 {
+		t.Errorf("store_snapshot_total = %d, want >= 1", got)
+	}
+	if got := reg.Histogram("store_snapshot_write_ns").Count(); got < 1 {
+		t.Errorf("store_snapshot_write_ns count = %d, want >= 1", got)
+	}
+
+	// Recovery metrics on reopen.
+	syms2 := value.NewSymbols()
+	if _, rep, err := Recover(mem, pair, syms2, Options{}); err != nil {
+		t.Fatal(err)
+	} else if rep == nil {
+		t.Fatal("nil recovery report")
+	}
+	if got := reg.Counter("store_recover_total").Value(); got != 1 {
+		t.Errorf("store_recover_total = %d, want 1", got)
+	}
+	if got := reg.Histogram("store_recover_ns").Count(); got != 1 {
+		t.Errorf("store_recover_ns count = %d, want 1", got)
+	}
+}
+
+// TestStoreNilSink confirms the instrumented store paths run unchanged
+// with metrics disabled (the default).
+func TestStoreNilSink(t *testing.T) {
+	SetMetrics(nil)
+	pair, db, syms := edmFixture()
+	mem := NewMemFS()
+	sess, err := Create(mem, pair, db, syms, Options{SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops50(syms)[:10] {
+		if _, err := sess.Apply(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/constcomp/constcomp/internal/core"
 	"github.com/constcomp/constcomp/internal/relation"
@@ -142,6 +143,11 @@ func (r *RecoveryReport) String() string {
 // typically empty — the journal and snapshot carry names, not ids, so
 // recovery does not depend on the dead process's interning order.
 func Recover(fsys FS, pair *core.Pair, syms *value.Symbols, opts Options) (*Session, *RecoveryReport, error) {
+	m := smetrics.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	snapSeq, db, err := readSnapshot(fsys, SnapshotFile, pair.Schema().Universe(), syms)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: recover: %w", err)
@@ -225,6 +231,12 @@ func Recover(fsys FS, pair *core.Pair, syms *value.Symbols, opts Options) (*Sess
 	if err := fsys.SyncDir(); err != nil {
 		j.Close()
 		return nil, rep, fmt.Errorf("store: recover: journal dir sync: %w", err)
+	}
+	if m != nil {
+		m.recoveries.Inc()
+		m.replayed.Add(int64(rep.Replayed))
+		m.truncatedBytes.Add(rep.TruncatedBytes)
+		m.recoverNs.ObserveDuration(int64(time.Since(t0)))
 	}
 	return &Session{
 		fsys:      fsys,

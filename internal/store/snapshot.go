@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io/fs"
+	"time"
 
 	"github.com/constcomp/constcomp/internal/attr"
 	"github.com/constcomp/constcomp/internal/relation"
@@ -123,6 +124,11 @@ func DecodeSnapshot(data []byte, u *attr.Universe, syms *value.Symbols) (uint64,
 // the image is written and fsynced under a temporary name, renamed into
 // place, and the rename is made durable with a directory fsync.
 func writeSnapshot(fsys FS, name string, seq uint64, db *relation.Relation, syms *value.Symbols) error {
+	m := smetrics.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	img, err := EncodeSnapshot(seq, db, syms)
 	if err != nil {
 		return err
@@ -148,6 +154,10 @@ func writeSnapshot(fsys FS, name string, seq uint64, db *relation.Relation, syms
 	}
 	if err := fsys.SyncDir(); err != nil {
 		return fmt.Errorf("store: snapshot dir sync: %w", err)
+	}
+	if m != nil {
+		m.snapshots.Inc()
+		m.snapshotNs.ObserveDuration(int64(time.Since(t0)))
 	}
 	return nil
 }
