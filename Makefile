@@ -2,18 +2,24 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover cover-check bench bench-compare examples experiments fuzz fuzz-smoke clean
+.PHONY: all check build vet test race lint cover cover-check bench bench-compare examples experiments fuzz fuzz-smoke clean
 
 all: build vet test
 
 # Tier-1 gate: everything CI requires green (see README).
-check: build vet test race fuzz-smoke
+check: build vet lint test race fuzz-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# constvet: the repository's own invariant suite (durability ordering,
+# determinism, budget discipline, nil-safe instrumentation). Exceptions
+# are annotated in-diff with //constvet:allow; see DESIGN.md.
+lint:
+	$(GO) run ./cmd/constvet ./...
 
 test:
 	$(GO) test ./...
@@ -24,9 +30,10 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# Coverage floors: internal/obs must stay at or above 70%, internal/store
-# must not decrease (80.2% measured when the gate was introduced; floor
-# set just under to absorb run-to-run noise).
+# Coverage floors, set about one point under the figure measured when
+# each gate was introduced to absorb run-to-run noise: internal/obs
+# 93.3% -> 92.0, internal/store 80.2% -> 79.0, internal/analysis
+# 87.2% -> 86.0.
 cover-check:
 	@set -e; \
 	check() { \
@@ -34,8 +41,9 @@ cover-check:
 		ok=$$(awk -v p="$$pct" -v f="$$2" 'BEGIN { print (p+0 >= f+0) ? 1 : 0 }'); \
 		if [ "$$ok" != 1 ]; then echo "cover-check: $$1 coverage $$pct% below floor $$2%"; exit 1; fi; \
 	}; \
-	check ./internal/obs 70.0; \
-	check ./internal/store 78.0; \
+	check ./internal/obs 92.0; \
+	check ./internal/store 79.0; \
+	check ./internal/analysis 86.0; \
 	echo "cover-check: floors held"
 
 # Run the kernel/experiment benchmarks and record them as JSON.

@@ -1,0 +1,109 @@
+// Command constvet is the repository's invariant multichecker: it runs
+// the internal/analysis suite (fsyncorder, mapiter, budgetloop,
+// nilmetrics, rawgo, walltime) over the given packages and exits
+// non-zero on any unsuppressed diagnostic.
+//
+// Usage:
+//
+//	constvet [-list] [-v] [-run name,name] [packages...]
+//
+// Packages default to ./.... Intentional exceptions are annotated at the
+// offending line with `//constvet:allow <name> -- reason`; -v prints the
+// suppressed findings too, so exceptions stay auditable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/constcomp/constcomp/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "also print suppressed findings")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "constvet: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "constvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "constvet:", err)
+		os.Exit(2)
+	}
+
+	var findings []analysis.Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			fs, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "constvet:", err)
+				os.Exit(2)
+			}
+			findings = append(findings, fs...)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	failed, suppressed := 0, 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			if *verbose {
+				fmt.Println(f)
+			}
+			continue
+		}
+		failed++
+		fmt.Println(f)
+	}
+	if *verbose || failed > 0 {
+		fmt.Fprintf(os.Stderr, "constvet: %d finding(s), %d suppressed, %d package(s)\n",
+			failed, suppressed, len(pkgs))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -110,13 +110,13 @@ func main() {
 			before = reg.Snapshot()
 		}
 		sp := tracer.Start(e.id)
-		start := time.Now()
+		start := obs.NowNS()
 		e.run(cfg)
 		sp.End()
 		if reg != nil {
 			fmt.Printf("   cost: %s\n", costSummary(before, reg.Snapshot()))
 		}
-		fmt.Printf("-- %s done in %v --\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("-- %s done in %v --\n\n", e.id, time.Duration(obs.SinceNS(start)).Round(time.Millisecond))
 		ran++
 	}
 	if ran == 0 {
@@ -192,11 +192,11 @@ func timeIt(reps int, f func()) time.Duration {
 	if reps < 1 {
 		reps = 1
 	}
-	start := time.Now()
+	start := obs.NowNS()
 	for i := 0; i < reps; i++ {
 		f()
 	}
-	return time.Since(start) / time.Duration(reps)
+	return time.Duration(obs.SinceNS(start)) / time.Duration(reps)
 }
 
 // row prints aligned columns.

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// BudgetLoop enforces PR 2's graceful-degradation contract: the
+// NP-complete searches (DPLL/QBF) and the chase fixpoints must respect
+// their *budget.B, so Decide/Apply can always return ErrBudgetExceeded
+// instead of hanging. Any loop that is not structurally counted — a
+// ForStmt with no post statement, i.e. `for {}`, `for cond {}`, or
+// `for init; cond; {}` — and that calls user code must contain a budget
+// check, directly or through a package-local helper (the package call
+// graph is closed over, so tableau-style `t.step` wrappers count).
+//
+// Loops that make no calls at all (union-find pointer walks, counter
+// updates) are treated as structurally bounded and skipped.
+var BudgetLoop = &Analyzer{
+	Name: "budgetloop",
+	Doc: "flag potentially unbounded loops in internal/logic and " +
+		"internal/chase that never check their budget.B",
+	AppliesTo: func(pkgPath string) bool {
+		return pathHasSuffix(pkgPath, "internal/logic") || pathHasSuffix(pkgPath, "internal/chase")
+	},
+	Run: runBudgetLoop,
+}
+
+// budgetCheckMethods are the methods on budget.B that test exhaustion.
+var budgetCheckMethods = map[string]bool{"Step": true, "Check": true}
+
+// isBudgetCheck reports whether the call is b.Step(...)/b.Check() on a
+// value whose type comes from a package named "budget".
+func isBudgetCheck(pass *Pass, call *ast.CallExpr) bool {
+	recv, name, ok := methodCall(pass.Info, call)
+	if !ok || !budgetCheckMethods[name] {
+		return false
+	}
+	return fromPackageNamed(pass.TypeOf(recv), "budget")
+}
+
+func runBudgetLoop(pass *Pass) error {
+	decls := declaredFuncs(pass.Info, pass.Files)
+
+	// Close the package-local call graph over "contains a budget check":
+	// a function checks the budget if its body does so directly or calls
+	// a package function that does.
+	checks := map[*ast.FuncDecl]bool{}
+	directOrVia := func(fd *ast.FuncDecl) bool {
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if isBudgetCheck(pass, call) {
+				found = true
+				return false
+			}
+			if callee := calleeOf(pass.Info, call); callee != nil {
+				if cd, ok := decls[callee]; ok && checks[cd] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			if !checks[fd] && directOrVia(fd) {
+				checks[fd] = true
+				changed = true
+			}
+		}
+	}
+
+	// nodeChecksBudget reports whether the subtree contains a budget
+	// check, directly or through a checking package function.
+	nodeChecksBudget := func(root ast.Node) bool {
+		found := false
+		ast.Inspect(root, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if isBudgetCheck(pass, call) {
+				found = true
+				return false
+			}
+			if callee := calleeOf(pass.Info, call); callee != nil {
+				if cd, ok := decls[callee]; ok && checks[cd] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	nodeDoesWork := func(root ast.Node) bool {
+		found := false
+		ast.Inspect(root, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isWorkCall(pass.Info, call) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	for _, fd := range funcDecls(pass.Files) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Post != nil {
+				return true
+			}
+			work := nodeDoesWork(loop.Body) || (loop.Cond != nil && nodeDoesWork(loop.Cond))
+			checked := nodeChecksBudget(loop.Body) || (loop.Cond != nil && nodeChecksBudget(loop.Cond))
+			if work && !checked {
+				pass.Reportf(loop.Pos(),
+					"potentially unbounded loop never checks its budget.B; add a b.Step/b.Check so callers can rely on ErrBudgetExceeded instead of a hang")
+			}
+			return true
+		})
+	}
+	return nil
+}

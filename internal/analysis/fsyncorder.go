@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FsyncOrder mechanizes the PR-2-review durability ordering: namespace
+// changes made through the store's injectable FS (Create, OpenAppend,
+// Rename, Remove) are not durable until SyncDir, and a rename must not
+// promote content that was never itself fsynced. Concretely:
+//
+//  1. every call to Rename on an FS-like interface must be preceded, in
+//     the same function, by a File.Sync call (content durable before the
+//     name points at it), and
+//  2. every exported function whose success path performs a namespace
+//     change — directly or through package-local helpers — must follow
+//     it with SyncDir before returning; helpers may leave the obligation
+//     to their callers, but it must be discharged before the API
+//     boundary.
+//
+// "FS-like" is duck-typed: any interface that offers both the mutating
+// method and SyncDir. Methods on types that themselves implement such an
+// interface (DirFS, MemFS, FaultFS) are the substrate, not users of it,
+// and are skipped.
+var FsyncOrder = &Analyzer{
+	Name: "fsyncorder",
+	Doc: "flag FS namespace changes (Create/OpenAppend/Rename/Remove) not " +
+		"bracketed by File.Sync and SyncDir on the success path",
+	Run: runFsyncOrder,
+}
+
+// fsMutators are the FS methods that change the directory namespace.
+// Truncate is excluded: the FS contract makes it durable on return.
+var fsMutators = map[string]bool{"Create": true, "OpenAppend": true, "Rename": true, "Remove": true}
+
+// fsLikeCall classifies x.M(...) where x's static type is an interface
+// declaring both M and SyncDir.
+func fsLikeCall(pass *Pass, call *ast.CallExpr) (name string, ok bool) {
+	recv, name, isMethod := methodCall(pass.Info, call)
+	if !isMethod {
+		return "", false
+	}
+	iface := ifaceOf(pass.TypeOf(recv))
+	if iface == nil || !ifaceHasMethod(iface, "SyncDir") || !ifaceHasMethod(iface, name) {
+		return "", false
+	}
+	return name, true
+}
+
+// isFileSyncCall reports a zero-argument .Sync() method call (File.Sync).
+func isFileSyncCall(pass *Pass, call *ast.CallExpr) bool {
+	_, name, isMethod := methodCall(pass.Info, call)
+	return isMethod && name == "Sync" && len(call.Args) == 0
+}
+
+// implementsFSLike reports whether the method's receiver type itself has
+// a SyncDir method — i.e. the function is part of an FS implementation.
+func implementsFSLike(fd *ast.FuncDecl, info *types.Info) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	for _, typ := range []types.Type{t, types.NewPointer(deref(t))} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == "SyncDir" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fsEvents summarizes one function's durability-relevant actions.
+type fsEvents struct {
+	lastMutate token.Pos // latest namespace change (NoPos if none)
+	mutateName string    // method name at lastMutate, for the diagnostic
+	lastSync   token.Pos // latest SyncDir (NoPos if none)
+	hasSync    bool
+}
+
+// dirty reports whether a namespace change is not followed by SyncDir.
+func (e fsEvents) dirty() bool {
+	return e.lastMutate != token.NoPos && (!e.hasSync || e.lastSync < e.lastMutate)
+}
+
+func runFsyncOrder(pass *Pass) error {
+	decls := declaredFuncs(pass.Info, pass.Files)
+
+	// Fixpoint over the package-local call graph: a call to a dirty
+	// helper counts as a namespace change at the call site; a call to a
+	// clean helper that performs SyncDir counts as a sync point (SyncDir
+	// makes *all* prior namespace changes durable, so a helper ending
+	// synced discharges earlier obligations too).
+	events := map[*ast.FuncDecl]fsEvents{}
+	compute := func(fd *ast.FuncDecl) fsEvents {
+		var e fsEvents
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := fsLikeCall(pass, call); ok {
+				switch {
+				case fsMutators[name]:
+					if call.Pos() > e.lastMutate {
+						e.lastMutate, e.mutateName = call.Pos(), name
+					}
+				case name == "SyncDir":
+					e.hasSync = true
+					if call.Pos() > e.lastSync {
+						e.lastSync = call.Pos()
+					}
+				}
+				return true
+			}
+			callee := calleeOf(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			if cd, ok := decls[callee]; ok {
+				ce := events[cd]
+				if ce.dirty() {
+					if call.Pos() > e.lastMutate {
+						e.lastMutate, e.mutateName = call.Pos(), ce.mutateName
+					}
+				} else if ce.hasSync {
+					e.hasSync = true
+					if call.Pos() > e.lastSync {
+						e.lastSync = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+		return e
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			if implementsFSLike(fd, pass.Info) {
+				continue
+			}
+			e := compute(fd)
+			if e != events[fd] {
+				events[fd] = e
+				changed = true
+			}
+		}
+	}
+
+	for _, fd := range funcDecls(pass.Files) {
+		if implementsFSLike(fd, pass.Info) {
+			continue
+		}
+		// Rule 1: rename only after the content is fsynced.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := fsLikeCall(pass, call); ok && name == "Rename" {
+				synced := false
+				ast.Inspect(fd.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok && c.Pos() < call.Pos() && isFileSyncCall(pass, c) {
+						synced = true
+					}
+					return !synced
+				})
+				if !synced {
+					pass.Reportf(call.Pos(),
+						"Rename without a preceding File.Sync in this function: the renamed content may not be durable when the name starts pointing at it")
+				}
+			}
+			return true
+		})
+		// Rule 2: exported entry points must not return with the
+		// namespace dirty.
+		if fd.Name.IsExported() {
+			if e := events[fd]; e.dirty() {
+				pass.Reportf(e.lastMutate,
+					"namespace change (%s) is not followed by SyncDir before this exported function returns; the entry is not durable across power loss", e.mutateName)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeOf resolves the function or method a call expression invokes,
+// or nil when the callee is not a declared function (builtins, function
+// values, conversions).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedOf returns the named type behind t (through one pointer), or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := deref(t).(*types.Named)
+	return n
+}
+
+// fromPackageNamed reports whether t is (a pointer to) a named type
+// declared in a package with the given name. Matching by package *name*
+// rather than import path keeps the analyzers testable against fixture
+// packages that mimic internal/obs and internal/budget.
+func fromPackageNamed(t types.Type, pkgName string) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == pkgName
+}
+
+// ifaceOf returns the interface type behind t, or nil.
+func ifaceOf(t types.Type) *types.Interface {
+	if t == nil {
+		return nil
+	}
+	i, _ := t.Underlying().(*types.Interface)
+	return i
+}
+
+// ifaceHasMethod reports whether the interface declares (directly or via
+// embedding) a method with the given name.
+func ifaceHasMethod(i *types.Interface, name string) bool {
+	for m := 0; m < i.NumMethods(); m++ {
+		if i.Method(m).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// methodCall destructures x.M(...) into the receiver expression and the
+// method name; ok is false for ordinary function calls.
+func methodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	if s, found := info.Selections[sel]; !found || s.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// isWorkCall reports whether the call invokes user code: not a builtin,
+// not a type conversion. Loops whose bodies make no such call (pure
+// pointer walks, counter updates) are treated as structurally bounded.
+func isWorkCall(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return false
+	}
+	return true
+}
+
+// parentMap records each node's parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// funcDecls yields every function declaration in the pass, including
+// methods.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// declaredFuncs maps the package's *types.Func objects to their
+// declarations, for package-local call-graph fixpoints.
+func declaredFuncs(info *types.Info, files []*ast.File) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, fd := range funcDecls(files) {
+		if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+			out[fn] = fd
+		}
+	}
+	return out
+}
+
+// receiverObj returns the declared receiver variable of a method, or nil
+// for plain functions and blank receivers.
+func receiverObj(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}

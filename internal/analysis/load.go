@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", args, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,ImportMap,Error"
+
+// Load type-checks the packages matching patterns (relative to dir, a
+// directory inside the module) and returns them ready for analysis. Test
+// files are not loaded — constvet, like `go vet` in its default unit
+// configuration here, checks the shipping code.
+//
+// Imports are resolved through compiled export data: `go list -export`
+// builds every dependency and reports the export file, which the standard
+// library's gc importer can read, so no analyzed package is ever
+// type-checked more than once.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	// One walk over the full dependency closure collects export data for
+	// every import; a second cheap call names the target packages.
+	all, err := goList(dir, append([]string{"-export", "-deps", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	byPath := map[string]listedPkg{}
+	for _, p := range all {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		byPath[p.ImportPath] = p
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*Package
+	for _, t := range targets {
+		p, ok := byPath[t.ImportPath]
+		if !ok {
+			return nil, fmt.Errorf("go list: target %s missing from -deps listing", t.ImportPath)
+		}
+		pkg, err := typecheck(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// typecheck parses p's sources and type-checks them against the export
+// data of its dependencies.
+func typecheck(p listedPkg, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for import %q", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := NewInfo()
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Name:       p.Name,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// NewInfo allocates the types.Info maps the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

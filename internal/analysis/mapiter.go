@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapIter guards the determinism contract behind reproducible
+// experiments: Go map iteration order is randomized, so ranging over a
+// map must never decide the order of emitted tuples or rows. The
+// analyzer flags a range-over-map whose body either accumulates into a
+// slice declared outside the loop that is never subsequently sorted in
+// the same function, or writes output directly (Print/Fprint/Write
+// calls). Order-insensitive uses — counting, map-to-map transforms,
+// indexed writes — pass untouched. Introduced with PR 1's deterministic
+// kernels; mechanized in PR 4.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag map iteration whose order can flow into emitted " +
+		"tuples/rows without an intervening sort",
+	AppliesTo: func(pkgPath string) bool {
+		return pathHasSuffix(pkgPath, "internal/relation") ||
+			pathHasSuffix(pkgPath, "internal/chase") ||
+			pathHasSuffix(pkgPath, "internal/closure")
+	},
+	Run: runMapIter,
+}
+
+// emitPrefixes are callee name prefixes that write directly to an output
+// stream, making iteration order externally visible.
+var emitPrefixes = []string{"Print", "Fprint", "Write"}
+
+func isEmitCall(info *types.Info, call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	for _, p := range emitPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendTarget destructures `s = append(s, ...)` (or `s := append(...)`)
+// and returns the object of s, or nil.
+func appendTarget(info *types.Info, stmt *ast.AssignStmt) (types.Object, *ast.CallExpr) {
+	for i, rhs := range stmt.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if tv, ok := info.Types[call.Fun]; !ok || !tv.IsBuiltin() {
+			continue
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+			continue
+		}
+		if i >= len(stmt.Lhs) {
+			continue
+		}
+		lhs, ok := ast.Unparen(stmt.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := info.Uses[lhs]; obj != nil {
+			return obj, call
+		}
+		if obj := info.Defs[lhs]; obj != nil {
+			return obj, call
+		}
+	}
+	return nil, nil
+}
+
+// mentionsObj reports whether the expression tree mentions the object.
+func mentionsObj(info *types.Info, root ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortsObjAfter reports whether fn contains, after pos, a call whose
+// callee name contains "Sort" and that mentions obj (as an argument or
+// receiver) — e.g. sort.Strings(out), relation.SortTuplesBy(out, cols),
+// attr.SortSets(out).
+func sortsObjAfter(pass *Pass, fn *ast.FuncDecl, obj types.Object, after ast.Node) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if call.Pos() < after.Pos() {
+			return true
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+			// Qualified calls count their qualifier: sort.Ints, sort.Slice.
+			if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+				name = x.Name + "." + name
+			}
+		}
+		if !strings.Contains(name, "Sort") && !strings.Contains(name, "sort") {
+			return true
+		}
+		if mentionsObj(pass.Info, call, obj) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func runMapIter(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rng.Body, func(m ast.Node) bool {
+				switch stmt := m.(type) {
+				case *ast.AssignStmt:
+					obj, call := appendTarget(pass.Info, stmt)
+					if obj == nil {
+						return true
+					}
+					// Accumulators declared inside the loop body reset every
+					// iteration; only escape of cross-iteration order matters.
+					if obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End() {
+						return true
+					}
+					if !sortsObjAfter(pass, fd, obj, rng) {
+						pass.Reportf(call.Pos(),
+							"append inside range-over-map leaks map iteration order into %q; sort it before emitting (or //constvet:allow mapiter if order is provably irrelevant)", obj.Name())
+					}
+				case *ast.CallExpr:
+					if isEmitCall(pass.Info, stmt) {
+						pass.Reportf(stmt.Pos(),
+							"output written inside range-over-map follows map iteration order; collect and sort first")
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilMetrics enforces the two halves of the nil-safe instrumentation
+// contract from PR 3:
+//
+// Inside the obs package (recognized by package name, so fixtures can
+// mimic it): every exported pointer-receiver method must be nil-safe —
+// its first receiver-touching statement is a `recv == nil` / `recv !=
+// nil` guard, or every receiver use delegates to an already-nil-safe
+// method of the package. Instrumented code holds possibly-nil handles
+// and calls them unconditionally; one unguarded method is a latent panic
+// on the uninstrumented path.
+//
+// In instrumented packages: metric handles must live behind a
+// sync/atomic.Pointer swapped by SetMetrics — a raw package-level
+// handle (or pointer to a handle-struct) is a data race with SetMetrics
+// and defeats the one-load disabled fast path.
+var NilMetrics = &Analyzer{
+	Name: "nilmetrics",
+	Doc: "flag obs handle methods without nil-receiver guards, and raw " +
+		"package-level metric handles outside the atomic.Pointer SetMetrics pattern",
+	Run: runNilMetrics,
+}
+
+func runNilMetrics(pass *Pass) error {
+	if pass.Pkg.Name() == "obs" {
+		return runNilMetricsHandles(pass)
+	}
+	return runNilMetricsConsumers(pass)
+}
+
+// isNilComparisonWith reports whether e is `x == nil` or `x != nil`
+// where x resolves to obj.
+func isNilComparisonWith(info *types.Info, e ast.Expr, obj types.Object) bool {
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+		return false
+	}
+	isObj := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		return ok && info.Uses[id] == obj
+	}
+	isNil := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isObj(b.X) && isNil(b.Y)) || (isNil(b.X) && isObj(b.Y))
+}
+
+// condNilTests reports whether the condition nil-tests obj, possibly as
+// one operand of a &&/|| chain (`if h == nil || h.count.Load() == 0`).
+func condNilTests(info *types.Info, cond ast.Expr, obj types.Object) bool {
+	if isNilComparisonWith(info, cond, obj) {
+		return true
+	}
+	if b, ok := ast.Unparen(cond).(*ast.BinaryExpr); ok && (b.Op == token.LOR || b.Op == token.LAND) {
+		return condNilTests(info, b.X, obj) || condNilTests(info, b.Y, obj)
+	}
+	return false
+}
+
+// guardFirst reports whether the first statement that touches the
+// receiver is an if-statement whose condition nil-tests it.
+func guardFirst(info *types.Info, fd *ast.FuncDecl, recv *types.Var) bool {
+	for _, stmt := range fd.Body.List {
+		if !mentionsObj(info, stmt, recv) {
+			continue
+		}
+		ifStmt, ok := stmt.(*ast.IfStmt)
+		return ok && ifStmt.Init == nil && condNilTests(info, ifStmt.Cond, recv)
+	}
+	return true // receiver never used: trivially nil-safe
+}
+
+func runNilMetricsHandles(pass *Pass) error {
+	type method struct {
+		fd   *ast.FuncDecl
+		recv *types.Var
+	}
+	var methods []method
+	byFunc := map[*types.Func]*ast.FuncDecl{}
+	for _, fd := range funcDecls(pass.Files) {
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			continue
+		}
+		if _, ok := fd.Recv.List[0].Type.(*ast.StarExpr); !ok {
+			continue // value receivers cannot be nil
+		}
+		methods = append(methods, method{fd, receiverObj(pass.Info, fd)})
+		if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+			byFunc[fn] = fd
+		}
+	}
+
+	safe := map[*ast.FuncDecl]bool{}
+	for i := range methods {
+		m := methods[i]
+		if m.recv == nil || guardFirst(pass.Info, m.fd, m.recv) {
+			safe[m.fd] = true
+		}
+	}
+
+	// delegatesSafely: every receiver mention is either a nil comparison
+	// or the receiver of a call to an already-safe method of the package.
+	delegatesSafely := func(m method) bool {
+		parents := parentMap(m.fd.Body)
+		ok := true
+		ast.Inspect(m.fd.Body, func(n ast.Node) bool {
+			id, isIdent := n.(*ast.Ident)
+			if !isIdent || pass.Info.Uses[id] != m.recv || !ok {
+				return ok
+			}
+			// recv == nil / recv != nil comparison?
+			if b, isBin := parents[id].(*ast.BinaryExpr); isBin && isNilComparisonWith(pass.Info, b, m.recv) {
+				return true
+			}
+			// recv.M(...) where M is a safe method of this package?
+			if sel, isSel := parents[id].(*ast.SelectorExpr); isSel && sel.X == id {
+				if call, isCall := parents[sel].(*ast.CallExpr); isCall && call.Fun == sel {
+					if fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func); isFn {
+						if target, declared := byFunc[fn]; declared && safe[target] {
+							return true
+						}
+					}
+				}
+			}
+			ok = false
+			return false
+		})
+		return ok
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if !safe[m.fd] && delegatesSafely(m) {
+				safe[m.fd] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, m := range methods {
+		if m.fd.Name.IsExported() && !safe[m.fd] {
+			pass.Reportf(m.fd.Name.Pos(),
+				"exported obs handle method %s must begin with a nil-receiver guard (instrumented code calls possibly-nil handles unconditionally)", m.fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// isObsHandleType reports whether t is (a pointer to) a named type from
+// a package named "obs".
+func isObsHandleType(t types.Type) bool { return fromPackageNamed(t, "obs") }
+
+// referencesObsHandles reports whether t is an obs handle, or a (pointer
+// to a) struct with an obs-handle field.
+func referencesObsHandles(t types.Type) bool {
+	if isObsHandleType(t) {
+		return true
+	}
+	s, ok := deref(t).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < s.NumFields(); i++ {
+		if isObsHandleType(s.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicPointer reports whether t is sync/atomic.Pointer[E], returning
+// the element type.
+func isAtomicPointer(t types.Type) (types.Type, bool) {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return nil, false
+	}
+	if n.Obj().Pkg().Path() != "sync/atomic" || n.Obj().Name() != "Pointer" {
+		return nil, false
+	}
+	args := n.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return nil, false
+	}
+	return args.At(0), true
+}
+
+func runNilMetricsConsumers(pass *Pass) error {
+	needSetMetrics := token.NoPos
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if elem, isAtomic := isAtomicPointer(obj.Type()); isAtomic {
+						if referencesObsHandles(elem) && needSetMetrics == token.NoPos {
+							needSetMetrics = name.Pos()
+						}
+						continue
+					}
+					if referencesObsHandles(obj.Type()) {
+						pass.Reportf(name.Pos(),
+							"package-level metric handle %q must live behind a sync/atomic.Pointer resolved by SetMetrics (raw handles race with SetMetrics and defeat the nil fast path)", name.Name)
+					}
+				}
+			}
+		}
+	}
+	if needSetMetrics != token.NoPos && pass.Pkg.Scope().Lookup("SetMetrics") == nil {
+		pass.Reportf(needSetMetrics,
+			"package stores metric handles behind atomic.Pointer but declares no SetMetrics to install them")
+	}
+	return nil
+}

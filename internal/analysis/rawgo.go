@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// RawGo forbids raw `go` statements outside the two sanctioned
+// concurrency sites: the deterministic fork/join scheduler in
+// internal/relation/parallel.go and the obs layer. Everything else must
+// route work through relation.Parallelism's scheduler so that worker
+// counts, chunking, and joins stay deterministic and instrumented.
+// Introduced with PR 1's parallel kernels; mechanized in PR 4.
+var RawGo = &Analyzer{
+	Name: "rawgo",
+	Doc: "flag raw go statements outside internal/relation/parallel.go and " +
+		"internal/obs; concurrency goes through the scheduler",
+	AppliesTo: func(pkgPath string) bool { return !pathHasSuffix(pkgPath, "internal/obs") },
+	Run:       runRawGo,
+}
+
+// rawGoExemptFiles are path suffixes of files allowed to spawn goroutines.
+var rawGoExemptFiles = []string{"relation/parallel.go"}
+
+func runRawGo(pass *Pass) error {
+	for _, f := range pass.Files {
+		name := filepath.ToSlash(pass.Fset.Position(f.Pos()).Filename)
+		exempt := false
+		for _, suffix := range rawGoExemptFiles {
+			if strings.HasSuffix(name, suffix) {
+				exempt = true
+			}
+		}
+		if exempt {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"raw go statement outside the sanctioned concurrency sites: route parallel work through relation.Parallelism's scheduler")
+			}
+			return true
+		})
+	}
+	return nil
+}

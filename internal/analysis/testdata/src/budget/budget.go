@@ -1,0 +1,18 @@
+// Package budget mimics the repository's internal/budget for analyzer
+// fixtures: budgetloop recognizes budget checks by the receiver's
+// package *name*, so this stand-in exercises the same code path.
+package budget
+
+// B is a minimal stand-in for budget.B.
+type B struct{ used, limit int }
+
+// Step consumes n units.
+func (b *B) Step(n int) error {
+	if b != nil {
+		b.used += n
+	}
+	return nil
+}
+
+// Check tests exhaustion without consuming.
+func (b *B) Check() error { return nil }

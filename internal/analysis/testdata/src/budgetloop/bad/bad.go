@@ -1,0 +1,24 @@
+// Failing fixtures for budgetloop: unbudgeted loops that do work.
+package bad
+
+import "fixtures/budget"
+
+// The budget exists but the loop never consults it.
+func search(b *budget.B, work func() bool) error {
+	if err := b.Step(1); err != nil {
+		return err
+	}
+	for { // want `potentially unbounded loop never checks its budget\.B`
+		if work() {
+			return nil
+		}
+	}
+}
+
+// A condition-only loop doing work is just as unbounded.
+func drain(b *budget.B, pending func() bool, pop func()) {
+	_ = b
+	for pending() { // want `potentially unbounded loop never checks its budget\.B`
+		pop()
+	}
+}

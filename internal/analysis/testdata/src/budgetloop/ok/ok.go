@@ -1,0 +1,58 @@
+// Passing fixtures for budgetloop: every potentially unbounded loop
+// either checks its budget (directly or via a package-local wrapper),
+// makes no calls at all, or carries a justified allow comment.
+package ok
+
+import "fixtures/budget"
+
+// Direct check inside the loop.
+func direct(b *budget.B, work func() bool) error {
+	for {
+		if err := b.Check(); err != nil {
+			return err
+		}
+		if work() {
+			return nil
+		}
+	}
+}
+
+// step is a tableau-style wrapper; the call-graph fixpoint must see
+// through it.
+func step(b *budget.B) error { return b.Step(1) }
+
+func viaWrapper(b *budget.B, work func() bool) error {
+	for {
+		if err := step(b); err != nil {
+			return err
+		}
+		if work() {
+			return nil
+		}
+	}
+}
+
+// A loop with no calls is structurally bounded (union-find pointer walk).
+func find(parent map[int]int, x int) int {
+	for {
+		p, ok := parent[x]
+		if !ok {
+			return x
+		}
+		x = p
+	}
+}
+
+// Counted loops (non-nil post statement) are never flagged.
+func counted(work func()) {
+	for i := 0; i < 8; i++ {
+		work()
+	}
+}
+
+// A justified exception is suppressed but stays countable.
+func allowed(work func() bool) {
+	//constvet:allow budgetloop -- fixture: deliberately exempted loop
+	for !work() {
+	}
+}

@@ -1,0 +1,23 @@
+// Failing fixtures for nilmetrics consumer mode: raw package-level
+// handles outside the atomic.Pointer pattern.
+package consumer
+
+import "fixtures/obs"
+
+// A bare handle races with any setter and always pays the call.
+var ops *obs.Counter // want `package-level metric handle "ops" must live behind a sync/atomic\.Pointer`
+
+// bundle is a handle-struct; a raw pointer to it is just as racy.
+type bundle struct {
+	rows *obs.Counter
+}
+
+var current *bundle // want `package-level metric handle "current" must live behind a sync/atomic\.Pointer`
+
+// Op uses the racy handles.
+func Op() {
+	ops.Inc()
+	if current != nil {
+		current.rows.Inc()
+	}
+}

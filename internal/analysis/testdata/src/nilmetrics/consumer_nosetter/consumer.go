@@ -1,0 +1,16 @@
+// Failing fixture for nilmetrics consumer mode: the atomic.Pointer is
+// there but nothing can ever install handles into it.
+package consumer
+
+import (
+	"sync/atomic"
+
+	"fixtures/obs"
+)
+
+var current atomic.Pointer[obs.Counter] // want `declares no SetMetrics`
+
+// Op loads the forever-nil handle.
+func Op() {
+	current.Load().Inc()
+}

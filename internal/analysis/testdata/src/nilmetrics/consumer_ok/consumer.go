@@ -1,0 +1,34 @@
+// Passing fixtures for nilmetrics consumer mode: metric handles live
+// behind a sync/atomic.Pointer installed by SetMetrics.
+package consumer
+
+import (
+	"sync/atomic"
+
+	"fixtures/obs"
+)
+
+// metrics bundles the package's handles.
+type metrics struct {
+	ops *obs.Counter
+}
+
+// current is the one sanctioned resolution point.
+var current atomic.Pointer[metrics]
+
+// SetMetrics installs handles from the sink, or clears them.
+func SetMetrics(sink obs.Sink) {
+	if sink == nil {
+		current.Store(nil)
+		return
+	}
+	current.Store(&metrics{ops: sink.Counter("consumer_ops_total")})
+}
+
+// Op is an instrumented operation: one pointer load, nil-safe calls.
+func Op() {
+	m := current.Load()
+	if m != nil {
+		m.ops.Inc()
+	}
+}

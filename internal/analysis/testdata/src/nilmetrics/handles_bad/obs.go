@@ -1,0 +1,19 @@
+// Failing fixtures for nilmetrics handle mode: exported handle methods
+// that dereference an unguarded receiver.
+package obs
+
+// Gauge is a handle type without nil-safe methods.
+type Gauge struct{ v int64 }
+
+// Set dereferences the receiver with no guard.
+func (g *Gauge) Set(v int64) { // want `exported obs handle method Set must begin with a nil-receiver guard`
+	g.v = v
+}
+
+// Bump guards too late: the receiver is touched first.
+func (g *Gauge) Bump() { // want `exported obs handle method Bump must begin with a nil-receiver guard`
+	g.v++
+	if g == nil {
+		return
+	}
+}

@@ -1,0 +1,49 @@
+// Passing fixtures for nilmetrics handle mode: every exported
+// pointer-receiver method of a package named "obs" is nil-safe, by
+// guard or by delegation.
+package obs
+
+// Counter is a guarded handle.
+type Counter struct{ n int64 }
+
+// Inc guards first.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Add delegates every receiver use to the guarded Inc.
+func (c *Counter) Add(n int64) {
+	for i := int64(0); i < n; i++ {
+		c.Inc()
+	}
+}
+
+// Histogram exercises compound guards.
+type Histogram struct {
+	count int64
+	sum   float64
+}
+
+// Mean is safe via a compound ||-guard.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// reset is unexported and unguarded; only exported methods are the
+// nil-safety boundary.
+func (h *Histogram) reset() {
+	h.count = 0
+	h.sum = 0
+}
+
+// Value-receiver methods cannot have nil receivers.
+type ID struct{ v uint64 }
+
+// Less compares identifiers.
+func (a ID) Less(b ID) bool { return a.v < b.v }

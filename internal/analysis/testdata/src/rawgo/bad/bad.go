@@ -1,0 +1,16 @@
+// Failing fixtures for rawgo: a raw go statement outside the
+// sanctioned sites.
+package bad
+
+import "sync"
+
+// Fire spawns an unscheduled goroutine.
+func Fire(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `raw go statement outside the sanctioned concurrency sites`
+		defer wg.Done()
+		f()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,9 @@
+// Passing fixtures for rawgo: no goroutines spawned.
+package ok
+
+// Apply runs the work synchronously.
+func Apply(fs []func()) {
+	for _, f := range fs {
+		f()
+	}
+}

@@ -1,0 +1,16 @@
+// Failing fixtures for walltime: wall-clock reads outside internal/obs.
+package bad
+
+import "time"
+
+// Elapsed reads the clock twice.
+func Elapsed(f func()) time.Duration {
+	start := time.Now() // want `time\.Now outside internal/obs`
+	f()
+	return time.Since(start) // want `time\.Since outside internal/obs`
+}
+
+// Remaining reads the clock through Until.
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time\.Until outside internal/obs`
+}

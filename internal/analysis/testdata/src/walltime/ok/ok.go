@@ -1,0 +1,13 @@
+// Passing fixtures for walltime: the time package is fine as a
+// vocabulary of durations; only reading the clock is flagged.
+package ok
+
+import "time"
+
+// Timeout is a duration constant, not a clock read.
+const Timeout = 5 * time.Second
+
+// Scale manipulates durations without consulting the clock.
+func Scale(d time.Duration, n int) time.Duration {
+	return d * time.Duration(n)
+}

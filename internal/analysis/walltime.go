@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Walltime forbids reading the wall clock outside internal/obs. The
+// kernels and experiment measurement paths must be deterministic and
+// instrument themselves through the obs layer's monotonic clock
+// (obs.NowNS / obs.SinceNS), so a stray time.Now either perturbs
+// reproducibility or bypasses the nil-safe metrics plumbing. Introduced
+// with PR 3's observability layer; mechanized in PR 4.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc: "flag time.Now and time.Since outside internal/obs; deterministic " +
+		"kernels and measurement paths must use the obs monotonic clock",
+	AppliesTo: func(pkgPath string) bool { return !pathHasSuffix(pkgPath, "internal/obs") },
+	Run:       runWalltime,
+}
+
+// clockFuncs are the package time functions that read the clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWalltime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !clockFuncs[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s outside internal/obs: use obs.NowNS/obs.SinceNS for measurement so kernels stay deterministic", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

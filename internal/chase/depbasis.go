@@ -35,6 +35,7 @@ func DependencyBasis(x attr.Set, sigma *dep.Set) []attr.Set {
 	if blocks[0].IsEmpty() {
 		return nil
 	}
+	//constvet:allow budgetloop -- monotone block refinement: each pass splits a block or stops, bounded by the universe size
 	for changed := true; changed; {
 		changed = false
 		for _, r := range rules {

@@ -1,6 +1,8 @@
 package chase
 
 import (
+	"sort"
+
 	"github.com/constcomp/constcomp/internal/attr"
 	"github.com/constcomp/constcomp/internal/dep"
 	"github.com/constcomp/constcomp/internal/relation"
@@ -134,17 +136,25 @@ func (p *Prepared) WithEqualities(pairs [][2]value.Value) *Overlay {
 			return ov
 		}
 	}
+	//constvet:allow budgetloop -- each pop merges two classes or re-derives nothing; pushes are bounded by the number of merges, which is bounded by the number of distinct values
 	for len(queue) > 0 {
 		loser := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		// Rows containing any member of the loser's (pre-merge) class.
+		// Visited in sorted order: iteration feeds ov.union, and the
+		// merge order decides class representatives and members order.
 		rows := map[int]bool{}
 		for _, v := range ov.classMembers(loser) {
 			for _, ri := range p.valueRows[v] {
 				rows[ri] = true
 			}
 		}
+		order := make([]int, 0, len(rows))
 		for ri := range rows {
+			order = append(order, ri)
+		}
+		sort.Ints(order)
+		for _, ri := range order {
 			row := p.rel.Tuple(ri)
 			for fi, plan := range p.plans {
 				h := zHash(row, plan[0], ov)

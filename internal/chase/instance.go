@@ -206,9 +206,11 @@ func InstanceSortBased(rel *relation.Relation, fds []dep.FD) *Result {
 			}
 		}
 	}
+	//constvet:allow budgetloop -- A1 ablation runs deliberately unbudgeted; every pass merges at least one value class, so passes are bounded by the number of distinct values
 	for {
 		changed := false
 		for _, p := range plans {
+			//constvet:allow budgetloop -- same bound as the outer pass loop
 			for {
 				// Sort lexicographically by the Z columns.
 				relation.SortTuplesBy(work, p.zc)

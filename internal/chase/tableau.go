@@ -472,6 +472,7 @@ func FDOnlyImpliesMVD(fds []dep.FD, m dep.MVD) bool {
 // internal/closure; chase avoids the import to keep the dependency graph a
 // tree).
 func closureOf(x attr.Set, fds []dep.FD) attr.Set {
+	//constvet:allow budgetloop -- monotone closure over a fixed universe: each pass grows x or stops
 	for changed := true; changed; {
 		changed = false
 		for _, f := range fds {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"github.com/constcomp/constcomp/internal/obs"
 	"github.com/constcomp/constcomp/internal/relation"
@@ -111,9 +110,9 @@ func (s *Session) decideCtx(ctx context.Context, op UpdateOp, parent *obs.Span) 
 	sp := childSpan(parent, "decide/", op.Kind)
 	defer sp.End()
 	m := coremetrics.Load()
-	var t0 time.Time
+	var t0 int64
 	if m != nil {
-		t0 = time.Now()
+		t0 = obs.NowNS()
 	}
 	v := s.View()
 	var d *Decision
@@ -131,7 +130,7 @@ func (s *Session) decideCtx(ctx context.Context, op UpdateOp, parent *obs.Span) 
 	if m != nil {
 		m.decideTotal.Inc()
 		if validKind(op.Kind) {
-			m.decideNs[op.Kind].ObserveDuration(int64(time.Since(t0)))
+			m.decideNs[op.Kind].ObserveDuration(obs.SinceNS(t0))
 		}
 		if err == nil && d != nil {
 			if d.Translatable {
@@ -171,9 +170,9 @@ func (s *Session) ApplyCtx(ctx context.Context, op UpdateOp) (*Decision, error) 
 		return d, fmt.Errorf("%w: %s", ErrRejected, d.Reason)
 	}
 	tsp := sp.Child("translate/" + op.Kind.String())
-	var t0 time.Time
+	var t0 int64
 	if m != nil {
-		t0 = time.Now()
+		t0 = obs.NowNS()
 	}
 	var out *relation.Relation
 	switch op.Kind {
@@ -185,7 +184,7 @@ func (s *Session) ApplyCtx(ctx context.Context, op UpdateOp) (*Decision, error) 
 		out, err = s.pair.ApplyReplace(s.db, op.Tuple, op.With)
 	}
 	if m != nil && validKind(op.Kind) {
-		m.applyNs[op.Kind].ObserveDuration(int64(time.Since(t0)))
+		m.applyNs[op.Kind].ObserveDuration(obs.SinceNS(t0))
 	}
 	tsp.End()
 	if err != nil {

@@ -182,8 +182,14 @@ func dpll(f *CNF, vals []tval, b *budget.B, st *dpllStats) (bool, error) {
 	copy(saved, vals)
 	restore := func() { copy(vals, saved) }
 
-	// Unit propagation + pure literal to fixpoint.
+	// Unit propagation + pure literal to fixpoint. Each pass assigns at
+	// least one variable, but the budget check keeps a pathological
+	// formula from outrunning the per-node Step above.
 	for {
+		if err := b.Check(); err != nil {
+			restore()
+			return false, err
+		}
 		changed := false
 		// Track literal polarity occurrences among unresolved clauses.
 		occ := make([]int8, f.Vars+1) // bit0: positive occurs, bit1: negative occurs
@@ -418,10 +424,12 @@ func Random3CNF(rng *rand.Rand, n, m int) *CNF {
 	for i := range clauses {
 		v1 := 1 + rng.Intn(n)
 		v2 := v1
+		//constvet:allow budgetloop -- rejection sampling over n >= 3 variables terminates with probability 1
 		for v2 == v1 {
 			v2 = 1 + rng.Intn(n)
 		}
 		v3 := v1
+		//constvet:allow budgetloop -- rejection sampling over n >= 3 variables terminates with probability 1
 		for v3 == v1 || v3 == v2 {
 			v3 = 1 + rng.Intn(n)
 		}

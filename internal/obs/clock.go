@@ -1,0 +1,21 @@
+package obs
+
+import "time"
+
+// The obs layer owns the repository's only sanctioned clock reads (the
+// walltime analyzer in internal/analysis enforces this). Kernels,
+// durability code, and experiment drivers measure themselves through
+// NowNS/SinceNS so that (a) every clock read is monotonic — wall-clock
+// jumps cannot corrupt a latency histogram — and (b) deterministic code
+// paths visibly contain no time dependence at all.
+
+// clockEpoch anchors NowNS; readings are deltas on Go's monotonic clock.
+var clockEpoch = time.Now()
+
+// NowNS returns a monotonic clock reading in nanoseconds since process
+// start. Readings are only meaningful relative to each other.
+func NowNS() int64 { return int64(time.Since(clockEpoch)) }
+
+// SinceNS returns the nanoseconds elapsed since an earlier NowNS
+// reading.
+func SinceNS(start int64) int64 { return NowNS() - start }

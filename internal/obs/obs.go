@@ -184,6 +184,9 @@ func (h *Histogram) Max() float64 {
 // observed [Min, Max]. The estimate is within a relative factor of
 // 2^(1/4) of the true value. Returns 0 when empty or nil.
 func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
 	n := h.Count()
 	if n == 0 {
 		return 0

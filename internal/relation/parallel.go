@@ -7,9 +7,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/obs"
 )
 
 // Parallel kernels.
@@ -64,20 +64,20 @@ const parallelThreshold = 4096
 // reports worker utilization (total busy time over wall time × workers).
 func forChunks(n, nw int, fn func(w, lo, hi int)) {
 	var busy atomic.Int64
-	var start time.Time
+	var start int64
 	m := kmetrics.Load()
 	if m != nil {
-		start = time.Now()
+		start = obs.NowNS()
 		inner := fn
 		fn = func(w, lo, hi int) {
 			labels := pprof.Labels("subsystem", "relation", "kernel_worker", strconv.Itoa(w))
 			pprof.Do(context.Background(), labels, func(context.Context) {
-				t0 := time.Now()
+				t0 := obs.NowNS()
 				inner(w, lo, hi)
-				d := time.Since(t0)
-				busy.Add(int64(d))
+				d := obs.SinceNS(t0)
+				busy.Add(d)
 				m.parallelChunks.Inc()
-				m.parallelChunkNs.ObserveDuration(int64(d))
+				m.parallelChunkNs.ObserveDuration(d)
 			})
 		}
 	}
@@ -100,7 +100,7 @@ func forChunks(n, nw int, fn func(w, lo, hi int)) {
 	}
 	wg.Wait()
 	if m != nil {
-		if wall := time.Since(start); wall > 0 {
+		if wall := obs.SinceNS(start); wall > 0 {
 			m.parallelUtilPct.Observe(100 * float64(busy.Load()) / (float64(wall) * float64(nw)))
 		}
 	}

@@ -5,9 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"time"
 
 	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/obs"
 	"github.com/constcomp/constcomp/internal/relation"
 	"github.com/constcomp/constcomp/internal/value"
 )
@@ -270,9 +270,9 @@ func openJournalAppend(fsys FS, name string) (*Journal, error) {
 // Append makes op durable as record seq.
 func (j *Journal) Append(seq uint64, op core.UpdateOp, syms *value.Symbols) error {
 	m := smetrics.Load()
-	var t0 time.Time
+	var t0 int64
 	if m != nil {
-		t0 = time.Now()
+		t0 = obs.NowNS()
 	}
 	rec, err := EncodeOp(seq, op, syms)
 	if err != nil {
@@ -285,17 +285,17 @@ func (j *Journal) Append(seq uint64, op core.UpdateOp, syms *value.Symbols) erro
 	if n < len(rec) {
 		return fmt.Errorf("store: short journal write (%d/%d bytes)", n, len(rec))
 	}
-	var tSync time.Time
+	var tSync int64
 	if m != nil {
-		tSync = time.Now()
+		tSync = obs.NowNS()
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("store: journal sync: %w", err)
 	}
 	if m != nil {
-		now := time.Now()
-		m.fsyncNs.ObserveDuration(int64(now.Sub(tSync)))
-		m.appendNs.ObserveDuration(int64(now.Sub(t0)))
+		now := obs.NowNS()
+		m.fsyncNs.ObserveDuration(now - tSync)
+		m.appendNs.ObserveDuration(now - t0)
 		m.journalRecords.Inc()
 		m.journalBytes.Add(int64(len(rec)))
 	}

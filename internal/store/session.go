@@ -4,9 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/obs"
 	"github.com/constcomp/constcomp/internal/relation"
 	"github.com/constcomp/constcomp/internal/value"
 )
@@ -144,9 +144,9 @@ func (r *RecoveryReport) String() string {
 // recovery does not depend on the dead process's interning order.
 func Recover(fsys FS, pair *core.Pair, syms *value.Symbols, opts Options) (*Session, *RecoveryReport, error) {
 	m := smetrics.Load()
-	var t0 time.Time
+	var t0 int64
 	if m != nil {
-		t0 = time.Now()
+		t0 = obs.NowNS()
 	}
 	snapSeq, db, err := readSnapshot(fsys, SnapshotFile, pair.Schema().Universe(), syms)
 	if err != nil {
@@ -236,7 +236,7 @@ func Recover(fsys FS, pair *core.Pair, syms *value.Symbols, opts Options) (*Sess
 		m.recoveries.Inc()
 		m.replayed.Add(int64(rep.Replayed))
 		m.truncatedBytes.Add(rep.TruncatedBytes)
-		m.recoverNs.ObserveDuration(int64(time.Since(t0)))
+		m.recoverNs.ObserveDuration(obs.SinceNS(t0))
 	}
 	return &Session{
 		fsys:      fsys,

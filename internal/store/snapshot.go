@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io/fs"
-	"time"
 
 	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/obs"
 	"github.com/constcomp/constcomp/internal/relation"
 	"github.com/constcomp/constcomp/internal/value"
 )
@@ -125,9 +125,9 @@ func DecodeSnapshot(data []byte, u *attr.Universe, syms *value.Symbols) (uint64,
 // place, and the rename is made durable with a directory fsync.
 func writeSnapshot(fsys FS, name string, seq uint64, db *relation.Relation, syms *value.Symbols) error {
 	m := smetrics.Load()
-	var t0 time.Time
+	var t0 int64
 	if m != nil {
-		t0 = time.Now()
+		t0 = obs.NowNS()
 	}
 	img, err := EncodeSnapshot(seq, db, syms)
 	if err != nil {
@@ -157,7 +157,7 @@ func writeSnapshot(fsys FS, name string, seq uint64, db *relation.Relation, syms
 	}
 	if m != nil {
 		m.snapshots.Inc()
-		m.snapshotNs.ObserveDuration(int64(time.Since(t0)))
+		m.snapshotNs.ObserveDuration(obs.SinceNS(t0))
 	}
 	return nil
 }
