@@ -46,16 +46,22 @@ cover-check:
 	check ./internal/analysis 86.0; \
 	echo "cover-check: floors held"
 
-# Run the kernel/experiment benchmarks and record them as JSON.
+# Run the kernel/experiment benchmarks and record them as JSON. BENCH.json
+# is the single committed baseline (it replaced the old BENCH_relation.json
+# / BENCH_new.json split).
 bench:
-	$(GO) test -bench=. -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_relation.json
+	$(GO) test -bench=. -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH.json
 
-# Regression gate: re-run the kernel benchmarks and fail if any
-# BenchmarkRel* grew >30% ns/op against the committed baseline. A
-# missing baseline makes the comparison advisory-only (exit 0).
+# Regression gate: re-run the kernel and pipeline benchmarks and fail if
+# any BenchmarkRel* or BenchmarkPipeline* grew >30% ns/op against the
+# committed baseline. -count=3 runs each benchmark three times and the
+# comparison keeps the fastest, de-noising shared-machine scheduling and
+# GC hiccups. The fresh run lands in BENCH.fresh.json (gitignored; CI
+# uploads it as an artifact). A missing baseline makes the comparison
+# advisory-only (exit 0).
 bench-compare:
-	$(GO) test -bench='^BenchmarkRel' -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_new.json
-	$(GO) run ./cmd/benchjson -compare BENCH_relation.json -filter '^BenchmarkRel' BENCH_new.json
+	$(GO) test -bench='^Benchmark(Rel|Pipeline)' -benchmem -count=3 . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH.fresh.json
+	$(GO) run ./cmd/benchjson -compare BENCH.json -filter '^Benchmark(Rel|Pipeline)' BENCH.fresh.json
 
 # Run every example binary (smoke test).
 examples:

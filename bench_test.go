@@ -8,6 +8,7 @@ package constcomp
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"github.com/constcomp/constcomp/internal/logic"
 	"github.com/constcomp/constcomp/internal/reductions"
 	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/serve"
 	"github.com/constcomp/constcomp/internal/store"
 	"github.com/constcomp/constcomp/internal/value"
 	"github.com/constcomp/constcomp/internal/workload"
@@ -459,7 +461,7 @@ func BenchmarkA3Join(b *testing.B) {
 // --- Kernel micro-benchmarks ---
 //
 // These track the relational-kernel perf trajectory across PRs (make
-// bench writes them to BENCH_relation.json). Unlike E1–E16 they measure
+// bench writes them to BENCH.json). Unlike E1–E16 they measure
 // single engine operations, so allocation counts are meaningful.
 
 func BenchmarkRelInsert100k(b *testing.B) {
@@ -679,6 +681,82 @@ func BenchmarkStoreScanJournal(b *testing.B) {
 		scan := store.ScanJournal(img)
 		if len(scan.Records) != 1000 || scan.Torn || scan.Corrupt {
 			b.Fatal("bad scan")
+		}
+	}
+}
+
+// BenchmarkPipelineOpsPerSec measures journaled update throughput
+// through the serve pipeline at several group-commit batch sizes, on
+// both the in-memory FS and a real directory (where fsync cost
+// dominates). batch=1 is the per-op-fsync baseline; the ratio of
+// batch=32 to batch=1 on fs=dir is the headline group-commit win. Each
+// op alternates insert/delete of one employee so the database stays a
+// constant size and every decision is translatable.
+func BenchmarkPipelineOpsPerSec(b *testing.B) {
+	for _, fsName := range []string{"mem", "dir"} {
+		for _, batch := range []int{1, 8, 32, 128} {
+			b.Run(fmt.Sprintf("fs=%s/batch=%d", fsName, batch), func(b *testing.B) {
+				pair, db, syms := benchStoreFixture()
+				var fs store.FS
+				if fsName == "mem" {
+					fs = store.NewMemFS()
+				} else {
+					dfs, err := store.NewDirFS(b.TempDir())
+					if err != nil {
+						b.Fatal(err)
+					}
+					fs = dfs
+				}
+				st, err := store.Create(fs, pair, db, syms, store.Options{SnapshotEvery: 1 << 30})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pipe, err := serve.New(st, serve.Options{MaxBatch: batch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer pipe.Close()
+
+				// Pre-intern every name: Symbols is not safe for
+				// concurrent interning and the decider goroutine reads
+				// interned constants while we submit.
+				names := make([]relation.Tuple, b.N)
+				dept := syms.Const("dept0")
+				for i := range names {
+					names[i] = relation.Tuple{syms.Const(fmt.Sprintf("t%d", i/2)), dept}
+				}
+
+				// Sliding async window: keep enough requests in flight
+				// to fill batches without an artificial barrier.
+				window := make([]*serve.Pending, 0, 4*batch)
+				ctx := context.Background()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					op := core.Insert(names[i])
+					if i%2 == 1 {
+						op = core.Delete(names[i])
+					}
+					pend, err := pipe.ApplyAsync(ctx, op)
+					if err != nil {
+						b.Fatal(err)
+					}
+					window = append(window, pend)
+					if len(window) == cap(window) {
+						if _, err := window[0].Wait(); err != nil {
+							b.Fatal(err)
+						}
+						window = window[1:]
+					}
+				}
+				for _, pend := range window {
+					if _, err := pend.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+			})
 		}
 	}
 }

@@ -62,6 +62,31 @@ func TestCompareRecords(t *testing.T) {
 	}
 }
 
+func TestCompareRecordsKeepsFastestOfRepeatedRuns(t *testing.T) {
+	base := []Record{{Name: "BenchmarkRelJoin", Procs: 1, NsPerOp: 1000}}
+	// A -count=3 run where one repetition caught a scheduling hiccup:
+	// the gate must compare the fastest repetition, not the noisy one.
+	cur := []Record{
+		{Name: "BenchmarkRelJoin", Procs: 1, NsPerOp: 1900},
+		{Name: "BenchmarkRelJoin", Procs: 1, NsPerOp: 1050},
+		{Name: "BenchmarkRelJoin", Procs: 1, NsPerOp: 1300},
+	}
+	var out bytes.Buffer
+	n, err := compareRecords(base, cur, 0.30, "", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("regressions = %d, want 0 (min-of-N should pass):\n%s", n, out.String())
+	}
+	if got := strings.Count(out.String(), "BenchmarkRelJoin"); got != 1 {
+		t.Errorf("benchmark printed %d times, want once:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "1050.0") {
+		t.Errorf("fastest repetition not the one compared:\n%s", out.String())
+	}
+}
+
 func TestRunCompareMissingBaselineIsAdvisory(t *testing.T) {
 	dir := t.TempDir()
 	newPath := filepath.Join(dir, "new.json")

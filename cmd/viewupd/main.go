@@ -7,9 +7,18 @@
 //
 //	viewupd -schema schema.txt -data data.txt -view "E D" [-complement "D M"]
 //	        [-script s.txt] [-journal dir] [-recover [-force]] [-timeout 2s]
-//	        [-metrics report.json]
+//	        [-batch n] [-pipeline] [-metrics report.json]
 //
 // Without -complement, the minimal complement of Corollary 2 is used.
+// With -batch n (requires -journal), consecutive update commands are
+// buffered and applied as one group commit — one journal write and one
+// fsync shared by up to n updates — flushing on a non-update command,
+// a full buffer, or end of script. Durability is unchanged: a command's
+// outcome is printed only after the fsync covering it. With -pipeline
+// (requires -journal), updates run through the serving pipeline
+// (internal/serve), which overlaps the decision chase with journal
+// fsyncs; combined with -batch n, updates are submitted asynchronously
+// in windows of n so they share fsyncs through the pipeline.
 // With -metrics, every subsystem is instrumented and a report is
 // written to the given file on exit (even when a scripted run fails):
 // expvar-style JSON by default, Prometheus text format when the file
@@ -58,6 +67,7 @@ import (
 	"github.com/constcomp/constcomp/internal/logic"
 	"github.com/constcomp/constcomp/internal/obs"
 	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/serve"
 	"github.com/constcomp/constcomp/internal/store"
 	"github.com/constcomp/constcomp/internal/value"
 	"github.com/constcomp/constcomp/internal/workload"
@@ -89,6 +99,8 @@ func main() {
 	recoverFlag := flag.Bool("recover", false, "resume a crashed session from -journal")
 	forceFlag := flag.Bool("force", false, "with -recover: truncate mid-journal corruption even if intact records past the damage are lost")
 	timeout := flag.Duration("timeout", 0, "per-command decision budget (0 = unlimited)")
+	batchN := flag.Int("batch", 1, "group up to n consecutive updates into one journal fsync (requires -journal)")
+	pipelineFlag := flag.Bool("pipeline", false, "run updates through the serving pipeline (requires -journal)")
 	metricsPath := flag.String("metrics", "", "write a metrics report here on exit (JSON, or Prometheus text if the name ends in .prom; - for stdout)")
 	flag.Parse()
 	if *schemaPath == "" || *viewSpec == "" || (*dataPath == "" && !*recoverFlag) {
@@ -97,6 +109,12 @@ func main() {
 	}
 	if *recoverFlag && *journalDir == "" {
 		log.Fatal("-recover requires -journal")
+	}
+	if *batchN < 1 {
+		log.Fatal("-batch must be at least 1")
+	}
+	if (*batchN > 1 || *pipelineFlag) && *journalDir == "" {
+		log.Fatal("-batch/-pipeline require -journal: group commit is about sharing journal fsyncs")
 	}
 
 	// With -metrics, instrument every subsystem the session can exercise:
@@ -111,6 +129,7 @@ func main() {
 		budget.SetMetrics(reg)
 		core.SetMetrics(reg)
 		store.SetMetrics(reg)
+		serve.SetMetrics(reg)
 	}
 
 	schemaText, err := os.ReadFile(*schemaPath)
@@ -156,6 +175,7 @@ func main() {
 	}
 
 	var sess updSession
+	var st *store.Session
 	switch {
 	case *journalDir != "":
 		fsys, err := store.NewDirFS(*journalDir)
@@ -163,21 +183,21 @@ func main() {
 			log.Fatal(err)
 		}
 		if *recoverFlag {
-			st, rep, err := store.Recover(fsys, pair, syms, store.Options{ForceRecover: *forceFlag})
+			s, rep, err := store.Recover(fsys, pair, syms, store.Options{ForceRecover: *forceFlag})
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Println(rep)
-			defer st.Close()
-			sess = st
+			st = s
 		} else {
-			st, err := store.Create(fsys, pair, db, syms, store.Options{})
+			s, err := store.Create(fsys, pair, db, syms, store.Options{})
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer st.Close()
-			sess = st
+			st = s
 		}
+		defer st.Close()
+		sess = st
 	default:
 		s, err := core.NewSession(pair, db)
 		if err != nil {
@@ -201,7 +221,19 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	r := &runner{sess: sess, syms: syms, out: os.Stdout, timeout: *timeout}
+	r := &runner{sess: sess, syms: syms, out: os.Stdout, timeout: *timeout, batch: *batchN, st: st}
+	if *pipelineFlag {
+		pipe, err := serve.New(st, serve.Options{MaxBatch: *batchN})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := pipe.Close(); err != nil {
+				log.Print(err)
+			}
+		}()
+		r.pipe = pipe
+	}
 	scriptErr := runScript(r, in)
 	// The metrics report is written before the exit status is decided so
 	// a failing script still leaves its instrumentation behind.
@@ -244,6 +276,21 @@ type runner struct {
 	out     io.Writer
 	timeout time.Duration
 	errs    int
+
+	// Group commit state. With batch > 1, consecutive update commands
+	// accumulate in pending and are applied as one store batch (or one
+	// pipeline window); any non-update command flushes first so the
+	// state it shows includes every buffered update.
+	batch   int
+	st      *store.Session
+	pipe    *serve.Pipeline
+	pending []bufferedOp
+}
+
+// bufferedOp is one update command awaiting its group commit.
+type bufferedOp struct {
+	cmd string
+	op  core.UpdateOp
 }
 
 // runScript feeds commands to the runner, numbering raw lines from 1. A
@@ -267,6 +314,7 @@ func runScript(r *runner, in io.Reader) error {
 			fmt.Fprintf(r.out, "line %d: error: %v (command skipped)\n", lineNo, err)
 		}
 	}
+	r.flush()
 	if err := sc.Err(); err != nil {
 		return err
 	}
@@ -326,6 +374,13 @@ func (r *runner) execute(line string) error {
 		rest = fields[1]
 	}
 	switch cmd {
+	case "insert", "delete", "replace":
+	default:
+		// Any non-update command sees the database with every buffered
+		// update already applied (and durable).
+		r.flush()
+	}
+	switch cmd {
 	case "show":
 		fmt.Fprint(r.out, r.sess.Database().Format(r.syms))
 	case "view":
@@ -351,21 +406,97 @@ func (r *runner) execute(line string) error {
 		if err != nil {
 			return err
 		}
+		if r.batch > 1 {
+			r.pending = append(r.pending, bufferedOp{cmd: cmd, op: op})
+			if len(r.pending) >= r.batch {
+				r.flush()
+			}
+			return nil
+		}
 		ctx, cancel := r.ctx()
 		defer cancel()
-		d, err := r.sess.ApplyCtx(ctx, op)
-		switch {
-		case errors.Is(err, core.ErrRejected):
-			fmt.Fprintf(r.out, "%-8s rejected: %s\n", cmd, d.Reason)
-		case err != nil:
+		var d *core.Decision
+		if r.pipe != nil {
+			d, err = r.pipe.ApplyCtx(ctx, op)
+		} else {
+			d, err = r.sess.ApplyCtx(ctx, op)
+		}
+		r.report(cmd, d, err)
+		if err != nil && !errors.Is(err, core.ErrRejected) {
 			return r.describeTimeout(err)
-		default:
-			fmt.Fprintf(r.out, "%-8s ok (%s)\n", cmd, d.Reason)
 		}
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
+}
+
+// report prints an applied or rejected update's outcome; other errors
+// are the caller's to report.
+func (r *runner) report(cmd string, d *core.Decision, err error) {
+	switch {
+	case errors.Is(err, core.ErrRejected):
+		fmt.Fprintf(r.out, "%-8s rejected: %s\n", cmd, d.Reason)
+	case err == nil:
+		fmt.Fprintf(r.out, "%-8s ok (%s)\n", cmd, d.Reason)
+	}
+}
+
+// flush applies the buffered updates as one group commit — through the
+// pipeline when one is running, directly via the store's batch apply
+// otherwise — and reports each outcome in submission order. Per-op
+// failures (beyond ordinary rejections) no longer have their script
+// line at hand, so they are reported here with the command text and
+// counted toward the script's exit status.
+func (r *runner) flush() {
+	buffered := r.pending
+	r.pending = nil
+	if len(buffered) == 0 {
+		return
+	}
+	// One timeout bounds the whole flush: the group shares its fate.
+	ctx, cancel := r.ctx()
+	defer cancel()
+	if r.pipe != nil {
+		pends := make([]*serve.Pending, len(buffered))
+		for i, b := range buffered {
+			p, err := r.pipe.ApplyAsync(ctx, b.op)
+			if err != nil {
+				r.errs++
+				fmt.Fprintf(r.out, "batch: %s: error: %v\n", b.cmd, r.describeTimeout(err))
+				continue
+			}
+			pends[i] = p
+		}
+		for i, p := range pends {
+			if p == nil {
+				continue
+			}
+			d, err := p.Wait()
+			r.report(buffered[i].cmd, d, err)
+			if err != nil && !errors.Is(err, core.ErrRejected) {
+				r.errs++
+				fmt.Fprintf(r.out, "batch: %s: error: %v\n", buffered[i].cmd, r.describeTimeout(err))
+			}
+		}
+		return
+	}
+	ops := make([]core.UpdateOp, len(buffered))
+	for i, b := range buffered {
+		ops[i] = b.op
+	}
+	items, err := r.st.ApplyBatchCtx(ctx, ops)
+	for i, it := range items {
+		r.report(buffered[i].cmd, it.Decision, it.Err)
+		if it.Err != nil && !errors.Is(it.Err, core.ErrRejected) {
+			r.errs++
+			fmt.Fprintf(r.out, "batch: %s: error: %v\n", buffered[i].cmd, r.describeTimeout(it.Err))
+		}
+	}
+	if err != nil {
+		r.errs++
+		fmt.Fprintf(r.out, "batch: error: %v\n", err)
+	}
 }
 
 func (r *runner) describeTimeout(err error) error {

@@ -12,6 +12,7 @@ import (
 	"github.com/constcomp/constcomp/internal/core"
 	"github.com/constcomp/constcomp/internal/obs"
 	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/serve"
 	"github.com/constcomp/constcomp/internal/store"
 	"github.com/constcomp/constcomp/internal/value"
 	"github.com/constcomp/constcomp/internal/workload"
@@ -200,6 +201,117 @@ func TestRunnerOverDurableSession(t *testing.T) {
 	v := rec.View()
 	if !v.Contains(relation.Tuple{syms2.Const("ann"), syms2.Const("toys")}) {
 		t.Error("recovered session lost a scripted insert")
+	}
+}
+
+// TestScriptBatchMode groups consecutive updates into shared journal
+// fsyncs: a 5-update script at -batch 4 costs 2 journal batches (one
+// full, one flushed at end of script), not 5, and a rejection inside a
+// batch is reported without failing the script. The mid-script `view`
+// command must observe every buffered update (flush-before-read).
+func TestScriptBatchMode(t *testing.T) {
+	reg := obs.NewRegistry()
+	store.SetMetrics(reg)
+	defer store.SetMetrics(nil)
+
+	pair, db, syms := fixture(t)
+	mem := store.NewMemFS()
+	st, err := store.Create(mem, pair, db, syms, store.Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	r := &runner{sess: st, syms: syms, out: &out, batch: 4, st: st}
+	// Within the first batch, the delete is still a last-sharer rejection
+	// because it precedes the insert that would have given bob company.
+	script := `insert ann toys
+delete bob tools
+insert zed tools
+insert kim toys
+view
+insert pat tools
+`
+	if err := runScript(r, strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	if !viewHas(r, "ann", "toys") || !viewHas(r, "zed", "tools") || !viewHas(r, "pat", "tools") {
+		t.Errorf("batched updates missing from the view:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "rejected") {
+		t.Errorf("in-batch rejection not reported:\n%s", out.String())
+	}
+	// `view` printed after the first flush must include the batched rows.
+	if !strings.Contains(out.String(), "ann") {
+		t.Errorf("view output missing buffered update:\n%s", out.String())
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["store_journal_batches_total"]; got != 2 {
+		t.Errorf("store_journal_batches_total = %d, want 2 (4 updates + 1 after flush)", got)
+	}
+	if got := snap.Counters["store_journal_records_total"]; got != 4 {
+		t.Errorf("store_journal_records_total = %d, want 4 applied (3 + 1; the delete is rejected)", got)
+	}
+	mem.Crash()
+	syms2 := value.NewSymbols()
+	rec, _, err := store.Recover(mem, pair, syms2, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.View().Contains(relation.Tuple{syms2.Const("pat"), syms2.Const("tools")}) {
+		t.Error("end-of-script flush was not durable")
+	}
+}
+
+// TestScriptPipelineMode drives the same command loop through the
+// serving pipeline and checks updates land durably in order.
+func TestScriptPipelineMode(t *testing.T) {
+	pair, db, syms := fixture(t)
+	mem := store.NewMemFS()
+	st, err := store.Create(mem, pair, db, syms, store.Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := serve.New(st, serve.Options{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	r := &runner{sess: st, syms: syms, out: &out, batch: 4, st: st, pipe: pipe}
+	script := "insert ann toys\ninsert zed tools\ndelete ed toys\nshow\n"
+	if err := runScript(r, strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !viewHas(r, "ann", "toys") || viewHas(r, "ed", "toys") {
+		t.Errorf("pipelined updates not applied:\n%s", out.String())
+	}
+	mem.Crash()
+	syms2 := value.NewSymbols()
+	rec, _, err := store.Recover(mem, pair, syms2, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.View().Contains(relation.Tuple{syms2.Const("zed"), syms2.Const("tools")}) {
+		t.Error("pipelined update lost after crash")
+	}
+	// Unbatched pipeline submissions (batch == 1) go through the
+	// synchronous path.
+	st2, err := store.Create(store.NewMemFS(), pair, db, syms, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe2, err := serve.New(st2, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := &runner{sess: st2, syms: syms, out: &bytes.Buffer{}, batch: 1, st: st2, pipe: pipe2}
+	if err := runScript(r2, strings.NewReader("insert ann toys\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

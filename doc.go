@@ -32,5 +32,5 @@
 // kernel architecture and per-experiment index, and EXPERIMENTS.md for
 // paper-vs-measured results. The benchmarks in bench_test.go regenerate
 // every experiment's micro-measurements (make bench records them in
-// BENCH_relation.json); cmd/experiments prints the full tables.
+// BENCH.json); cmd/experiments prints the full tables.
 package constcomp

@@ -125,6 +125,15 @@ func TestBudgetLoopFixtures(t *testing.T) {
 	}
 }
 
+// TestCacheBoundFixtures also pins the allow grammar for the new check:
+// exactly one deliberate exception lives in the ok fixture.
+func TestCacheBoundFixtures(t *testing.T) {
+	suppressed := runFixtures(t, CacheBound, "cachebound/...")
+	if len(suppressed) != 1 {
+		t.Errorf("want 1 suppressed finding from the ok fixture's allow comment, got %d", len(suppressed))
+	}
+}
+
 func TestFsyncOrderFixtures(t *testing.T) { runFixtures(t, FsyncOrder, "fsyncorder/...") }
 func TestMapIterFixtures(t *testing.T)    { runFixtures(t, MapIter, "mapiter/...") }
 func TestNilMetricsFixtures(t *testing.T) { runFixtures(t, NilMetrics, "nilmetrics/...") }
@@ -136,6 +145,7 @@ func TestWalltimeFixtures(t *testing.T)   { runFixtures(t, Walltime, "walltime/.
 func TestEveryAnalyzerHasFixtures(t *testing.T) {
 	wantDirs := map[string][]string{
 		"budgetloop": {"budgetloop/ok", "budgetloop/bad"},
+		"cachebound": {"cachebound/ok", "cachebound/bad"},
 		"fsyncorder": {"fsyncorder/ok", "fsyncorder/bad"},
 		"mapiter":    {"mapiter/ok", "mapiter/bad"},
 		"nilmetrics": {"nilmetrics/handles_ok", "nilmetrics/handles_bad"},

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CacheBound guards the memoization layer introduced with the serving
+// pipeline (PR 5): every long-lived cache must carry an eviction bound,
+// or a server that memoizes per-op decisions grows without limit. The
+// analyzer flags a map-index store (`m[k] = v`) whose target's name
+// marks it as a cache — it contains "cache" or "memo" — unless the
+// enclosing function also consults len() of that same map (the idiom
+// every bounded cache here uses: `if len(m) >= cap { evict }`).
+// Deliberately scoped to one decide's lifetime? Say so with
+// //constvet:allow cachebound -- reason.
+var CacheBound = &Analyzer{
+	Name: "cachebound",
+	Doc: "flag stores into cache/memo-named maps in functions that never " +
+		"check the map's len(); caches must have an eviction bound",
+	Run: runCacheBound,
+}
+
+// cacheNamed reports whether an identifier names a cache by convention.
+func cacheNamed(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "cache") || strings.Contains(l, "memo")
+}
+
+// exprBaseName returns the identifier a map expression hangs off: the
+// ident itself, or the field name of a selector (sh.memo → "memo").
+func exprBaseName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// checksLen reports whether fn contains a len(x) call where x's base
+// name equals name — the eviction-bound evidence.
+func checksLen(info *types.Info, fn *ast.FuncDecl, name string) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "len" {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; !ok || !tv.IsBuiltin() {
+			return true
+		}
+		if exprBaseName(call.Args[0]) == name {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func runCacheBound(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range stmt.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				name := exprBaseName(idx.X)
+				if !cacheNamed(name) {
+					continue
+				}
+				t := pass.TypeOf(idx.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if checksLen(pass.Info, fd, name) {
+					continue
+				}
+				pass.Reportf(idx.Pos(),
+					"store into cache %q with no len() bound check in this function; caches need an eviction bound (or //constvet:allow cachebound with a reason)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -6,18 +6,22 @@ import (
 	"strings"
 )
 
-// RawGo forbids raw `go` statements outside the two sanctioned
-// concurrency sites: the deterministic fork/join scheduler in
-// internal/relation/parallel.go and the obs layer. Everything else must
-// route work through relation.Parallelism's scheduler so that worker
-// counts, chunking, and joins stay deterministic and instrumented.
-// Introduced with PR 1's parallel kernels; mechanized in PR 4.
+// RawGo forbids raw `go` statements outside the sanctioned concurrency
+// sites: the deterministic fork/join scheduler in
+// internal/relation/parallel.go, the obs layer, and the serving
+// pipeline in internal/serve (whose decider/committer goroutines ARE
+// the concurrency design — PR 5). Everything else must route work
+// through relation.Parallelism's scheduler so that worker counts,
+// chunking, and joins stay deterministic and instrumented. Introduced
+// with PR 1's parallel kernels; mechanized in PR 4.
 var RawGo = &Analyzer{
 	Name: "rawgo",
-	Doc: "flag raw go statements outside internal/relation/parallel.go and " +
-		"internal/obs; concurrency goes through the scheduler",
-	AppliesTo: func(pkgPath string) bool { return !pathHasSuffix(pkgPath, "internal/obs") },
-	Run:       runRawGo,
+	Doc: "flag raw go statements outside internal/relation/parallel.go, " +
+		"internal/obs, and internal/serve; concurrency goes through the scheduler",
+	AppliesTo: func(pkgPath string) bool {
+		return !pathHasSuffix(pkgPath, "internal/obs") && !pathHasSuffix(pkgPath, "internal/serve")
+	},
+	Run: runRawGo,
 }
 
 // rawGoExemptFiles are path suffixes of files allowed to spawn goroutines.

@@ -1,0 +1,24 @@
+// Failing fixtures for cachebound: stores into cache-named maps with
+// no eviction bound anywhere in the function.
+package bad
+
+// Package-level memo that only ever grows.
+var memo = map[string]int{}
+
+func Memoize(k string, v int) {
+	memo[k] = v // want `store into cache "memo" with no len\(\) bound check`
+}
+
+// A cache field filled on miss with no bound.
+type server struct {
+	decisionCache map[uint64]string
+}
+
+func (s *server) Decide(ver uint64) string {
+	if d, ok := s.decisionCache[ver]; ok {
+		return d
+	}
+	d := "computed"
+	s.decisionCache[ver] = d // want `store into cache "decisionCache" with no len\(\) bound check`
+	return d
+}

@@ -1,0 +1,45 @@
+// Passing fixtures for cachebound: cache stores guarded by a len()
+// bound check, non-cache maps, and a deliberate allow.
+package ok
+
+// The idiom: FIFO eviction keyed off len() before the store.
+type shard struct {
+	memo  map[string]int
+	order []string
+}
+
+func (s *shard) Put(k string, v int) {
+	if len(s.memo) >= 512 {
+		old := s.order[0]
+		s.order = s.order[1:]
+		delete(s.memo, old)
+	}
+	s.memo[k] = v
+	s.order = append(s.order, k)
+}
+
+// Maps not named like caches are out of scope: an index is just a map.
+func Index(rows []string) map[string]int {
+	byName := make(map[string]int, len(rows))
+	for i, r := range rows {
+		byName[r] = i
+	}
+	return byName
+}
+
+// A cache scoped to one call's lifetime may opt out, with a reason.
+func Transform(keys []string) []int {
+	resultCache := map[string]int{}
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		if v, ok := resultCache[k]; ok {
+			out = append(out, v)
+			continue
+		}
+		v := len(k) * 3
+		//constvet:allow cachebound -- bounded by the argument slice; dies with this call
+		resultCache[k] = v
+		out = append(out, v)
+	}
+	return out
+}

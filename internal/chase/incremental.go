@@ -28,17 +28,39 @@ type Prepared struct {
 	valueRows map[value.Value][]int
 }
 
-// Prepare indexes rel, which must be a chase fixpoint with canonical
-// values (as produced by Result.Relation()). fds must be the FD set the
-// fixpoint was computed under.
-func Prepare(rel *relation.Relation, fds []dep.FD) *Prepared {
-	p := &Prepared{rel: rel, valueRows: make(map[value.Value][]int)}
+// Plans holds the per-FD Z and A column indexes of a Prepared, resolved
+// against a relation's column layout. The layout of a relation is a
+// pure function of its attribute set (columns ascend by attribute ID),
+// so Plans computed once against any relation over the same attributes
+// are valid for every other — callers that prepare many fixpoints over
+// one schema can compute the plans once and reuse them via
+// PrepareWithPlans.
+type Plans [][2][]int
+
+// PlanFDs computes the column plans of fds against rel's layout.
+func PlanFDs(rel *relation.Relation, fds []dep.FD) Plans {
+	plans := make(Plans, 0, len(fds))
 	for _, f := range fds {
 		var zc, ac []int
 		f.From.Each(func(id attr.ID) bool { zc = append(zc, rel.Col(id)); return true })
 		f.To.Each(func(id attr.ID) bool { ac = append(ac, rel.Col(id)); return true })
-		p.plans = append(p.plans, [2][]int{zc, ac})
+		plans = append(plans, [2][]int{zc, ac})
 	}
+	return plans
+}
+
+// Prepare indexes rel, which must be a chase fixpoint with canonical
+// values (as produced by Result.Relation()). fds must be the FD set the
+// fixpoint was computed under.
+func Prepare(rel *relation.Relation, fds []dep.FD) *Prepared {
+	return PrepareWithPlans(rel, fds, PlanFDs(rel, fds))
+}
+
+// PrepareWithPlans is Prepare with the column plans precomputed (see
+// Plans); plans must have been computed for fds over a relation with
+// rel's attribute set.
+func PrepareWithPlans(rel *relation.Relation, fds []dep.FD, plans Plans) *Prepared {
+	p := &Prepared{rel: rel, plans: plans, valueRows: make(map[value.Value][]int)}
 	p.baseBuckets = make([]*bucketTable, len(p.plans))
 	p.baseNext = make([][]int, len(p.plans))
 	for fi, plan := range p.plans {

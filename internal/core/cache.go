@@ -1,0 +1,223 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/chase"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+)
+
+// This file holds the decision-memoization layer behind the serving
+// pipeline. Everything cached here is safe to share because it is a
+// pure function of immutable inputs:
+//
+//   - Pair and Schema never change after construction, so the artifacts
+//     a decide recomputes from them (SharedIsKeyOf, SplitFDs, the
+//     chase column plans) are per-Pair constants.
+//   - A decision is a pure function of (view instance, op); the view
+//     instance is identified collision-free by the session's version
+//     counter, which bumps exactly when an op is applied.
+//   - Complementary and MinimalComplement are pure functions of
+//     (schema, X, Y); schemas are keyed by pointer identity, valid
+//     because a Schema is immutable for its lifetime.
+//
+// No invalidation is ever needed: the complement of a Pair is constant
+// by construction, so none of these artifacts can go stale.
+
+// --- Per-Pair artifacts ---
+
+// pairArtifacts are the schema-level constants every decide consults:
+// the condition (b) key checks, Σ split to single-attribute RHS, and
+// the chase column plans over the padded layout (columns of a relation
+// are a pure function of its attribute set, so plans computed against
+// an empty relation over U are valid for every padding).
+type pairArtifacts struct {
+	keyOfY, keyOfX bool
+	splitFDs       []dep.FD
+	plans          chase.Plans
+}
+
+// artifacts returns the pair's memoized artifacts, computing them on
+// first use. Safe for concurrent use; racing computations produce
+// identical values and the first published wins.
+func (p *Pair) artifacts() *pairArtifacts {
+	if a := p.arts.Load(); a != nil {
+		return a
+	}
+	fds := p.schema.sigma.SplitFDs()
+	keyOfY, keyOfX := SharedIsKeyOf(p.schema, p.x, p.y)
+	a := &pairArtifacts{
+		keyOfY:   keyOfY,
+		keyOfX:   keyOfX,
+		splitFDs: fds,
+		plans:    chase.PlanFDs(relation.New(p.schema.u.All()), fds),
+	}
+	p.arts.CompareAndSwap(nil, a)
+	return p.arts.Load()
+}
+
+// --- Per-session decision cache ---
+
+// The decision cache maps (view version, op) to a computed Decision. It
+// is sharded so the pipeline's speculative decider can seed it while
+// the committer reads it, and bounded so a seed storm degrades to
+// recomputation instead of growth. Entries are evicted FIFO: seeds are
+// consumed in roughly version order, so the oldest entry is the least
+// likely to still be needed.
+
+const (
+	decisionShards   = 8
+	decisionShardCap = 512
+)
+
+type decisionKey struct {
+	version uint64
+	op      string
+}
+
+type decisionShard struct {
+	mu    sync.Mutex
+	memo  map[decisionKey]*Decision
+	order []decisionKey
+}
+
+type decisionCache struct {
+	shards [decisionShards]decisionShard
+}
+
+// opCacheKey serializes an op collision-free within one session: the
+// kind plus the raw value ids of its tuples (symbols are interned once
+// per process, so ids identify constants for the session's lifetime).
+func opCacheKey(op UpdateOp) string {
+	b := make([]byte, 0, 2+8*(len(op.Tuple)+len(op.With)))
+	b = append(b, byte(op.Kind))
+	b = binary.AppendUvarint(b, uint64(len(op.Tuple)))
+	for _, v := range op.Tuple {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	for _, v := range op.With {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	return string(b)
+}
+
+func (c *decisionCache) shard(key string) *decisionShard {
+	// FNV-1a over the op key.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h%decisionShards]
+}
+
+func (c *decisionCache) get(version uint64, op string) *Decision {
+	sh := c.shard(op)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.memo[decisionKey{version, op}]
+}
+
+func (c *decisionCache) put(version uint64, op string, d *Decision) {
+	sh := c.shard(op)
+	k := decisionKey{version, op}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.memo == nil {
+		sh.memo = make(map[decisionKey]*Decision)
+	}
+	if _, ok := sh.memo[k]; ok {
+		sh.memo[k] = d
+		return
+	}
+	if len(sh.memo) >= decisionShardCap {
+		old := sh.order[0]
+		sh.order = sh.order[1:]
+		delete(sh.memo, old)
+	}
+	sh.memo[k] = d
+	sh.order = append(sh.order, k)
+}
+
+func (c *decisionCache) clear() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.memo = nil
+		sh.order = nil
+		sh.mu.Unlock()
+	}
+}
+
+// --- Schema-level memo (Complementary / MinimalComplement) ---
+
+// schemaMemoKey identifies one memoized schema-level question. Schemas
+// are compared by pointer: a *Schema is immutable, so pointer identity
+// implies answer identity (and a freed schema's entries are dead weight
+// evicted FIFO, never wrong answers).
+type schemaMemoKey struct {
+	s    *Schema
+	kind uint8
+	x, y string
+}
+
+const (
+	memoComplementary uint8 = iota
+	memoMinimal
+)
+
+const schemaMemoCap = 4096
+
+// schemaMemo is a bounded FIFO memo for the schema-level procedures.
+type schemaMemo struct {
+	mu    sync.Mutex
+	memo  map[schemaMemoKey]any
+	order []schemaMemoKey
+}
+
+var schemaMemoTable schemaMemo
+
+func setKey(s attr.Set) string {
+	ids := s.IDs()
+	b := make([]byte, 0, len(ids))
+	for _, id := range ids {
+		b = binary.AppendUvarint(b, uint64(id))
+	}
+	return string(b)
+}
+
+func (m *schemaMemo) get(k schemaMemoKey) (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.memo[k]
+	if cm := coremetrics.Load(); cm != nil {
+		if ok {
+			cm.schemaMemoHits.Inc()
+		} else {
+			cm.schemaMemoMisses.Inc()
+		}
+	}
+	return v, ok
+}
+
+func (m *schemaMemo) put(k schemaMemoKey, v any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.memo == nil {
+		m.memo = make(map[schemaMemoKey]any)
+	}
+	if _, ok := m.memo[k]; ok {
+		m.memo[k] = v
+		return
+	}
+	if len(m.memo) >= schemaMemoCap {
+		old := m.order[0]
+		m.order = m.order[1:]
+		delete(m.memo, old)
+	}
+	m.memo[k] = v
+	m.order = append(m.order, k)
+}

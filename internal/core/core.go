@@ -29,6 +29,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/constcomp/constcomp/internal/attr"
 	"github.com/constcomp/constcomp/internal/budget"
@@ -145,6 +146,9 @@ type Pair struct {
 	shared attr.Set
 	// strategy selects the imposition engine for the exact tests.
 	strategy ImposeStrategy
+	// arts memoizes the schema-level decision artifacts (see cache.go);
+	// they are constants of the pair, computed on first decide.
+	arts atomic.Pointer[pairArtifacts]
 }
 
 // SetImposeStrategy switches the imposition engine (see ImposeStrategy).

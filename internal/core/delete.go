@@ -70,23 +70,9 @@ func (p *Pair) decideDelete(b *budget.B, v *relation.Relation, t relation.Tuple)
 // Theorem 8 on a database instance, verifying the complement stays
 // constant and the view update is implemented.
 func (p *Pair) ApplyDelete(r *relation.Relation, t relation.Tuple) (*relation.Relation, error) {
-	if err := p.requireFDOnly(); err != nil {
-		return nil, err
-	}
-	if !r.Attrs().Equal(p.schema.u.All()) {
-		return nil, errors.New("core: database instance must be over U")
-	}
-	v := r.Project(p.x)
-	if !v.Contains(t) {
-		return r.Clone(), nil // acceptability
-	}
-	doomed, err := p.translatedTuples(r, t)
+	out, v, err := p.translateDelete(r, t)
 	if err != nil {
 		return nil, err
-	}
-	out := r.Clone()
-	for _, dt := range doomed.Tuples() {
-		out.Delete(dt)
 	}
 	// T_u[R] ⊆ R and Σ has FDs only, so legality is automatic; verify the
 	// semantics anyway.
@@ -99,4 +85,29 @@ func (p *Pair) ApplyDelete(r *relation.Relation, t relation.Tuple) (*relation.Re
 		return nil, errors.New("core: translated deletion did not implement the view update")
 	}
 	return out, nil
+}
+
+// translateDelete computes T_u[R] = R − t*π_Y(R) and the view π_X(R)
+// without ApplyDelete's defensive re-verification; Session.ApplyCtx
+// verifies once at the session layer.
+func (p *Pair) translateDelete(r *relation.Relation, t relation.Tuple) (out, v *relation.Relation, err error) {
+	if err := p.requireFDOnly(); err != nil {
+		return nil, nil, err
+	}
+	if !r.Attrs().Equal(p.schema.u.All()) {
+		return nil, nil, errors.New("core: database instance must be over U")
+	}
+	v = r.Project(p.x)
+	if !v.Contains(t) {
+		return r.Clone(), v, nil // acceptability
+	}
+	doomed, err := p.translatedTuples(r, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	out = r.Clone()
+	for _, dt := range doomed.Tuples() {
+		out.Delete(dt)
+	}
+	return out, v, nil
 }

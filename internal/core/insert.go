@@ -118,7 +118,9 @@ type padding struct {
 // overlayFor imposes r[zOut] = μ[zOut] incrementally on the base fixpoint.
 func (pd *padding) overlayFor(ri, mu int, zOut attr.Set) *chase.Overlay {
 	if pd.prep == nil {
-		pd.prep = chase.Prepare(pd.res.Relation(), pd.fds)
+		// The column plans are a per-Pair constant (the padded relation
+		// is always over U); only the row buckets are rebuilt here.
+		pd.prep = chase.PrepareWithPlans(pd.res.Relation(), pd.fds, pd.pair.artifacts().plans)
 		pd.ovCache = make(map[string]*chase.Overlay)
 	}
 	var pairs [][2]value.Value
@@ -134,6 +136,7 @@ func (pd *padding) overlayFor(ri, mu int, zOut attr.Set) *chase.Overlay {
 		return ov
 	}
 	ov := pd.prep.WithEqualities(pairs)
+	//constvet:allow cachebound -- padding state dies with one decide; entries bounded by its equality sets
 	pd.ovCache[key] = ov
 	return ov
 }
@@ -177,7 +180,7 @@ func (p *Pair) newPaddingBudget(b *budget.B, v *relation.Relation) (*padding, er
 	if raw.Len() != v.Len() {
 		return nil, errors.New("core: internal: padding changed cardinality")
 	}
-	fds := p.schema.sigma.SplitFDs()
+	fds := p.artifacts().splitFDs
 	res, err := chase.InstanceBudget(b, raw, fds)
 	if err != nil {
 		return nil, err
@@ -314,9 +317,11 @@ func (p *Pair) findSharedMatch(v *relation.Relation, t relation.Tuple) (int, boo
 }
 
 // checkConditionB verifies condition (b) of Theorems 3/8/9, filling d and
-// reporting whether the decision is final.
+// reporting whether the decision is final. The key checks are closure
+// computations over the immutable schema, memoized per Pair.
 func (p *Pair) checkConditionB(d *Decision) (*Decision, bool) {
-	keyOfY, keyOfX := SharedIsKeyOf(p.schema, p.x, p.y)
+	a := p.artifacts()
+	keyOfY, keyOfX := a.keyOfY, a.keyOfX
 	if keyOfX {
 		d.Reason = ReasonSharedKeyOfView
 		return d, true
@@ -420,6 +425,7 @@ func (pd *padding) imposeAndChase(ri, mu int, zOut attr.Set) (*chase.Result, boo
 	if pd.cache == nil {
 		pd.cache = make(map[string]*imposeState)
 	}
+	//constvet:allow cachebound -- padding state dies with one decide; entries bounded by its substitutions
 	pd.cache[sub.signature()] = st
 	pd.lastImpose = st
 	return res, false, nil
@@ -496,25 +502,9 @@ func ViewConsistent(s *Schema, x attr.Set, v *relation.Relation) (bool, error) {
 // legal and that the complement stayed constant, returning an error
 // otherwise (callers normally run DecideInsert on π_X(R) first).
 func (p *Pair) ApplyInsert(r *relation.Relation, t relation.Tuple) (*relation.Relation, error) {
-	if err := p.requireFDOnly(); err != nil {
-		return nil, err
-	}
-	if !r.Attrs().Equal(p.schema.u.All()) {
-		return nil, errors.New("core: database instance must be over U")
-	}
-	v := r.Project(p.x)
-	if v.Contains(t) {
-		return r.Clone(), nil // acceptability: view unchanged, database unchanged
-	}
-	joined, err := p.translatedTuples(r, t)
+	out, v, err := p.translateInsert(r, t)
 	if err != nil {
 		return nil, err
-	}
-	out := r.Clone()
-	for _, nt := range joined.Tuples() {
-		// Tuples are immutable once inserted (relation's sharing
-		// invariant), so the joined tuples can be shared, not copied.
-		out.Insert(nt)
 	}
 	if ok, bad := p.schema.Legal(out); !ok {
 		return nil, fmt.Errorf("core: translated insertion violates %v", bad)
@@ -526,6 +516,34 @@ func (p *Pair) ApplyInsert(r *relation.Relation, t relation.Tuple) (*relation.Re
 		return nil, errors.New("core: translated insertion did not implement the view update")
 	}
 	return out, nil
+}
+
+// translateInsert computes T_u[R] = R ∪ t*π_Y(R) and the view π_X(R)
+// without the defensive re-verification of ApplyInsert. Session.ApplyCtx
+// uses it directly and verifies legality and complement constancy once
+// at the session layer instead of twice per update.
+func (p *Pair) translateInsert(r *relation.Relation, t relation.Tuple) (out, v *relation.Relation, err error) {
+	if err := p.requireFDOnly(); err != nil {
+		return nil, nil, err
+	}
+	if !r.Attrs().Equal(p.schema.u.All()) {
+		return nil, nil, errors.New("core: database instance must be over U")
+	}
+	v = r.Project(p.x)
+	if v.Contains(t) {
+		return r.Clone(), v, nil // acceptability: view unchanged, database unchanged
+	}
+	joined, err := p.translatedTuples(r, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	out = r.Clone()
+	for _, nt := range joined.Tuples() {
+		// Tuples are immutable once inserted (relation's sharing
+		// invariant), so the joined tuples can be shared, not copied.
+		out.Insert(nt)
+	}
+	return out, v, nil
 }
 
 // translatedTuples computes t*π_Y(R): the database tuples whose X part is

@@ -12,6 +12,17 @@ type coreMetrics struct {
 	translatable *obs.Counter
 	rejected     *obs.Counter
 	applied      *obs.Counter
+	// adopted counts applies satisfied by AdoptSpeculated — the
+	// serving pipeline's pre-computed state passed re-validation and
+	// the full decide/translate was skipped.
+	adopted *obs.Counter
+	// Decision-memoization accounting: the per-session (version, op)
+	// decision cache and the schema-level Complementary/
+	// MinimalComplement memo (see cache.go).
+	decisionHits     *obs.Counter
+	decisionMisses   *obs.Counter
+	schemaMemoHits   *obs.Counter
+	schemaMemoMisses *obs.Counter
 	// decideNs and applyNs are indexed by UpdateKind.
 	decideNs [3]*obs.Histogram
 	applyNs  [3]*obs.Histogram
@@ -30,10 +41,15 @@ func SetMetrics(s obs.Sink) {
 		return
 	}
 	m := &coreMetrics{
-		decideTotal:  s.Counter("core_decide_total"),
-		translatable: s.Counter("core_decide_translatable_total"),
-		rejected:     s.Counter("core_decide_rejected_total"),
-		applied:      s.Counter("core_apply_applied_total"),
+		decideTotal:      s.Counter("core_decide_total"),
+		translatable:     s.Counter("core_decide_translatable_total"),
+		rejected:         s.Counter("core_decide_rejected_total"),
+		applied:          s.Counter("core_apply_applied_total"),
+		adopted:          s.Counter("core_apply_adopted_total"),
+		decisionHits:     s.Counter("core_decision_cache_hits_total"),
+		decisionMisses:   s.Counter("core_decision_cache_misses_total"),
+		schemaMemoHits:   s.Counter("core_schema_memo_hits_total"),
+		schemaMemoMisses: s.Counter("core_schema_memo_misses_total"),
 	}
 	for _, k := range [...]UpdateKind{UpdateInsert, UpdateDelete, UpdateReplace} {
 		m.decideNs[k] = s.Histogram("core_decide_" + k.String() + "_ns")

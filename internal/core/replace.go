@@ -156,35 +156,14 @@ func agreesOnTuples(a, b relation.Tuple, v *relation.Relation, on attr.Set) bool
 // T_u[R] = R − t1*π_Y(R) ∪ t2*π_Y(R) of Theorem 9 on a database instance,
 // verifying legality, complement constancy and the view semantics.
 func (p *Pair) ApplyReplace(r *relation.Relation, t1, t2 relation.Tuple) (*relation.Relation, error) {
-	if err := p.requireFDOnly(); err != nil {
+	out, v, err := p.translateReplace(r, t1, t2)
+	if err != nil {
 		return nil, err
-	}
-	if !r.Attrs().Equal(p.schema.u.All()) {
-		return nil, errors.New("core: database instance must be over U")
-	}
-	v := r.Project(p.x)
-	if !v.Contains(t1) {
-		return nil, errors.New("core: replaced tuple t1 is not in the view")
-	}
-	// Both joins use the complement of the *original* R.
-	vy := r.Project(p.y)
-	doomed := relation.Singleton(p.x, t1).Join(vy)
-	added := relation.Singleton(p.x, t2).Join(vy)
-	if added.Len() == 0 {
-		return nil, errors.New("core: no complement tuple matches t2 on X∩Y (condition a)")
-	}
-	out := r.Clone()
-	for _, dt := range doomed.Tuples() {
-		out.Delete(dt)
-	}
-	for _, nt := range added.Tuples() {
-		// Shared, not copied: tuples are immutable once inserted.
-		out.Insert(nt)
 	}
 	if ok, bad := p.schema.Legal(out); !ok {
 		return nil, fmt.Errorf("core: translated replacement violates %v", bad)
 	}
-	if !out.Project(p.y).Equal(vy) {
+	if !out.Project(p.y).Equal(r.Project(p.y)) {
 		return nil, errors.New("core: translated replacement changed the complement")
 	}
 	want := v.Clone()
@@ -194,4 +173,36 @@ func (p *Pair) ApplyReplace(r *relation.Relation, t1, t2 relation.Tuple) (*relat
 		return nil, errors.New("core: translated replacement did not implement the view update")
 	}
 	return out, nil
+}
+
+// translateReplace computes T_u[R] = R − t1*π_Y(R) ∪ t2*π_Y(R) and the
+// view π_X(R) without ApplyReplace's defensive re-verification;
+// Session.ApplyCtx verifies once at the session layer.
+func (p *Pair) translateReplace(r *relation.Relation, t1, t2 relation.Tuple) (out, v *relation.Relation, err error) {
+	if err := p.requireFDOnly(); err != nil {
+		return nil, nil, err
+	}
+	if !r.Attrs().Equal(p.schema.u.All()) {
+		return nil, nil, errors.New("core: database instance must be over U")
+	}
+	v = r.Project(p.x)
+	if !v.Contains(t1) {
+		return nil, nil, errors.New("core: replaced tuple t1 is not in the view")
+	}
+	// Both joins use the complement of the *original* R.
+	vy := r.Project(p.y)
+	doomed := relation.Singleton(p.x, t1).Join(vy)
+	added := relation.Singleton(p.x, t2).Join(vy)
+	if added.Len() == 0 {
+		return nil, nil, errors.New("core: no complement tuple matches t2 on X∩Y (condition a)")
+	}
+	out = r.Clone()
+	for _, dt := range doomed.Tuples() {
+		out.Delete(dt)
+	}
+	for _, nt := range added.Tuples() {
+		// Shared, not copied: tuples are immutable once inserted.
+		out.Insert(nt)
+	}
+	return out, v, nil
 }

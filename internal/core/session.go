@@ -69,6 +69,16 @@ type Session struct {
 	// complement is π_Y of the initial database; it must never change.
 	complement *relation.Relation
 	log        []LogEntry
+	// version counts applied ops; it identifies the current view
+	// instance for the decision cache (a decision is a pure function of
+	// the view instance and the op, and the view only changes when an
+	// op is applied).
+	version uint64
+	// cache memoizes decisions by (version, op); the pipeline's
+	// speculative decider seeds it via SeedDecision so the committed
+	// re-decide is a lookup. Safe for concurrent seed/read; the rest of
+	// the Session is not goroutine-safe.
+	cache decisionCache
 }
 
 // NewSession starts a session on a legal database instance.
@@ -83,6 +93,46 @@ func NewSession(pair *Pair, db *relation.Relation) (*Session, error) {
 	}, nil
 }
 
+// StateRef returns the session's current database without cloning.
+// Callers must treat it as immutable. The ref stays valid and stable
+// forever: a session never mutates a database in place — every apply
+// builds a fresh relation and swaps the pointer — so refs taken before
+// later applies still describe exactly the state they were taken at.
+// The serving pipeline ships refs from its scratch session to the
+// authoritative one (see AdoptSpeculated).
+func (s *Session) StateRef() *relation.Relation { return s.db }
+
+// AdoptSpeculated installs an apply outcome computed speculatively by
+// another session that was replaying this session's exact state (the
+// serving pipeline's scratch session): d is the decision and db the
+// post-op database that session produced for op at version fromVersion.
+// It returns false — leaving this session untouched — unless the
+// speculation provably matches: the version must equal this session's
+// current version (apply is deterministic, so equal pre-states give
+// equal outcomes) and the adopted database must re-validate against the
+// constant complement. On success the full decide/translate/verify is
+// skipped; the speculating session already ran the identical
+// session-level checks on the identical state.
+func (s *Session) AdoptSpeculated(op UpdateOp, d *Decision, db *relation.Relation, fromVersion uint64) bool {
+	if d == nil || db == nil || !d.Translatable || s.version != fromVersion {
+		return false
+	}
+	// Cheap re-validation: complement constancy is the framework
+	// invariant, checked here against OUR complement so a divergent
+	// speculation can never smuggle in a drifted state.
+	if !db.Project(s.pair.ComplementAttrs()).Equal(s.complement) {
+		return false
+	}
+	s.db = db
+	s.version++
+	s.log = append(s.log, LogEntry{Op: op, Decision: d, Applied: true})
+	if m := coremetrics.Load(); m != nil {
+		m.applied.Inc()
+		m.adopted.Inc()
+	}
+	return true
+}
+
 // Database returns a snapshot of the current database.
 func (s *Session) Database() *relation.Relation { return s.db.Clone() }
 
@@ -91,6 +141,29 @@ func (s *Session) View() *relation.Relation { return s.db.Project(s.pair.ViewAtt
 
 // Log returns the update log (shared slice; do not modify).
 func (s *Session) Log() []LogEntry { return s.log }
+
+// ViewVersion identifies the current view instance: it starts at 0 and
+// increments exactly when an op is applied. Decisions are pure in
+// (view version, op), which is what makes SeedDecision sound.
+func (s *Session) ViewVersion() uint64 { return s.version }
+
+// SeedDecision pre-populates the decision cache: a decide of op at the
+// given view version will return d instead of recomputing. The caller
+// asserts that d is what deciding op against the version's view
+// instance would produce — the serving pipeline's speculative decider
+// establishes this by replaying the same ops on an identical clone.
+// Safe to call concurrently with decides on this session.
+func (s *Session) SeedDecision(version uint64, op UpdateOp, d *Decision) {
+	if d == nil {
+		return
+	}
+	s.cache.put(version, opCacheKey(op), d)
+}
+
+// InvalidateDecisions empties the decision cache, forcing every
+// subsequent decide to recompute. The pipeline calls it when a
+// speculative decider diverged and its seeds can no longer be trusted.
+func (s *Session) InvalidateDecisions() { s.cache.clear() }
 
 // Decide tests an update without applying it.
 func (s *Session) Decide(op UpdateOp) (*Decision, error) {
@@ -110,6 +183,22 @@ func (s *Session) decideCtx(ctx context.Context, op UpdateOp, parent *obs.Span) 
 	sp := childSpan(parent, "decide/", op.Kind)
 	defer sp.End()
 	m := coremetrics.Load()
+	key := opCacheKey(op)
+	if d := s.cache.get(s.version, key); d != nil {
+		if m != nil {
+			m.decisionHits.Inc()
+			m.decideTotal.Inc()
+			if d.Translatable {
+				m.translatable.Inc()
+			} else {
+				m.rejected.Inc()
+			}
+		}
+		return d, nil
+	}
+	if m != nil {
+		m.decisionMisses.Inc()
+	}
 	var t0 int64
 	if m != nil {
 		t0 = obs.NowNS()
@@ -139,6 +228,9 @@ func (s *Session) decideCtx(ctx context.Context, op UpdateOp, parent *obs.Span) 
 				m.rejected.Inc()
 			}
 		}
+	}
+	if err == nil && d != nil {
+		s.cache.put(s.version, key, d)
 	}
 	return d, err
 }
@@ -174,14 +266,17 @@ func (s *Session) ApplyCtx(ctx context.Context, op UpdateOp) (*Decision, error) 
 	if m != nil {
 		t0 = obs.NowNS()
 	}
+	// The translate-only variants skip the Pair methods' defensive
+	// re-verification: the complement-constancy and legality checks
+	// below are the single verification layer for session applies.
 	var out *relation.Relation
 	switch op.Kind {
 	case UpdateInsert:
-		out, err = s.pair.ApplyInsert(s.db, op.Tuple)
+		out, _, err = s.pair.translateInsert(s.db, op.Tuple)
 	case UpdateDelete:
-		out, err = s.pair.ApplyDelete(s.db, op.Tuple)
+		out, _, err = s.pair.translateDelete(s.db, op.Tuple)
 	case UpdateReplace:
-		out, err = s.pair.ApplyReplace(s.db, op.Tuple, op.With)
+		out, _, err = s.pair.translateReplace(s.db, op.Tuple, op.With)
 	}
 	if m != nil && validKind(op.Kind) {
 		m.applyNs[op.Kind].ObserveDuration(obs.SinceNS(t0))
@@ -197,6 +292,7 @@ func (s *Session) ApplyCtx(ctx context.Context, op UpdateOp) (*Decision, error) 
 		return d, fmt.Errorf("core: internal: database became illegal (%v)", bad)
 	}
 	s.db = out
+	s.version++
 	s.log = append(s.log, LogEntry{Op: op, Decision: d, Applied: true})
 	if m != nil {
 		m.applied.Inc()

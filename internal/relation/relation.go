@@ -68,19 +68,44 @@ func (t Tuple) Less(o Tuple) bool {
 type Relation struct {
 	attrs  attr.Set
 	cols   []attr.ID       // ascending; cols[i] is the attribute of column i
-	pos    map[attr.ID]int // inverse of cols
+	pos    map[attr.ID]int // inverse of cols; nil for narrow relations (linear scan)
 	tuples []Tuple
 	index  table // open-addressing hash index over tuples
 }
 
+// posMapWidth is the column count above which the inverse map pays for
+// itself. Below it a linear scan of cols beats building (and collecting)
+// a map per relation — projections churn through thousands of narrow
+// relations in the update hot path.
+const posMapWidth = 8
+
 // New returns an empty relation over the given attribute set.
 func New(attrs attr.Set) *Relation {
 	cols := attrs.IDs()
-	pos := make(map[attr.ID]int, len(cols))
-	for i, c := range cols {
-		pos[c] = i
+	var pos map[attr.ID]int
+	if len(cols) > posMapWidth {
+		pos = make(map[attr.ID]int, len(cols))
+		for i, c := range cols {
+			pos[c] = i
+		}
 	}
 	return &Relation{attrs: attrs, cols: cols, pos: pos}
+}
+
+// colPos returns the column position of id, or -1 if absent.
+func (r *Relation) colPos(id attr.ID) int {
+	if r.pos != nil {
+		if i, ok := r.pos[id]; ok {
+			return i
+		}
+		return -1
+	}
+	for i, c := range r.cols {
+		if c == id {
+			return i
+		}
+	}
+	return -1
 }
 
 // Attrs returns the relation's attribute set.
@@ -101,12 +126,7 @@ func (r *Relation) Cols() []attr.ID { return r.cols }
 
 // Col returns the column position of attribute id, or -1 if the relation
 // does not contain it.
-func (r *Relation) Col(id attr.ID) int {
-	if i, ok := r.pos[id]; ok {
-		return i
-	}
-	return -1
-}
+func (r *Relation) Col(id attr.ID) int { return r.colPos(id) }
 
 // Tuples returns the backing tuple slice in insertion order. Callers must
 // not modify it or the tuples it contains.
@@ -222,7 +242,7 @@ func (r *Relation) projector(attrs attr.Set) []int {
 	ids := attrs.IDs()
 	m := make([]int, len(ids))
 	for i, id := range ids {
-		m[i] = r.pos[id]
+		m[i] = r.colPos(id)
 	}
 	return m
 }
@@ -243,6 +263,12 @@ func (r *Relation) ProjectTuple(t Tuple, attrs attr.Set) Tuple {
 type slab struct {
 	buf []value.Value
 	off int
+	// hint caps the size of the NEXT block carved: a kernel that knows
+	// its output is at most n tuples (Project can't emit more than its
+	// input has) sets it so small relations don't pay for a full
+	// 256-tuple block. Zero means full-size; the cap applies once, so
+	// outputs that outgrow the hint fall back to full blocks.
+	hint int
 }
 
 // slabBlock is how many tuples a slab block holds.
@@ -251,7 +277,12 @@ const slabBlock = 256
 // tuple carves a fresh w-entry tuple.
 func (s *slab) tuple(w int) Tuple {
 	if s.off+w > len(s.buf) {
-		s.buf = make([]value.Value, (slabBlock+1)*w)
+		n := slabBlock
+		if s.hint > 0 && s.hint < n {
+			n = s.hint
+		}
+		s.hint = 0
+		s.buf = make([]value.Value, (n+1)*w)
 		s.off = 0
 	}
 	t := Tuple(s.buf[s.off : s.off+w : s.off+w])
@@ -262,6 +293,20 @@ func (s *slab) tuple(w int) Tuple {
 // undo returns the storage of the tuple just carved (valid only
 // immediately after the matching tuple call, before the tuple escapes).
 func (s *slab) undo(w int) { s.off -= w }
+
+// joinHint bounds a join's first slab block by the worst-case output
+// cardinality |build|×|probe|. Zero (full-size blocks) when the product
+// reaches the normal block size anyway, so only small joins — the
+// singleton joins of the per-update translation — get trimmed.
+func joinHint(b, p int) int {
+	if b == 0 || p == 0 {
+		return 1
+	}
+	if b > slabBlock/p {
+		return 0
+	}
+	return b * p
+}
 
 // insertProjection inserts π_m(src) into r, carving storage from sl only
 // when the projected tuple is new; duplicates allocate nothing.
@@ -311,7 +356,7 @@ func (r *Relation) Project(attrs attr.Set) *Relation {
 		out = projectParallel(r, attrs, m)
 	} else {
 		out = New(attrs)
-		var sl slab
+		sl := slab{hint: len(r.tuples)}
 		for _, t := range r.tuples {
 			out.insertProjection(t, m, &sl)
 		}
@@ -527,7 +572,7 @@ func joinHash(r, s *Relation) *Relation {
 	ji := &joinIndex{heads: newHeadTable(build.Len()), next: make([]int, build.Len())}
 	buildJoinIndex(ji, build.tuples, bm, 0, build.Len())
 	out, fromR, fromS := joinPlan(r, s)
-	var sl slab
+	sl := slab{hint: joinHint(build.Len(), probe.Len())}
 	visits := probeJoin(out, ji, build, probe, bm, pm, fromR, fromS, build == r, 0, probe.Len(), &sl)
 	if m := kmetrics.Load(); m != nil {
 		recordJoin(m, build, probe, out, visits)

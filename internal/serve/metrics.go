@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"github.com/constcomp/constcomp/internal/obs"
+)
+
+// serveMetrics holds the resolved metric handles for the pipeline.
+// Fsyncs-per-op is serve_batches_total / serve_ops_committed_total:
+// each batch costs exactly one journal fsync (store.ApplyBatchCtx), so
+// the ratio falls toward 1/MaxBatch as the queue fills.
+type serveMetrics struct {
+	submitted *obs.Counter
+	committed *obs.Counter
+	batches   *obs.Counter
+	// seeded counts speculative decisions planted in the real session's
+	// decision cache; compare with core_decision_cache_hits_total to see
+	// how often the committer's decide was prepaid.
+	seeded      *obs.Counter
+	divergences *obs.Counter
+
+	// batchRecords is the ops-per-fsync distribution; queueDepth samples
+	// the submit queue length at each batch formation.
+	batchRecords *obs.Histogram
+	queueDepth   *obs.Histogram
+}
+
+var svmetrics atomic.Pointer[serveMetrics]
+
+// SetMetrics installs (or, with nil, removes) the metrics sink for the
+// serving pipeline.
+func SetMetrics(s obs.Sink) {
+	if s == nil {
+		svmetrics.Store(nil)
+		return
+	}
+	svmetrics.Store(&serveMetrics{
+		submitted:    s.Counter("serve_ops_submitted_total"),
+		committed:    s.Counter("serve_ops_committed_total"),
+		batches:      s.Counter("serve_batches_total"),
+		seeded:       s.Counter("serve_seeds_total"),
+		divergences:  s.Counter("serve_divergence_total"),
+		batchRecords: s.Histogram("serve_batch_records"),
+		queueDepth:   s.Histogram("serve_queue_depth"),
+	})
+}

@@ -1,0 +1,473 @@
+// Package serve puts a throughput pipeline in front of a durable
+// store.Session.
+//
+// The store session is strictly serial: each Apply decides, applies,
+// journals, and fsyncs before the next op may start, so throughput is
+// bounded by one fsync per op. This package keeps the serial semantics
+// visible to every submitter while overlapping the two dominant costs:
+//
+//   - Group commit: a committer goroutine drains a bounded submit queue
+//     and applies whatever is waiting as ONE store batch — one journal
+//     write, one fsync (store.Session.ApplyBatchCtx). A submitter's
+//     Apply returns only after the fsync covering its op, so per-op
+//     durability is unchanged; only the fsync is shared.
+//
+//   - Pipelined decide/commit: a decider goroutine runs the CPU-bound
+//     chase for queued ops speculatively against a scratch core.Session
+//     (a copy-on-write clone of the database) while the committer is
+//     blocked in the IO-bound fsync of the previous batch. Speculative
+//     decisions are seeded into the real session's decision cache keyed
+//     by the exact view version they were computed against, so the
+//     committer's authoritative decide is a cache hit when the
+//     speculation was right and an ordinary recompute when it was not.
+//
+//   - Re-validation: decisions are applied in sequence order by the
+//     committer against the real session; the cache key (view version,
+//     op) is the cheap re-validation — a stale speculation simply
+//     misses. After a batch commits, predicted outcomes are compared
+//     with actual ones; any mismatch (possible only if a decide were
+//     impure — it is a safety net, not an expected path) invalidates
+//     the decision cache, rebuilds the scratch session from the
+//     committed database, and bumps a generation counter so in-flight
+//     stale speculations cannot re-seed the cache.
+//
+// Decide outcomes are byte-identical to a serial session processing the
+// same ops in the same order: the committer is the single authority and
+// seeds only redirect where the chase runs, never what it concludes.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/store"
+)
+
+// ErrClosed is returned by Apply variants after Close.
+var ErrClosed = errors.New("serve: pipeline closed")
+
+// Options tunes the pipeline. The zero value is ready to use.
+type Options struct {
+	// MaxBatch caps how many ops share one journal fsync. Default 32.
+	MaxBatch int
+	// QueueDepth bounds the submit queue; submitters block (or fail on
+	// context cancellation) when it is full. Default 4×MaxBatch.
+	QueueDepth int
+}
+
+func (o Options) maxBatch() int {
+	if o.MaxBatch > 0 {
+		return o.MaxBatch
+	}
+	return 32
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return 4 * o.maxBatch()
+}
+
+// request is one submitted op in flight through the pipeline.
+type request struct {
+	ctx context.Context
+	op  core.UpdateOp
+	// done is buffered (size 1) so neither goroutine ever blocks on an
+	// acknowledgement.
+	done chan result
+
+	// Speculation results, written by the decider, read by the
+	// committer. speculated is false when the scratch session is
+	// degraded (see resync) and the committer should skip comparison.
+	speculated  bool
+	predApplied bool
+
+	// For a successfully speculated apply, the scratch session's
+	// decision, post-op database ref (COW — never mutated after the
+	// ref is taken), and the real-session version the op was
+	// speculated at. The committer hands these to
+	// store.Session.ApplySpeculatedBatchCtx so the authoritative apply
+	// adopts the pre-computed state after cheap re-validation instead
+	// of repeating the full decide/translate/verify.
+	specDecision *core.Decision
+	specDB       *relation.Relation
+	specVer      uint64
+}
+
+type result struct {
+	d   *core.Decision
+	err error
+}
+
+// batch is the decider→committer handoff: requests whose speculation
+// did not fail outright, stamped with the decider generation that
+// speculated them.
+type batch struct {
+	reqs []*request
+	gen  uint64
+}
+
+// resyncMsg carries the authoritative database to the decider after a
+// divergence, so the scratch session restarts from committed state.
+type resyncMsg struct {
+	db  *relation.Relation
+	ver uint64
+	gen uint64
+}
+
+// Pending is the handle returned by ApplyAsync.
+type Pending struct {
+	done chan result
+	res  result
+	once sync.Once
+}
+
+// Wait blocks until the op's fate is decided and durable (or failed)
+// and returns the same values a synchronous Apply would have.
+func (p *Pending) Wait() (*core.Decision, error) {
+	p.once.Do(func() { p.res = <-p.done })
+	return p.res.d, p.res.err
+}
+
+// Pipeline serves concurrent update submissions over one store.Session.
+// The underlying session is never touched concurrently: the decider
+// goroutine owns a scratch clone, the committer goroutine owns the real
+// session, and they meet only through channels and the (concurrency-
+// safe) decision cache.
+type Pipeline struct {
+	st   *store.Session
+	opts Options
+
+	// mu serializes enqueue against Close: submitters send on submit
+	// under RLock after checking closed; Close flips closed under the
+	// write lock, so once Close holds it no further sends can start and
+	// the quit signal finds a drainable queue.
+	mu     sync.RWMutex
+	closed bool
+
+	submit chan *request
+	commit chan *batch
+	resync chan resyncMsg
+	quit   chan struct{}
+	done   chan struct{} // closed when the committer exits
+
+	// genWanted is bumped by the committer on divergence; the decider
+	// seeds the decision cache only while its local generation matches,
+	// and the committer re-invalidates before applying any stale-
+	// generation batch, so no stale seed can survive to a commit.
+	genWanted atomic.Uint64
+
+	// broken latches the first ErrSessionBroken; later submissions fail
+	// fast while the pipeline keeps draining so Close can finish.
+	broken atomic.Pointer[brokenState]
+}
+
+type brokenState struct{ err error }
+
+// New starts the pipeline's decider and committer goroutines over st.
+// The caller must not use st directly until Close returns.
+func New(st *store.Session, opts Options) (*Pipeline, error) {
+	p := &Pipeline{
+		st:     st,
+		opts:   opts,
+		submit: make(chan *request, opts.queueDepth()),
+		// A couple of batches of slack keeps the decider speculating
+		// while the committer sits in fsync, without letting memory run
+		// far ahead of disk.
+		commit: make(chan *batch, 2),
+		resync: make(chan resyncMsg, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	scratch, err := core.NewSession(st.Pair(), st.Database())
+	if err != nil {
+		return nil, fmt.Errorf("serve: scratch session: %w", err)
+	}
+	go p.decider(scratch, st.ViewVersion())
+	go p.committer()
+	return p, nil
+}
+
+func (p *Pipeline) brokenErr() error {
+	if b := p.broken.Load(); b != nil {
+		return b.err
+	}
+	return nil
+}
+
+// Apply submits one op and blocks until it is decided and durable.
+func (p *Pipeline) Apply(op core.UpdateOp) (*core.Decision, error) {
+	return p.ApplyCtx(context.Background(), op)
+}
+
+// ApplyCtx is Apply with a context bounding the queue wait and the
+// speculative decide. Once an op reaches the commit phase it runs to
+// completion regardless of ctx: its fate is shared with a batch.
+func (p *Pipeline) ApplyCtx(ctx context.Context, op core.UpdateOp) (*core.Decision, error) {
+	pend, err := p.ApplyAsync(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	return pend.Wait()
+}
+
+// ApplyAsync enqueues op and returns immediately with a Pending handle;
+// submitting a window of ops before waiting is how a single client gets
+// group commit (ops waiting together share an fsync). The returned
+// error is non-nil only when the op was never enqueued.
+func (p *Pipeline) ApplyAsync(ctx context.Context, op core.UpdateOp) (*Pending, error) {
+	if err := p.brokenErr(); err != nil {
+		return nil, fmt.Errorf("%w: %v", store.ErrSessionBroken, err)
+	}
+	r := &request{ctx: ctx, op: op, done: make(chan result, 1)}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	// Block in the send holding the read lock. The decider drains the
+	// queue continuously (it stops only after quit, which Close signals
+	// only once it gets the write lock — i.e. after this send finishes),
+	// so a full queue delays Close, it cannot deadlock it.
+	select {
+	case p.submit <- r:
+		p.mu.RUnlock()
+		if m := svmetrics.Load(); m != nil {
+			m.submitted.Inc()
+		}
+		return &Pending{done: r.done}, nil
+	case <-ctx.Done():
+		p.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops accepting submissions, drains every op already accepted
+// (each still gets its decided-and-durable acknowledgement), shuts both
+// goroutines down, and returns the broken-session error if the store
+// failed along the way. It does not close the store session.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if !already {
+		close(p.quit)
+	}
+	<-p.done
+	return p.brokenErr()
+}
+
+// decider forms batches from the submit queue and speculates their
+// decisions on the scratch session while the committer fsyncs earlier
+// batches. offset aligns scratch view versions with the real session's:
+// real version = scratch version + offset, maintained across resyncs.
+func (p *Pipeline) decider(scratch *core.Session, offset uint64) {
+	defer close(p.commit)
+	gen := p.genWanted.Load()
+	for {
+		var first *request
+		select {
+		case first = <-p.submit:
+		case <-p.quit:
+			// closed was set before quit, and every in-flight send
+			// finished before Close could take the write lock — the
+			// queue can only shrink now. Drain it.
+			for {
+				select {
+				case r := <-p.submit:
+					scratch, offset, gen = p.speculate(scratch, offset, gen, []*request{r})
+				default:
+					return
+				}
+			}
+		}
+		reqs := []*request{first}
+	fill:
+		for len(reqs) < p.opts.maxBatch() {
+			select {
+			case r := <-p.submit:
+				reqs = append(reqs, r)
+			default:
+				break fill
+			}
+		}
+		if m := svmetrics.Load(); m != nil {
+			m.queueDepth.Observe(float64(len(p.submit)))
+		}
+		scratch, offset, gen = p.speculate(scratch, offset, gen, reqs)
+	}
+}
+
+// speculate runs the chase for each request against the scratch
+// session, seeds the real session's decision cache, and hands the batch
+// to the committer. It returns the (possibly resynced) scratch state.
+func (p *Pipeline) speculate(scratch *core.Session, offset, gen uint64, reqs []*request) (*core.Session, uint64, uint64) {
+	// Pick up a pending resync before deciding anything: after a
+	// divergence the scratch state is untrustworthy.
+	select {
+	case msg := <-p.resync:
+		scratch, offset, gen = p.applyResync(msg)
+	default:
+	}
+	if err := p.brokenErr(); err != nil {
+		for _, r := range reqs {
+			r.done <- result{err: fmt.Errorf("%w: %v", store.ErrSessionBroken, err)}
+		}
+		return scratch, offset, gen
+	}
+	m := svmetrics.Load()
+	var live []*request
+	for _, r := range reqs {
+		if err := r.ctx.Err(); err != nil {
+			// Cancelled while queued: never reached the store, exactly
+			// as a serial ApplyCtx would have failed before deciding.
+			r.done <- result{err: err}
+			continue
+		}
+		if scratch == nil {
+			// Degraded: no speculation, the committer decides cold.
+			live = append(live, r)
+			continue
+		}
+		ver := scratch.ViewVersion() + offset
+		d, err := scratch.ApplyCtx(r.ctx, r.op)
+		switch {
+		case err == nil:
+			r.speculated, r.predApplied = true, true
+			r.specDecision, r.specDB, r.specVer = d, scratch.StateRef(), ver
+		case errors.Is(err, core.ErrRejected):
+			r.speculated, r.predApplied = true, false
+		default:
+			// Budget trip or internal error: the op never touched the
+			// scratch database, and the real session never sees it, so
+			// the two stay aligned. Fail the submitter directly.
+			r.done <- result{d: d, err: err}
+			continue
+		}
+		// Seed only while our speculation basis is current; the check
+		// races with the committer's bump, but any seed that slips
+		// through is wiped by the committer's pre-apply invalidation of
+		// stale-generation batches.
+		if d != nil && gen == p.genWanted.Load() {
+			p.st.SeedDecision(ver, r.op, d)
+			if m != nil {
+				m.seeded.Inc()
+			}
+		}
+		live = append(live, r)
+	}
+	if len(live) > 0 {
+		p.commit <- &batch{reqs: live, gen: gen}
+	}
+	return scratch, offset, gen
+}
+
+// applyResync rebuilds the scratch session from the committed database
+// the committer handed over. On failure the decider degrades to no
+// speculation (scratch nil) — the pipeline still groups commits, it
+// just stops overlapping the chase with fsync.
+func (p *Pipeline) applyResync(msg resyncMsg) (*core.Session, uint64, uint64) {
+	scratch, err := core.NewSession(p.st.Pair(), msg.db)
+	if err != nil {
+		return nil, 0, msg.gen
+	}
+	return scratch, msg.ver, msg.gen
+}
+
+// committer applies batches to the real store session in order: one
+// ApplyBatchCtx per batch means one journal write and one fsync shared
+// by every op in it. Submitters are acknowledged only after that fsync.
+func (p *Pipeline) committer() {
+	defer close(p.done)
+	for b := range p.commit {
+		if err := p.brokenErr(); err != nil {
+			for _, r := range b.reqs {
+				r.done <- result{err: fmt.Errorf("%w: %v", store.ErrSessionBroken, err)}
+			}
+			continue
+		}
+		stale := b.gen != p.genWanted.Load()
+		if stale {
+			// The batch was speculated against a pre-divergence scratch;
+			// wipe any seeds it planted so every decide recomputes
+			// against authoritative state.
+			p.st.InvalidateDecisions()
+		}
+		ops := make([]store.SpeculatedOp, len(b.reqs))
+		for i, r := range b.reqs {
+			ops[i] = store.SpeculatedOp{Op: r.op}
+			// Offer the speculated state only while the speculation
+			// basis is current; AdoptSpeculated independently re-checks
+			// the version and the complement, so a stale offer can only
+			// fall back to the full apply, never corrupt it.
+			if !stale && r.specDB != nil {
+				ops[i].Decision = r.specDecision
+				ops[i].DB = r.specDB
+				ops[i].FromVersion = r.specVer
+			}
+		}
+		// context.Background(): per-op contexts bounded the queue wait
+		// and the speculative decide; a batch that has reached the
+		// journal phase must not be torn apart by one member's deadline.
+		items, err := p.st.ApplySpeculatedBatchCtx(context.Background(), ops)
+		m := svmetrics.Load()
+		if err != nil {
+			p.broken.CompareAndSwap(nil, &brokenState{err: err})
+			for i, r := range b.reqs {
+				if i < len(items) {
+					r.done <- result{d: items[i].Decision, err: batchItemErr(items[i], err)}
+				} else {
+					r.done <- result{err: err}
+				}
+			}
+			continue
+		}
+		diverged := false
+		for i, r := range b.reqs {
+			it := items[i]
+			applied := it.Err == nil
+			if r.speculated && applied != r.predApplied {
+				diverged = true
+			}
+			r.done <- result{d: it.Decision, err: it.Err}
+		}
+		if m != nil {
+			m.batches.Inc()
+			m.committed.Add(int64(len(b.reqs)))
+			m.batchRecords.Observe(float64(len(b.reqs)))
+		}
+		if diverged && !stale {
+			if m != nil {
+				m.divergences.Inc()
+			}
+			// Order matters: bump the generation first so the decider
+			// stops seeding, then wipe whatever it already planted.
+			p.genWanted.Add(1)
+			p.st.InvalidateDecisions()
+			msg := resyncMsg{db: p.st.Database(), ver: p.st.ViewVersion(), gen: p.genWanted.Load()}
+			// Overwrite any pending resync: only the newest state counts.
+			select {
+			case <-p.resync:
+			default:
+			}
+			p.resync <- msg
+		}
+	}
+}
+
+// batchItemErr reports the per-op error to surface when the batch call
+// itself failed: an op with a clean item was applied in memory but its
+// durability is indeterminate, which is exactly ErrSessionBroken.
+func batchItemErr(it store.BatchItem, batchErr error) error {
+	if it.Err != nil {
+		return it.Err
+	}
+	return batchErr
+}

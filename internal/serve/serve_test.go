@@ -1,0 +1,481 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/obs"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/store"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// edmFixture is the paper's §2 Employee–Department–Manager schema with
+// view X = ED under constant complement Y = DM, two departments with
+// two permanent employees each.
+func edmFixture() (*core.Pair, *relation.Relation, *value.Symbols) {
+	u := attr.MustUniverse("E", "D", "M")
+	sigma := dep.MustParseSet(u, "E -> D\nD -> M")
+	s := core.MustSchema(u, sigma)
+	pair := core.MustPair(s, u.MustSet("E", "D"), u.MustSet("D", "M"))
+	syms := value.NewSymbols()
+	db := relation.New(u.All())
+	for i := 0; i < 4; i++ {
+		db.Insert(relation.Tuple{
+			syms.Const(fmt.Sprintf("emp%d", i)),
+			syms.Const(fmt.Sprintf("dept%d", i%2)),
+			syms.Const(fmt.Sprintf("mgr%d", i%2)),
+		})
+	}
+	return pair, db, syms
+}
+
+// namedOp is an update op expressed with constant names, so the same
+// workload can be materialized against sessions with independent
+// symbol tables.
+type namedOp struct {
+	kind  core.UpdateKind
+	tuple []string
+	with  []string
+}
+
+func (n namedOp) op(syms *value.Symbols) core.UpdateOp {
+	mk := func(names []string) relation.Tuple {
+		t := make(relation.Tuple, len(names))
+		for i, s := range names {
+			t[i] = syms.Const(s)
+		}
+		return t
+	}
+	switch n.kind {
+	case core.UpdateInsert:
+		return core.Insert(mk(n.tuple))
+	case core.UpdateDelete:
+		return core.Delete(mk(n.tuple))
+	default:
+		return core.Replace(mk(n.tuple), mk(n.with))
+	}
+}
+
+// randomWorkload generates n ops mixing translatable and untranslatable
+// inserts, deletes, and replaces, deterministically from seed. It makes
+// no attempt to predict outcomes — the point of the equivalence test is
+// that serial and pipelined runs agree op by op, whatever the verdicts.
+func randomWorkload(seed int64, n int) []namedOp {
+	rng := rand.New(rand.NewSource(seed))
+	emp := func(i int) string { return fmt.Sprintf("w%03d", i) }
+	dept := func(i int) string { return fmt.Sprintf("dept%d", i%2) }
+	ops := make([]namedOp, 0, n)
+	for i := 0; i < n; i++ {
+		e := emp(rng.Intn(40))
+		d := dept(rng.Intn(2))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			// Insert: fresh employees translate; an employee already in
+			// the other department trips E→D.
+			ops = append(ops, namedOp{kind: core.UpdateInsert, tuple: []string{e, d}})
+		case 5, 6, 7:
+			// Delete: absent tuples are identity translations; present
+			// ones translate unless they strand their department.
+			ops = append(ops, namedOp{kind: core.UpdateDelete, tuple: []string{e, d}})
+		case 8:
+			// Replace across departments.
+			ops = append(ops, namedOp{kind: core.UpdateReplace,
+				tuple: []string{e, d}, with: []string{e, dept(rng.Intn(2) + 1)}})
+		default:
+			// Insert into a department that does not exist yet:
+			// condition (a) rejection.
+			ops = append(ops, namedOp{kind: core.UpdateInsert,
+				tuple: []string{e, fmt.Sprintf("newdept%d", rng.Intn(3))}})
+		}
+	}
+	return ops
+}
+
+// outcome is the observable fate of one op, rendered symbol-table-free.
+type outcome struct {
+	applied      bool
+	translatable bool
+	reason       string
+	errKind      string // "", "rejected", or the error text
+}
+
+func outcomeOf(d *core.Decision, err error) outcome {
+	var o outcome
+	switch {
+	case err == nil:
+		o.applied = true
+	case errors.Is(err, core.ErrRejected):
+		o.errKind = "rejected"
+	default:
+		o.errKind = err.Error()
+	}
+	if d != nil {
+		o.translatable = d.Translatable
+		o.reason = d.Reason.String()
+	}
+	return o
+}
+
+// render canonicalizes a relation for comparison across symbol tables.
+func render(r *relation.Relation, syms *value.Symbols) string {
+	lines := make([]string, 0, r.Len())
+	for _, t := range r.Tuples() {
+		fields := make([]string, len(t))
+		for i, v := range t {
+			fields[i] = syms.Name(v)
+		}
+		lines = append(lines, strings.Join(fields, ","))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestPipelineEquivalenceRandomized is the acceptance test for decide
+// purity through the pipeline: a 1000-op randomized workload submitted
+// through the pipeline in randomized async windows must produce, op for
+// op and in order, the same verdicts, reasons, and final database as a
+// serial in-memory session applying the same ops.
+func TestPipelineEquivalenceRandomized(t *testing.T) {
+	const nOps = 1000
+	workload := randomWorkload(7, nOps)
+
+	// Serial reference: a plain core session.
+	pair, db, syms := edmFixture()
+	serial, err := core.NewSession(pair, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]outcome, nOps)
+	for i, n := range workload {
+		d, err := serial.Apply(n.op(syms))
+		want[i] = outcomeOf(d, err)
+	}
+	wantDB := render(serial.Database(), syms)
+
+	// Pipelined run: same ops, same order, submitted in async windows
+	// of randomized width so they share batches.
+	pair2, db2, syms2 := edmFixture()
+	st, err := store.Create(store.NewMemFS(), pair2, db2, syms2, store.Options{SnapshotEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := New(st, Options{MaxBatch: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	got := make([]outcome, nOps)
+	for start := 0; start < nOps; {
+		width := 1 + rng.Intn(48)
+		if start+width > nOps {
+			width = nOps - start
+		}
+		pends := make([]*Pending, width)
+		for j := 0; j < width; j++ {
+			p, err := pipe.ApplyAsync(context.Background(), workload[start+j].op(syms2))
+			if err != nil {
+				t.Fatalf("op %d: enqueue: %v", start+j, err)
+			}
+			pends[j] = p
+		}
+		for j, p := range pends {
+			d, err := p.Wait()
+			got[start+j] = outcomeOf(d, err)
+		}
+		start += width
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d (%v %v): pipeline outcome %+v, serial outcome %+v",
+				i, workload[i].kind, workload[i].tuple, got[i], want[i])
+		}
+	}
+	if gotDB := render(st.Database(), syms2); gotDB != wantDB {
+		t.Errorf("final database diverged:\n%s\nwant:\n%s", gotDB, wantDB)
+	}
+}
+
+// TestPipelineConcurrentSubmitters hammers the pipeline from many
+// goroutines (run under -race). Each submitter inserts its own disjoint
+// employees, so every op is translatable regardless of interleaving and
+// the final state is order-independent.
+func TestPipelineConcurrentSubmitters(t *testing.T) {
+	const (
+		submitters = 8
+		perSub     = 25
+	)
+	pair, db, syms := edmFixture()
+	st, err := store.Create(store.NewMemFS(), pair, db, syms, store.Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := New(st, Options{MaxBatch: 16, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intern every constant up front: Symbols is not safe for concurrent
+	// interning, and the pipeline only reads.
+	tuples := make([][]relation.Tuple, submitters)
+	for g := range tuples {
+		tuples[g] = make([]relation.Tuple, perSub)
+		for i := range tuples[g] {
+			tuples[g][i] = relation.Tuple{
+				syms.Const(fmt.Sprintf("g%d_e%d", g, i)),
+				syms.Const(fmt.Sprintf("dept%d", i%2)),
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters*perSub)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSub; i++ {
+				if _, err := pipe.Apply(core.Insert(tuples[g][i])); err != nil {
+					errs <- fmt.Errorf("submitter %d op %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq() != submitters*perSub {
+		t.Errorf("Seq = %d, want %d", st.Seq(), submitters*perSub)
+	}
+	view := st.View()
+	for g := range tuples {
+		for _, tup := range tuples[g] {
+			if !view.Contains(tup) {
+				t.Fatalf("concurrent insert %v missing from the view", tup)
+			}
+		}
+	}
+}
+
+// TestPipelineCloseDrains: ops accepted before Close are decided,
+// durable, and acknowledged; ops submitted after Close are refused.
+func TestPipelineCloseDrains(t *testing.T) {
+	pair, db, syms := edmFixture()
+	mem := store.NewMemFS()
+	st, err := store.Create(mem, pair, db, syms, store.Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := New(st, Options{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	pends := make([]*Pending, n)
+	for i := 0; i < n; i++ {
+		tup := relation.Tuple{syms.Const(fmt.Sprintf("d%02d", i)), syms.Const("dept0")}
+		if pends[i], err = pipe.ApplyAsync(context.Background(), core.Insert(tup)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pends {
+		if _, err := p.Wait(); err != nil {
+			t.Errorf("accepted op %d failed across Close: %v", i, err)
+		}
+	}
+	if _, err := pipe.Apply(core.Insert(relation.Tuple{syms.Const("late"), syms.Const("dept0")})); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-Close submit error = %v, want ErrClosed", err)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if st.Seq() != n {
+		t.Errorf("Seq = %d, want %d", st.Seq(), n)
+	}
+}
+
+// TestPipelineBrokenStore: a journal fault mid-stream breaks the store
+// session; affected submitters get ErrSessionBroken, later submissions
+// fail fast, and Close surfaces the error.
+func TestPipelineBrokenStore(t *testing.T) {
+	pair, db, syms := edmFixture()
+	mem := store.NewMemFS()
+	ffs := store.NewFaultFS(mem, store.FaultPlan{
+		Match:      func(name string) bool { return name == store.JournalFile },
+		FailSyncAt: 2,
+	})
+	st, err := store.Create(ffs, pair, db, syms, store.Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := New(st, Options{MaxBatch: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := func(e string) relation.Tuple {
+		return relation.Tuple{syms.Const(e), syms.Const("dept0")}
+	}
+	if _, err := pipe.Apply(core.Insert(tup("ok1"))); err != nil {
+		t.Fatalf("first op: %v", err)
+	}
+	// Second journal fsync fails: this op must come back broken.
+	if _, err := pipe.Apply(core.Insert(tup("boom"))); !errors.Is(err, store.ErrSessionBroken) {
+		t.Fatalf("faulted op error = %v, want ErrSessionBroken", err)
+	}
+	// And so must everything after it, without touching the store.
+	if _, err := pipe.Apply(core.Insert(tup("after"))); !errors.Is(err, store.ErrSessionBroken) {
+		t.Fatalf("post-fault op error = %v, want ErrSessionBroken", err)
+	}
+	if err := pipe.Close(); err == nil {
+		t.Error("Close did not surface the broken session")
+	}
+}
+
+// TestPipelineDivergenceRecovers is the safety net's test: mutate the
+// store behind the pipeline's back so the scratch session's speculation
+// is provably stale, and check the committer detects the outcome
+// mismatch, invalidates the seeded decisions, resyncs the scratch, and
+// keeps serving correct answers.
+func TestPipelineDivergenceRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	pair, db, syms := edmFixture()
+	st, err := store.Create(store.NewMemFS(), pair, db, syms, store.Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := New(st, Options{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := func(e, d string) relation.Tuple {
+		return relation.Tuple{syms.Const(e), syms.Const(d)}
+	}
+	// Behind the pipeline's back (it is idle): remove emp0. The scratch
+	// clone still has emp0@dept0, so the insert below trips E→D there
+	// (prediction: rejected) while the real session applies it — an
+	// outcome mismatch the committer must catch.
+	if _, err := st.Apply(core.Delete(tup("emp0", "dept0"))); err != nil {
+		t.Fatal(err)
+	}
+	d, err := pipe.Apply(core.Insert(tup("emp0", "dept1")))
+	if err != nil || !d.Translatable {
+		t.Fatalf("authoritative decide lost to stale speculation: %v, %+v", err, d)
+	}
+	// The pipeline keeps serving correctly after the resync.
+	for i := 0; i < 8; i++ {
+		if _, err := pipe.Apply(core.Insert(tup(fmt.Sprintf("post%d", i), "dept0"))); err != nil {
+			t.Fatalf("post-divergence op %d: %v", i, err)
+		}
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["serve_divergence_total"] == 0 {
+		t.Error("divergence was not detected/counted")
+	}
+	if !st.View().Contains(tup("emp0", "dept1")) {
+		t.Error("authoritative insert missing from the view")
+	}
+}
+
+// TestPipelineContextCancelledInQueue: an op whose context dies while
+// queued fails with the context error and never reaches the store.
+func TestPipelineContextCancelledInQueue(t *testing.T) {
+	pair, db, syms := edmFixture()
+	st, err := store.Create(store.NewMemFS(), pair, db, syms, store.Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := New(st, Options{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = pipe.ApplyCtx(ctx, core.Insert(relation.Tuple{syms.Const("zed"), syms.Const("dept0")}))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled op error = %v, want context.Canceled", err)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq() != 0 {
+		t.Errorf("cancelled op reached the journal: Seq = %d", st.Seq())
+	}
+}
+
+// TestPipelineSeedsDecisions: with metrics on, a healthy pipelined run
+// seeds speculative decisions and the committer consumes them — either
+// by adopting the speculated post-op state outright or, on fallback,
+// as decision-cache hits. Either way the chase for an op runs once,
+// not twice.
+func TestPipelineSeedsDecisions(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	core.SetMetrics(reg)
+	defer SetMetrics(nil)
+	defer core.SetMetrics(nil)
+
+	pair, db, syms := edmFixture()
+	st, err := store.Create(store.NewMemFS(), pair, db, syms, store.Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := New(st, Options{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	pends := make([]*Pending, n)
+	for i := 0; i < n; i++ {
+		tup := relation.Tuple{syms.Const(fmt.Sprintf("s%02d", i)), syms.Const("dept0")}
+		if pends[i], err = pipe.ApplyAsync(context.Background(), core.Insert(tup)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range pends {
+		if _, err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["serve_seeds_total"] == 0 {
+		t.Error("no speculative decisions were seeded")
+	}
+	if snap.Counters["core_apply_adopted_total"] == 0 && snap.Counters["core_decision_cache_hits_total"] == 0 {
+		t.Error("no speculation was consumed at commit time (neither adoption nor cache hit)")
+	}
+	if snap.Counters["serve_ops_committed_total"] != n {
+		t.Errorf("serve_ops_committed_total = %d, want %d", snap.Counters["serve_ops_committed_total"], n)
+	}
+	if b := snap.Counters["serve_batches_total"]; b == 0 || b > n {
+		t.Errorf("serve_batches_total = %d, want within [1, %d]", b, n)
+	}
+}

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/relation"
+)
+
+// Group commit: a batch of ops is applied in memory one by one, their
+// records are concatenated into a single buffer, and the buffer goes to
+// the journal in ONE Write and ONE Sync. Per-op durability semantics
+// are preserved — no op in the batch is acknowledged before the shared
+// fsync returns — and so is crash safety: a batch is framed as plain
+// concatenated records, so a crash mid-write leaves a prefix of whole
+// records and the ordinary torn-tail recovery truncates at the last
+// intact one. No recovery changes are needed for batches.
+
+// BatchItem is the per-op outcome of a batch apply. Err is nil when the
+// op was applied (and, once the batch call returns without
+// ErrSessionBroken, durable); it wraps core.ErrRejected for
+// untranslatable ops and carries the decide/translate error otherwise.
+// In both failure cases the database is unchanged by that op.
+type BatchItem struct {
+	Decision *core.Decision
+	Err      error
+}
+
+// ApplyBatchCtx applies ops as one group commit. Every op is attempted
+// independently: a rejection or a per-op error (budget trip, context
+// cancellation) is recorded in its BatchItem and does not stop the
+// batch — the semantics of concurrent submitters whose ops happen to
+// share an fsync, not of a script. Applied ops are journaled together
+// with a single fsync; they are durable when the call returns, even
+// when some items carry errors. The returned error is non-nil only when
+// the session is (or becomes) broken — then items reports how far the
+// batch got, and applied ops' durability is indeterminate (see
+// ErrSessionBroken).
+func (s *Session) ApplyBatchCtx(ctx context.Context, ops []core.UpdateOp) ([]BatchItem, error) {
+	sops := make([]SpeculatedOp, len(ops))
+	for i, op := range ops {
+		sops[i] = SpeculatedOp{Op: op}
+	}
+	return s.applyBatch(ctx, sops, false)
+}
+
+// SpeculatedOp is an update optionally paired with the speculative
+// outcome the serving pipeline's scratch session computed for it: the
+// decision and the post-op database at FromVersion. A nil Decision or
+// DB means "no speculation — run the full apply".
+type SpeculatedOp struct {
+	Op          core.UpdateOp
+	Decision    *core.Decision
+	DB          *relation.Relation
+	FromVersion uint64
+}
+
+// ApplySpeculatedBatchCtx is ApplyBatchCtx for ops carrying
+// speculations. Each op first tries core.Session.AdoptSpeculated —
+// installing the pre-computed state after cheap re-validation — and
+// falls back to the full decide/translate/verify apply when the
+// speculation is absent or does not match. Journaling, durability, and
+// crash semantics are identical to ApplyBatchCtx: adoption changes how
+// the in-memory state is produced, never what is written or fsynced.
+func (s *Session) ApplySpeculatedBatchCtx(ctx context.Context, ops []SpeculatedOp) ([]BatchItem, error) {
+	return s.applyBatch(ctx, ops, false)
+}
+
+// ApplyBatch is ApplyBatchCtx without a context bound.
+func (s *Session) ApplyBatch(ops []core.UpdateOp) ([]BatchItem, error) {
+	return s.ApplyBatchCtx(context.Background(), ops)
+}
+
+// applyBatch is the group-commit engine. With stopOnErr the loop stops
+// at the first rejection or error (script semantics, backing ApplyAll);
+// without it every op is attempted (pipeline semantics). Either way the
+// applied prefix is journaled in one write + one fsync before
+// returning, so in-memory state never runs ahead of an acknowledgement.
+func (s *Session) applyBatch(ctx context.Context, ops []SpeculatedOp, stopOnErr bool) ([]BatchItem, error) {
+	if s.broken != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSessionBroken, s.broken)
+	}
+	items := make([]BatchItem, 0, len(ops))
+	var buf []byte
+	applied := 0
+	var encodeErr error
+	for _, sop := range ops {
+		op := sop.Op
+		var d *core.Decision
+		var err error
+		if sop.Decision != nil && s.sess.AdoptSpeculated(op, sop.Decision, sop.DB, sop.FromVersion) {
+			d = sop.Decision
+		} else {
+			d, err = s.sess.ApplyCtx(ctx, op)
+		}
+		if err != nil {
+			items = append(items, BatchItem{Decision: d, Err: err})
+			if stopOnErr {
+				break
+			}
+			continue
+		}
+		rec, err := EncodeOp(s.seq+uint64(applied)+1, op, s.syms)
+		if err != nil {
+			// The op is applied in memory but cannot be journaled:
+			// memory is ahead of disk with nothing to write. Flush the
+			// encodable prefix below, then break the session.
+			items = append(items, BatchItem{Decision: d, Err: fmt.Errorf("%w: %v", ErrSessionBroken, err)})
+			encodeErr = err
+			break
+		}
+		buf = append(buf, rec...)
+		applied++
+		items = append(items, BatchItem{Decision: d})
+	}
+	if applied > 0 {
+		if err := s.j.appendEncoded(buf, applied); err != nil {
+			s.broken = err
+			return items, fmt.Errorf("%w: %v", ErrSessionBroken, err)
+		}
+		s.seq += uint64(applied)
+		s.sinceSnap += applied
+		if s.sinceSnap >= s.opts.every() {
+			s.snapErr = s.rotate()
+		}
+	}
+	if encodeErr != nil {
+		s.broken = encodeErr
+		return items, fmt.Errorf("%w: %v", ErrSessionBroken, encodeErr)
+	}
+	return items, nil
+}
+
+// applyAllChunk bounds how many ops share one group commit in ApplyAll:
+// large enough to amortize the fsync, small enough that a failed script
+// does not hold a long applied-but-unacknowledged prefix in memory.
+const applyAllChunk = 64
+
+// ApplyAll applies a sequence of updates with group commit, stopping at
+// the first rejection or error, mirroring core.Session.ApplyAll: it
+// returns the number applied (all of them durable) and the stopping
+// error. A 100-op script pays ⌈100/64⌉ fsyncs instead of 100.
+func (s *Session) ApplyAll(ops []core.UpdateOp) (int, error) {
+	return s.ApplyAllCtx(context.Background(), ops)
+}
+
+// ApplyAllCtx is ApplyAll bounded by a context, checked per update.
+func (s *Session) ApplyAllCtx(ctx context.Context, ops []core.UpdateOp) (int, error) {
+	applied := 0
+	for start := 0; start < len(ops); start += applyAllChunk {
+		end := start + applyAllChunk
+		if end > len(ops) {
+			end = len(ops)
+		}
+		chunk := make([]SpeculatedOp, end-start)
+		for i, op := range ops[start:end] {
+			chunk[i] = SpeculatedOp{Op: op}
+		}
+		items, err := s.applyBatch(ctx, chunk, true)
+		for _, it := range items {
+			if it.Err == nil {
+				applied++
+			}
+		}
+		if err != nil {
+			return applied, err
+		}
+		for _, it := range items {
+			if it.Err != nil {
+				return applied, it.Err
+			}
+		}
+	}
+	return applied, nil
+}
+
+// ViewVersion forwards the wrapped core session's view version (see
+// core.Session.ViewVersion). Recovery replays bump it, so it equals the
+// ops applied in this process, not Seq.
+func (s *Session) ViewVersion() uint64 { return s.sess.ViewVersion() }
+
+// SeedDecision forwards to the wrapped core session (see
+// core.Session.SeedDecision); the serving pipeline uses it to make the
+// commit-time decide a cache lookup.
+func (s *Session) SeedDecision(version uint64, op core.UpdateOp, d *core.Decision) {
+	s.sess.SeedDecision(version, op, d)
+}
+
+// InvalidateDecisions forwards to the wrapped core session.
+func (s *Session) InvalidateDecisions() { s.sess.InvalidateDecisions() }

@@ -1,0 +1,321 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// batchImage frames ops[0:n] exactly as applyBatch does (seq 1..n) so
+// tests can locate record boundaries inside the single group-commit
+// write.
+func batchImage(t *testing.T, n int) (image []byte, boundaries []int) {
+	t.Helper()
+	_, _, syms := edmFixture()
+	boundaries = []int{0}
+	for i, op := range ops50(syms)[:n] {
+		rec, err := EncodeOp(uint64(i+1), op, syms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		image = append(image, rec...)
+		boundaries = append(boundaries, len(image))
+	}
+	return image, boundaries
+}
+
+// TestBatchCrashMatrixEveryByte is the group-commit acceptance matrix:
+// an 8-op batch whose single journal write is torn at EVERY byte
+// boundary of the batch image. Whatever prefix of whole records
+// survives must recover cleanly — correct op count, correct database,
+// torn-tail (never corrupt, never data loss) — and the revived session
+// must complete the remaining workload.
+func TestBatchCrashMatrixEveryByte(t *testing.T) {
+	const batchN = 8
+	image, boundaries := batchImage(t, batchN)
+	for keep := 0; keep <= len(image); keep++ {
+		mem := NewMemFS()
+		ffs := NewFaultFS(mem, FaultPlan{Match: journalOnly, TearWriteAt: 1, TearKeep: keep})
+		pair, db, syms := edmFixture()
+		st, err := Create(ffs, pair, db, syms, Options{SnapshotEvery: 1 << 20})
+		if err != nil {
+			t.Fatalf("keep=%d: create: %v", keep, err)
+		}
+		items, err := st.ApplyBatch(ops50(syms)[:batchN])
+		if !errors.Is(err, ErrSessionBroken) {
+			t.Fatalf("keep=%d: torn batch write surfaced as %v, want ErrSessionBroken", keep, err)
+		}
+		// Every op decided cleanly in memory; the batch fsync failed.
+		if len(items) != batchN {
+			t.Fatalf("keep=%d: %d items, want %d", keep, len(items), batchN)
+		}
+		// The broken session refuses further batches.
+		if _, err := st.ApplyBatch(ops50(syms)[:1]); !errors.Is(err, ErrSessionBroken) {
+			t.Fatalf("keep=%d: broken session accepted a batch (%v)", keep, err)
+		}
+
+		mem.Crash()
+		// k = whole records within the kept prefix; a tear strictly
+		// inside record k+1 leaves a torn tail.
+		k := 0
+		for k+1 < len(boundaries) && boundaries[k+1] <= keep {
+			k++
+		}
+		wantTorn := keep != boundaries[k]
+		syms2 := value.NewSymbols()
+		rec, rep, err := Recover(mem, pair, syms2, Options{})
+		if err != nil {
+			t.Fatalf("keep=%d: recover: %v", keep, err)
+		}
+		if rep.Torn != wantTorn || rep.Corrupt {
+			t.Fatalf("keep=%d: tail report torn=%v corrupt=%v, want torn=%v corrupt=false",
+				keep, rep.Torn, rep.Corrupt, wantTorn)
+		}
+		if !rep.InvariantOK {
+			t.Fatalf("keep=%d: invariant not re-verified: %+v", keep, rep)
+		}
+		if got := rep.SnapshotSeq + uint64(rep.Replayed); got != uint64(k) {
+			t.Fatalf("keep=%d: recovered seq %d, want %d whole records", keep, got, k)
+		}
+		if got, want := render(rec.Database(), syms2), referenceAfter(t, k); got != want {
+			t.Fatalf("keep=%d: recovered database:\n%s\nwant:\n%s", keep, got, want)
+		}
+		// The revived session finishes the workload from the surviving
+		// prefix and lands on the full-run state.
+		ops2 := ops50(syms2)
+		if _, err := rec.ApplyAll(ops2[k:]); err != nil {
+			t.Fatalf("keep=%d: post-recovery completion: %v", keep, err)
+		}
+		if got, want := render(rec.Database(), syms2), referenceAfter(t, 50); got != want {
+			t.Fatalf("keep=%d: post-recovery state diverged:\n%s\nwant:\n%s", keep, got, want)
+		}
+	}
+}
+
+// TestBatchCrashPowerLoss covers the MemFS power-loss modes on the
+// single batch write: a failed write keeps nothing, and a failed fsync
+// keeps nothing a crash can't drop (bytes were written but never made
+// durable). Either way no op of the batch survives, and none was
+// acknowledged as durable.
+func TestBatchCrashPowerLoss(t *testing.T) {
+	plans := map[string]FaultPlan{
+		"failWrite": {Match: journalOnly, FailWriteAt: 1},
+		"failSync":  {Match: journalOnly, FailSyncAt: 1},
+	}
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			mem := NewMemFS()
+			ffs := NewFaultFS(mem, plan)
+			pair, db, syms := edmFixture()
+			st, err := Create(ffs, pair, db, syms, Options{SnapshotEvery: 1 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.ApplyBatch(ops50(syms)[:8]); !errors.Is(err, ErrSessionBroken) {
+				t.Fatalf("batch fault surfaced as %v, want ErrSessionBroken", err)
+			}
+			mem.Crash()
+			syms2 := value.NewSymbols()
+			rec, rep, err := Recover(mem, pair, syms2, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.SnapshotSeq+uint64(rep.Replayed) != 0 || rep.Corrupt {
+				t.Fatalf("unacknowledged batch partially recovered: %+v", rep)
+			}
+			if got, want := render(rec.Database(), syms2), referenceAfter(t, 0); got != want {
+				t.Fatalf("recovered database:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestApplyAllGroupCommit: a 50-op script through the store's ApplyAll
+// costs ONE journal write + fsync (one 64-op chunk), not 50, and the
+// result is both correct and durable.
+func TestApplyAllGroupCommit(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem, FaultPlan{Match: journalOnly})
+	pair, db, syms := edmFixture()
+	st, err := Create(ffs, pair, db, syms, Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := st.ApplyAll(ops50(syms))
+	if err != nil || n != 50 {
+		t.Fatalf("ApplyAll = %d, %v; want 50, nil", n, err)
+	}
+	if got := ffs.Writes(); got != 1 {
+		t.Errorf("50-op script issued %d journal writes, want 1 group commit", got)
+	}
+	if st.Seq() != 50 {
+		t.Errorf("Seq = %d, want 50", st.Seq())
+	}
+	if got, want := render(st.Database(), syms), referenceAfter(t, 50); got != want {
+		t.Errorf("ApplyAll state:\n%s\nwant:\n%s", got, want)
+	}
+	mem.Crash()
+	syms2 := value.NewSymbols()
+	rec, rep, err := Recover(mem, pair, syms2, Options{})
+	if err != nil || rep.SnapshotSeq+uint64(rep.Replayed) != 50 {
+		t.Fatalf("recover: %v, %+v", err, rep)
+	}
+	if got, want := render(rec.Database(), syms2), referenceAfter(t, 50); got != want {
+		t.Errorf("recovered state:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestApplyAllStopsAtRejection pins the script semantics ApplyAll
+// inherits from core: stop at the first rejection, report how many ops
+// landed, and leave that applied prefix durable.
+func TestApplyAllStopsAtRejection(t *testing.T) {
+	mem := NewMemFS()
+	pair, db, syms := edmFixture()
+	st, err := Create(mem, pair, db, syms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := func(e, d string) relation.Tuple {
+		return relation.Tuple{syms.Const(e), syms.Const(d)}
+	}
+	ops := []core.UpdateOp{
+		core.Insert(tup("zed", "dept0")),
+		core.Insert(tup("emp1", "dept0")), // emp1 is in dept1: E→D rejects it
+		core.Insert(tup("pat", "dept1")),  // must NOT run
+	}
+	n, err := st.ApplyAll(ops)
+	if n != 1 || !errors.Is(err, core.ErrRejected) {
+		t.Fatalf("ApplyAll = %d, %v; want 1, ErrRejected", n, err)
+	}
+	view := st.View()
+	if !view.Contains(tup("zed", "dept0")) || view.Contains(tup("pat", "dept1")) {
+		t.Error("ApplyAll did not stop at the rejection")
+	}
+	mem.Crash()
+	syms2 := value.NewSymbols()
+	rec, _, err := Recover(mem, pair, syms2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.View().Contains(relation.Tuple{syms2.Const("zed"), syms2.Const("dept0")}) {
+		t.Error("applied prefix before the rejection was not durable")
+	}
+}
+
+// TestApplyBatchContinuesPastRejection pins the pipeline semantics of
+// ApplyBatchCtx: every op is attempted, rejections ride along in their
+// items, and the applied ops around them share one durable fsync.
+func TestApplyBatchContinuesPastRejection(t *testing.T) {
+	mem := NewMemFS()
+	pair, db, syms := edmFixture()
+	st, err := Create(mem, pair, db, syms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := func(e, d string) relation.Tuple {
+		return relation.Tuple{syms.Const(e), syms.Const(d)}
+	}
+	ops := []core.UpdateOp{
+		core.Insert(tup("zed", "dept0")),
+		core.Insert(tup("emp1", "dept0")), // emp1 is in dept1: E→D rejects it; batch continues
+		core.Insert(tup("pat", "dept1")),
+	}
+	items, err := st.ApplyBatch(ops)
+	if err != nil {
+		t.Fatalf("batch error: %v", err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("%d items, want 3", len(items))
+	}
+	if items[0].Err != nil || items[2].Err != nil {
+		t.Errorf("applied ops carry errors: %v, %v", items[0].Err, items[2].Err)
+	}
+	if !errors.Is(items[1].Err, core.ErrRejected) {
+		t.Errorf("items[1].Err = %v, want ErrRejected", items[1].Err)
+	}
+	if items[1].Decision == nil || items[1].Decision.Translatable {
+		t.Error("rejected item's decision missing or marked translatable")
+	}
+	if st.Seq() != 2 {
+		t.Errorf("Seq = %d, want 2 (rejection consumes no seq)", st.Seq())
+	}
+	mem.Crash()
+	syms2 := value.NewSymbols()
+	rec, rep, err := Recover(mem, pair, syms2, Options{})
+	if err != nil || rep.Replayed+int(rep.SnapshotSeq) != 2 {
+		t.Fatalf("recover: %v, %+v", err, rep)
+	}
+	v := rec.View()
+	if !v.Contains(relation.Tuple{syms2.Const("zed"), syms2.Const("dept0")}) ||
+		!v.Contains(relation.Tuple{syms2.Const("pat"), syms2.Const("dept1")}) {
+		t.Error("batch ops around the rejection not durable")
+	}
+}
+
+// TestApplyBatchCancelledContext: a dead context fails every op in the
+// batch without touching the journal or the database.
+func TestApplyBatchCancelledContext(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem, FaultPlan{Match: journalOnly})
+	pair, db, syms := edmFixture()
+	st, err := Create(ffs, pair, db, syms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items, err := st.ApplyBatchCtx(ctx, ops50(syms)[:4])
+	if err != nil {
+		t.Fatalf("cancelled batch broke the session: %v", err)
+	}
+	for i, it := range items {
+		if it.Err == nil {
+			t.Errorf("item %d applied under a cancelled context", i)
+		}
+	}
+	if ffs.Writes() != 0 {
+		t.Errorf("cancelled batch wrote %d times to the journal", ffs.Writes())
+	}
+	if st.Seq() != 0 {
+		t.Errorf("Seq = %d, want 0", st.Seq())
+	}
+	// The session is healthy: the same batch applies once the context
+	// pressure is gone.
+	if _, err := st.ApplyBatch(ops50(syms)[:4]); err != nil {
+		t.Fatalf("healthy session refused work after cancelled batch: %v", err)
+	}
+}
+
+// TestBatchSnapshotRotation: batches count toward the snapshot cadence,
+// so a batch crossing the threshold rotates exactly like serial
+// appends do.
+func TestBatchSnapshotRotation(t *testing.T) {
+	mem := NewMemFS()
+	pair, db, syms := edmFixture()
+	st, err := Create(mem, pair, db, syms, Options{SnapshotEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ApplyBatch(ops50(syms)[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SnapshotErr(); err != nil {
+		t.Fatalf("snapshot rotation failed: %v", err)
+	}
+	mem.Crash()
+	syms2 := value.NewSymbols()
+	rec, rep, err := Recover(mem, pair, syms2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SnapshotSeq != 10 {
+		t.Errorf("SnapshotSeq = %d, want 10 (rotation covers the whole batch)", rep.SnapshotSeq)
+	}
+	if got, want := render(rec.Database(), syms2), referenceAfter(t, 10); got != want {
+		t.Errorf("recovered database:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -269,21 +269,28 @@ func openJournalAppend(fsys FS, name string) (*Journal, error) {
 
 // Append makes op durable as record seq.
 func (j *Journal) Append(seq uint64, op core.UpdateOp, syms *value.Symbols) error {
+	rec, err := EncodeOp(seq, op, syms)
+	if err != nil {
+		return err
+	}
+	return j.appendEncoded(rec, 1)
+}
+
+// appendEncoded makes a buffer of pre-framed records durable in one
+// Write and one Sync — the group-commit primitive. A per-op Append is a
+// batch of one.
+func (j *Journal) appendEncoded(buf []byte, records int) error {
 	m := smetrics.Load()
 	var t0 int64
 	if m != nil {
 		t0 = obs.NowNS()
 	}
-	rec, err := EncodeOp(seq, op, syms)
+	n, err := j.f.Write(buf)
 	if err != nil {
-		return err
+		return fmt.Errorf("store: journal write (%d/%d bytes): %w", n, len(buf), err)
 	}
-	n, err := j.f.Write(rec)
-	if err != nil {
-		return fmt.Errorf("store: journal write (%d/%d bytes): %w", n, len(rec), err)
-	}
-	if n < len(rec) {
-		return fmt.Errorf("store: short journal write (%d/%d bytes)", n, len(rec))
+	if n < len(buf) {
+		return fmt.Errorf("store: short journal write (%d/%d bytes)", n, len(buf))
 	}
 	var tSync int64
 	if m != nil {
@@ -296,8 +303,10 @@ func (j *Journal) Append(seq uint64, op core.UpdateOp, syms *value.Symbols) erro
 		now := obs.NowNS()
 		m.fsyncNs.ObserveDuration(now - tSync)
 		m.appendNs.ObserveDuration(now - t0)
-		m.journalRecords.Inc()
-		m.journalBytes.Add(int64(len(rec)))
+		m.journalRecords.Add(int64(records))
+		m.journalBytes.Add(int64(len(buf)))
+		m.journalBatches.Inc()
+		m.batchRecords.Observe(float64(records))
 	}
 	return nil
 }

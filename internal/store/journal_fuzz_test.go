@@ -23,6 +23,29 @@ func FuzzJournal(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}) // absurd declared length
 	f.Add(EncodeRecord(0, core.UpdateInsert, nil, nil))
 
+	// Batch-encoded images: group commit concatenates ordinary record
+	// frames into one write, exactly as applyBatch does. Seed a whole
+	// batch, a batch truncated at a record boundary, and a batch torn
+	// mid-record so the fuzzer explores the shapes a crashed group
+	// commit leaves behind.
+	var batch []byte
+	var bounds []int // prefix length after each whole record
+	for seq := uint64(1); seq <= 8; seq++ {
+		kind := core.UpdateInsert
+		if seq%3 == 0 {
+			kind = core.UpdateDelete
+		}
+		rec := EncodeRecord(seq, kind, []string{"w", "dept"}, nil)
+		batch = append(batch, rec...)
+		bounds = append(bounds, len(batch))
+	}
+	f.Add(append([]byte(nil), batch...))
+	f.Add(append([]byte(nil), batch[:bounds[4]]...))   // torn at a boundary
+	f.Add(append([]byte(nil), batch[:bounds[4]+5]...)) // torn inside a record
+	mid := append([]byte(nil), batch...)
+	mid[bounds[2]+recordHeaderLen] ^= 0x01 // corrupt a mid-batch payload
+	f.Add(mid)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		scan := ScanJournal(data)
 		if scan.GoodBytes > int64(len(data)) {

@@ -234,6 +234,8 @@ func (f *memReadFile) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-func (f *memReadFile) Write([]byte) (int, error) { return 0, fmt.Errorf("store: file opened read-only") }
-func (f *memReadFile) Sync() error               { return nil }
-func (f *memReadFile) Close() error              { return nil }
+func (f *memReadFile) Write([]byte) (int, error) {
+	return 0, fmt.Errorf("store: file opened read-only")
+}
+func (f *memReadFile) Sync() error  { return nil }
+func (f *memReadFile) Close() error { return nil }

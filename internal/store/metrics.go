@@ -16,6 +16,10 @@ type storeMetrics struct {
 	journalBytes   *obs.Counter
 	appendNs       *obs.Histogram
 	fsyncNs        *obs.Histogram
+	// Group commit: one batch = one write + one fsync; batchRecords is
+	// the records-per-fsync distribution (1 for per-op appends).
+	journalBatches *obs.Counter
+	batchRecords   *obs.Histogram
 
 	// Snapshots.
 	snapshots  *obs.Counter
@@ -42,6 +46,8 @@ func SetMetrics(s obs.Sink) {
 		journalBytes:   s.Counter("store_journal_bytes_total"),
 		appendNs:       s.Histogram("store_journal_append_ns"),
 		fsyncNs:        s.Histogram("store_journal_fsync_ns"),
+		journalBatches: s.Counter("store_journal_batches_total"),
+		batchRecords:   s.Histogram("store_journal_batch_records"),
 		snapshots:      s.Counter("store_snapshot_total"),
 		snapshotNs:     s.Histogram("store_snapshot_write_ns"),
 		recoveries:     s.Counter("store_recover_total"),

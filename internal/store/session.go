@@ -282,6 +282,9 @@ func Open(fsys FS, pair *core.Pair, db *relation.Relation, syms *value.Symbols, 
 // Database returns a snapshot of the current database.
 func (s *Session) Database() *relation.Relation { return s.sess.Database() }
 
+// Pair returns the view/complement pair this session serves.
+func (s *Session) Pair() *core.Pair { return s.pair }
+
 // View returns the current view instance.
 func (s *Session) View() *relation.Relation { return s.sess.View() }
 

@@ -12,6 +12,7 @@ package value
 import (
 	"fmt"
 	"strconv"
+	"sync"
 )
 
 // Value is a single relation entry: a constant (>= 0, an index into a
@@ -42,8 +43,13 @@ func (v Value) NullIndex() int64 {
 }
 
 // Symbols interns constant names. The zero value is ready to use.
-// A Symbols table is not safe for concurrent mutation.
+// A Symbols table is safe for concurrent use: the serving pipeline
+// interns names for incoming ops while the committer goroutine renders
+// names for journal records, so interning and reading must not race.
+// The lock sits at the I/O boundary — engine inner loops (joins, the
+// chase) operate on Value words and never touch the table.
 type Symbols struct {
+	mu    sync.RWMutex
 	names []string
 	index map[string]Value
 }
@@ -56,13 +62,21 @@ func NewSymbols() *Symbols {
 // Const interns name and returns its constant Value. Interning the same
 // name twice returns the same Value.
 func (s *Symbols) Const(name string) Value {
+	s.mu.RLock()
+	v, ok := s.index[name]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.index == nil {
 		s.index = make(map[string]Value)
 	}
 	if v, ok := s.index[name]; ok {
 		return v
 	}
-	v := Value(len(s.names))
+	v = Value(len(s.names))
 	s.names = append(s.names, name)
 	s.index[name] = v
 	return v
@@ -70,6 +84,8 @@ func (s *Symbols) Const(name string) Value {
 
 // Lookup returns the Value previously interned for name.
 func (s *Symbols) Lookup(name string) (Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	v, ok := s.index[name]
 	return v, ok
 }
@@ -81,6 +97,8 @@ func (s *Symbols) Name(v Value) string {
 	if v.IsNull() {
 		return "⊥" + strconv.FormatInt(v.NullIndex(), 10)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if int(v) < len(s.names) {
 		return s.names[v]
 	}
@@ -88,7 +106,11 @@ func (s *Symbols) Name(v Value) string {
 }
 
 // Len reports the number of interned constants.
-func (s *Symbols) Len() int { return len(s.names) }
+func (s *Symbols) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.names)
+}
 
 // Ints interns the decimal renderings of 0..n-1 and returns their Values.
 // Convenient for synthetic workloads.
