@@ -33,7 +33,7 @@ cover:
 # Coverage floors, set about one point under the figure measured when
 # each gate was introduced to absorb run-to-run noise: internal/obs
 # 93.3% -> 92.0, internal/store 80.2% -> 79.0, internal/analysis
-# 87.2% -> 86.0.
+# 87.2% -> 86.0, internal/delta 95.9% -> 94.0.
 cover-check:
 	@set -e; \
 	check() { \
@@ -44,6 +44,7 @@ cover-check:
 	check ./internal/obs 92.0; \
 	check ./internal/store 79.0; \
 	check ./internal/analysis 86.0; \
+	check ./internal/delta 94.0; \
 	echo "cover-check: floors held"
 
 # Run the kernel/experiment benchmarks and record them as JSON. BENCH.json
@@ -52,16 +53,17 @@ cover-check:
 bench:
 	$(GO) test -bench=. -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH.json
 
-# Regression gate: re-run the kernel and pipeline benchmarks and fail if
-# any BenchmarkRel* or BenchmarkPipeline* grew >30% ns/op against the
-# committed baseline. -count=3 runs each benchmark three times and the
+# Regression gate: re-run the kernel, pipeline, and per-delta benchmarks
+# and fail if any BenchmarkRel*, BenchmarkPipeline*, BenchmarkE5InsertDelta*,
+# or BenchmarkApplyDeltaVsFull* grew >30% ns/op against the committed
+# baseline. -count=3 runs each benchmark three times and the
 # comparison keeps the fastest, de-noising shared-machine scheduling and
 # GC hiccups. The fresh run lands in BENCH.fresh.json (gitignored; CI
 # uploads it as an artifact). A missing baseline makes the comparison
 # advisory-only (exit 0).
 bench-compare:
-	$(GO) test -bench='^Benchmark(Rel|Pipeline)' -benchmem -count=3 . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH.fresh.json
-	$(GO) run ./cmd/benchjson -compare BENCH.json -filter '^Benchmark(Rel|Pipeline)' BENCH.fresh.json
+	$(GO) test -bench='^Benchmark(Rel|Pipeline|E5InsertDelta|ApplyDeltaVsFull)' -benchmem -count=3 . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH.fresh.json
+	$(GO) run ./cmd/benchjson -compare BENCH.json -filter '^Benchmark(Rel|Pipeline|E5InsertDelta|ApplyDeltaVsFull)' BENCH.fresh.json
 
 # Run every example binary (smoke test).
 examples:

@@ -147,6 +147,97 @@ func BenchmarkE6ApplyInsert(b *testing.B) {
 	}
 }
 
+// BenchmarkE5InsertDelta measures the session decide path with
+// delta-driven incremental maintenance on, holding |Δ| = 1 while the
+// instance grows. The headline of the incremental layer: ns/op should
+// stay roughly flat across the V sweep, where the stateless
+// BenchmarkE5InsertExact grows linearly. Each iteration decides a
+// distinct op (fresh employee name) so the decision cache never hits
+// and every sample exercises the index-probed incremental decide.
+func BenchmarkE5InsertDelta(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("V=%d", n), func(b *testing.B) {
+			e := workload.NewEDM()
+			pair := core.MustPair(e.Schema, e.ED, e.DM)
+			sess, err := core.NewSession(pair, e.Instance(n, 16))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-intern the op tuples (decide-only: version never
+			// moves, so distinct tuples are what defeat the cache) and
+			// pay the one-time incremental state build before timing.
+			ops := make([]core.UpdateOp, b.N)
+			for i := range ops {
+				ops[i] = core.Insert(e.NewEmployeeTuple(fmt.Sprintf("delta%d", i), i%16))
+			}
+			if _, err := sess.Decide(core.Insert(e.NewEmployeeTuple("warmup", 0))); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := sess.Decide(ops[i])
+				if err != nil || !d.Translatable {
+					b.Fatal("unexpected verdict")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkApplyDeltaVsFull measures durable mixed batches (4 inserts
+// + 4 deletes per group commit, net-zero size) through a store session
+// with the incremental path on and off, across growing instances. The
+// instance grows in both dimensions (V/16 departments of 16 employees)
+// so the chase component touched by a delete — one department, whose
+// padded M-nulls D→M merges into one class — stays constant-size: the
+// incremental claim is cost ∝ |Δ| plus the affected component, never
+// the instance. The inc=on rows should stay roughly flat in ns/op as V
+// grows; inc=off re-projects and re-verifies the whole instance per op.
+func BenchmarkApplyDeltaVsFull(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		for _, inc := range []bool{true, false} {
+			b.Run(fmt.Sprintf("V=%d/inc=%v", n, inc), func(b *testing.B) {
+				e := workload.NewEDM()
+				pair := core.MustPair(e.Schema, e.ED, e.DM)
+				st, err := store.Create(store.NewMemFS(), pair, e.Instance(n, n/16), e.Syms,
+					store.Options{SnapshotEvery: 1 << 30})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.SetIncremental(inc)
+				ctx := context.Background()
+				batches := make([][]core.UpdateOp, b.N)
+				for i := range batches {
+					batch := make([]core.UpdateOp, 0, 8)
+					for j := 0; j < 4; j++ {
+						t := e.NewEmployeeTuple(fmt.Sprintf("d%d_%d", i, j), j)
+						batch = append(batch, core.Insert(t))
+					}
+					for j := 0; j < 4; j++ {
+						t := e.NewEmployeeTuple(fmt.Sprintf("d%d_%d", i, j), j)
+						batch = append(batch, core.Delete(t))
+					}
+					batches[i] = batch
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					items, err := st.ApplyBatchCtx(ctx, batches[i])
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, it := range items {
+						if it.Err != nil {
+							b.Fatal(it.Err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkE7Test1(b *testing.B) {
 	for _, n := range []int{64, 256} {
 		b.Run(fmt.Sprintf("V=%d", n), func(b *testing.B) {

@@ -7,7 +7,7 @@
 //
 //	viewupd -schema schema.txt -data data.txt -view "E D" [-complement "D M"]
 //	        [-script s.txt] [-journal dir] [-recover [-force]] [-timeout 2s]
-//	        [-batch n] [-pipeline] [-metrics report.json]
+//	        [-batch n] [-pipeline] [-incremental=false] [-metrics report.json]
 //
 // Without -complement, the minimal complement of Corollary 2 is used.
 // With -batch n (requires -journal), consecutive update commands are
@@ -19,7 +19,13 @@
 // (internal/serve), which overlaps the decision chase with journal
 // fsyncs; combined with -batch n, updates are submitted asynchronously
 // in windows of n so they share fsyncs through the pipeline.
-// With -metrics, every subsystem is instrumented and a report is
+// By default the session maintains delta state (view and complement
+// indexes, an incrementally chased padding) so each decide/apply costs
+// time proportional to the update, not the instance; the full
+// re-projection path runs automatically whenever the delta state cannot
+// prove the canonical outcome (and after a pipeline resync, which drops
+// the maintained state). -incremental=false forces the full path for
+// every command. With -metrics, every subsystem is instrumented and a report is
 // written to the given file on exit (even when a scripted run fails):
 // expvar-style JSON by default, Prometheus text format when the file
 // name ends in .prom, stdout when the name is "-".
@@ -80,6 +86,7 @@ type updSession interface {
 	View() *relation.Relation
 	DecideCtx(context.Context, core.UpdateOp) (*core.Decision, error)
 	ApplyCtx(context.Context, core.UpdateOp) (*core.Decision, error)
+	SetIncremental(bool)
 }
 
 var (
@@ -101,6 +108,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-command decision budget (0 = unlimited)")
 	batchN := flag.Int("batch", 1, "group up to n consecutive updates into one journal fsync (requires -journal)")
 	pipelineFlag := flag.Bool("pipeline", false, "run updates through the serving pipeline (requires -journal)")
+	incFlag := flag.Bool("incremental", true, "maintain delta state so decide/apply cost tracks the update size; -incremental=false forces the full re-projection path")
 	metricsPath := flag.String("metrics", "", "write a metrics report here on exit (JSON, or Prometheus text if the name ends in .prom; - for stdout)")
 	flag.Parse()
 	if *schemaPath == "" || *viewSpec == "" || (*dataPath == "" && !*recoverFlag) {
@@ -205,6 +213,10 @@ func main() {
 		}
 		sess = s
 	}
+	// Incremental maintenance defaults on; the decide/apply paths fall
+	// back to the full pass on their own whenever the delta state cannot
+	// prove the canonical outcome, so the flag only forces the baseline.
+	sess.SetIncremental(*incFlag)
 
 	fmt.Printf("view X = %v, constant complement Y = %v\n", x, y)
 	if good, err := pair.IsGoodComplement(); err == nil {

@@ -114,6 +114,48 @@ func TestExecuteRejectionsAndErrorsKeepDatabase(t *testing.T) {
 	}
 }
 
+// TestIncrementalFlagEquivalence runs the same script with the
+// incremental path on (the -incremental default) and off
+// (-incremental=false) and requires byte-identical output and final
+// state — the user-visible contract of the flag.
+func TestIncrementalFlagEquivalence(t *testing.T) {
+	script := []string{
+		"insert ann toys",
+		"decide insert zoe plants", // condition (a) rejection
+		"delete ed toys",
+		"replace ann toys / ann tools",
+		"delete bob tools", // last sharer: rejected
+		"view",
+		"show",
+	}
+	// One fixture (one symbol table) for both runs so the final
+	// databases are comparable value-for-value.
+	pair, db, syms := fixture(t)
+	run := func(incremental bool) (string, *relation.Relation) {
+		sess, err := core.NewSession(pair, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.SetIncremental(incremental)
+		var out bytes.Buffer
+		r := &runner{sess: sess, syms: syms, out: &out}
+		for _, cmd := range script {
+			if err := r.execute(cmd); err != nil {
+				t.Fatalf("incremental=%v %q: %v", incremental, cmd, err)
+			}
+		}
+		return out.String(), r.sess.Database()
+	}
+	incOut, incDB := run(true)
+	fullOut, fullDB := run(false)
+	if incOut != fullOut {
+		t.Errorf("outputs differ:\nincremental:\n%s\nfull:\n%s", incOut, fullOut)
+	}
+	if !incDB.Equal(fullDB) {
+		t.Error("final databases differ")
+	}
+}
+
 func TestExecuteDecideAllKindsAndShow(t *testing.T) {
 	r, out := newRunner(t)
 	before := r.sess.Database()

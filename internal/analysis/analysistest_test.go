@@ -134,6 +134,15 @@ func TestCacheBoundFixtures(t *testing.T) {
 	}
 }
 
+// TestDeltaResetFixtures: the ok fixture carries one sanctioned
+// decisions-only drop behind an allow comment.
+func TestDeltaResetFixtures(t *testing.T) {
+	suppressed := runFixtures(t, DeltaReset, "deltareset/...")
+	if len(suppressed) != 1 {
+		t.Errorf("want 1 suppressed finding from the ok fixture's allow comment, got %d", len(suppressed))
+	}
+}
+
 func TestFsyncOrderFixtures(t *testing.T) { runFixtures(t, FsyncOrder, "fsyncorder/...") }
 func TestMapIterFixtures(t *testing.T)    { runFixtures(t, MapIter, "mapiter/...") }
 func TestNilMetricsFixtures(t *testing.T) { runFixtures(t, NilMetrics, "nilmetrics/...") }
@@ -146,6 +155,7 @@ func TestEveryAnalyzerHasFixtures(t *testing.T) {
 	wantDirs := map[string][]string{
 		"budgetloop": {"budgetloop/ok", "budgetloop/bad"},
 		"cachebound": {"cachebound/ok", "cachebound/bad"},
+		"deltareset": {"deltareset/ok", "deltareset/bad"},
 		"fsyncorder": {"fsyncorder/ok", "fsyncorder/bad"},
 		"mapiter":    {"mapiter/ok", "mapiter/bad"},
 		"nilmetrics": {"nilmetrics/handles_ok", "nilmetrics/handles_bad"},

@@ -5,6 +5,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		BudgetLoop,
 		CacheBound,
+		DeltaReset,
 		FsyncOrder,
 		MapIter,
 		NilMetrics,

@@ -1,0 +1,25 @@
+// Failing fixtures for deltareset: decision caches dropped while the
+// maintained delta state of the same receiver lives on.
+package bad
+
+type session struct{}
+
+func (s *session) InvalidateDecisions() {}
+func (s *session) InvalidateDeltas()    {}
+
+type pipeline struct {
+	st      *session
+	scratch *session
+}
+
+// resync forgets the delta state entirely.
+func (p *pipeline) resync() {
+	p.st.InvalidateDecisions() // want `InvalidateDecisions\(\) on "st" without the paired InvalidateDeltas\(\)`
+}
+
+// crossed resets the deltas of a different receiver, which does not
+// cover st.
+func (p *pipeline) crossed() {
+	p.scratch.InvalidateDeltas()
+	p.st.InvalidateDecisions() // want `InvalidateDecisions\(\) on "st" without the paired InvalidateDeltas\(\)`
+}

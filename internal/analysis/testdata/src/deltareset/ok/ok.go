@@ -1,0 +1,51 @@
+// Passing fixtures for deltareset: every InvalidateDecisions() on a
+// session that maintains delta state pairs with InvalidateDeltas().
+package ok
+
+// session mimics store.Session: both invalidations available.
+type session struct{}
+
+func (s *session) InvalidateDecisions() {}
+func (s *session) InvalidateDeltas()    {}
+
+// plain mimics a component with only a decision cache: no delta state,
+// so a lone InvalidateDecisions is complete.
+type plain struct{}
+
+func (p *plain) InvalidateDecisions() {}
+
+type pipeline struct {
+	st *session
+	ca *plain
+}
+
+// resync drops both, in either order.
+func (p *pipeline) resync() {
+	p.st.InvalidateDeltas()
+	p.st.InvalidateDecisions()
+}
+
+// stale drops both the other way round.
+func (p *pipeline) stale() {
+	p.st.InvalidateDecisions()
+	p.st.InvalidateDeltas()
+}
+
+// cacheOnly invalidates a receiver that has no delta state at all.
+func (p *pipeline) cacheOnly() {
+	p.ca.InvalidateDecisions()
+}
+
+// InvalidateDecisions forwarders are the one sanctioned lone call.
+type wrapper struct {
+	st *session
+}
+
+func (w *wrapper) InvalidateDecisions() { w.st.InvalidateDecisions() }
+func (w *wrapper) InvalidateDeltas()    { w.st.InvalidateDeltas() }
+
+// deliberate documents a decisions-only drop with the allow comment.
+func (p *pipeline) deliberate() {
+	//constvet:allow deltareset -- delta state rebuilt by the caller
+	p.st.InvalidateDecisions()
+}

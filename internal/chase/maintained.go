@@ -1,0 +1,545 @@
+package chase
+
+import (
+	"sort"
+
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// Maintained is a chase fixpoint maintained under row insertions and
+// deletions, the delta-scoped counterpart of Instance + Prepare: instead
+// of re-padding and re-chasing a whole relation per update — O(|Σ|·|R|)
+// even when one row changed — a Maintained adds or removes one row and
+// propagates only from the values that actually changed, so the work is
+// proportional to the delta's affected partition.
+//
+// Rows are raw tuples (constants and labeled nulls); the union-find over
+// values carries the chase merges, exactly as Result does for a batch
+// chase. Because the merge tie-break (constants win; among nulls the
+// numerically larger, i.e. smaller-index, value wins) picks the numeric
+// maximum of a class, canonical representatives are order-independent:
+// a Maintained built by any sequence of AddRow/RemoveRow resolves every
+// value exactly as a fresh batch chase of the surviving rows would.
+//
+// Precondition for RemoveRow: distinct rows must not share labeled
+// nulls (each row's nulls are fresh, as produced by value.NullGen —
+// constants may repeat freely). FD merges then only link rows within a
+// connected component, so removal can reset and re-derive just the
+// affected component instead of the whole fixpoint.
+type Maintained struct {
+	plans Plans
+	// rows holds the raw tuples; nil marks a removed row.
+	rows  []relation.Tuple
+	alive int
+	dead  int
+	// garbage counts stale bucket entries left by removals; Wasteful
+	// reports when a rebuild would pay for itself.
+	garbage int
+	// parent/members: union-find over values (raw granularity), as in
+	// Overlay. Only non-roots have parent entries.
+	parent  map[value.Value]value.Value
+	members map[value.Value][]value.Value
+	clash   bool
+	// buckets[fi] maps Z-key hashes (canonical at insertion time) to row
+	// ids. Entries go stale as classes merge or rows die; every probe
+	// re-verifies with zEqual under the current resolution, so staleness
+	// costs space, never correctness.
+	buckets []map[uint64][]int
+	// valueRows maps each raw value to the rows containing it (stale row
+	// ids filtered lazily).
+	valueRows map[value.Value][]int
+	// rowParent/rowMembers: union-find over rows, tracking the connected
+	// components the FD merges induce; RemoveRow re-chases one component.
+	rowParent  []int
+	rowMembers map[int][]int
+}
+
+// NewMaintained returns an empty maintained fixpoint for the FD column
+// plans (see PlanFDs; plans must be over the row layout of AddRow's
+// tuples).
+func NewMaintained(plans Plans) *Maintained {
+	m := &Maintained{
+		plans:      plans,
+		parent:     make(map[value.Value]value.Value),
+		members:    make(map[value.Value][]value.Value),
+		buckets:    make([]map[uint64][]int, len(plans)),
+		valueRows:  make(map[value.Value][]int),
+		rowMembers: make(map[int][]int),
+	}
+	for i := range m.buckets {
+		m.buckets[i] = make(map[uint64][]int)
+	}
+	return m
+}
+
+// Alive reports the number of live rows.
+func (m *Maintained) Alive() int { return m.alive }
+
+// ConstClash reports whether the chase has equated two distinct
+// constants; once latched the fixpoint is unusable and callers should
+// rebuild from a consistent instance.
+func (m *Maintained) ConstClash() bool { return m.clash }
+
+// Wasteful reports whether removals have left enough tombstones and
+// stale bucket entries that rebuilding from the live rows would pay for
+// itself. Callers invalidate and rebuild; Maintained never compacts in
+// place (row ids are stable for its lifetime).
+func (m *Maintained) Wasteful() bool {
+	return m.dead*2 > m.alive+16 || m.garbage > 4*m.alive+64
+}
+
+// Find resolves a value to its canonical representative.
+func (m *Maintained) Find(v value.Value) value.Value {
+	for {
+		n, ok := m.parent[v]
+		if !ok {
+			return v
+		}
+		v = n
+	}
+}
+
+// Cell returns the canonical value of column c of live row id.
+func (m *Maintained) Cell(id, c int) value.Value {
+	return m.Find(m.rows[id][c])
+}
+
+// Row returns the raw tuple of row id (nil if removed). Callers must not
+// modify it.
+func (m *Maintained) Row(id int) relation.Tuple { return m.rows[id] }
+
+// AddRow inserts a raw row (taking ownership) and propagates the FDs to
+// a new fixpoint. It returns the row's id, stable until the Maintained
+// is rebuilt. After a constant clash the fixpoint is latched broken and
+// further propagation is skipped.
+func (m *Maintained) AddRow(row relation.Tuple) int {
+	ri := len(m.rows)
+	m.rows = append(m.rows, row)
+	m.rowParent = append(m.rowParent, ri)
+	m.alive++
+	seen := make(map[value.Value]bool, len(row))
+	for _, v := range row {
+		if !seen[v] {
+			seen[v] = true
+			m.valueRows[v] = append(m.valueRows[v], ri)
+		}
+	}
+	if !m.clash {
+		m.run([]int{ri})
+	}
+	return ri
+}
+
+// RemoveRow deletes a live row and restores the fixpoint of the
+// survivors: the row's connected component is reset to its raw values
+// and re-chased, which is exactly a fresh chase of the component minus
+// the row (no other component's classes are touched — see the
+// fresh-nulls precondition).
+func (m *Maintained) RemoveRow(id int) {
+	if id < 0 || id >= len(m.rows) || m.rows[id] == nil {
+		return
+	}
+	comp := m.componentOf(id)
+	// Reset the component's null classes. Null-rooted classes are
+	// component-local (cross-component classes arise only through a
+	// constant representative), so deleting exactly these links restores
+	// the pre-chase state of the component and nothing else.
+	resetSet := make(map[value.Value]bool)
+	for _, ri := range comp {
+		for _, v := range m.rows[ri] {
+			if v.IsNull() {
+				resetSet[v] = true
+			}
+		}
+	}
+	reset := make([]value.Value, 0, len(resetSet))
+	for v := range resetSet {
+		reset = append(reset, v)
+	}
+	sort.Slice(reset, func(i, j int) bool { return reset[i] < reset[j] })
+	rootSet := make(map[value.Value]bool)
+	for _, v := range reset {
+		rootSet[m.Find(v)] = true
+	}
+	for _, v := range reset {
+		delete(m.parent, v)
+	}
+	roots := make([]value.Value, 0, len(rootSet))
+	for v := range rootSet {
+		roots = append(roots, v)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, r := range roots {
+		if resetSet[r] {
+			// A null root of this component; its whole class was local.
+			delete(m.members, r)
+			continue
+		}
+		// A constant root may carry nulls of other components: keep them.
+		var kept []value.Value
+		for _, v := range m.members[r] {
+			if !resetSet[v] {
+				kept = append(kept, v)
+			}
+		}
+		if len(kept) == 0 {
+			delete(m.members, r)
+		} else {
+			m.members[r] = kept
+		}
+	}
+	for _, ri := range comp {
+		m.rowParent[ri] = ri
+		delete(m.rowMembers, ri)
+	}
+	m.rows[id] = nil
+	m.alive--
+	m.dead++
+	m.garbage += len(comp) * len(m.plans)
+	if m.clash {
+		return
+	}
+	seeds := make([]int, 0, len(comp)-1)
+	for _, ri := range comp {
+		if ri != id {
+			seeds = append(seeds, ri)
+		}
+	}
+	m.run(seeds)
+}
+
+// run drives the worklist: visit the seed rows, then keep visiting rows
+// containing values whose class changed, exactly the delta-scoped
+// propagation of Overlay but mutating the maintained state.
+func (m *Maintained) run(seeds []int) {
+	sort.Ints(seeds)
+	var queue []value.Value
+	for _, ri := range seeds {
+		queue = m.visitRow(ri, queue)
+		if m.clash {
+			return
+		}
+	}
+	//constvet:allow budgetloop -- each pop merges two classes or re-derives nothing; pushes are bounded by the number of merges, which is bounded by the number of distinct values
+	for len(queue) > 0 {
+		loser := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		rows := map[int]bool{}
+		for _, v := range m.classValues(loser) {
+			for _, ri := range m.valueRows[v] {
+				if m.rows[ri] != nil {
+					rows[ri] = true
+				}
+			}
+		}
+		order := make([]int, 0, len(rows))
+		for ri := range rows {
+			order = append(order, ri)
+		}
+		// Sorted for the same reason as Overlay.WithEqualities: the visit
+		// order decides merge order, which must be deterministic.
+		sort.Ints(order)
+		for _, ri := range order {
+			queue = m.visitRow(ri, queue)
+			if m.clash {
+				return
+			}
+		}
+	}
+}
+
+// visitRow re-derives row ri's FD matches under the current resolution,
+// merging A-columns with the first row sharing each Z-key and recording
+// changed-value losers on the queue.
+func (m *Maintained) visitRow(ri int, queue []value.Value) []value.Value {
+	row := m.rows[ri]
+	if row == nil {
+		return queue
+	}
+	for fi, plan := range m.plans {
+		h := m.zHashRow(row, plan[0])
+		bucket := m.buckets[fi][h]
+		other := -1
+		for _, cand := range bucket {
+			if m.rows[cand] != nil && m.zEqualRows(m.rows[cand], row, plan[0]) {
+				other = cand
+				break
+			}
+		}
+		if other < 0 {
+			m.buckets[fi][h] = append(bucket, ri)
+			continue
+		}
+		if other == ri {
+			continue
+		}
+		m.rowUnion(ri, other)
+		otherRow := m.rows[other]
+		for _, c := range plan[1] {
+			if loser, changed := m.union(row[c], otherRow[c]); changed {
+				queue = append(queue, loser)
+			}
+			if m.clash {
+				return queue
+			}
+		}
+	}
+	return queue
+}
+
+// zHashRow hashes the resolved values of the given columns.
+func (m *Maintained) zHashRow(row relation.Tuple, cols []int) uint64 {
+	h := uint64(hashSeed)
+	for _, c := range cols {
+		h = hashVal(h, uint64(m.Find(row[c])))
+	}
+	return hashMix(h)
+}
+
+// zEqualRows compares two rows on the given columns under resolution.
+func (m *Maintained) zEqualRows(a, b relation.Tuple, cols []int) bool {
+	for _, c := range cols {
+		if m.Find(a[c]) != m.Find(b[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+// classValues returns the raw values currently in v's class (including
+// the representative).
+func (m *Maintained) classValues(v value.Value) []value.Value {
+	r := m.Find(v)
+	return append([]value.Value{r}, m.members[r]...)
+}
+
+// union merges the classes of a and b, preferring constants and then
+// smaller-index nulls (the numeric maximum — order-independent). It
+// reports the losing representative and whether a merge happened; a
+// constant/constant merge latches the clash flag instead.
+func (m *Maintained) union(a, b value.Value) (value.Value, bool) {
+	ra, rb := m.Find(a), m.Find(b)
+	if ra == rb {
+		return 0, false
+	}
+	if ra.IsConst() && rb.IsConst() {
+		m.clash = true
+		return 0, false
+	}
+	if rb.IsConst() || (!ra.IsConst() && rb > ra) {
+		ra, rb = rb, ra
+	}
+	m.parent[rb] = ra
+	m.members[ra] = append(m.members[ra], rb)
+	m.members[ra] = append(m.members[ra], m.members[rb]...)
+	delete(m.members, rb)
+	return rb, true
+}
+
+// rowFind resolves a row id to its component representative.
+func (m *Maintained) rowFind(i int) int {
+	for m.rowParent[i] != i {
+		i = m.rowParent[i]
+	}
+	return i
+}
+
+// rowUnion merges two row components (smaller root wins, for
+// determinism of componentOf).
+func (m *Maintained) rowUnion(a, b int) {
+	ra, rb := m.rowFind(a), m.rowFind(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	m.rowParent[rb] = ra
+	m.rowMembers[ra] = append(m.rowMembers[ra], rb)
+	m.rowMembers[ra] = append(m.rowMembers[ra], m.rowMembers[rb]...)
+	delete(m.rowMembers, rb)
+}
+
+// componentOf returns the sorted live row ids of id's component.
+func (m *Maintained) componentOf(id int) []int {
+	r := m.rowFind(id)
+	out := append([]int{r}, m.rowMembers[r]...)
+	sort.Ints(out)
+	return out
+}
+
+// MOverlay is the result of imposing equalities on a Maintained
+// fixpoint without mutating it: the counterpart of Overlay for
+// maintained (rather than batch-prepared) state. The exact
+// translatability tests run one per candidate (f, r) pair.
+type MOverlay struct {
+	m       *Maintained
+	parent  map[value.Value]value.Value
+	members map[value.Value][]value.Value
+	clash   bool
+	// overlayBuckets[fi] maps overlay Z-key hashes discovered during
+	// propagation to representative rows.
+	overlayBuckets []map[uint64][]int
+}
+
+// WithEqualities imposes the given value pairs and propagates the FDs to
+// a new fixpoint layered over the maintained one. The receiver is not
+// modified; each call returns an independent overlay. It must not be
+// called on a clashed Maintained.
+func (m *Maintained) WithEqualities(pairs [][2]value.Value) *MOverlay {
+	ov := &MOverlay{
+		m:              m,
+		parent:         make(map[value.Value]value.Value),
+		members:        make(map[value.Value][]value.Value),
+		overlayBuckets: make([]map[uint64][]int, len(m.plans)),
+	}
+	for i := range ov.overlayBuckets {
+		ov.overlayBuckets[i] = make(map[uint64][]int)
+	}
+	var queue []value.Value
+	for _, pr := range pairs {
+		if loser, changed := ov.union(pr[0], pr[1]); changed {
+			queue = append(queue, loser)
+		}
+		if ov.clash {
+			return ov
+		}
+	}
+	//constvet:allow budgetloop -- each pop merges two classes or re-derives nothing; pushes are bounded by the number of merges, which is bounded by the number of distinct values
+	for len(queue) > 0 {
+		loser := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		// Rows containing any raw value of any maintained class merged
+		// into the loser's overlay class.
+		rows := map[int]bool{}
+		for _, mv := range ov.classMembers(loser) {
+			for _, rv := range m.classValues(mv) {
+				for _, ri := range m.valueRows[rv] {
+					if m.rows[ri] != nil {
+						rows[ri] = true
+					}
+				}
+			}
+		}
+		order := make([]int, 0, len(rows))
+		for ri := range rows {
+			order = append(order, ri)
+		}
+		sort.Ints(order)
+		for _, ri := range order {
+			row := m.rows[ri]
+			for fi, plan := range m.plans {
+				h := ov.zHashRow(row, plan[0])
+				other := -1
+				for _, cand := range ov.overlayBuckets[fi][h] {
+					if m.rows[cand] != nil && ov.zEqualRows(m.rows[cand], row, plan[0]) {
+						other = cand
+						break
+					}
+				}
+				if other < 0 {
+					// Fall back to the maintained buckets: entries are
+					// keyed by insertion-time hashes, but every hit is
+					// re-verified under the overlay resolution, and a row
+					// whose key the overlay changed is on the worklist
+					// itself, so missed chains cannot lose merges.
+					for _, cand := range m.buckets[fi][h] {
+						if m.rows[cand] != nil && ov.zEqualRows(m.rows[cand], row, plan[0]) {
+							other = cand
+							break
+						}
+					}
+				}
+				if other < 0 {
+					ov.overlayBuckets[fi][h] = append(ov.overlayBuckets[fi][h], ri)
+					continue
+				}
+				if other == ri {
+					continue
+				}
+				otherRow := m.rows[other]
+				for _, c := range plan[1] {
+					if l, changed := ov.union(row[c], otherRow[c]); changed {
+						queue = append(queue, l)
+					}
+					if ov.clash {
+						return ov
+					}
+				}
+			}
+		}
+	}
+	return ov
+}
+
+// resolve maps a raw value through the maintained then the overlay
+// union-find.
+func (ov *MOverlay) resolve(v value.Value) value.Value {
+	v = ov.m.Find(v)
+	for {
+		n, ok := ov.parent[v]
+		if !ok {
+			return v
+		}
+		v = n
+	}
+}
+
+// classMembers returns the maintained-canonical values currently in v's
+// overlay class (including the representative).
+func (ov *MOverlay) classMembers(v value.Value) []value.Value {
+	r := ov.resolve(v)
+	return append([]value.Value{r}, ov.members[r]...)
+}
+
+// zHashRow hashes the given columns of a row under overlay resolution.
+func (ov *MOverlay) zHashRow(row relation.Tuple, cols []int) uint64 {
+	h := uint64(hashSeed)
+	for _, c := range cols {
+		h = hashVal(h, uint64(ov.resolve(row[c])))
+	}
+	return hashMix(h)
+}
+
+// zEqualRows compares two rows on the given columns under overlay
+// resolution.
+func (ov *MOverlay) zEqualRows(a, b relation.Tuple, cols []int) bool {
+	for _, c := range cols {
+		if ov.resolve(a[c]) != ov.resolve(b[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+// union merges the overlay classes of a and b (same tie-break as the
+// maintained union). It reports the losing representative and whether a
+// merge happened; a constant/constant merge sets the clash flag.
+func (ov *MOverlay) union(a, b value.Value) (value.Value, bool) {
+	ra, rb := ov.resolve(a), ov.resolve(b)
+	if ra == rb {
+		return 0, false
+	}
+	if ra.IsConst() && rb.IsConst() {
+		ov.clash = true
+		return 0, false
+	}
+	if rb.IsConst() || (!ra.IsConst() && rb > ra) {
+		ra, rb = rb, ra
+	}
+	ov.parent[rb] = ra
+	ov.members[ra] = append(ov.members[ra], rb)
+	ov.members[ra] = append(ov.members[ra], ov.members[rb]...)
+	delete(ov.members, rb)
+	return rb, true
+}
+
+// ConstClash reports whether the imposition forced two distinct
+// constants equal.
+func (ov *MOverlay) ConstClash() bool { return ov.clash }
+
+// Same reports whether two values are equal under the overlay.
+func (ov *MOverlay) Same(a, b value.Value) bool {
+	return ov.resolve(a) == ov.resolve(b)
+}

@@ -1,0 +1,245 @@
+package chase
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// maintainedFixture is a random schema plus a generator of raw rows with
+// per-row fresh nulls (the Maintained precondition).
+type maintainedFixture struct {
+	u     *attr.Universe
+	fds   []dep.FD
+	plans Plans
+	rel   *relation.Relation // empty template for layout
+	gen   value.NullGen
+	next  int64 // unique constant for column 0
+	rng   *rand.Rand
+}
+
+func newMaintainedFixture(rng *rand.Rand, w, nfds int) *maintainedFixture {
+	names := make([]string, w)
+	for i := range names {
+		names[i] = fmt.Sprintf("A%02d", i)
+	}
+	u := attr.MustUniverse(names...)
+	var fds []dep.FD
+	for len(fds) < nfds {
+		lhs, rhs := u.Empty(), u.Empty()
+		for a := 0; a < w; a++ {
+			switch rng.Intn(3) {
+			case 0:
+				lhs = lhs.With(attr.ID(a))
+			case 1:
+				rhs = rhs.With(attr.ID(a))
+			}
+		}
+		rhs = rhs.Diff(lhs)
+		if lhs.IsEmpty() || rhs.IsEmpty() {
+			continue
+		}
+		// Split to single-attribute RHS, as core's artifacts do.
+		for _, id := range rhs.IDs() {
+			fds = append(fds, dep.NewFD(lhs, u.Empty().With(id)))
+		}
+	}
+	rel := relation.New(u.All())
+	return &maintainedFixture{
+		u: u, fds: fds, plans: PlanFDs(rel, fds), rel: rel, rng: rng,
+	}
+}
+
+// row builds a random raw row: column 0 is a unique constant (so rows
+// are distinct), other columns draw a small-domain constant or a fresh
+// null.
+func (fx *maintainedFixture) row() relation.Tuple {
+	w := fx.u.Size()
+	t := make(relation.Tuple, w)
+	t[0] = value.Value(1000 + fx.next)
+	fx.next++
+	for c := 1; c < w; c++ {
+		if fx.rng.Intn(2) == 0 {
+			t[c] = value.Value(fx.rng.Intn(4))
+		} else {
+			t[c] = fx.gen.Fresh()
+		}
+	}
+	return t
+}
+
+// batchChase runs the batch chase over the given raw rows.
+func (fx *maintainedFixture) batchChase(rows []relation.Tuple) *Result {
+	r := relation.New(fx.u.All())
+	for _, t := range rows {
+		r.Insert(t)
+	}
+	return Instance(r, fx.fds)
+}
+
+// checkAgainstBatch asserts that the maintained fixpoint resolves every
+// value of the live rows exactly as a fresh batch chase would (canonical
+// representatives are order-independent, see the Maintained doc).
+func checkAgainstBatch(t *testing.T, fx *maintainedFixture, m *Maintained, live map[int]relation.Tuple) {
+	t.Helper()
+	rows := make([]relation.Tuple, 0, len(live))
+	for _, row := range live {
+		rows = append(rows, row)
+	}
+	res := fx.batchChase(rows)
+	if m.ConstClash() != res.ConstClash() {
+		t.Fatalf("clash mismatch: maintained=%v batch=%v", m.ConstClash(), res.ConstClash())
+	}
+	if m.ConstClash() {
+		return
+	}
+	for _, row := range rows {
+		for _, v := range row {
+			if got, want := m.Find(v), res.Find(v); got != want {
+				t.Fatalf("Find(%v): maintained=%v batch=%v", v, got, want)
+			}
+		}
+	}
+}
+
+func TestMaintainedMatchesBatchChase(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			fx := newMaintainedFixture(rng, 3+rng.Intn(2), 3+rng.Intn(3))
+			m := NewMaintained(fx.plans)
+			live := map[int]relation.Tuple{}
+			var ids []int
+			for step := 0; step < 60; step++ {
+				if len(ids) == 0 || rng.Intn(3) != 0 {
+					row := fx.row()
+					id := m.AddRow(row)
+					live[id] = row
+					ids = append(ids, id)
+				} else {
+					k := rng.Intn(len(ids))
+					id := ids[k]
+					ids = append(ids[:k], ids[k+1:]...)
+					delete(live, id)
+					m.RemoveRow(id)
+				}
+				if m.ConstClash() {
+					// Latched: verify parity once and stop this stream.
+					checkAgainstBatch(t, fx, m, live)
+					return
+				}
+				checkAgainstBatch(t, fx, m, live)
+			}
+			if m.Alive() != len(live) {
+				t.Fatalf("alive=%d want %d", m.Alive(), len(live))
+			}
+		})
+	}
+}
+
+func TestMaintainedConstClash(t *testing.T) {
+	u := attr.MustUniverse("A", "B")
+	fds := []dep.FD{dep.NewFD(u.MustSet("A"), u.MustSet("B"))}
+	plans := PlanFDs(relation.New(u.All()), fds)
+	m := NewMaintained(plans)
+	m.AddRow(relation.Tuple{0, 1})
+	if m.ConstClash() {
+		t.Fatal("unexpected clash")
+	}
+	m.AddRow(relation.Tuple{0, 2})
+	if !m.ConstClash() {
+		t.Fatal("expected const/const clash")
+	}
+}
+
+// TestMaintainedRemoveRestoresComponent checks the removal re-chase: a
+// merge derived only through a removed row must disappear.
+func TestMaintainedRemoveRestoresComponent(t *testing.T) {
+	u := attr.MustUniverse("A", "B")
+	fds := []dep.FD{dep.NewFD(u.MustSet("A"), u.MustSet("B"))}
+	plans := PlanFDs(relation.New(u.All()), fds)
+	m := NewMaintained(plans)
+	var gen value.NullGen
+	n0, n1 := gen.Fresh(), gen.Fresh()
+	id0 := m.AddRow(relation.Tuple{7, n0})
+	m.AddRow(relation.Tuple{7, n1})
+	if m.Find(n0) != m.Find(n1) {
+		t.Fatal("expected n0 ≡ n1 via shared A")
+	}
+	m.RemoveRow(id0)
+	if m.Find(n1) != n1 {
+		t.Fatalf("n1 should be its own class after removal, got %v", m.Find(n1))
+	}
+	if m.Find(n0) != n0 {
+		t.Fatalf("removed row's null should be reset, got %v", m.Find(n0))
+	}
+	if m.Alive() != 1 {
+		t.Fatalf("alive=%d want 1", m.Alive())
+	}
+}
+
+// TestMOverlayMatchesOverlay cross-checks the maintained overlay against
+// the batch-prepared Overlay on identical fixpoints and impositions.
+func TestMOverlayMatchesOverlay(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(100 + seed))
+			fx := newMaintainedFixture(rng, 4, 4)
+			m := NewMaintained(fx.plans)
+			var rows []relation.Tuple
+			for i := 0; i < 16; i++ {
+				row := fx.row()
+				rows = append(rows, row)
+				m.AddRow(row)
+			}
+			if m.ConstClash() {
+				t.Skip("fixpoint clashed; covered elsewhere")
+			}
+			res := fx.batchChase(rows)
+			prep := Prepare(res.Relation(), fx.fds)
+			// Collect the canonical values in play.
+			var canon []value.Value
+			seen := map[value.Value]bool{}
+			for _, row := range rows {
+				for _, v := range row {
+					cv := res.Find(v)
+					if !seen[cv] {
+						seen[cv] = true
+						canon = append(canon, cv)
+					}
+				}
+			}
+			for trial := 0; trial < 20; trial++ {
+				var pairs [][2]value.Value
+				for k := 0; k < 1+rng.Intn(2); k++ {
+					a := canon[rng.Intn(len(canon))]
+					b := canon[rng.Intn(len(canon))]
+					pairs = append(pairs, [2]value.Value{a, b})
+				}
+				mov := m.WithEqualities(pairs)
+				bov := prep.WithEqualities(pairs)
+				if mov.ConstClash() != bov.ConstClash() {
+					t.Fatalf("trial %d: clash mismatch maintained=%v batch=%v (pairs %v)",
+						trial, mov.ConstClash(), bov.ConstClash(), pairs)
+				}
+				if mov.ConstClash() {
+					continue
+				}
+				for i := 0; i < len(canon); i++ {
+					for j := i + 1; j < len(canon); j++ {
+						if mov.Same(canon[i], canon[j]) != bov.Same(canon[i], canon[j]) {
+							t.Fatalf("trial %d: Same(%v,%v) mismatch", trial, canon[i], canon[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}

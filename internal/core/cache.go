@@ -38,6 +38,29 @@ type pairArtifacts struct {
 	keyOfY, keyOfX bool
 	splitFDs       []dep.FD
 	plans          chase.Plans
+	// fdPlans precomputes, per split FD Z→A, the attribute-set views the
+	// candidate loops of decideInsert/decideReplace need on every row.
+	fdPlans []fdPlan
+}
+
+// fdPlan is the per-FD geometry of the Theorem 3/9 candidate loop.
+type fdPlan struct {
+	fd    dep.FD
+	aID   attr.ID
+	zInX  attr.Set // Z ∩ X: candidate filter columns
+	zOutX attr.Set // Z ∩ (U−X): imposition columns
+	aInX  bool
+	// skippable marks FDs for which no candidate (f, r) chase can fail,
+	// so the loops elide them entirely. With μ the condition-(a) match:
+	// if Z∩X ⊆ X∩Y and A ∈ X∩Y ∪ (U−X), every surviving candidate r
+	// agrees with μ on Z∩X, and the imposition r[Z∩(U−X)] = μ[Z∩(U−X)]
+	// makes r and μ agree on all of Z in the chased fixpoint — which
+	// already satisfies Σ, so it derives r[A] = μ[A]. When A ∈ X the
+	// aInX pre-filter removed rows agreeing with t on A; agreeing with
+	// μ[A] = t[A] (μ matches t on X∩Y ∋ A) is then a constant clash —
+	// chase success either way. Skipping is sound for the full and the
+	// incremental decide paths alike.
+	skippable bool
 }
 
 // artifacts returns the pair's memoized artifacts, computing them on
@@ -49,11 +72,26 @@ func (p *Pair) artifacts() *pairArtifacts {
 	}
 	fds := p.schema.sigma.SplitFDs()
 	keyOfY, keyOfX := SharedIsKeyOf(p.schema, p.x, p.y)
+	fdPlans := make([]fdPlan, len(fds))
+	for i, f := range fds {
+		aID := f.To.IDs()[0]
+		zInX := f.From.Intersect(p.x)
+		aInX := p.x.Has(aID)
+		fdPlans[i] = fdPlan{
+			fd:        f,
+			aID:       aID,
+			zInX:      zInX,
+			zOutX:     f.From.Diff(p.x),
+			aInX:      aInX,
+			skippable: zInX.Diff(p.shared).IsEmpty() && (!aInX || p.shared.Has(aID)),
+		}
+	}
 	a := &pairArtifacts{
 		keyOfY:   keyOfY,
 		keyOfX:   keyOfX,
 		splitFDs: fds,
 		plans:    chase.PlanFDs(relation.New(p.schema.u.All()), fds),
+		fdPlans:  fdPlans,
 	}
 	p.arts.CompareAndSwap(nil, a)
 	return p.arts.Load()

@@ -250,11 +250,11 @@ func (p *Pair) decideInsert(b *budget.B, v *relation.Relation, t relation.Tuple)
 	}
 	d.ChaseCalls++
 
-	for _, f := range pd.fds {
-		aID := f.To.IDs()[0]
-		zInX := f.From.Intersect(p.x)
-		zOutX := f.From.Diff(p.x)
-		aInX := p.x.Has(aID)
+	for _, fp := range p.artifacts().fdPlans {
+		if fp.skippable {
+			continue // no candidate chase for this FD can fail (see fdPlan)
+		}
+		f, aID, zInX, zOutX, aInX := fp.fd, fp.aID, fp.zInX, fp.zOutX, fp.aInX
 		for ri, row := range v.Tuples() {
 			if !agreesOn(row, t, v, zInX) {
 				continue

@@ -23,6 +23,17 @@ type coreMetrics struct {
 	decisionMisses   *obs.Counter
 	schemaMemoHits   *obs.Counter
 	schemaMemoMisses *obs.Counter
+	// Incremental-path accounting (incremental.go): decides/applies
+	// satisfied per-delta, fallbacks to the full path, invalidations
+	// and rebuilds of the maintained state, and the sizes of the base
+	// deltas actually applied.
+	incDecide     *obs.Counter
+	incApply      *obs.Counter
+	incFallback   *obs.Counter
+	incInvalidate *obs.Counter
+	incRebuild    *obs.Counter
+	deltaPlus     *obs.Histogram
+	deltaMinus    *obs.Histogram
 	// decideNs and applyNs are indexed by UpdateKind.
 	decideNs [3]*obs.Histogram
 	applyNs  [3]*obs.Histogram
@@ -50,6 +61,13 @@ func SetMetrics(s obs.Sink) {
 		decisionMisses:   s.Counter("core_decision_cache_misses_total"),
 		schemaMemoHits:   s.Counter("core_schema_memo_hits_total"),
 		schemaMemoMisses: s.Counter("core_schema_memo_misses_total"),
+		incDecide:        s.Counter("core_inc_decide_total"),
+		incApply:         s.Counter("core_inc_apply_total"),
+		incFallback:      s.Counter("core_inc_fallback_total"),
+		incInvalidate:    s.Counter("core_inc_invalidate_total"),
+		incRebuild:       s.Counter("core_inc_rebuild_total"),
+		deltaPlus:        s.Histogram("core_delta_plus_size"),
+		deltaMinus:       s.Histogram("core_delta_minus_size"),
 	}
 	for _, k := range [...]UpdateKind{UpdateInsert, UpdateDelete, UpdateReplace} {
 		m.decideNs[k] = s.Histogram("core_decide_" + k.String() + "_ns")

@@ -91,11 +91,11 @@ func (p *Pair) decideReplace(b *budget.B, v *relation.Relation, t1, t2 relation.
 		d.Reason = ReasonNoSharedMatch
 		return d, nil
 	}
-	for _, f := range pd.fds {
-		aID := f.To.IDs()[0]
-		zInX := f.From.Intersect(p.x)
-		zOutX := f.From.Diff(p.x)
-		aInX := p.x.Has(aID)
+	for _, fp := range p.artifacts().fdPlans {
+		if fp.skippable {
+			continue // no candidate chase for this FD can fail (see fdPlan)
+		}
+		f, aID, zInX, zOutX, aInX := fp.fd, fp.aID, fp.zInX, fp.zOutX, fp.aInX
 		for ri, row := range v.Tuples() {
 			if row.Equal(t1) {
 				continue // t1's database rows are removed by the translation

@@ -79,6 +79,15 @@ type Session struct {
 	// re-decide is a lookup. Safe for concurrent seed/read; the rest of
 	// the Session is not goroutine-safe.
 	cache decisionCache
+	// inc is the lazily built delta-maintenance state (see
+	// incremental.go); nil means it will be rebuilt from the database on
+	// the next incremental decide. incEnabled gates the whole path.
+	inc        *incState
+	incEnabled bool
+	// dbShared marks that a StateRef (or adopted speculation) aliases
+	// db: the incremental apply must copy-on-write before mutating so
+	// outstanding refs keep describing the state they were taken at.
+	dbShared bool
 }
 
 // NewSession starts a session on a legal database instance.
@@ -90,7 +99,69 @@ func NewSession(pair *Pair, db *relation.Relation) (*Session, error) {
 		pair:       pair,
 		db:         db.Clone(),
 		complement: db.Project(pair.ComplementAttrs()),
+		incEnabled: true,
 	}, nil
+}
+
+// SetIncremental enables or disables the delta-driven incremental
+// decide/apply path (incremental.go). Disabling drops the maintained
+// state; both paths produce identical decisions and databases, so the
+// switch is safe at any point of a session's life.
+func (s *Session) SetIncremental(on bool) {
+	s.incEnabled = on
+	if !on {
+		s.inc = nil
+	}
+}
+
+// IncrementalEnabled reports whether the incremental path can engage:
+// it is switched on and Σ is FDs only (the non-FD case always takes
+// the full path).
+func (s *Session) IncrementalEnabled() bool {
+	return s.incEnabled && s.pair.schema.fdsOnly()
+}
+
+// InvalidateDeltas drops the incrementally maintained delta state; the
+// next incremental decide rebuilds it from the database. The serving
+// pipeline calls it beside InvalidateDecisions whenever its scratch
+// state diverged — a stale maintained image, like a stale decision
+// seed, must never survive a resync.
+func (s *Session) InvalidateDeltas() {
+	s.invalidateInc()
+}
+
+// invalidateInc drops the maintained state, counting the invalidation.
+func (s *Session) invalidateInc() {
+	if s.inc == nil {
+		return
+	}
+	s.inc = nil
+	if m := coremetrics.Load(); m != nil {
+		m.incInvalidate.Inc()
+	}
+}
+
+// ensureInc returns the maintained state, rebuilding it if invalidated.
+// nil means the incremental path cannot run (disabled, non-FD Σ, or a
+// broken session invariant — then the path disables itself rather than
+// rebuild-and-fail on every decide).
+func (s *Session) ensureInc() *incState {
+	if !s.incEnabled || !s.pair.schema.fdsOnly() {
+		return nil
+	}
+	if s.inc != nil {
+		return s.inc
+	}
+	st := buildIncState(s.pair, s.db, s.complement)
+	if st == nil {
+		s.incEnabled = false
+		return nil
+	}
+	if m := coremetrics.Load(); m != nil {
+		m.incRebuild.Inc()
+	}
+	s.inc = st
+	return st
 }
 
 // StateRef returns the session's current database without cloning.
@@ -100,7 +171,13 @@ func NewSession(pair *Pair, db *relation.Relation) (*Session, error) {
 // later applies still describe exactly the state they were taken at.
 // The serving pipeline ships refs from its scratch session to the
 // authoritative one (see AdoptSpeculated).
-func (s *Session) StateRef() *relation.Relation { return s.db }
+func (s *Session) StateRef() *relation.Relation {
+	// The incremental apply mutates the current relation in place;
+	// marking it shared forces a copy-on-write first, preserving the
+	// stability contract above.
+	s.dbShared = true
+	return s.db
+}
 
 // AdoptSpeculated installs an apply outcome computed speculatively by
 // another session that was replaying this session's exact state (the
@@ -124,6 +201,10 @@ func (s *Session) AdoptSpeculated(op UpdateOp, d *Decision, db *relation.Relatio
 		return false
 	}
 	s.db = db
+	// The adopted relation is owned by the speculating session and the
+	// maintained delta state still images the replaced one.
+	s.dbShared = true
+	s.invalidateInc()
 	s.version++
 	s.log = append(s.log, LogEntry{Op: op, Decision: d, Applied: true})
 	if m := coremetrics.Load(); m != nil {
@@ -203,6 +284,30 @@ func (s *Session) decideCtx(ctx context.Context, op UpdateOp, parent *obs.Span) 
 	if m != nil {
 		t0 = obs.NowNS()
 	}
+	if st := s.ensureInc(); st != nil {
+		if d, ok := s.decideInc(ctx, st, op); ok {
+			if m != nil {
+				m.incDecide.Inc()
+				m.decideTotal.Inc()
+				if validKind(op.Kind) {
+					m.decideNs[op.Kind].ObserveDuration(obs.SinceNS(t0))
+				}
+				if d.Translatable {
+					m.translatable.Inc()
+				} else {
+					m.rejected.Inc()
+				}
+			}
+			s.cache.put(s.version, key, d)
+			return d, nil
+		}
+		// The incremental path could not prove the canonical outcome
+		// (counterexample witness, domain error, inconsistency): run the
+		// full decide below.
+		if m != nil {
+			m.incFallback.Inc()
+		}
+	}
 	v := s.View()
 	var d *Decision
 	var err error
@@ -266,6 +371,28 @@ func (s *Session) ApplyCtx(ctx context.Context, op UpdateOp) (*Decision, error) 
 	if m != nil {
 		t0 = obs.NowNS()
 	}
+	// Delta path: apply the translation as (Δ⁺, Δ⁻) in O(|Δ|), with the
+	// invariant checks scoped to the delta's keys. On any failure the
+	// database is untouched and the full path below re-verifies from
+	// scratch.
+	if s.inc != nil && s.incEnabled {
+		if s.applyInc(s.inc, op, d) {
+			if m != nil {
+				m.incApply.Inc()
+				if validKind(op.Kind) {
+					m.applyNs[op.Kind].ObserveDuration(obs.SinceNS(t0))
+				}
+				m.applied.Inc()
+			}
+			tsp.End()
+			s.version++
+			s.log = append(s.log, LogEntry{Op: op, Decision: d, Applied: true})
+			return d, nil
+		}
+		if m != nil {
+			m.incFallback.Inc()
+		}
+	}
 	// The translate-only variants skip the Pair methods' defensive
 	// re-verification: the complement-constancy and legality checks
 	// below are the single verification layer for session applies.
@@ -291,7 +418,11 @@ func (s *Session) ApplyCtx(ctx context.Context, op UpdateOp) (*Decision, error) 
 	if ok, bad := s.pair.Schema().Legal(out); !ok {
 		return d, fmt.Errorf("core: internal: database became illegal (%v)", bad)
 	}
+	// The full path swapped the database pointer under the maintained
+	// delta state; drop it (rebuilt lazily on the next decide).
 	s.db = out
+	s.dbShared = false
+	s.invalidateInc()
 	s.version++
 	s.log = append(s.log, LogEntry{Op: op, Decision: d, Applied: true})
 	if m != nil {

@@ -189,6 +189,9 @@ func New(st *store.Session, opts Options) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: scratch session: %w", err)
 	}
+	// The scratch mirrors the store's incremental setting so speculated
+	// and committed decides exercise the same path.
+	scratch.SetIncremental(st.IncrementalEnabled())
 	go p.decider(scratch, st.ViewVersion())
 	go p.committer()
 	return p, nil
@@ -378,6 +381,7 @@ func (p *Pipeline) applyResync(msg resyncMsg) (*core.Session, uint64, uint64) {
 	if err != nil {
 		return nil, 0, msg.gen
 	}
+	scratch.SetIncremental(p.st.IncrementalEnabled())
 	return scratch, msg.ver, msg.gen
 }
 
@@ -397,8 +401,11 @@ func (p *Pipeline) committer() {
 		if stale {
 			// The batch was speculated against a pre-divergence scratch;
 			// wipe any seeds it planted so every decide recomputes
-			// against authoritative state.
+			// against authoritative state, and drop the maintained delta
+			// state with them — it may have been advanced by adopted
+			// pre-divergence speculations.
 			p.st.InvalidateDecisions()
+			p.st.InvalidateDeltas()
 		}
 		ops := make([]store.SpeculatedOp, len(b.reqs))
 		for i, r := range b.reqs {
@@ -448,9 +455,11 @@ func (p *Pipeline) committer() {
 				m.divergences.Inc()
 			}
 			// Order matters: bump the generation first so the decider
-			// stops seeding, then wipe whatever it already planted.
+			// stops seeding, then wipe whatever it already planted —
+			// decision seeds and maintained delta state alike.
 			p.genWanted.Add(1)
 			p.st.InvalidateDecisions()
+			p.st.InvalidateDeltas()
 			msg := resyncMsg{db: p.st.Database(), ver: p.st.ViewVersion(), gen: p.genWanted.Load()}
 			// Overwrite any pending resync: only the newest state counts.
 			select {

@@ -89,7 +89,13 @@ func (s *Session) applyBatch(ctx context.Context, ops []SpeculatedOp, stopOnErr 
 		op := sop.Op
 		var d *core.Decision
 		var err error
-		if sop.Decision != nil && s.sess.AdoptSpeculated(op, sop.Decision, sop.DB, sop.FromVersion) {
+		// With the incremental path on, a per-delta ApplyCtx beats
+		// adopting the speculated whole-instance state: adoption swaps
+		// the database pointer and invalidates the maintained delta
+		// state every op. The speculated decision still pays off — the
+		// decider seeded it, so the re-decide is a cache lookup.
+		if sop.Decision != nil && !s.sess.IncrementalEnabled() &&
+			s.sess.AdoptSpeculated(op, sop.Decision, sop.DB, sop.FromVersion) {
 			d = sop.Decision
 		} else {
 			d, err = s.sess.ApplyCtx(ctx, op)
@@ -189,3 +195,15 @@ func (s *Session) SeedDecision(version uint64, op core.UpdateOp, d *core.Decisio
 
 // InvalidateDecisions forwards to the wrapped core session.
 func (s *Session) InvalidateDecisions() { s.sess.InvalidateDecisions() }
+
+// InvalidateDeltas forwards to the wrapped core session (see
+// core.Session.InvalidateDeltas): the serving pipeline drops the
+// maintained delta state whenever its speculation basis diverged.
+func (s *Session) InvalidateDeltas() { s.sess.InvalidateDeltas() }
+
+// SetIncremental forwards to the wrapped core session, switching the
+// delta-driven incremental decide/apply path on or off.
+func (s *Session) SetIncremental(on bool) { s.sess.SetIncremental(on) }
+
+// IncrementalEnabled forwards to the wrapped core session.
+func (s *Session) IncrementalEnabled() bool { return s.sess.IncrementalEnabled() }

@@ -3,9 +3,11 @@ package store
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 
 	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/obs"
 	"github.com/constcomp/constcomp/internal/relation"
 	"github.com/constcomp/constcomp/internal/value"
 )
@@ -317,5 +319,56 @@ func TestBatchSnapshotRotation(t *testing.T) {
 	}
 	if got, want := render(rec.Database(), syms2), referenceAfter(t, 10); got != want {
 		t.Errorf("recovered database:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMixedBatchSingleFsync pins the batch path for Theorem 8/9 ops:
+// a group commit mixing inserts, deletes, and replaces — not just
+// inserts — lands as ONE journal batch with ONE fsync, and with the
+// incremental path on (the default) every op still applies. This is
+// what lets the per-delta benchmarks measure mixed batches.
+func TestMixedBatchSingleFsync(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	pair, db, syms := edmFixture()
+	st, err := Create(NewMemFS(), pair, db, syms, Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IncrementalEnabled() {
+		t.Fatal("incremental maintenance should default on")
+	}
+	tup := func(name string, d int) relation.Tuple {
+		return relation.Tuple{syms.Const(name), syms.Const(fmt.Sprintf("dept%d", d%2))}
+	}
+	batch := []core.UpdateOp{
+		core.Insert(tup("ba", 0)),
+		core.Insert(tup("bb", 1)),
+		core.Insert(tup("bc", 0)),
+		core.Replace(tup("bc", 0), tup("bc", 1)),
+		core.Delete(tup("ba", 0)),
+		core.Delete(tup("bb", 1)),
+		core.Insert(tup("bd", 0)),
+		core.Delete(tup("bc", 1)),
+	}
+	items, err := st.ApplyBatchCtx(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("op %d: %v", i, it.Err)
+		}
+	}
+	if got := reg.Counter("store_journal_batches_total").Value(); got != 1 {
+		t.Errorf("store_journal_batches_total = %d, want 1 (the whole mixed batch shares a commit)", got)
+	}
+	if got := reg.Histogram("store_journal_fsync_ns").Count(); got != 1 {
+		t.Errorf("fsync count = %d, want 1", got)
+	}
+	if got := reg.Counter("store_journal_records_total").Value(); got != int64(len(batch)) {
+		t.Errorf("store_journal_records_total = %d, want %d", got, len(batch))
 	}
 }
