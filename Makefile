@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race lint cover cover-check bench bench-compare examples experiments fuzz fuzz-smoke clean
+.PHONY: all check build vet test race lint cover cover-check bench bench-compare chaos-smoke examples experiments fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -64,6 +64,14 @@ bench:
 bench-compare:
 	$(GO) test -bench='^Benchmark(Rel|Pipeline|E5InsertDelta|ApplyDeltaVsFull)' -benchmem -count=3 . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH.fresh.json
 	$(GO) run ./cmd/benchjson -compare BENCH.json -filter '^Benchmark(Rel|Pipeline|E5InsertDelta|ApplyDeltaVsFull)' BENCH.fresh.json
+
+# Chaos smoke: six canonical per-kind fault schedules plus a fixed-seed
+# sweep through the self-healing pipeline (internal/chaos). Exits
+# non-zero on any acked-op loss, oracle divergence, or if the sweep
+# fails to drive at least one resurrection and one shed. Virtual time
+# keeps it to a few seconds wall-clock.
+chaos-smoke:
+	$(GO) run ./cmd/chaos -seeds 40 -ops 40
 
 # Run every example binary (smoke test).
 examples:

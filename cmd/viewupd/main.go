@@ -18,7 +18,12 @@
 // (requires -journal), updates run through the serving pipeline
 // (internal/serve), which overlaps the decision chase with journal
 // fsyncs; combined with -batch n, updates are submitted asynchronously
-// in windows of n so they share fsyncs through the pipeline.
+// in windows of n so they share fsyncs through the pipeline. The
+// pipeline is self-healing: if a storage fault breaks the session
+// mid-run, it is quarantined and a fresh session is resurrected by
+// re-running recovery against the same -journal directory (the online
+// form of -recover) — acknowledged updates survive byte-identically,
+// un-acked ones are retried or rejected, never silently dropped.
 // By default the session maintains delta state (view and complement
 // indexes, an incrementally chased padding) so each decide/apply costs
 // time proportional to the update, not the instance; the full
@@ -184,12 +189,14 @@ func main() {
 
 	var sess updSession
 	var st *store.Session
+	var storeFS store.FS
 	switch {
 	case *journalDir != "":
 		fsys, err := store.NewDirFS(*journalDir)
 		if err != nil {
 			log.Fatal(err)
 		}
+		storeFS = fsys
 		if *recoverFlag {
 			s, rep, err := store.Recover(fsys, pair, syms, store.Options{ForceRecover: *forceFlag})
 			if err != nil {
@@ -235,13 +242,33 @@ func main() {
 	}
 	r := &runner{sess: sess, syms: syms, out: os.Stdout, timeout: *timeout, batch: *batchN, st: st}
 	if *pipelineFlag {
-		pipe, err := serve.New(st, serve.Options{MaxBatch: *batchN})
+		// The pipeline self-heals: when a storage fault breaks the
+		// session, it quarantines it and resurrects a fresh one by
+		// re-running recovery off the same journal directory —
+		// acknowledged updates are replayed, un-acked ones retried. This
+		// is the same machinery -recover uses at startup, run online.
+		pipe, err := serve.New(st, serve.Options{
+			MaxBatch: *batchN,
+			Resurrect: func() (*store.Session, error) {
+				ns, _, err := store.Recover(storeFS, pair, syms, store.Options{ForceRecover: *forceFlag})
+				if err != nil {
+					return nil, err
+				}
+				ns.SetIncremental(*incFlag)
+				return ns, nil
+			},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer func() {
 			if err := pipe.Close(); err != nil {
 				log.Print(err)
+			}
+			// A resurrection replaced the session we opened; close the
+			// replacement too (the original is covered by its own defer).
+			if cur := pipe.Store(); cur != st {
+				cur.Close()
 			}
 		}()
 		r.pipe = pipe
@@ -336,6 +363,17 @@ func runScript(r *runner, in io.Reader) error {
 	return nil
 }
 
+// sessNow returns the session reads and decides should target: the
+// pipeline's current store session when one is running — resurrection
+// may have replaced the session the runner was built with — and the
+// fixed session otherwise.
+func (r *runner) sessNow() updSession {
+	if r.pipe != nil {
+		return r.pipe.Store()
+	}
+	return r.sess
+}
+
 func (r *runner) ctx() (context.Context, context.CancelFunc) {
 	if r.timeout > 0 {
 		return context.WithTimeout(context.Background(), r.timeout)
@@ -346,7 +384,7 @@ func (r *runner) ctx() (context.Context, context.CancelFunc) {
 // parseOp parses "insert"/"delete"/"replace" operand text into an
 // update op over the current view.
 func (r *runner) parseOp(kind, rest string) (core.UpdateOp, error) {
-	view := r.sess.View()
+	view := r.sessNow().View()
 	switch kind {
 	case "insert", "delete":
 		t, err := workload.ParseTuple(view, r.syms, rest)
@@ -394,9 +432,9 @@ func (r *runner) execute(line string) error {
 	}
 	switch cmd {
 	case "show":
-		fmt.Fprint(r.out, r.sess.Database().Format(r.syms))
+		fmt.Fprint(r.out, r.sessNow().Database().Format(r.syms))
 	case "view":
-		fmt.Fprint(r.out, r.sess.View().Format(r.syms))
+		fmt.Fprint(r.out, r.sessNow().View().Format(r.syms))
 	case "decide":
 		sub := strings.SplitN(rest, " ", 2)
 		if len(sub) != 2 {
@@ -408,7 +446,7 @@ func (r *runner) execute(line string) error {
 		}
 		ctx, cancel := r.ctx()
 		defer cancel()
-		d, err := r.sess.DecideCtx(ctx, op)
+		d, err := r.sessNow().DecideCtx(ctx, op)
 		if err != nil {
 			return r.describeTimeout(err)
 		}

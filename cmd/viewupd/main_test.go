@@ -357,6 +357,64 @@ func TestScriptPipelineMode(t *testing.T) {
 	}
 }
 
+// TestScriptPipelineResurrection wires the -pipeline self-healing path
+// exactly the way main does: a journal fsync fault breaks the first
+// session mid-script, the pipeline resurrects a fresh one by
+// re-running recovery off the same filesystem, and every scripted
+// update still lands durably — the script reports zero failures.
+func TestScriptPipelineResurrection(t *testing.T) {
+	pair, db, syms := fixture(t)
+	mem := store.NewMemFS()
+	fsys := store.NewFaultFS(mem, store.FaultPlan{
+		Match:      func(name string) bool { return name == store.JournalFile },
+		FailSyncAt: 2,
+	})
+	st, err := store.Create(fsys, pair, db, syms, store.Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := serve.New(st, serve.Options{
+		MaxBatch: 2,
+		Resurrect: func() (*store.Session, error) {
+			ns, _, err := store.Recover(mem, pair, syms, store.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return ns, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	r := &runner{sess: st, syms: syms, out: &out, batch: 2, st: st, pipe: pipe}
+	script := "insert ann toys\ninsert zed tools\ninsert kim toys\ninsert pat tools\nshow\n"
+	if err := runScript(r, strings.NewReader(script)); err != nil {
+		t.Fatalf("script failed despite self-healing: %v\n%s", err, out.String())
+	}
+	if pipe.Store() == st {
+		t.Fatal("sync fault never fired: pipeline still on the original session")
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The post-resurrection `show` must reflect the healed session.
+	if !strings.Contains(out.String(), "pat") {
+		t.Errorf("show after resurrection missing batched update:\n%s", out.String())
+	}
+	mem.Crash()
+	syms2 := value.NewSymbols()
+	rec, _, err := store.Recover(mem, pair, syms2, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range [][2]string{{"ann", "toys"}, {"zed", "tools"}, {"kim", "toys"}, {"pat", "tools"}} {
+		if !rec.View().Contains(relation.Tuple{syms2.Const(want[0]), syms2.Const(want[1])}) {
+			t.Errorf("update %v lost across resurrection + crash", want)
+		}
+	}
+}
+
 // TestRunnerTimeout: with an already-expired budget every update
 // command fails as a timeout error (and is skipped) instead of
 // hanging or crashing the session.

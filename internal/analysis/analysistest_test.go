@@ -143,6 +143,7 @@ func TestDeltaResetFixtures(t *testing.T) {
 	}
 }
 
+func TestErrClassFixtures(t *testing.T)   { runFixtures(t, ErrClass, "errclass/...") }
 func TestFsyncOrderFixtures(t *testing.T) { runFixtures(t, FsyncOrder, "fsyncorder/...") }
 func TestMapIterFixtures(t *testing.T)    { runFixtures(t, MapIter, "mapiter/...") }
 func TestNilMetricsFixtures(t *testing.T) { runFixtures(t, NilMetrics, "nilmetrics/...") }
@@ -156,6 +157,7 @@ func TestEveryAnalyzerHasFixtures(t *testing.T) {
 		"budgetloop": {"budgetloop/ok", "budgetloop/bad"},
 		"cachebound": {"cachebound/ok", "cachebound/bad"},
 		"deltareset": {"deltareset/ok", "deltareset/bad"},
+		"errclass":   {"errclass/ok", "errclass/bad"},
 		"fsyncorder": {"fsyncorder/ok", "fsyncorder/bad"},
 		"mapiter":    {"mapiter/ok", "mapiter/bad"},
 		"nilmetrics": {"nilmetrics/handles_ok", "nilmetrics/handles_bad"},

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrClass enforces the error-taxonomy contract of the self-healing
+// boundary (internal/store, internal/serve): retry policy is driven by
+// classifying errors transient or permanent, so (1) every package-level
+// Err* sentinel must be covered by the package's classOf taxonomy
+// function — an unclassified sentinel silently falls into ClassUnknown
+// and is never retried — and (2) errors must be wrapped with %w, never
+// %v or %s, or errors.Is cannot see the cause through the wrap and a
+// permanent cause would be retried (or a transient one surfaced).
+// Introduced with PR 7's self-healing pipeline.
+var ErrClass = &Analyzer{
+	Name: "errclass",
+	Doc: "taxonomy packages must classify every Err* sentinel in classOf and " +
+		"wrap errors with %w (not %v/%s) so the retry classifier sees the cause chain",
+	AppliesTo: func(pkgPath string) bool {
+		return pathHasSuffix(pkgPath, "internal/store") || pathHasSuffix(pkgPath, "internal/serve")
+	},
+	Run: runErrClass,
+}
+
+func runErrClass(pass *Pass) error {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	isErr := func(t types.Type) bool { return t != nil && types.Implements(t, errIface) }
+
+	// Collect the package-level Err* sentinels and every object the
+	// classOf function references (grouped var blocks included).
+	var sentinels []*types.Var
+	classified := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if !strings.HasPrefix(name.Name, "Err") {
+							continue
+						}
+						if v, ok := pass.Info.Defs[name].(*types.Var); ok && isErr(v.Type()) {
+							sentinels = append(sentinels, v)
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name != "classOf" || d.Recv != nil || d.Body == nil {
+					continue
+				}
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok {
+						if obj := pass.Info.Uses[id]; obj != nil {
+							classified[obj] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	for _, v := range sentinels {
+		if !classified[v] {
+			pass.Reportf(v.Pos(),
+				"error sentinel %s is not classified in classOf: an unclassified sentinel is ClassUnknown and never retried", v.Name())
+		}
+	}
+
+	// Flag fmt.Errorf calls that format an error-typed argument with %v
+	// or %s instead of wrapping it with %w.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			for i, verb := range formatVerbs(format) {
+				argIdx := 1 + i
+				if argIdx >= len(call.Args) {
+					break
+				}
+				if verb != 'v' && verb != 's' {
+					continue
+				}
+				if isErr(pass.TypeOf(call.Args[argIdx])) {
+					pass.Reportf(call.Args[argIdx].Pos(),
+						"error formatted with %%%c loses the cause chain for Classify: wrap with %%w", verb)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// formatVerbs returns the verb letters of a Printf-style format string
+// in argument order, skipping %%. Formats using explicit argument
+// indexes (%[1]v) or *-widths consume arguments out of order, which
+// this scanner does not model; it returns nil so no verb is matched.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		for i < len(format) && strings.ContainsRune("+-# 0.123456789", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '[' || format[i] == '*' {
+			return nil
+		}
+		verbs = append(verbs, rune(format[i]))
+	}
+	return verbs
+}

@@ -6,6 +6,7 @@ func All() []*Analyzer {
 		BudgetLoop,
 		CacheBound,
 		DeltaReset,
+		ErrClass,
 		FsyncOrder,
 		MapIter,
 		NilMetrics,

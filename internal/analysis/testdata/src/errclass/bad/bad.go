@@ -1,0 +1,44 @@
+// Failing fixtures for errclass: sentinels missing from the taxonomy
+// and chain-destroying wrap verbs.
+package bad
+
+import (
+	"errors"
+	"fmt"
+)
+
+type Class int
+
+const (
+	ClassUnknown Class = iota
+	ClassTransient
+)
+
+var ErrKnown = errors.New("known")
+
+// A sentinel buried in a grouped var block still needs classifying.
+var (
+	ErrForgotten = errors.New("forgotten") // want `error sentinel ErrForgotten is not classified in classOf`
+)
+
+func classOf(err error) Class {
+	if errors.Is(err, ErrKnown) {
+		return ClassTransient
+	}
+	return ClassUnknown
+}
+
+// WrapV formats the cause with %v: errors.Is cannot see through it.
+func WrapV(err error) error {
+	return fmt.Errorf("bad: applying batch: %v", err) // want `error formatted with %v loses the cause chain`
+}
+
+// WrapS is the same bug with %s.
+func WrapS(err error) error {
+	return fmt.Errorf("bad: op %d: %s", 7, err) // want `error formatted with %s loses the cause chain`
+}
+
+// MixedWrap wraps one cause correctly but loses the second.
+func MixedWrap(err error) error {
+	return fmt.Errorf("%w: recovering: %v", ErrKnown, err) // want `error formatted with %v loses the cause chain`
+}

@@ -1,0 +1,54 @@
+// Passing fixtures for errclass: every sentinel is covered by the
+// classOf taxonomy and error wraps preserve the cause chain with %w.
+package ok
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Class mirrors the store taxonomy.
+type Class int
+
+const (
+	ClassUnknown Class = iota
+	ClassTransient
+	ClassPermanent
+)
+
+var ErrTorn = errors.New("torn")
+
+// Grouped sentinels are resolved through the var block too.
+var (
+	ErrCorrupt = errors.New("corrupt")
+	ErrLost    = errors.New("lost")
+)
+
+// errsByName is not a sentinel (not error-typed); names alone don't
+// trigger the check.
+var ErrNames = []string{"torn", "corrupt"}
+
+func classOf(err error) Class {
+	switch {
+	case errors.Is(err, ErrTorn), errors.Is(err, ErrCorrupt):
+		return ClassTransient
+	case errors.Is(err, ErrLost):
+		return ClassPermanent
+	}
+	return ClassUnknown
+}
+
+// Wrap keeps the cause visible to errors.Is through the wrap.
+func Wrap(err error) error {
+	return fmt.Errorf("ok: applying batch: %w", err)
+}
+
+// DoubleWrap chains two causes; both stay visible.
+func DoubleWrap(err error) error {
+	return fmt.Errorf("%w: replaying journal: %w", ErrTorn, err)
+}
+
+// Show formats non-errors with %v and %s freely.
+func Show(n int, name string) error {
+	return fmt.Errorf("ok: %d ops in %s", n, name)
+}

@@ -1,6 +1,9 @@
 package obs
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // The obs layer owns the repository's only sanctioned clock reads (the
 // walltime analyzer in internal/analysis enforces this). Kernels,
@@ -19,3 +22,89 @@ func NowNS() int64 { return int64(time.Since(clockEpoch)) }
 // SinceNS returns the nanoseconds elapsed since an earlier NowNS
 // reading.
 func SinceNS(start int64) int64 { return NowNS() - start }
+
+// Clock is the injectable time source for code that must *wait*, not
+// just measure: retry backoff, admission deadlines. Production code
+// takes a Clock so tests and the chaos harness can substitute a
+// ManualClock, making every retry schedule deterministic and instant —
+// the same discipline NowNS enforces for measurement, extended to
+// sleeping. Implementations must be safe for concurrent use.
+type Clock interface {
+	// NowNS is a monotonic reading in nanoseconds (same scale as the
+	// package-level NowNS for the system clock; virtual for manual
+	// clocks).
+	NowNS() int64
+	// Sleep blocks the caller for ns nanoseconds (or advances virtual
+	// time by ns and returns immediately, for a manual clock).
+	Sleep(ns int64)
+}
+
+// systemClock is the process's real monotonic clock.
+type systemClock struct{}
+
+func (systemClock) NowNS() int64   { return NowNS() }
+func (systemClock) Sleep(ns int64) { time.Sleep(time.Duration(ns)) }
+
+// SystemClock returns the real monotonic clock: NowNS readings and
+// genuine time.Sleep waits.
+func SystemClock() Clock { return systemClock{} }
+
+// ManualClock is a virtual clock for deterministic tests: NowNS starts
+// at zero and advances only through Sleep (which returns immediately)
+// or Advance. Every Sleep is recorded, so a test can assert the exact
+// retry/backoff schedule a component produced — "same seed, same fault
+// schedule, same timings" becomes a comparison of two logs.
+type ManualClock struct {
+	mu  sync.Mutex
+	now int64
+	log []int64
+}
+
+// NewManualClock returns a virtual clock at time zero.
+func NewManualClock() *ManualClock { return &ManualClock{} }
+
+// NowNS implements Clock. A nil clock reads as time zero, matching
+// the package's nil-safe handle contract (nilmetrics).
+func (c *ManualClock) NowNS() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: virtual time advances by ns and the duration
+// is appended to the sleep log; the caller never actually blocks.
+func (c *ManualClock) Sleep(ns int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += ns
+	c.log = append(c.log, ns)
+}
+
+// Advance moves virtual time forward without recording a sleep (the
+// test harness's own passage of time).
+func (c *ManualClock) Advance(ns int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += ns
+}
+
+// SleepLog returns a copy of every Sleep duration observed, in order.
+func (c *ManualClock) SleepLog() []int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int64, len(c.log))
+	copy(out, c.log)
+	return out
+}

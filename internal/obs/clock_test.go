@@ -1,0 +1,65 @@
+package obs
+
+import "testing"
+
+// TestNowNSMonotonic: consecutive readings never go backwards and
+// SinceNS is their difference.
+func TestNowNSMonotonic(t *testing.T) {
+	a := NowNS()
+	b := NowNS()
+	if b < a {
+		t.Errorf("NowNS went backwards: %d then %d", a, b)
+	}
+	if d := SinceNS(a); d < 0 {
+		t.Errorf("SinceNS(%d) = %d, want >= 0", a, d)
+	}
+}
+
+// TestSystemClock: the real clock advances across a Sleep and stays on
+// the NowNS scale.
+func TestSystemClock(t *testing.T) {
+	c := SystemClock()
+	start := c.NowNS()
+	c.Sleep(int64(1000)) // 1µs: enough to observe, cheap enough for CI
+	if got := c.NowNS(); got < start {
+		t.Errorf("system clock went backwards: %d then %d", start, got)
+	}
+}
+
+// TestManualClock: virtual time starts at zero, advances only through
+// Sleep and Advance, and logs every Sleep in order.
+func TestManualClock(t *testing.T) {
+	c := NewManualClock()
+	if got := c.NowNS(); got != 0 {
+		t.Fatalf("fresh manual clock reads %d, want 0", got)
+	}
+	c.Sleep(5)
+	c.Advance(10)
+	c.Sleep(7)
+	if got := c.NowNS(); got != 22 {
+		t.Errorf("NowNS = %d, want 22 (5 + 10 + 7)", got)
+	}
+	log := c.SleepLog()
+	if len(log) != 2 || log[0] != 5 || log[1] != 7 {
+		t.Errorf("SleepLog = %v, want [5 7] (Advance is not a sleep)", log)
+	}
+	// The log is a copy: mutating it does not corrupt the clock.
+	log[0] = 99
+	if got := c.SleepLog(); got[0] != 5 {
+		t.Errorf("SleepLog returned a live reference; second read = %v", got)
+	}
+}
+
+// TestManualClockNilSafe: a nil manual clock reads zero and ignores
+// writes, per the package's nil-safe handle contract.
+func TestManualClockNilSafe(t *testing.T) {
+	var c *ManualClock
+	c.Sleep(5)
+	c.Advance(5)
+	if got := c.NowNS(); got != 0 {
+		t.Errorf("nil clock NowNS = %d, want 0", got)
+	}
+	if got := c.SleepLog(); got != nil {
+		t.Errorf("nil clock SleepLog = %v, want nil", got)
+	}
+}

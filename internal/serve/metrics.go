@@ -20,10 +20,23 @@ type serveMetrics struct {
 	seeded      *obs.Counter
 	divergences *obs.Counter
 
+	// Self-healing instrumentation: retries counts transient-failure
+	// re-attempts in both fault domains (decide retries and re-journaled
+	// batch suffixes); shed counts ops rejected by bounded admission
+	// (full queue or queue-deadline ageout); resurrections counts
+	// successful session replacements; degradedReads counts View calls
+	// served while the store was healing or latched broken.
+	retries       *obs.Counter
+	shed          *obs.Counter
+	resurrections *obs.Counter
+	degradedReads *obs.Counter
+
 	// batchRecords is the ops-per-fsync distribution; queueDepth samples
-	// the submit queue length at each batch formation.
+	// the submit queue length at each batch formation; retryLatency is
+	// the backoff-sleep distribution per retry.
 	batchRecords *obs.Histogram
 	queueDepth   *obs.Histogram
+	retryLatency *obs.Histogram
 }
 
 var svmetrics atomic.Pointer[serveMetrics]
@@ -36,12 +49,17 @@ func SetMetrics(s obs.Sink) {
 		return
 	}
 	svmetrics.Store(&serveMetrics{
-		submitted:    s.Counter("serve_ops_submitted_total"),
-		committed:    s.Counter("serve_ops_committed_total"),
-		batches:      s.Counter("serve_batches_total"),
-		seeded:       s.Counter("serve_seeds_total"),
-		divergences:  s.Counter("serve_divergence_total"),
-		batchRecords: s.Histogram("serve_batch_records"),
-		queueDepth:   s.Histogram("serve_queue_depth"),
+		submitted:     s.Counter("serve_ops_submitted_total"),
+		committed:     s.Counter("serve_ops_committed_total"),
+		batches:       s.Counter("serve_batches_total"),
+		seeded:        s.Counter("serve_seeds_total"),
+		divergences:   s.Counter("serve_divergence_total"),
+		retries:       s.Counter("serve_retries_total"),
+		shed:          s.Counter("serve_shed_total"),
+		resurrections: s.Counter("serve_resurrections_total"),
+		degradedReads: s.Counter("serve_degraded_reads_total"),
+		batchRecords:  s.Histogram("serve_batch_records"),
+		queueDepth:    s.Histogram("serve_queue_depth"),
+		retryLatency:  s.Histogram("serve_retry_latency_ns"),
 	})
 }

@@ -34,6 +34,38 @@
 // Decide outcomes are byte-identical to a serial session processing the
 // same ops in the same order: the committer is the single authority and
 // seeds only redirect where the chase runs, never what it concludes.
+//
+// # Fault domains and self-healing
+//
+// Every error crossing the serve↔store boundary is classified transient
+// or permanent (store.Classify, this package's Classify). The pipeline
+// turns that taxonomy into recovery policy, organized as three fault
+// domains:
+//
+//   - Decide domain (decider goroutine): a transient speculative-decide
+//     failure (budget trip, injected fault) is retried in place up to
+//     Options.OpRetries times with deterministic capped exponential
+//     backoff; permanent failures (untranslatable update) reject only
+//     the offending op.
+//
+//   - Commit domain (committer goroutine): a failed batch breaks the
+//     store session (memory ran ahead of disk). With Options.Resurrect
+//     set, the committer quarantines the broken session, replays
+//     recovery into a fresh one, re-verifies which acknowledged records
+//     actually survived (they must — losing one latches the pipeline
+//     permanently), resyncs the decider's speculative state, re-journals
+//     the un-acked suffix, and resumes the queue. Acked ops survive
+//     byte-identically; un-acked ops are retried or rejected, never
+//     silently dropped. Without Resurrect the first break latches the
+//     pipeline (the legacy behavior).
+//
+//   - Admission domain (submitters): the submit queue is bounded.
+//     Options.ShedOnFull rejects new ops with ErrShed instead of
+//     blocking when it is full; Options.QueueDeadlineNS sheds ops that
+//     aged out while queued. Reads never enter the queue at all —
+//     View serves the last committed materialized view lock-free, so
+//     updates hold strict admission priority over reads and a healing
+//     (degraded) pipeline keeps serving reads while writes wait.
 package serve
 
 import (
@@ -44,6 +76,7 @@ import (
 	"sync/atomic"
 
 	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/obs"
 	"github.com/constcomp/constcomp/internal/relation"
 	"github.com/constcomp/constcomp/internal/store"
 )
@@ -58,6 +91,42 @@ type Options struct {
 	// QueueDepth bounds the submit queue; submitters block (or fail on
 	// context cancellation) when it is full. Default 4×MaxBatch.
 	QueueDepth int
+
+	// ShedOnFull makes ApplyAsync non-blocking: a full submit queue
+	// returns ErrShed immediately instead of blocking the submitter.
+	ShedOnFull bool
+	// QueueDeadlineNS sheds an op (ErrShed) if it waited in the submit
+	// queue longer than this before the decider reached it. 0 disables
+	// age-based shedding.
+	QueueDeadlineNS int64
+
+	// OpRetries caps in-place retries of transient speculative-decide
+	// failures (budget trips, injected faults). Default 2; negative
+	// disables retries.
+	OpRetries int
+
+	// Resurrect enables self-healing: when a batch breaks the store
+	// session, the committer quarantines it and calls Resurrect —
+	// typically a closure over store.Recover on the same FS — for a
+	// fresh session continuing the same journal. Nil keeps the legacy
+	// behavior: the first broken session latches the pipeline.
+	Resurrect func() (*store.Session, error)
+	// ResurrectRetries caps resurrection attempts per healing episode
+	// (each preceded by a backoff sleep). Default 4.
+	ResurrectRetries int
+
+	// BackoffBaseNS and BackoffCapNS shape the capped exponential retry
+	// backoff for both fault domains. Defaults 1ms and 64ms.
+	BackoffBaseNS int64
+	BackoffCapNS  int64
+	// Seed fixes the backoff jitter streams; the same seed, workload,
+	// and fault schedule reproduce identical retry timings.
+	Seed uint64
+	// Clock is the time source for backoff sleeps and queue deadlines.
+	// Nil means the real monotonic clock (obs.SystemClock); tests and
+	// the chaos harness inject an obs.ManualClock for instant,
+	// fully-deterministic schedules.
+	Clock obs.Clock
 }
 
 func (o Options) maxBatch() int {
@@ -74,6 +143,44 @@ func (o Options) queueDepth() int {
 	return 4 * o.maxBatch()
 }
 
+func (o Options) opRetries() int {
+	if o.OpRetries > 0 {
+		return o.OpRetries
+	}
+	if o.OpRetries < 0 {
+		return 0
+	}
+	return 2
+}
+
+func (o Options) resurrectRetries() int {
+	if o.ResurrectRetries > 0 {
+		return o.ResurrectRetries
+	}
+	return 4
+}
+
+func (o Options) backoffBase() int64 {
+	if o.BackoffBaseNS > 0 {
+		return o.BackoffBaseNS
+	}
+	return 1_000_000 // 1ms
+}
+
+func (o Options) backoffCap() int64 {
+	if o.BackoffCapNS > 0 {
+		return o.BackoffCapNS
+	}
+	return 64_000_000 // 64ms
+}
+
+func (o Options) clock() obs.Clock {
+	if o.Clock != nil {
+		return o.Clock
+	}
+	return obs.SystemClock()
+}
+
 // request is one submitted op in flight through the pipeline.
 type request struct {
 	ctx context.Context
@@ -81,6 +188,8 @@ type request struct {
 	// done is buffered (size 1) so neither goroutine ever blocks on an
 	// acknowledgement.
 	done chan result
+	// enqNS is the clock reading at enqueue, for queue-deadline shedding.
+	enqNS int64
 
 	// Speculation results, written by the decider, read by the
 	// committer. speculated is false when the scratch session is
@@ -114,7 +223,8 @@ type batch struct {
 }
 
 // resyncMsg carries the authoritative database to the decider after a
-// divergence, so the scratch session restarts from committed state.
+// divergence or a resurrection, so the scratch session restarts from
+// committed state.
 type resyncMsg struct {
 	db  *relation.Relation
 	ver uint64
@@ -135,14 +245,25 @@ func (p *Pending) Wait() (*core.Decision, error) {
 	return p.res.d, p.res.err
 }
 
+// publishedView is the committer's read-side handoff: the materialized
+// view as of a committed sequence number, swapped in atomically after
+// each batch so readers never block on (or observe) a mid-batch state.
+type publishedView struct {
+	view *relation.Relation
+	seq  uint64
+}
+
 // Pipeline serves concurrent update submissions over one store.Session.
 // The underlying session is never touched concurrently: the decider
 // goroutine owns a scratch clone, the committer goroutine owns the real
 // session, and they meet only through channels and the (concurrency-
 // safe) decision cache.
 type Pipeline struct {
-	st   *store.Session
-	opts Options
+	// stPtr is the session currently behind the pipeline; resurrection
+	// swaps it. Only the committer stores; everyone loads via store().
+	stPtr atomic.Pointer[store.Session]
+	opts  Options
+	clock obs.Clock
 
 	// mu serializes enqueue against Close: submitters send on submit
 	// under RLock after checking closed; Close flips closed under the
@@ -157,34 +278,56 @@ type Pipeline struct {
 	quit   chan struct{}
 	done   chan struct{} // closed when the committer exits
 
-	// genWanted is bumped by the committer on divergence; the decider
-	// seeds the decision cache only while its local generation matches,
-	// and the committer re-invalidates before applying any stale-
-	// generation batch, so no stale seed can survive to a commit.
+	// genWanted is bumped by the committer on divergence and on
+	// resurrection; the decider seeds the decision cache only while its
+	// local generation matches, and the committer re-invalidates before
+	// applying any stale-generation batch, so no stale seed can survive
+	// to a commit — not even across a session swap whose view versions
+	// numerically collide with the old session's.
 	genWanted atomic.Uint64
 
-	// broken latches the first ErrSessionBroken; later submissions fail
+	// broken latches the first unhealable error; later submissions fail
 	// fast while the pipeline keeps draining so Close can finish.
 	broken atomic.Pointer[brokenState]
+
+	// degraded is true while the store is healing (or latched broken):
+	// writes queue or fail, View keeps serving the last published view.
+	degraded atomic.Bool
+
+	// viewWanted turns on read-side publishing lazily: until the first
+	// View call the committer skips the per-batch publish entirely, so
+	// write-only workloads pay nothing for the read path.
+	viewWanted atomic.Bool
+	pubView    atomic.Pointer[publishedView]
+
+	// decBackoff paces decide-domain retries (owned by the decider);
+	// healBackoff paces resurrection attempts (owned by the committer).
+	// Decorrelated seeds keep the two jitter streams independent.
+	decBackoff  *backoff
+	healBackoff *backoff
 }
 
 type brokenState struct{ err error }
 
 // New starts the pipeline's decider and committer goroutines over st.
-// The caller must not use st directly until Close returns.
+// The caller must not use st directly until Close returns — and after a
+// resurrection st is dead; use Store for the live session.
 func New(st *store.Session, opts Options) (*Pipeline, error) {
 	p := &Pipeline{
-		st:     st,
 		opts:   opts,
+		clock:  opts.clock(),
 		submit: make(chan *request, opts.queueDepth()),
 		// A couple of batches of slack keeps the decider speculating
 		// while the committer sits in fsync, without letting memory run
 		// far ahead of disk.
-		commit: make(chan *batch, 2),
-		resync: make(chan resyncMsg, 1),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
+		commit:      make(chan *batch, 2),
+		resync:      make(chan resyncMsg, 1),
+		quit:        make(chan struct{}),
+		done:        make(chan struct{}),
+		decBackoff:  newBackoff(opts.backoffBase(), opts.backoffCap(), opts.Seed),
+		healBackoff: newBackoff(opts.backoffBase(), opts.backoffCap(), opts.Seed^0x9e3779b97f4a7c15),
 	}
+	p.stPtr.Store(st)
 	scratch, err := core.NewSession(st.Pair(), st.Database())
 	if err != nil {
 		return nil, fmt.Errorf("serve: scratch session: %w", err)
@@ -195,6 +338,49 @@ func New(st *store.Session, opts Options) (*Pipeline, error) {
 	go p.decider(scratch, st.ViewVersion())
 	go p.committer()
 	return p, nil
+}
+
+// store returns the live session (it changes across resurrections).
+func (p *Pipeline) store() *store.Session { return p.stPtr.Load() }
+
+// Store exposes the session currently behind the pipeline: after a
+// resurrection the session New was given is quarantined and this is the
+// only valid handle. Call it for read-style access (Database, View,
+// Seq) after Close, or between operations; using it to Apply while the
+// pipeline runs violates the single-writer discipline.
+func (p *Pipeline) Store() *store.Session { return p.store() }
+
+// Degraded reports whether the pipeline is in read-only degraded mode:
+// the store is healing (or latched broken), and View keeps serving the
+// last committed view while writes wait or fail.
+func (p *Pipeline) Degraded() bool { return p.degraded.Load() }
+
+// View returns the most recently committed materialized view (nil until
+// the first commit after the read path warms up) and whether the
+// pipeline is currently degraded. Reads never enter the submit queue —
+// admission control applies to updates only — so View stays available,
+// and lock-free, throughout overload and healing.
+func (p *Pipeline) View() (*relation.Relation, bool) {
+	p.viewWanted.Store(true)
+	degraded := p.degraded.Load()
+	if degraded {
+		if m := svmetrics.Load(); m != nil {
+			m.degradedReads.Inc()
+		}
+	}
+	if pv := p.pubView.Load(); pv != nil {
+		return pv.view, degraded
+	}
+	return nil, degraded
+}
+
+// publishView hands the committed view to the read side. Committer
+// goroutine only.
+func (p *Pipeline) publishView(st *store.Session) {
+	if !p.viewWanted.Load() {
+		return
+	}
+	p.pubView.Store(&publishedView{view: st.View(), seq: st.Seq()})
 }
 
 func (p *Pipeline) brokenErr() error {
@@ -223,16 +409,35 @@ func (p *Pipeline) ApplyCtx(ctx context.Context, op core.UpdateOp) (*core.Decisi
 // ApplyAsync enqueues op and returns immediately with a Pending handle;
 // submitting a window of ops before waiting is how a single client gets
 // group commit (ops waiting together share an fsync). The returned
-// error is non-nil only when the op was never enqueued.
+// error is non-nil only when the op was never enqueued; with
+// Options.ShedOnFull a saturated queue returns ErrShed instead of
+// blocking.
 func (p *Pipeline) ApplyAsync(ctx context.Context, op core.UpdateOp) (*Pending, error) {
 	if err := p.brokenErr(); err != nil {
-		return nil, fmt.Errorf("%w: %v", store.ErrSessionBroken, err)
+		return nil, fmt.Errorf("%w: %w", store.ErrSessionBroken, err)
 	}
-	r := &request{ctx: ctx, op: op, done: make(chan result, 1)}
+	r := &request{ctx: ctx, op: op, done: make(chan result, 1), enqNS: p.clock.NowNS()}
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
 		return nil, ErrClosed
+	}
+	if p.opts.ShedOnFull {
+		// Bounded admission: never block the submitter, shed instead.
+		select {
+		case p.submit <- r:
+			p.mu.RUnlock()
+			if m := svmetrics.Load(); m != nil {
+				m.submitted.Inc()
+			}
+			return &Pending{done: r.done}, nil
+		default:
+			p.mu.RUnlock()
+			if m := svmetrics.Load(); m != nil {
+				m.shed.Inc()
+			}
+			return nil, ErrShed
+		}
 	}
 	// Block in the send holding the read lock. The decider drains the
 	// queue continuously (it stops only after quit, which Close signals
@@ -254,7 +459,7 @@ func (p *Pipeline) ApplyAsync(ctx context.Context, op core.UpdateOp) (*Pending, 
 // Close stops accepting submissions, drains every op already accepted
 // (each still gets its decided-and-durable acknowledgement), shuts both
 // goroutines down, and returns the broken-session error if the store
-// failed along the way. It does not close the store session.
+// failed unhealably along the way. It does not close the store session.
 func (p *Pipeline) Close() error {
 	p.mu.Lock()
 	already := p.closed
@@ -311,9 +516,11 @@ func (p *Pipeline) decider(scratch *core.Session, offset uint64) {
 // speculate runs the chase for each request against the scratch
 // session, seeds the real session's decision cache, and hands the batch
 // to the committer. It returns the (possibly resynced) scratch state.
+// Transient decide failures are retried in place with deterministic
+// backoff — the decide domain's recovery policy.
 func (p *Pipeline) speculate(scratch *core.Session, offset, gen uint64, reqs []*request) (*core.Session, uint64, uint64) {
 	// Pick up a pending resync before deciding anything: after a
-	// divergence the scratch state is untrustworthy.
+	// divergence or a resurrection the scratch state is untrustworthy.
 	select {
 	case msg := <-p.resync:
 		scratch, offset, gen = p.applyResync(msg)
@@ -321,7 +528,7 @@ func (p *Pipeline) speculate(scratch *core.Session, offset, gen uint64, reqs []*
 	}
 	if err := p.brokenErr(); err != nil {
 		for _, r := range reqs {
-			r.done <- result{err: fmt.Errorf("%w: %v", store.ErrSessionBroken, err)}
+			r.done <- result{err: fmt.Errorf("%w: %w", store.ErrSessionBroken, err)}
 		}
 		return scratch, offset, gen
 	}
@@ -334,13 +541,50 @@ func (p *Pipeline) speculate(scratch *core.Session, offset, gen uint64, reqs []*
 			r.done <- result{err: err}
 			continue
 		}
+		if dl := p.opts.QueueDeadlineNS; dl > 0 && p.clock.NowNS()-r.enqNS > dl {
+			// Aged out while queued: the queue is saturated past its
+			// deadline, shed rather than decide work nobody is waiting
+			// for at this latency.
+			r.done <- result{err: ErrShed}
+			if m != nil {
+				m.shed.Inc()
+			}
+			continue
+		}
 		if scratch == nil {
 			// Degraded: no speculation, the committer decides cold.
 			live = append(live, r)
 			continue
 		}
-		ver := scratch.ViewVersion() + offset
-		d, err := scratch.ApplyCtx(r.ctx, r.op)
+		var (
+			ver uint64
+			d   *core.Decision
+			err error
+		)
+		for attempt := 0; ; attempt++ {
+			ver = scratch.ViewVersion() + offset
+			d, err = scratch.ApplyCtx(r.ctx, r.op)
+			if err == nil || errors.Is(err, core.ErrRejected) {
+				break
+			}
+			// A failed decide never touched the scratch database, so a
+			// retry re-decides from exactly the state a serial session
+			// would see. Only transient causes (budget trip, injected
+			// fault) are worth the backoff.
+			if attempt >= p.opts.opRetries() || r.ctx.Err() != nil ||
+				classify(err) != store.ClassTransient {
+				break
+			}
+			if m != nil {
+				m.retries.Inc()
+			}
+			t0 := p.clock.NowNS()
+			p.clock.Sleep(p.decBackoff.next())
+			if m != nil {
+				m.retryLatency.ObserveDuration(p.clock.NowNS() - t0)
+			}
+		}
+		p.decBackoff.reset()
 		switch {
 		case err == nil:
 			r.speculated, r.predApplied = true, true
@@ -348,9 +592,9 @@ func (p *Pipeline) speculate(scratch *core.Session, offset, gen uint64, reqs []*
 		case errors.Is(err, core.ErrRejected):
 			r.speculated, r.predApplied = true, false
 		default:
-			// Budget trip or internal error: the op never touched the
-			// scratch database, and the real session never sees it, so
-			// the two stay aligned. Fail the submitter directly.
+			// Permanent or retry-exhausted failure: the op never touched
+			// the scratch database, and the real session never sees it,
+			// so the two stay aligned. Fail the submitter directly.
 			r.done <- result{d: d, err: err}
 			continue
 		}
@@ -359,7 +603,7 @@ func (p *Pipeline) speculate(scratch *core.Session, offset, gen uint64, reqs []*
 		// through is wiped by the committer's pre-apply invalidation of
 		// stale-generation batches.
 		if d != nil && gen == p.genWanted.Load() {
-			p.st.SeedDecision(ver, r.op, d)
+			p.store().SeedDecision(ver, r.op, d)
 			if m != nil {
 				m.seeded.Inc()
 			}
@@ -377,11 +621,11 @@ func (p *Pipeline) speculate(scratch *core.Session, offset, gen uint64, reqs []*
 // speculation (scratch nil) — the pipeline still groups commits, it
 // just stops overlapping the chase with fsync.
 func (p *Pipeline) applyResync(msg resyncMsg) (*core.Session, uint64, uint64) {
-	scratch, err := core.NewSession(p.st.Pair(), msg.db)
+	scratch, err := core.NewSession(p.store().Pair(), msg.db)
 	if err != nil {
 		return nil, 0, msg.gen
 	}
-	scratch.SetIncremental(p.st.IncrementalEnabled())
+	scratch.SetIncremental(p.store().IncrementalEnabled())
 	return scratch, msg.ver, msg.gen
 }
 
@@ -391,84 +635,246 @@ func (p *Pipeline) applyResync(msg resyncMsg) (*core.Session, uint64, uint64) {
 func (p *Pipeline) committer() {
 	defer close(p.done)
 	for b := range p.commit {
-		if err := p.brokenErr(); err != nil {
-			for _, r := range b.reqs {
-				r.done <- result{err: fmt.Errorf("%w: %v", store.ErrSessionBroken, err)}
-			}
-			continue
+		p.commitBatch(b)
+	}
+}
+
+func (p *Pipeline) commitBatch(b *batch) {
+	if err := p.brokenErr(); err != nil {
+		for _, r := range b.reqs {
+			r.done <- result{err: fmt.Errorf("%w: %w", store.ErrSessionBroken, err)}
 		}
-		stale := b.gen != p.genWanted.Load()
-		if stale {
-			// The batch was speculated against a pre-divergence scratch;
-			// wipe any seeds it planted so every decide recomputes
-			// against authoritative state, and drop the maintained delta
-			// state with them — it may have been advanced by adopted
-			// pre-divergence speculations.
-			p.st.InvalidateDecisions()
-			p.st.InvalidateDeltas()
-		}
-		ops := make([]store.SpeculatedOp, len(b.reqs))
-		for i, r := range b.reqs {
-			ops[i] = store.SpeculatedOp{Op: r.op}
-			// Offer the speculated state only while the speculation
-			// basis is current; AdoptSpeculated independently re-checks
-			// the version and the complement, so a stale offer can only
-			// fall back to the full apply, never corrupt it.
-			if !stale && r.specDB != nil {
-				ops[i].Decision = r.specDecision
-				ops[i].DB = r.specDB
-				ops[i].FromVersion = r.specVer
-			}
-		}
-		// context.Background(): per-op contexts bounded the queue wait
-		// and the speculative decide; a batch that has reached the
-		// journal phase must not be torn apart by one member's deadline.
-		items, err := p.st.ApplySpeculatedBatchCtx(context.Background(), ops)
-		m := svmetrics.Load()
-		if err != nil {
-			p.broken.CompareAndSwap(nil, &brokenState{err: err})
-			for i, r := range b.reqs {
-				if i < len(items) {
-					r.done <- result{d: items[i].Decision, err: batchItemErr(items[i], err)}
-				} else {
-					r.done <- result{err: err}
-				}
-			}
-			continue
-		}
-		diverged := false
-		for i, r := range b.reqs {
-			it := items[i]
-			applied := it.Err == nil
-			if r.speculated && applied != r.predApplied {
-				diverged = true
-			}
-			r.done <- result{d: it.Decision, err: it.Err}
-		}
-		if m != nil {
-			m.batches.Inc()
-			m.committed.Add(int64(len(b.reqs)))
-			m.batchRecords.Observe(float64(len(b.reqs)))
-		}
-		if diverged && !stale {
-			if m != nil {
-				m.divergences.Inc()
-			}
-			// Order matters: bump the generation first so the decider
-			// stops seeding, then wipe whatever it already planted —
-			// decision seeds and maintained delta state alike.
-			p.genWanted.Add(1)
-			p.st.InvalidateDecisions()
-			p.st.InvalidateDeltas()
-			msg := resyncMsg{db: p.st.Database(), ver: p.st.ViewVersion(), gen: p.genWanted.Load()}
-			// Overwrite any pending resync: only the newest state counts.
-			select {
-			case <-p.resync:
-			default:
-			}
-			p.resync <- msg
+		return
+	}
+	st := p.store()
+	stale := b.gen != p.genWanted.Load()
+	if stale {
+		// The batch was speculated against a pre-divergence (or pre-
+		// resurrection) scratch; wipe any seeds it planted so every
+		// decide recomputes against authoritative state, and drop the
+		// maintained delta state with them — it may have been advanced
+		// by adopted pre-divergence speculations.
+		st.InvalidateDecisions()
+		st.InvalidateDeltas()
+	}
+	ops := make([]store.SpeculatedOp, len(b.reqs))
+	for i, r := range b.reqs {
+		ops[i] = store.SpeculatedOp{Op: r.op}
+		// Offer the speculated state only while the speculation
+		// basis is current; AdoptSpeculated independently re-checks
+		// the version and the complement, so a stale offer can only
+		// fall back to the full apply, never corrupt it.
+		if !stale && r.specDB != nil {
+			ops[i].Decision = r.specDecision
+			ops[i].DB = r.specDB
+			ops[i].FromVersion = r.specVer
 		}
 	}
+	// seq0 anchors loss accounting for the commit fault domain: after a
+	// resurrection, recovered seq − seq0 tells exactly how many of this
+	// batch's applied records made it to durable storage.
+	seq0 := st.Seq()
+	// context.Background(): per-op contexts bounded the queue wait
+	// and the speculative decide; a batch that has reached the
+	// journal phase must not be torn apart by one member's deadline.
+	items, err := st.ApplySpeculatedBatchCtx(context.Background(), ops)
+	m := svmetrics.Load()
+	if err != nil {
+		if p.opts.Resurrect == nil {
+			p.latch(b.reqs, items, err)
+			return
+		}
+		p.heal(st, b.reqs, items, seq0, err)
+		return
+	}
+	diverged := false
+	for i, r := range b.reqs {
+		it := items[i]
+		applied := it.Err == nil
+		if r.speculated && applied != r.predApplied {
+			diverged = true
+		}
+		r.done <- result{d: it.Decision, err: it.Err}
+	}
+	if m != nil {
+		m.batches.Inc()
+		m.committed.Add(int64(len(b.reqs)))
+		m.batchRecords.Observe(float64(len(b.reqs)))
+	}
+	if diverged && !stale {
+		if m != nil {
+			m.divergences.Inc()
+		}
+		// Order matters: bump the generation first so the decider
+		// stops seeding, then wipe whatever it already planted —
+		// decision seeds and maintained delta state alike.
+		p.genWanted.Add(1)
+		st.InvalidateDecisions()
+		st.InvalidateDeltas()
+		msg := resyncMsg{db: st.Database(), ver: st.ViewVersion(), gen: p.genWanted.Load()}
+		// Overwrite any pending resync: only the newest state counts.
+		select {
+		case <-p.resync:
+		default:
+		}
+		p.resync <- msg
+	}
+	p.publishView(st)
+}
+
+// latch records the pipeline's terminal error and fails a batch's
+// submitters the way the pre-healing pipeline did: an op with a clean
+// item was applied in memory but its durability is indeterminate.
+func (p *Pipeline) latch(reqs []*request, items []store.BatchItem, err error) {
+	p.broken.CompareAndSwap(nil, &brokenState{err: err})
+	p.degraded.Store(true)
+	for i, r := range reqs {
+		if i < len(items) {
+			r.done <- result{d: items[i].Decision, err: batchItemErr(items[i], err)}
+		} else {
+			r.done <- result{err: err}
+		}
+	}
+}
+
+// heal is the commit domain's recovery policy: quarantine the broken
+// session, resurrect from durable state, reconcile the failed batch
+// against what actually survived, and resume. Committer goroutine only.
+//
+// The reconciliation invariant: reqs[i] aligns with items[i] for
+// i < len(items); items with Err == nil were applied in memory and
+// journaled in order, so exactly the first (recovered seq − seq0) of
+// them are durable — those are acknowledged with their original
+// decisions, byte-identically. Everything else is re-journaled on the
+// fresh session (transient per-op errors and never-attempted ops
+// included) or rejected (permanent per-op errors). A recovered seq
+// below seq0 means an *acknowledged* op from an earlier batch is gone:
+// that is unhealable data loss and latches the pipeline.
+func (p *Pipeline) heal(st *store.Session, reqs []*request, items []store.BatchItem, seq0 uint64, batchErr error) {
+	m := svmetrics.Load()
+	p.degraded.Store(true)
+	// Quarantine: the broken session never serves again; Close releases
+	// its journal handle so the resurrected session can reopen the file.
+	// Its own close error is unreachable state — the batch error is the
+	// one that matters.
+	_ = st.Close()
+	for attempt := 0; attempt < p.opts.resurrectRetries(); attempt++ {
+		if store.Classify(batchErr) == store.ClassPermanent {
+			break // resurrection cannot cure a permanent cause
+		}
+		p.clock.Sleep(p.healBackoff.next())
+		ns, rerr := p.opts.Resurrect()
+		if rerr != nil {
+			if store.Classify(rerr) == store.ClassPermanent {
+				batchErr = rerr
+				break
+			}
+			continue
+		}
+		if m != nil {
+			m.resurrections.Inc()
+		}
+		newSeq := ns.Seq()
+		if newSeq < seq0 {
+			_ = ns.Close()
+			batchErr = fmt.Errorf("%w: resurrection lost acknowledged ops (recovered seq %d < pre-batch seq %d)",
+				store.ErrSessionBroken, newSeq, seq0)
+			break
+		}
+		durable := int(newSeq - seq0)
+		var retry []*request
+		applied := 0
+		for i, r := range reqs {
+			if i >= len(items) {
+				retry = append(retry, r) // never attempted by the failed batch
+				continue
+			}
+			it := items[i]
+			if it.Err == nil {
+				applied++
+				if applied <= durable {
+					// On disk, replayed, re-verified: acknowledge with
+					// the decision the failed batch computed.
+					r.done <- result{d: it.Decision}
+				} else {
+					retry = append(retry, r)
+				}
+				continue
+			}
+			if classify(it.Err) == store.ClassTransient {
+				retry = append(retry, r)
+			} else {
+				// Permanent per-op failure (rejection, illegal update):
+				// reject only this op, the rest of the batch lives on.
+				r.done <- result{d: it.Decision, err: it.Err}
+			}
+		}
+		p.installSession(ns)
+		if len(retry) == 0 {
+			p.healed(ns)
+			return
+		}
+		// Re-journal and re-fsync the un-acked suffix on the fresh
+		// session, unspeculated: the speculated state predates the
+		// resurrection.
+		if m != nil {
+			m.retries.Add(int64(len(retry)))
+		}
+		rops := make([]store.SpeculatedOp, len(retry))
+		for i, r := range retry {
+			rops[i] = store.SpeculatedOp{Op: r.op}
+		}
+		seq0 = ns.Seq()
+		items2, err2 := ns.ApplySpeculatedBatchCtx(context.Background(), rops)
+		if err2 == nil {
+			for i, r := range retry {
+				r.done <- result{d: items2[i].Decision, err: items2[i].Err}
+			}
+			if m != nil {
+				m.batches.Inc()
+				m.committed.Add(int64(len(retry)))
+				m.batchRecords.Observe(float64(len(retry)))
+			}
+			p.healed(ns)
+			return
+		}
+		// The retry batch broke the fresh session too: quarantine it and
+		// keep healing with whatever is still unacknowledged.
+		_ = ns.Close()
+		reqs, items, batchErr = retry, items2, err2
+	}
+	// Healing exhausted or the cause is permanent: latch, fail every
+	// submitter still waiting. The pipeline stays up in degraded mode,
+	// serving the last published view read-only.
+	p.latch(reqs, items, batchErr)
+}
+
+// healed closes a successful healing episode: the fresh session is
+// live, backoff rewinds for the next episode, and readers get the
+// recovered view.
+func (p *Pipeline) healed(ns *store.Session) {
+	p.healBackoff.reset()
+	p.degraded.Store(false)
+	p.publishView(ns)
+}
+
+// installSession swaps the resurrected session in. Generation first:
+// bumping genWanted before the pointer swap makes every batch
+// speculated against the dead session stale, so the committer
+// invalidates its seeds before use — the resurrected session's view
+// versions can numerically collide with the old session's, and a stale
+// seed under a colliding key would silently redirect a decide.
+func (p *Pipeline) installSession(ns *store.Session) {
+	p.genWanted.Add(1)
+	p.stPtr.Store(ns)
+	ns.InvalidateDecisions()
+	ns.InvalidateDeltas()
+	msg := resyncMsg{db: ns.Database(), ver: ns.ViewVersion(), gen: p.genWanted.Load()}
+	select {
+	case <-p.resync:
+	default:
+	}
+	p.resync <- msg
 }
 
 // batchItemErr reports the per-op error to surface when the batch call

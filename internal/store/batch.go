@@ -79,7 +79,7 @@ func (s *Session) ApplyBatch(ops []core.UpdateOp) ([]BatchItem, error) {
 // returning, so in-memory state never runs ahead of an acknowledgement.
 func (s *Session) applyBatch(ctx context.Context, ops []SpeculatedOp, stopOnErr bool) ([]BatchItem, error) {
 	if s.broken != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSessionBroken, s.broken)
+		return nil, fmt.Errorf("%w: %w", ErrSessionBroken, s.broken)
 	}
 	items := make([]BatchItem, 0, len(ops))
 	var buf []byte
@@ -112,7 +112,7 @@ func (s *Session) applyBatch(ctx context.Context, ops []SpeculatedOp, stopOnErr 
 			// The op is applied in memory but cannot be journaled:
 			// memory is ahead of disk with nothing to write. Flush the
 			// encodable prefix below, then break the session.
-			items = append(items, BatchItem{Decision: d, Err: fmt.Errorf("%w: %v", ErrSessionBroken, err)})
+			items = append(items, BatchItem{Decision: d, Err: fmt.Errorf("%w: %w", ErrSessionBroken, err)})
 			encodeErr = err
 			break
 		}
@@ -123,7 +123,7 @@ func (s *Session) applyBatch(ctx context.Context, ops []SpeculatedOp, stopOnErr 
 	if applied > 0 {
 		if err := s.j.appendEncoded(buf, applied); err != nil {
 			s.broken = err
-			return items, fmt.Errorf("%w: %v", ErrSessionBroken, err)
+			return items, fmt.Errorf("%w: %w", ErrSessionBroken, err)
 		}
 		s.seq += uint64(applied)
 		s.sinceSnap += applied
@@ -133,7 +133,7 @@ func (s *Session) applyBatch(ctx context.Context, ops []SpeculatedOp, stopOnErr 
 	}
 	if encodeErr != nil {
 		s.broken = encodeErr
-		return items, fmt.Errorf("%w: %v", ErrSessionBroken, encodeErr)
+		return items, fmt.Errorf("%w: %w", ErrSessionBroken, encodeErr)
 	}
 	return items, nil
 }

@@ -311,5 +311,10 @@ func (j *Journal) appendEncoded(buf []byte, records int) error {
 	return nil
 }
 
+// Sync fsyncs the journal file without appending. Recovery uses it to
+// make replayed-but-possibly-unsynced records durable before any new op
+// is acknowledged on top of them.
+func (j *Journal) Sync() error { return j.f.Sync() }
+
 // Close releases the underlying file.
 func (j *Journal) Close() error { return j.f.Close() }

@@ -36,6 +36,11 @@ var ErrSessionBroken = errors.New("store: session broken (applied op not confirm
 // is set.
 var ErrDataLoss = errors.New("store: journal corrupt mid-stream with intact records past the damage; recovering would lose acknowledged ops (set ForceRecover to truncate anyway)")
 
+// ErrInvariant reports that the constant-complement invariant failed to
+// re-verify after a recovery replay: the journal and snapshot disagree
+// about the complement, so the recovered state cannot be trusted.
+var ErrInvariant = errors.New("store: constant-complement invariant failed after recovery replay")
+
 // Options tunes a durable session.
 type Options struct {
 	// SnapshotEvery is the number of applied operations between
@@ -218,12 +223,21 @@ func Recover(fsys FS, pair *core.Pair, syms *value.Symbols, opts Options) (*Sess
 	y := pair.ComplementAttrs()
 	rep.InvariantOK = legal && cur.Project(y).Equal(db.Project(y))
 	if !rep.InvariantOK {
-		return nil, rep, errors.New("store: recover: constant-complement invariant failed after replay")
+		return nil, rep, fmt.Errorf("store: recover: %w", ErrInvariant)
 	}
 
 	j, err := openJournalAppend(fsys, JournalFile)
 	if err != nil {
 		return nil, rep, fmt.Errorf("store: recover: reopening journal: %w", err)
+	}
+	// Re-fsync the replayed journal before trusting it: when recovery
+	// follows a *failed fsync* (not a power loss), the records it just
+	// replayed may still be sitting dirty in the page cache — readable
+	// now, gone after the next power cut. Acknowledging ops on top of
+	// an unsynced prefix would repeat the exact failure being healed.
+	if err := j.Sync(); err != nil {
+		j.Close()
+		return nil, rep, fmt.Errorf("store: recover: re-syncing replayed journal: %w", err)
 	}
 	// OpenAppend may have created the journal (a crash can lose the
 	// file while keeping the snapshot); make its directory entry
@@ -300,6 +314,11 @@ func (s *Session) Seq() uint64 { return s.seq }
 // snapshot succeeds.
 func (s *Session) SnapshotErr() error { return s.snapErr }
 
+// Broken returns the error that broke this session (nil while healthy).
+// The self-healing layer uses the cause — not the ErrSessionBroken wrap —
+// to classify whether resurrection can help.
+func (s *Session) Broken() error { return s.broken }
+
 // Decide tests an update without applying it.
 func (s *Session) Decide(op core.UpdateOp) (*core.Decision, error) { return s.sess.Decide(op) }
 
@@ -325,7 +344,7 @@ func (s *Session) Apply(op core.UpdateOp) (*core.Decision, error) {
 // is retried at the next snapshot point (see SnapshotErr).
 func (s *Session) ApplyCtx(ctx context.Context, op core.UpdateOp) (*core.Decision, error) {
 	if s.broken != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSessionBroken, s.broken)
+		return nil, fmt.Errorf("%w: %w", ErrSessionBroken, s.broken)
 	}
 	d, err := s.sess.ApplyCtx(ctx, op)
 	if err != nil {
@@ -333,7 +352,7 @@ func (s *Session) ApplyCtx(ctx context.Context, op core.UpdateOp) (*core.Decisio
 	}
 	if err := s.j.Append(s.seq+1, op, s.syms); err != nil {
 		s.broken = err
-		return d, fmt.Errorf("%w: %v", ErrSessionBroken, err)
+		return d, fmt.Errorf("%w: %w", ErrSessionBroken, err)
 	}
 	s.seq++
 	s.sinceSnap++
