@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race lint cover cover-check bench bench-compare chaos-smoke examples experiments fuzz fuzz-smoke clean
+.PHONY: all check build vet test race lint cover cover-check bench bench-compare chaos-smoke serve-smoke loadgen examples experiments fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -53,17 +53,18 @@ cover-check:
 bench:
 	$(GO) test -bench=. -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH.json
 
-# Regression gate: re-run the kernel, pipeline, and per-delta benchmarks
-# and fail if any BenchmarkRel*, BenchmarkPipeline*, BenchmarkE5InsertDelta*,
-# or BenchmarkApplyDeltaVsFull* grew >30% ns/op against the committed
+# Regression gate: re-run the kernel, pipeline, per-delta, and
+# end-to-end serving benchmarks and fail if any BenchmarkRel*,
+# BenchmarkPipeline*, BenchmarkE5InsertDelta*, BenchmarkApplyDeltaVsFull*,
+# or BenchmarkNetServe* grew >30% ns/op against the committed
 # baseline. -count=3 runs each benchmark three times and the
 # comparison keeps the fastest, de-noising shared-machine scheduling and
 # GC hiccups. The fresh run lands in BENCH.fresh.json (gitignored; CI
 # uploads it as an artifact). A missing baseline makes the comparison
 # advisory-only (exit 0).
 bench-compare:
-	$(GO) test -bench='^Benchmark(Rel|Pipeline|E5InsertDelta|ApplyDeltaVsFull)' -benchmem -count=3 . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH.fresh.json
-	$(GO) run ./cmd/benchjson -compare BENCH.json -filter '^Benchmark(Rel|Pipeline|E5InsertDelta|ApplyDeltaVsFull)' BENCH.fresh.json
+	$(GO) test -bench='^Benchmark(Rel|Pipeline|E5InsertDelta|ApplyDeltaVsFull|NetServe)' -benchmem -count=3 . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH.fresh.json
+	$(GO) run ./cmd/benchjson -compare BENCH.json -filter '^Benchmark(Rel|Pipeline|E5InsertDelta|ApplyDeltaVsFull|NetServe)' BENCH.fresh.json
 
 # Chaos smoke: six canonical per-kind fault schedules plus a fixed-seed
 # sweep through the self-healing pipeline (internal/chaos). Exits
@@ -72,6 +73,44 @@ bench-compare:
 # keeps it to a few seconds wall-clock.
 chaos-smoke:
 	$(GO) run ./cmd/chaos -seeds 40 -ops 40
+
+# Serve smoke: boot viewsrv on a throwaway journal with one injected
+# fsync fault, then drive a CI-sized multi-tenant zipfian burst of mixed
+# ops (inserts, Thm-8 deletes, Thm-9 replacements) through the binary
+# submit path with cmd/loadgen. Fails on any lost ack, any 5xx on the
+# fair-share path, or if the fault failed to drive a resurrection. The
+# client-observed latency report lands in SERVE.report.json (gitignored;
+# CI uploads it as an artifact).
+serve-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill -TERM $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/viewsrv" ./cmd/viewsrv; \
+	$(GO) build -o "$$tmp/loadgen" ./cmd/loadgen; \
+	"$$tmp/viewsrv" -journal "$$tmp/journal" -addr 127.0.0.1:0 -portfile "$$tmp/port" \
+		-failsync 5 -tenants "good=4,hog=1" & pid=$$!; \
+	i=0; while [ ! -s "$$tmp/port" ] && [ $$i -lt 100 ]; do sleep 0.1; i=$$((i+1)); done; \
+	[ -s "$$tmp/port" ] || { echo "serve-smoke: viewsrv did not start"; exit 1; }; \
+	"$$tmp/loadgen" -addr "$$(cat "$$tmp/port")" -view ed -clients 6 -ops 1200 -batch 8 \
+		-tenants good,hog -report SERVE.report.json -expect-resurrection; \
+	kill -TERM $$pid; wait $$pid || true; \
+	echo "serve-smoke: ok"
+
+# Interactive-scale load run against a self-hosted server, fault-free:
+# prints the per-tenant latency table and verifies the final view.
+loadgen:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill -TERM $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/viewsrv" ./cmd/viewsrv; \
+	$(GO) build -o "$$tmp/loadgen" ./cmd/loadgen; \
+	"$$tmp/viewsrv" -journal "$$tmp/journal" -addr 127.0.0.1:0 -portfile "$$tmp/port" \
+		-tenants "good=4,hog=1" & pid=$$!; \
+	i=0; while [ ! -s "$$tmp/port" ] && [ $$i -lt 100 ]; do sleep 0.1; i=$$((i+1)); done; \
+	[ -s "$$tmp/port" ] || { echo "loadgen: viewsrv did not start"; exit 1; }; \
+	"$$tmp/loadgen" -addr "$$(cat "$$tmp/port")" -view ed -clients 8 -ops 8000 -batch 16 \
+		-tenants good,hog; \
+	kill -TERM $$pid; wait $$pid || true
 
 # Run every example binary (smoke test).
 examples:

@@ -8,18 +8,24 @@ import (
 
 // RawGo forbids raw `go` statements outside the sanctioned concurrency
 // sites: the deterministic fork/join scheduler in
-// internal/relation/parallel.go, the obs layer, and the serving
-// pipeline in internal/serve (whose decider/committer goroutines ARE
-// the concurrency design — PR 5). Everything else must route work
-// through relation.Parallelism's scheduler so that worker counts,
-// chunking, and joins stay deterministic and instrumented. Introduced
-// with PR 1's parallel kernels; mechanized in PR 4.
+// internal/relation/parallel.go, the obs layer, the serving pipeline in
+// internal/serve (whose decider/committer goroutines ARE the
+// concurrency design — PR 5), and the load generator in cmd/loadgen
+// (whose simulated client fleet IS the workload — PR 8; each client
+// goroutine models one independent network peer, which no scheduler
+// abstraction expresses). Everything else must route work through
+// relation.Parallelism's scheduler so that worker counts, chunking, and
+// joins stay deterministic and instrumented. Introduced with PR 1's
+// parallel kernels; mechanized in PR 4.
 var RawGo = &Analyzer{
 	Name: "rawgo",
 	Doc: "flag raw go statements outside internal/relation/parallel.go, " +
-		"internal/obs, and internal/serve; concurrency goes through the scheduler",
+		"internal/obs, internal/serve, and cmd/loadgen; concurrency goes " +
+		"through the scheduler",
 	AppliesTo: func(pkgPath string) bool {
-		return !pathHasSuffix(pkgPath, "internal/obs") && !pathHasSuffix(pkgPath, "internal/serve")
+		return !pathHasSuffix(pkgPath, "internal/obs") &&
+			!pathHasSuffix(pkgPath, "internal/serve") &&
+			!pathHasSuffix(pkgPath, "cmd/loadgen")
 	},
 	Run: runRawGo,
 }

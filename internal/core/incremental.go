@@ -480,8 +480,11 @@ func (s *Session) applyInc(st *incState, op UpdateOp, d *Decision) bool {
 	if ins != len(de.Plus) || del != len(de.Minus) {
 		// Translation disagreed with the instance: the database changed
 		// by exactly the delta that DID apply, so the maintained image
-		// below still ends consistent; drop it defensively anyway.
+		// below still ends consistent; drop it defensively anyway — and
+		// the materialized reader view with it, since the database
+		// mutated outside the patch discipline.
 		s.invalidateInc()
+		s.invalidateMView()
 		return false
 	}
 	for _, mt := range de.Minus {

@@ -88,6 +88,18 @@ type Session struct {
 	// db: the incremental apply must copy-on-write before mutating so
 	// outstanding refs keep describing the state they were taken at.
 	dbShared bool
+	// mview is the maintained materialized view π_X(db), patched per
+	// applied op so readers never pay a full re-projection; nil means
+	// invalidated (rebuilt lazily by the next ViewRef). Unlike the
+	// incremental decide state it is maintained on the full apply path
+	// too: every database swap flows through ApplyCtx/AdoptSpeculated,
+	// and a translatable non-identity op changes the view by exactly
+	// (op.Tuple out, op.With in) — the translation realizes precisely
+	// the requested view instance.
+	mview *relation.Relation
+	// mviewShared marks that a ViewRef aliases mview: the next patch
+	// must copy-on-write so published views stay immutable snapshots.
+	mviewShared bool
 }
 
 // NewSession starts a session on a legal database instance.
@@ -128,6 +140,10 @@ func (s *Session) IncrementalEnabled() bool {
 // seed, must never survive a resync.
 func (s *Session) InvalidateDeltas() {
 	s.invalidateInc()
+	// The materialized reader view is maintained independently of the
+	// incremental decide state, but a resync signals the surrounding
+	// state is suspect; drop it too and re-project on the next read.
+	s.invalidateMView()
 }
 
 // invalidateInc drops the maintained state, counting the invalidation.
@@ -202,9 +218,11 @@ func (s *Session) AdoptSpeculated(op UpdateOp, d *Decision, db *relation.Relatio
 	}
 	s.db = db
 	// The adopted relation is owned by the speculating session and the
-	// maintained delta state still images the replaced one.
+	// maintained delta state still images the replaced one. The
+	// materialized reader view advances by the op's view delta.
 	s.dbShared = true
 	s.invalidateInc()
+	s.patchMView(op, d)
 	s.version++
 	s.log = append(s.log, LogEntry{Op: op, Decision: d, Applied: true})
 	if m := coremetrics.Load(); m != nil {
@@ -217,8 +235,71 @@ func (s *Session) AdoptSpeculated(op UpdateOp, d *Decision, db *relation.Relatio
 // Database returns a snapshot of the current database.
 func (s *Session) Database() *relation.Relation { return s.db.Clone() }
 
-// View returns the current view instance.
-func (s *Session) View() *relation.Relation { return s.db.Project(s.pair.ViewAttrs()) }
+// ViewRef returns the current materialized view without re-projecting
+// the database: the session maintains π_X(db) across applies by
+// patching it with each op's view-level delta (see patchMView), paying
+// one re-projection only when the image was invalidated. Callers must
+// treat the result as immutable; like StateRef it stays valid and
+// stable forever — the session copies-on-write before the next patch.
+// This is the serving pipeline's read path: publishing a view after a
+// committed batch costs O(|batch|), not O(|db|).
+func (s *Session) ViewRef() *relation.Relation {
+	if s.mview == nil {
+		s.mview = s.db.Project(s.pair.x)
+		if m := coremetrics.Load(); m != nil {
+			m.viewRebuild.Inc()
+		}
+	}
+	s.mviewShared = true
+	return s.mview
+}
+
+// View returns the current view instance, owned by the caller.
+func (s *Session) View() *relation.Relation { return s.ViewRef().Clone() }
+
+// patchMView advances the maintained materialized view by one applied
+// op. The op was decided translatable against the current view V, and
+// the constant-complement translation realizes exactly the requested
+// view instance — insert: V ∪ {t}, delete: V − {t}, replace:
+// (V − {t1}) ∪ {t2} — so the patch is the op's own tuples; set
+// semantics make it exact even when a tuple was already present or
+// absent. Identity decisions change nothing and are skipped outright.
+func (s *Session) patchMView(op UpdateOp, d *Decision) {
+	if s.mview == nil {
+		return // invalidated: the next ViewRef re-projects
+	}
+	if d != nil && d.Reason == ReasonIdentity {
+		return
+	}
+	if s.mviewShared {
+		s.mview = s.mview.Clone()
+		s.mviewShared = false
+	}
+	switch op.Kind {
+	case UpdateInsert:
+		s.mview.Insert(op.Tuple.Clone())
+	case UpdateDelete:
+		s.mview.Delete(op.Tuple)
+	case UpdateReplace:
+		s.mview.Delete(op.Tuple)
+		s.mview.Insert(op.With.Clone())
+	default:
+		// Unreachable for an applied op; drop the image rather than
+		// serve a stale one.
+		s.invalidateMView()
+		return
+	}
+	if m := coremetrics.Load(); m != nil {
+		m.viewPatch.Inc()
+	}
+}
+
+// invalidateMView drops the maintained materialized view; the next
+// ViewRef rebuilds it with one re-projection.
+func (s *Session) invalidateMView() {
+	s.mview = nil
+	s.mviewShared = false
+}
 
 // Log returns the update log (shared slice; do not modify).
 func (s *Session) Log() []LogEntry { return s.log }
@@ -385,6 +466,7 @@ func (s *Session) ApplyCtx(ctx context.Context, op UpdateOp) (*Decision, error) 
 				m.applied.Inc()
 			}
 			tsp.End()
+			s.patchMView(op, d)
 			s.version++
 			s.log = append(s.log, LogEntry{Op: op, Decision: d, Applied: true})
 			return d, nil
@@ -419,10 +501,13 @@ func (s *Session) ApplyCtx(ctx context.Context, op UpdateOp) (*Decision, error) 
 		return d, fmt.Errorf("core: internal: database became illegal (%v)", bad)
 	}
 	// The full path swapped the database pointer under the maintained
-	// delta state; drop it (rebuilt lazily on the next decide).
+	// delta state; drop it (rebuilt lazily on the next decide). The
+	// materialized reader view survives: it advances by the op's view
+	// delta regardless of which apply path ran.
 	s.db = out
 	s.dbShared = false
 	s.invalidateInc()
+	s.patchMView(op, d)
 	s.version++
 	s.log = append(s.log, LogEntry{Op: op, Decision: d, Applied: true})
 	if m != nil {

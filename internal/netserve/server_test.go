@@ -1,0 +1,417 @@
+package netserve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/serve"
+	"github.com/constcomp/constcomp/internal/store"
+	"github.com/constcomp/constcomp/internal/workload"
+)
+
+// newEDMServer builds a server with the EDM "ed" view over fsys (nil
+// for a plain MemFS) and returns it with its httptest front.
+func newEDMServer(t *testing.T, fsys store.FS, sopts Options, popts serve.Options) (*Server, *httptest.Server, *workload.EDM) {
+	t.Helper()
+	edm := workload.NewEDM()
+	pair := core.MustPair(edm.Schema, edm.ED, edm.DM)
+	if fsys == nil {
+		fsys = store.NewMemFS()
+	}
+	st, err := store.Create(fsys, pair, edm.Instance(8, 4), edm.Syms, store.Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sopts)
+	if err := srv.AddView("ed", st, edm.Syms, popts); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Close()
+	})
+	return srv, ts, edm
+}
+
+func postJSON(t *testing.T, url, tenant string, req SubmitRequest) (*http.Response, SubmitResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", ContentTypeJSON)
+	if tenant != "" {
+		hreq.Header.Set(HeaderTenant, tenant)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	if resp.Header.Get("Content-Type") == ContentTypeJSON {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil && resp.StatusCode == http.StatusOK {
+			t.Fatalf("decode submit response: %v", err)
+		}
+	}
+	return resp, sr
+}
+
+func getView(t *testing.T, url string) (*http.Response, ViewResponse) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vr ViewResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+		t.Fatalf("decode view: %v", err)
+	}
+	return resp, vr
+}
+
+// pollView reads the view until pred holds. Publishing is lazy (the
+// committer hands views to the read side only after the first read) and
+// runs after acks, so a read racing its own ack may briefly see the
+// previous view.
+func pollView(t *testing.T, url string, pred func(*http.Response, ViewResponse) bool) (*http.Response, ViewResponse) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, vr := getView(t, url)
+		if pred(resp, vr) {
+			return resp, vr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("view never reached the expected state; last rows %v (seq %d)", vr.Rows, vr.Seq)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServerSubmitAndReadJSON: the JSON protocol end to end — submit a
+// mixed batch, read the view back, check headers and identity marking.
+func TestServerSubmitAndReadJSON(t *testing.T) {
+	_, ts, _ := newEDMServer(t, nil, Options{}, serve.Options{MaxBatch: 4})
+
+	// Warm the read path: view publishing is lazy until the first read.
+	getView(t, ts.URL+"/v1/views/ed")
+
+	resp, sr := postJSON(t, ts.URL+"/v1/views/ed/submit", "", SubmitRequest{Ops: []WireOp{
+		{Kind: KindInsert, Tuple: []string{"alice", "dept1"}},
+		{Kind: KindReplace, Tuple: []string{"alice", "dept1"}, With: []string{"alice", "dept2"}},
+		{Kind: KindDelete, Tuple: []string{"nobody", "dept1"}}, // identity: not in the view
+		{Kind: KindInsert, Tuple: []string{"bob", "dept9"}},    // no such department: rejected
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if len(sr.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(sr.Results))
+	}
+	if !sr.Results[0].Applied || sr.Results[0].Identity {
+		t.Errorf("insert: %+v, want applied non-identity", sr.Results[0])
+	}
+	if !sr.Results[1].Applied {
+		t.Errorf("replace: %+v, want applied", sr.Results[1])
+	}
+	if !sr.Results[2].Applied || !sr.Results[2].Identity {
+		t.Errorf("delete of absent tuple: %+v, want applied identity", sr.Results[2])
+	}
+	if !sr.Results[3].Rejected || (sr.Results[3].Reason == "" && sr.Results[3].Error == "") {
+		t.Errorf("impossible insert: %+v, want rejected with a reason", sr.Results[3])
+	}
+
+	vresp, vr := pollView(t, ts.URL+"/v1/views/ed", func(_ *http.Response, vr ViewResponse) bool {
+		for _, row := range vr.Rows {
+			if row[0] == "alice" && row[1] == "dept2" {
+				return true
+			}
+		}
+		return false
+	})
+	if got := vresp.Header.Get(HeaderDegraded); got != "false" {
+		t.Errorf("%s = %q, want false", HeaderDegraded, got)
+	}
+	if vr.Seq == 0 {
+		t.Errorf("view seq = 0, want progress after applied ops")
+	}
+	if hdr := vresp.Header.Get(HeaderSeq); hdr != fmt.Sprint(vr.Seq) {
+		t.Errorf("%s = %q, body seq %d", HeaderSeq, hdr, vr.Seq)
+	}
+	for _, row := range vr.Rows {
+		if row[0] == "bob" {
+			t.Errorf("rejected insert reached the view: %v", row)
+		}
+	}
+}
+
+// TestServerSubmitFramePath: the binary framing roundtrips the same
+// semantics as JSON, including the identity status byte.
+func TestServerSubmitFramePath(t *testing.T) {
+	_, ts, _ := newEDMServer(t, nil, Options{}, serve.Options{MaxBatch: 4})
+
+	var body []byte
+	var err error
+	for _, op := range []WireOp{
+		{Kind: KindInsert, Tuple: []string{"carol", "dept0"}},
+		{Kind: KindDelete, Tuple: []string{"carol", "dept0"}},
+		{Kind: KindDelete, Tuple: []string{"carol", "dept0"}}, // now absent: identity
+	} {
+		if body, err = AppendOpFrame(body, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/views/ed/submit", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ContentTypeFrame)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypeFrame {
+		t.Fatalf("response Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	var results []OpResult
+	for {
+		res, err := ReadResultFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if !results[0].Applied || results[0].Identity {
+		t.Errorf("insert: %+v", results[0])
+	}
+	if !results[1].Applied || results[1].Identity {
+		t.Errorf("first delete: %+v", results[1])
+	}
+	if !results[2].Applied || !results[2].Identity {
+		t.Errorf("second delete: %+v, want applied identity", results[2])
+	}
+}
+
+// TestServerTenantThrottle: a metered tenant gets 429 + Retry-After past
+// its burst; an unmetered tenant on the same server is unaffected.
+func TestServerTenantThrottle(t *testing.T) {
+	_, ts, _ := newEDMServer(t, nil, Options{
+		Admission: AdmissionOptions{
+			Tenants: map[string]TenantConfig{"metered": {Rate: 1, Burst: 2}},
+		},
+	}, serve.Options{MaxBatch: 4})
+
+	submit := func(tenant, emp string) *http.Response {
+		resp, _ := postJSON(t, ts.URL+"/v1/views/ed/submit", tenant, SubmitRequest{
+			Ops: []WireOp{{Kind: KindInsert, Tuple: []string{emp, "dept0"}}},
+		})
+		return resp
+	}
+	if resp := submit("metered", "m1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first metered submit: %d", resp.StatusCode)
+	}
+	if resp := submit("metered", "m2"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second metered submit: %d", resp.StatusCode)
+	}
+	resp := submit("metered", "m3")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("past-burst submit: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if resp := submit("", "free1"); resp.StatusCode != http.StatusOK {
+		t.Errorf("unmetered tenant caught by the throttle: %d", resp.StatusCode)
+	}
+}
+
+// TestServerDegradedReadDuringHealing is the degraded-read protocol
+// test: while a pipeline is healing from an injected journal fault —
+// held open by a gated Resurrect — reads still answer 200 but carry
+// X-Constcomp-Degraded: true; once healing completes the header drops
+// and the faulted op's effect is visible. Run under -race this also
+// proves the read path and the healing committer share no unsynchronized
+// state.
+func TestServerDegradedReadDuringHealing(t *testing.T) {
+	edm := workload.NewEDM()
+	pair := core.MustPair(edm.Schema, edm.ED, edm.DM)
+	mem := store.NewMemFS()
+	ffs := store.NewFaultFS(mem, store.FaultPlan{
+		Match:      func(name string) bool { return name == store.JournalFile },
+		FailSyncAt: 2,
+	})
+	st, err := store.Create(ffs, pair, edm.Instance(8, 4), edm.Syms, store.Options{SnapshotEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	srv := NewServer(Options{})
+	err = srv.AddView("ed", st, edm.Syms, serve.Options{
+		MaxBatch: 1,
+		Resurrect: func() (*store.Session, error) {
+			<-gate // hold the pipeline in its healing window
+			ns, _, err := store.Recover(ffs, pair, edm.Syms, store.Options{SnapshotEvery: 1 << 20})
+			return ns, err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		_ = srv.Close()
+	}()
+
+	// Warm the read path (publishing is lazy until the first read), then
+	// land one op that syncs fine and wait for its publish — the stale
+	// view served during healing must contain it.
+	getView(t, ts.URL+"/v1/views/ed")
+	resp, sr := postJSON(t, ts.URL+"/v1/views/ed/submit", "", SubmitRequest{
+		Ops: []WireOp{{Kind: KindInsert, Tuple: []string{"w1", "dept0"}}},
+	})
+	if resp.StatusCode != http.StatusOK || !sr.Results[0].Applied {
+		t.Fatalf("warm-up submit: status %d, %+v", resp.StatusCode, sr.Results)
+	}
+	if resp.Header.Get(HeaderDegraded) != "false" {
+		t.Fatalf("healthy submit marked degraded")
+	}
+	pollView(t, ts.URL+"/v1/views/ed", func(_ *http.Response, vr ViewResponse) bool {
+		return hasRow(vr, "w1")
+	})
+
+	// Second op trips the journal fault; its ack blocks until healing
+	// completes, so submit from the background.
+	done := make(chan SubmitResponse, 1)
+	go func() {
+		_, sr := postJSON(t, ts.URL+"/v1/views/ed/submit", "", SubmitRequest{
+			Ops: []WireOp{{Kind: KindInsert, Tuple: []string{"w2", "dept1"}}},
+		})
+		done <- sr
+	}()
+
+	// The pipeline enters its healing window (Resurrect blocked on the
+	// gate); reads must stay 200 and be explicitly marked degraded.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, vr := getView(t, ts.URL+"/v1/views/ed")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read during healing: status %d", resp.StatusCode)
+		}
+		if resp.Header.Get(HeaderDegraded) == "true" {
+			if !vr.Degraded {
+				t.Error("degraded header set but body says false")
+			}
+			// The degraded read serves the last published (pre-fault)
+			// view: w1 present, w2 not yet visible.
+			if !hasRow(vr, "w1") || hasRow(vr, "w2") {
+				t.Errorf("degraded view rows: %v", vr.Rows)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline never reported degraded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(gate) // let the resurrection proceed
+	sr = <-done
+	if len(sr.Results) != 1 || !sr.Results[0].Applied {
+		t.Fatalf("faulted op after healing: %+v", sr.Results)
+	}
+	for {
+		resp, vr := getView(t, ts.URL+"/v1/views/ed")
+		if resp.Header.Get(HeaderDegraded) == "false" {
+			if !hasRow(vr, "w1") || !hasRow(vr, "w2") {
+				t.Errorf("post-heal view rows: %v", vr.Rows)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline never recovered from degraded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !ffs.Tripped() {
+		t.Fatal("fault never fired; test exercised nothing")
+	}
+}
+
+func hasRow(vr ViewResponse, emp string) bool {
+	for _, row := range vr.Rows {
+		if row[0] == emp {
+			return true
+		}
+	}
+	return false
+}
+
+// TestServerRequestLimits: op-count and malformed-body handling.
+func TestServerRequestLimits(t *testing.T) {
+	_, ts, _ := newEDMServer(t, nil, Options{MaxOpsPerRequest: 2}, serve.Options{MaxBatch: 4})
+
+	ops := make([]WireOp, 3)
+	for i := range ops {
+		ops[i] = WireOp{Kind: KindInsert, Tuple: []string{fmt.Sprintf("e%d", i), "dept0"}}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/views/ed/submit", "", SubmitRequest{Ops: ops})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("3 ops with limit 2: status %d, want 413", resp.StatusCode)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/views/ed/submit", "", SubmitRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty op list: status %d, want 400", resp.StatusCode)
+	}
+
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/views/ed/submit", strings.NewReader("{not json"))
+	hreq.Header.Set("Content-Type", ContentTypeJSON)
+	bresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", bresp.StatusCode)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/views/nope/submit", "", SubmitRequest{Ops: ops[:1]})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown view: status %d, want 404", resp.StatusCode)
+	}
+
+	wresp, _ := postJSON(t, ts.URL+"/v1/views/ed/submit", "", SubmitRequest{
+		Ops: []WireOp{{Kind: KindInsert, Tuple: []string{"only-one-field"}}},
+	})
+	if wresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wrong tuple width: status %d, want 400", wresp.StatusCode)
+	}
+}

@@ -374,13 +374,36 @@ func (p *Pipeline) View() (*relation.Relation, bool) {
 	return nil, degraded
 }
 
+// Published is View plus provenance: it returns the most recently
+// committed materialized view, the store sequence number it is current
+// as of, and whether the pipeline is degraded. The network front-end
+// uses the seq to stamp read responses so a client can correlate a
+// read with the acks it has seen.
+func (p *Pipeline) Published() (*relation.Relation, uint64, bool) {
+	p.viewWanted.Store(true)
+	degraded := p.degraded.Load()
+	if degraded {
+		if m := svmetrics.Load(); m != nil {
+			m.degradedReads.Inc()
+		}
+	}
+	if pv := p.pubView.Load(); pv != nil {
+		return pv.view, pv.seq, degraded
+	}
+	return nil, 0, degraded
+}
+
 // publishView hands the committed view to the read side. Committer
-// goroutine only.
+// goroutine only. The published relation is the session's maintained
+// materialized view, patched per op by the apply paths (delta-scoped
+// view refresh): a batch's publish costs O(|batch|), not a full
+// re-projection, and the ref stays immutable — the session copies on
+// write before its next patch.
 func (p *Pipeline) publishView(st *store.Session) {
 	if !p.viewWanted.Load() {
 		return
 	}
-	p.pubView.Store(&publishedView{view: st.View(), seq: st.Seq()})
+	p.pubView.Store(&publishedView{view: st.ViewRef(), seq: st.Seq()})
 }
 
 func (p *Pipeline) brokenErr() error {

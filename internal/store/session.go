@@ -302,6 +302,12 @@ func (s *Session) Pair() *core.Pair { return s.pair }
 // View returns the current view instance.
 func (s *Session) View() *relation.Relation { return s.sess.View() }
 
+// ViewRef returns the maintained materialized view (immutable; see
+// core.Session.ViewRef). The serving pipeline publishes it to readers
+// after each committed batch, paying O(|batch|) per refresh instead of
+// a full re-projection.
+func (s *Session) ViewRef() *relation.Relation { return s.sess.ViewRef() }
+
 // Log returns the in-memory update log of this process's lifetime
 // (rejections included; the journal holds only applied ops).
 func (s *Session) Log() []core.LogEntry { return s.sess.Log() }
