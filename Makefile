@@ -16,10 +16,17 @@ vet:
 	$(GO) vet ./...
 
 # constvet: the repository's own invariant suite (durability ordering,
-# determinism, budget discipline, nil-safe instrumentation). Exceptions
-# are annotated in-diff with //constvet:allow; see DESIGN.md.
+# determinism, budget discipline, lock/deadline/error dataflow over the
+# whole-repo call graph). Exceptions are annotated in-diff with
+# //constvet:allow; see DESIGN.md. The build step first warms the shared
+# build cache so constvet's `go list -export` load reuses compiled
+# export data instead of recompiling every package. LINTFLAGS passes
+# driver flags through, e.g. `make lint LINTFLAGS='-json'` or
+# `make lint LINTFLAGS='-run lockhold,deadlineflow -v'`.
+LINTFLAGS ?=
 lint:
-	$(GO) run ./cmd/constvet ./...
+	$(GO) build ./...
+	$(GO) run ./cmd/constvet $(LINTFLAGS) ./...
 
 test:
 	$(GO) test ./...

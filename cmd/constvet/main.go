@@ -1,18 +1,24 @@
 // Command constvet is the repository's invariant multichecker: it runs
 // the internal/analysis suite (fsyncorder, mapiter, budgetloop,
-// nilmetrics, rawgo, walltime) over the given packages and exits
-// non-zero on any unsuppressed diagnostic.
+// lockhold, deadlineflow, errflow, nilmetrics, rawgo, walltime, ...)
+// over the given packages and exits non-zero on any unsuppressed
+// diagnostic.
 //
 // Usage:
 //
-//	constvet [-list] [-v] [-run name,name] [packages...]
+//	constvet [-list] [-v] [-json] [-run name,name] [packages...]
 //
-// Packages default to ./.... Intentional exceptions are annotated at the
-// offending line with `//constvet:allow <name> -- reason`; -v prints the
-// suppressed findings too, so exceptions stay auditable.
+// Packages default to ./.... Whatever the target patterns, the whole
+// module is loaded once into a call graph so cross-package dataflow
+// facts (may-block, budget discipline, fsync obligations) are complete.
+// Intentional exceptions are annotated at the offending line with
+// `//constvet:allow <name> -- reason`; -v prints the suppressed
+// findings too, so exceptions stay auditable. -json emits every finding
+// (suppressed included) as one JSON object per line for CI artifacts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +28,18 @@ import (
 	"github.com/constcomp/constcomp/internal/analysis"
 )
 
+// jsonFinding is the -json wire form: one object per line.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+	Allowed  bool   `json:"allowed"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	verbose := flag.Bool("v", false, "also print suppressed findings")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line (suppressed included)")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	flag.Parse()
 
@@ -56,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "constvet:", err)
 		os.Exit(2)
 	}
-	pkgs, err := analysis.Load(cwd, patterns...)
+	prog, pkgs, err := analysis.LoadProgram(cwd, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "constvet:", err)
 		os.Exit(2)
@@ -68,7 +83,7 @@ func main() {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.ImportPath) {
 				continue
 			}
-			fs, err := analysis.RunAnalyzer(a, pkg)
+			fs, err := analysis.RunAnalyzer(a, prog, pkg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "constvet:", err)
 				os.Exit(2)
@@ -87,17 +102,28 @@ func main() {
 		return a.Analyzer < b.Analyzer
 	})
 
+	enc := json.NewEncoder(os.Stdout)
 	failed, suppressed := 0, 0
 	for _, f := range findings {
 		if f.Suppressed {
 			suppressed++
-			if *verbose {
-				fmt.Println(f)
-			}
-			continue
+		} else {
+			failed++
 		}
-		failed++
-		fmt.Println(f)
+		switch {
+		case *jsonOut:
+			if err := enc.Encode(jsonFinding{
+				Analyzer: f.Analyzer,
+				Pos:      f.Pos.String(),
+				Message:  f.Message,
+				Allowed:  f.Suppressed,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "constvet:", err)
+				os.Exit(2)
+			}
+		case !f.Suppressed || *verbose:
+			fmt.Println(f)
+		}
 	}
 	if *verbose || failed > 0 {
 		fmt.Fprintf(os.Stderr, "constvet: %d finding(s), %d suppressed, %d package(s)\n",

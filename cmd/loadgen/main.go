@@ -171,6 +171,7 @@ func run(cfg *config, reportPath string, expectRes, verify bool) error {
 	var wg sync.WaitGroup
 	for _, c := range clients {
 		wg.Add(1)
+		//constvet:allow rawgo -- each client goroutine models one independent network peer; the simulated fleet IS the workload, which no scheduler abstraction expresses
 		go func() {
 			defer wg.Done()
 			c.drive(cfg, httpc, base)
@@ -310,7 +311,7 @@ func (c *client) drive(cfg *config, httpc *http.Client, base string) {
 			// Throttled or budget-limited: honor Retry-After and replay
 			// the same batch. Not a failure — admission doing its job.
 			c.throttled++
-			time.Sleep(time.Duration(retryAfter) * time.Second)
+			obs.SystemClock().Sleep(int64(retryAfter) * int64(time.Second))
 			continue
 		}
 		if status >= 500 {

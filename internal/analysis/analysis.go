@@ -51,6 +51,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Prog is the whole-program call graph the package was loaded into.
+	// Dataflow analyzers use it to propagate facts (may-block, budget
+	// discipline, fsync obligations) across package boundaries.
+	Prog *Program
 
 	diags []Diagnostic
 }
@@ -128,14 +132,17 @@ func allowedLines(fset *token.FileSet, files []*ast.File) map[int]map[string]boo
 }
 
 // RunAnalyzer executes one analyzer over a loaded package and resolves its
-// diagnostics against the package's //constvet:allow comments.
-func RunAnalyzer(a *Analyzer, pkg *Package) ([]Finding, error) {
+// diagnostics against the package's //constvet:allow comments. prog is
+// the program the package belongs to; analyzers that only need the
+// package view ignore it.
+func RunAnalyzer(a *Analyzer, prog *Program, pkg *Package) ([]Finding, error) {
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Prog:     prog,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)

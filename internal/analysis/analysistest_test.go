@@ -83,11 +83,15 @@ func fixtures(t *testing.T, pattern string) []*Package {
 
 // runFixtures checks one analyzer against every package under pattern
 // and returns the suppressed findings (for the allow-comment tests).
+// The loaded fixture packages form their own little program, so
+// cross-package fact propagation is exercised exactly as in the driver.
 func runFixtures(t *testing.T, a *Analyzer, pattern string) []Finding {
 	t.Helper()
 	var suppressed []Finding
-	for _, pkg := range fixtures(t, pattern) {
-		findings, err := RunAnalyzer(a, pkg)
+	pkgs := fixtures(t, pattern)
+	prog := NewProgram(pkgs)
+	for _, pkg := range pkgs {
+		findings, err := RunAnalyzer(a, prog, pkg)
 		if err != nil {
 			t.Fatalf("%s on %s: %v", a.Name, pkg.ImportPath, err)
 		}
@@ -143,6 +147,29 @@ func TestDeltaResetFixtures(t *testing.T) {
 	}
 }
 
+// The three concurrency analyzers each pin one sanctioned exception in
+// their ok fixture, so the allow grammar is covered for every new name.
+func TestLockHoldFixtures(t *testing.T) {
+	suppressed := runFixtures(t, LockHold, "lockhold/...")
+	if len(suppressed) != 1 {
+		t.Errorf("want 1 suppressed finding from the ok fixture's allow comment, got %d", len(suppressed))
+	}
+}
+
+func TestDeadlineFlowFixtures(t *testing.T) {
+	suppressed := runFixtures(t, DeadlineFlow, "deadlineflow/...")
+	if len(suppressed) != 1 {
+		t.Errorf("want 1 suppressed finding from the ok fixture's allow comment, got %d", len(suppressed))
+	}
+}
+
+func TestErrFlowFixtures(t *testing.T) {
+	suppressed := runFixtures(t, ErrFlow, "errflow/...")
+	if len(suppressed) != 1 {
+		t.Errorf("want 1 suppressed finding from the ok fixture's allow comment, got %d", len(suppressed))
+	}
+}
+
 func TestErrClassFixtures(t *testing.T)   { runFixtures(t, ErrClass, "errclass/...") }
 func TestFsyncOrderFixtures(t *testing.T) { runFixtures(t, FsyncOrder, "fsyncorder/...") }
 func TestMapIterFixtures(t *testing.T)    { runFixtures(t, MapIter, "mapiter/...") }
@@ -154,15 +181,18 @@ func TestWalltimeFixtures(t *testing.T)   { runFixtures(t, Walltime, "walltime/.
 // registered analyzer must have both a passing and a failing fixture.
 func TestEveryAnalyzerHasFixtures(t *testing.T) {
 	wantDirs := map[string][]string{
-		"budgetloop": {"budgetloop/ok", "budgetloop/bad"},
-		"cachebound": {"cachebound/ok", "cachebound/bad"},
-		"deltareset": {"deltareset/ok", "deltareset/bad"},
-		"errclass":   {"errclass/ok", "errclass/bad"},
-		"fsyncorder": {"fsyncorder/ok", "fsyncorder/bad"},
-		"mapiter":    {"mapiter/ok", "mapiter/bad"},
-		"nilmetrics": {"nilmetrics/handles_ok", "nilmetrics/handles_bad"},
-		"rawgo":      {"rawgo/ok", "rawgo/bad"},
-		"walltime":   {"walltime/ok", "walltime/bad"},
+		"budgetloop":   {"budgetloop/ok", "budgetloop/bad"},
+		"cachebound":   {"cachebound/ok", "cachebound/bad"},
+		"deadlineflow": {"deadlineflow/ok", "deadlineflow/bad"},
+		"deltareset":   {"deltareset/ok", "deltareset/bad"},
+		"errclass":     {"errclass/ok", "errclass/bad"},
+		"errflow":      {"errflow/ok", "errflow/bad"},
+		"fsyncorder":   {"fsyncorder/ok", "fsyncorder/bad"},
+		"lockhold":     {"lockhold/ok", "lockhold/bad"},
+		"mapiter":      {"mapiter/ok", "mapiter/bad"},
+		"nilmetrics":   {"nilmetrics/handles_ok", "nilmetrics/handles_bad"},
+		"rawgo":        {"rawgo/ok", "rawgo/bad"},
+		"walltime":     {"walltime/ok", "walltime/bad"},
 	}
 	for _, a := range All() {
 		dirs, ok := wantDirs[a.Name]
@@ -180,8 +210,10 @@ func TestEveryAnalyzerHasFixtures(t *testing.T) {
 // loaded fixture: the ok fixture's allowed loop is found but marked
 // suppressed, and the String form says so.
 func TestAllowSuppression(t *testing.T) {
-	for _, pkg := range fixtures(t, "budgetloop/ok") {
-		findings, err := RunAnalyzer(BudgetLoop, pkg)
+	pkgs := fixtures(t, "budgetloop/ok")
+	prog := NewProgram(pkgs)
+	for _, pkg := range pkgs {
+		findings, err := RunAnalyzer(BudgetLoop, prog, pkg)
 		if err != nil {
 			t.Fatal(err)
 		}

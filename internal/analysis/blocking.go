@@ -1,0 +1,207 @@
+package analysis
+
+// Shared classification of potentially-blocking operations, used by the
+// concurrency analyzers (lockhold, deadlineflow, errflow). "Blocking"
+// means the goroutine may park for an unbounded time: fsync and
+// directory sync, network I/O, channel operations outside a
+// default-carrying select, sleeps (time.Sleep or the injectable
+// obs.Clock's Sleep), and sync.WaitGroup/sync.Cond waits.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockOp classifies sync.Mutex/RWMutex acquire/release calls. key
+// identifies the lock by the receiver expression's source form ("s.mu",
+// "p.stateMu"), which is stable within one function — the only scope the
+// held-set dataflow ever compares keys in. acquire is true for
+// Lock/RLock/TryLock/TryRLock (a successful TryLock holds the lock, and
+// the held-set is a may-analysis).
+func lockOp(info *types.Info, call *ast.CallExpr) (key string, acquire, ok bool) {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "sync" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acquire, true
+}
+
+// netPkgs are the packages whose Read/Write-shaped methods count as
+// network I/O.
+var netPkgs = map[string]bool{"net": true, "net/http": true}
+
+// netBlockingMethods are the method names that move bytes or wait on a
+// peer; SetDeadline-style bookkeeping is excluded.
+var netBlockingMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"Accept": true, "Do": true,
+}
+
+// blockingCall reports whether the call itself may block, with a short
+// description for the diagnostic. Calls into other analyzed functions
+// are the caller's concern (see mayBlockFacts).
+func blockingCall(info *types.Info, call *ast.CallExpr) (desc string, ok bool) {
+	// File.Sync / SyncDir: fsync latency, the original lockhold target.
+	if isFileSyncCall(info, call) {
+		return "File.Sync", true
+	}
+	if recv, name, isMethod := methodCall(info, call); isMethod {
+		switch {
+		case name == "SyncDir":
+			return "SyncDir", true
+		case name == "Sleep" && fromPackageNamed(info.TypeOf(recv), "obs"):
+			return "Clock.Sleep", true
+		case netBlockingMethods[name]:
+			if n := namedOf(info.TypeOf(recv)); n != nil && n.Obj().Pkg() != nil && netPkgs[n.Obj().Pkg().Path()] {
+				return "network " + name, true
+			}
+		}
+	}
+	if fn := calleeOf(info, call); fn != nil && fn.Pkg() != nil {
+		switch {
+		case fn.Pkg().Name() == "time" && fn.Name() == "Sleep":
+			return "time.Sleep", true
+		case fn.Pkg().Name() == "sync" && fn.Name() == "Wait":
+			return "sync " + recvTypeName(fn) + ".Wait", true
+		}
+	}
+	return "", false
+}
+
+// recvTypeName names a method's receiver type for diagnostics
+// ("WaitGroup", "Cond"), or the empty string for plain functions.
+func recvTypeName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	if n := namedOf(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// commOps collects the comm operations of every select in the function:
+// the send statements and receive expressions that appear as a
+// CommClause's comm. They block (or not) as part of their select, so
+// the per-statement classification must not double-count them.
+func commOps(fn ast.Node) map[ast.Node]bool {
+	ops := map[ast.Node]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cs := range sel.Body.List {
+			cc := cs.(*ast.CommClause)
+			if cc.Comm == nil {
+				continue
+			}
+			ops[cc.Comm] = true
+			// A receive comm wraps the <-ch in an assign or expr stmt.
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					ops[u] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return ops
+}
+
+// selectHasDefault reports whether the select can always proceed.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, cs := range sel.Body.List {
+		if cs.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isSignalChan reports whether e is a channel of empty structs — the
+// repo's convention for pure signal channels (quit, done, ready), whose
+// receives are lifecycle waits rather than data-plane blocking.
+func isSignalChan(info *types.Info, e ast.Expr) bool {
+	ch, _ := info.TypeOf(e).(*types.Chan)
+	if ch == nil {
+		return false
+	}
+	st, _ := ch.Elem().Underlying().(*types.Struct)
+	return st != nil && st.NumFields() == 0
+}
+
+// isChanRange reports a range-over-channel statement (the drain idiom:
+// runs until the channel closes, which is the producer's lifecycle).
+func isChanRange(info *types.Info, rng *ast.RangeStmt) bool {
+	_, ok := info.TypeOf(rng.X).(*types.Chan)
+	return ok
+}
+
+// hasDirectBlocking reports whether the body performs a blocking
+// operation itself (not through callees). `go` statements are skipped —
+// the spawned goroutine blocks, not this function.
+func hasDirectBlocking(info *types.Info, body ast.Node) bool {
+	comm := commOps(body)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if _, ok := blockingCall(info, n); ok {
+				found = true
+			}
+		case *ast.SendStmt:
+			if !comm[n] {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !comm[n] {
+				found = true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanRange(info, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mayBlockFacts closes "may block" over the whole-program call graph:
+// a function may block if its body blocks directly or any
+// statically-resolved callee may block.
+func mayBlockFacts(prog *Program) map[FuncID]bool {
+	if prog == nil {
+		return nil
+	}
+	return prog.Fact("blocking.mayblock", func() any {
+		return prog.transitiveFact(func(n *CGNode) bool {
+			return hasDirectBlocking(n.Pkg.Info, n.Decl.Body)
+		})
+	}).(map[FuncID]bool)
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // BudgetLoop enforces PR 2's graceful-degradation contract: the
@@ -10,8 +11,9 @@ import (
 // instead of hanging. Any loop that is not structurally counted — a
 // ForStmt with no post statement, i.e. `for {}`, `for cond {}`, or
 // `for init; cond; {}` — and that calls user code must contain a budget
-// check, directly or through a package-local helper (the package call
-// graph is closed over, so tableau-style `t.step` wrappers count).
+// check, directly or through a helper (the check closure is computed
+// over the whole-program call graph, so a wrapper in another package
+// counts exactly like a package-local one).
 //
 // Loops that make no calls at all (union-find pointer walks, counter
 // updates) are treated as structurally bounded and skipped.
@@ -30,72 +32,67 @@ var budgetCheckMethods = map[string]bool{"Step": true, "Check": true}
 
 // isBudgetCheck reports whether the call is b.Step(...)/b.Check() on a
 // value whose type comes from a package named "budget".
-func isBudgetCheck(pass *Pass, call *ast.CallExpr) bool {
-	recv, name, ok := methodCall(pass.Info, call)
+func isBudgetCheck(info *types.Info, call *ast.CallExpr) bool {
+	recv, name, ok := methodCall(info, call)
 	if !ok || !budgetCheckMethods[name] {
 		return false
 	}
-	return fromPackageNamed(pass.TypeOf(recv), "budget")
+	return fromPackageNamed(info.TypeOf(recv), "budget")
+}
+
+// budgetChecks closes "contains a budget check" over the whole-program
+// call graph: a function checks the budget if its body does so directly
+// or if any statically-resolved callee — in any analyzed package —
+// does. `go` statements are excluded: a check made by a spawned
+// goroutine does not bound the spawning loop.
+func budgetChecks(prog *Program) map[FuncID]bool {
+	if prog == nil {
+		return nil
+	}
+	return prog.Fact("budgetloop.checks", func() any {
+		return prog.transitiveFact(func(n *CGNode) bool {
+			found := false
+			ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+				if _, ok := m.(*ast.GoStmt); ok {
+					return false
+				}
+				if call, ok := m.(*ast.CallExpr); ok && isBudgetCheck(n.Pkg.Info, call) {
+					found = true
+				}
+				return !found
+			})
+			return found
+		})
+	}).(map[FuncID]bool)
 }
 
 func runBudgetLoop(pass *Pass) error {
-	decls := declaredFuncs(pass.Info, pass.Files)
+	checks := budgetChecks(pass.Prog)
 
-	// Close the package-local call graph over "contains a budget check":
-	// a function checks the budget if its body does so directly or calls
-	// a package function that does.
-	checks := map[*ast.FuncDecl]bool{}
-	directOrVia := func(fd *ast.FuncDecl) bool {
-		found := false
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || found {
-				return !found
-			}
-			if isBudgetCheck(pass, call) {
-				found = true
-				return false
-			}
-			if callee := calleeOf(pass.Info, call); callee != nil {
-				if cd, ok := decls[callee]; ok && checks[cd] {
-					found = true
-					return false
-				}
-			}
+	// callChecksBudget: the call is a budget check itself or resolves to
+	// a function whose program-wide closure contains one.
+	callChecksBudget := func(call *ast.CallExpr) bool {
+		if isBudgetCheck(pass.Info, call) {
 			return true
-		})
-		return found
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, fd := range decls {
-			if !checks[fd] && directOrVia(fd) {
-				checks[fd] = true
-				changed = true
-			}
 		}
+		if fn := calleeOf(pass.Info, call); fn != nil {
+			return checks[FuncID(fn.FullName())]
+		}
+		return false
 	}
 
 	// nodeChecksBudget reports whether the subtree contains a budget
-	// check, directly or through a checking package function.
+	// check, directly or through a checking function.
 	nodeChecksBudget := func(root ast.Node) bool {
 		found := false
 		ast.Inspect(root, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || found {
-				return !found
-			}
-			if isBudgetCheck(pass, call) {
-				found = true
+			if _, ok := n.(*ast.GoStmt); ok {
 				return false
 			}
-			if callee := calleeOf(pass.Info, call); callee != nil {
-				if cd, ok := decls[callee]; ok && checks[cd] {
-					found = true
-					return false
-				}
+			if call, ok := n.(*ast.CallExpr); ok && callChecksBudget(call) {
+				found = true
 			}
-			return true
+			return !found
 		})
 		return found
 	}

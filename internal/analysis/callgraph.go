@@ -1,0 +1,146 @@
+package analysis
+
+// Whole-program call graph. Load type-checks every target package from
+// source against compiled export data, so a *types.Func resolved at a
+// call site in one package and the same function's declaration in
+// another package agree on types.Func.FullName() — that string is the
+// stable cross-package key the graph is built on.
+//
+// The graph is deliberately coarse: one node per declared function or
+// method, edges to every statically-resolved callee in its body.
+// Function literals are attributed to their enclosing declaration
+// (they usually run inline), except under a `go` statement — a spawned
+// goroutine's work is not the caller's work, so neither its blocking
+// operations nor its budget checks may leak into the caller's facts.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FuncID identifies a function across the whole program:
+// types.Func.FullName(), e.g. "(*pkg/path.Type).Method" or
+// "pkg/path.Func".
+type FuncID string
+
+// CGNode is one declared function with its outgoing call edges.
+type CGNode struct {
+	ID      FuncID
+	Fn      *types.Func
+	Decl    *ast.FuncDecl
+	Pkg     *Package
+	Callees []FuncID // deduped, sorted; only statically resolved calls
+}
+
+// Program is the whole-repo view: every analyzed package plus the call
+// graph over their declared functions, with a cache for program-wide
+// analyzer facts so the expensive fixpoints run once per constvet
+// invocation instead of once per package.
+type Program struct {
+	Packages []*Package
+	Nodes    map[FuncID]*CGNode
+
+	facts map[string]any
+}
+
+// NewProgram builds the call graph over the given packages.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Packages: pkgs,
+		Nodes:    map[FuncID]*CGNode{},
+		facts:    map[string]any{},
+	}
+	for _, pkg := range pkgs {
+		for fn, fd := range declaredFuncs(pkg.Info, pkg.Files) {
+			node := &CGNode{ID: FuncID(fn.FullName()), Fn: fn, Decl: fd, Pkg: pkg}
+			node.Callees = collectCallees(pkg.Info, fd)
+			p.Nodes[node.ID] = node
+		}
+	}
+	return p
+}
+
+// Node resolves a call-site callee to its graph node, or nil for
+// functions outside the analyzed program (standard library, runtime).
+func (p *Program) Node(fn *types.Func) *CGNode {
+	if p == nil || fn == nil {
+		return nil
+	}
+	return p.Nodes[FuncID(fn.FullName())]
+}
+
+// SortedNodes returns the graph nodes in deterministic ID order, so
+// fact fixpoints and their diagnostics never depend on map iteration.
+func (p *Program) SortedNodes() []*CGNode {
+	out := make([]*CGNode, 0, len(p.Nodes))
+	for _, n := range p.Nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Fact memoizes one program-wide analyzer fact (e.g. the may-block
+// closure) under key. Not goroutine-safe; the driver runs analyzers
+// sequentially.
+func (p *Program) Fact(key string, build func() any) any {
+	if v, ok := p.facts[key]; ok {
+		return v
+	}
+	v := build()
+	p.facts[key] = v
+	return v
+}
+
+// collectCallees gathers the statically-resolved callees of fd's body,
+// skipping `go` statements (see the package comment).
+func collectCallees(info *types.Info, fd *ast.FuncDecl) []FuncID {
+	seen := map[FuncID]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeOf(info, call); fn != nil {
+				seen[FuncID(fn.FullName())] = true
+			}
+		}
+		return true
+	})
+	out := make([]FuncID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// transitiveFact closes a boolean property over the call graph: a
+// function has the property if direct(node) holds or any callee has it.
+// The result maps FuncID -> true for every function with the property.
+func (p *Program) transitiveFact(direct func(*CGNode) bool) map[FuncID]bool {
+	has := map[FuncID]bool{}
+	nodes := p.SortedNodes()
+	for _, n := range nodes {
+		if direct(n) {
+			has[n.ID] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if has[n.ID] {
+				continue
+			}
+			for _, c := range n.Callees {
+				if has[c] {
+					has[n.ID] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return has
+}

@@ -1,0 +1,563 @@
+package analysis
+
+// Control-flow graphs over go/ast function bodies. The builder is
+// purely syntactic (no type information), which keeps it usable from
+// tests on parsed source strings and from analyzers alike. There is no
+// SSA: the concurrency analyzers (lockhold, deadlineflow, errflow)
+// need only block-level reaching facts — which locks may be held, which
+// guard expressions dominate a blocking operation — and a basic-block
+// graph with a dominator relation carries both.
+//
+// Block contents are "simple" statements and the control expressions
+// that decide branches. Control statements (if/for/switch/select/...)
+// are decomposed: their init statements and condition/tag expressions
+// land in the deciding block, their bodies in successor blocks. Every
+// simple statement of the function body is placed in exactly one block
+// (the CFG property test pins this), so a dataflow transfer function
+// can walk Block.Nodes in order without double-counting.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Block is one basic block: nodes that execute straight-line, then a
+// transfer to one of Succs.
+type Block struct {
+	Index int
+	// Kind names the block's structural role ("entry", "if.then",
+	// "for.head", ...) for golden tests and debugging.
+	Kind string
+	// Nodes are the simple statements and control expressions placed in
+	// this block, in execution order.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *Block
+	// Exit is the synthetic sink every return (and the final fallthrough
+	// out of the body) edges into. It holds no nodes.
+	Exit   *Block
+	Blocks []*Block
+
+	// blockOf maps every placed node — and every control statement's
+	// deciding point (the IfStmt to its condition block, the SelectStmt
+	// to the block that blocks in the select) — to its block.
+	blockOf map[ast.Node]*Block
+}
+
+// BlockOf returns the block a placed node (or a control statement's
+// deciding point) lives in, or nil.
+func (c *CFG) BlockOf(n ast.Node) *Block { return c.blockOf[n] }
+
+// Enclosing resolves an arbitrary AST node to the block of its nearest
+// enclosing placed node, using a parent map from parentMap. It returns
+// nil for nodes outside the graph (e.g. inside an unvisited func literal).
+func (c *CFG) Enclosing(n ast.Node, parents map[ast.Node]ast.Node) *Block {
+	for n != nil {
+		if b, ok := c.blockOf[n]; ok {
+			return b
+		}
+		n = parents[n]
+	}
+	return nil
+}
+
+// builder state.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// loop/switch context stacks for break and continue, innermost last.
+	breakTargets    []*Block
+	continueTargets []*Block
+	// labeled break/continue targets and goto targets by label name.
+	labelBreak    map[string]*Block
+	labelContinue map[string]*Block
+	labelBlock    map[string]*Block // goto targets (block starting at the label)
+	// gotos seen before their label; resolved at the end.
+	pendingGotos map[string][]*Block
+	// pendingLabel is the label of a LabeledStmt whose statement is about
+	// to be built; the next loop/switch consumes it to wire labeled
+	// break/continue.
+	pendingLabel string
+}
+
+// BuildCFG constructs the CFG of fn's body. fn must have a body.
+func BuildCFG(fn *ast.FuncDecl) *CFG {
+	c := &CFG{blockOf: map[ast.Node]*Block{}}
+	b := &cfgBuilder{
+		cfg:           c,
+		labelBreak:    map[string]*Block{},
+		labelContinue: map[string]*Block{},
+		labelBlock:    map[string]*Block{},
+		pendingGotos:  map[string][]*Block{},
+	}
+	entry := b.newBlock("entry")
+	c.Entry = entry
+	c.Exit = b.newBlock("exit")
+	b.cur = entry
+	b.stmtList(fn.Body.List)
+	// Whatever falls off the end of the body returns.
+	b.edge(b.cur, c.Exit)
+	// Unresolved gotos (label declared later in a branch never walked —
+	// cannot happen in well-typed Go, but be safe): edge to exit.
+	for _, srcs := range b.pendingGotos {
+		for _, s := range srcs {
+			b.edge(s, c.Exit)
+		}
+	}
+	return c
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// place appends a node to the current block.
+func (b *cfgBuilder) place(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+	b.cfg.blockOf[n] = b.cur
+}
+
+// startBlock makes blk current, linking from the previous block unless
+// the flow already diverted (cur == nil after a terminator).
+func (b *cfgBuilder) startBlock(blk *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, blk)
+	}
+	b.cur = blk
+}
+
+// terminated marks the current flow as diverted (return/branch): the
+// next placed statement is unreachable and gets a fresh block.
+func (b *cfgBuilder) terminated(kind string) {
+	b.cur = b.newBlock(kind)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.place(s.Init)
+		}
+		b.place(s.Cond)
+		// The if statement's deciding point is the block holding Cond.
+		b.cfg.blockOf[s] = b.cur
+		condBlk := b.cur
+		join := b.newBlock("if.join")
+		then := b.newBlock("if.then")
+		b.edge(condBlk, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(condBlk, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condBlk, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.place(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.place(s.Cond)
+		}
+		b.cfg.blockOf[s] = head
+		body := b.newBlock("for.body")
+		join := b.newBlock("for.join")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, join) // condition false
+		}
+		var post *Block
+		cont := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			cont = post
+		}
+		b.pushLoop(join, cont, s)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.place(s.Post)
+			b.edge(post, head)
+		} else {
+			b.edge(b.cur, head)
+		}
+		b.cur = join
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		b.edge(b.cur, head)
+		b.cur = head
+		b.place(s.X)
+		b.cfg.blockOf[s] = head
+		body := b.newBlock("range.body")
+		join := b.newBlock("range.join")
+		b.edge(head, body)
+		b.edge(head, join)
+		b.pushLoop(join, head, s)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.place(s.Init)
+		}
+		if s.Tag != nil {
+			b.place(s.Tag)
+		}
+		b.cfg.blockOf[s] = b.cur
+		b.switchBody(s.Body.List, b.cur, s, func(cc *ast.CaseClause, blk *Block) {
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+				b.cfg.blockOf[e] = blk
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.place(s.Init)
+		}
+		b.place(s.Assign)
+		b.cfg.blockOf[s] = b.cur
+		b.switchBody(s.Body.List, b.cur, s, nil)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		b.cfg.blockOf[s] = head
+		join := b.newBlock("select.join")
+		b.pushSwitch(join, s)
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			kind := "select.case"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			blk := b.newBlock(kind)
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.place(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, join)
+		}
+		b.popSwitch()
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: no successors.
+			b.cur = join
+			return
+		}
+		b.cur = join
+
+	case *ast.LabeledStmt:
+		label := s.Label.Name
+		// The label starts a fresh block so goto/labeled-continue can
+		// target it.
+		target := b.newBlock("label." + label)
+		b.startBlock(target)
+		b.labelBlock[label] = target
+		for _, src := range b.pendingGotos[label] {
+			b.edge(src, target)
+		}
+		delete(b.pendingGotos, label)
+		// For labeled loops/switches the break/continue targets are
+		// registered by the loop builder via the pending label.
+		b.pendingLabel = label
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.place(s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				b.edge(b.cur, b.labelBreak[s.Label.Name])
+			} else if n := len(b.breakTargets); n > 0 {
+				b.edge(b.cur, b.breakTargets[n-1])
+			}
+			b.terminated("after.break")
+		case token.CONTINUE:
+			if s.Label != nil {
+				b.edge(b.cur, b.labelContinue[s.Label.Name])
+			} else if n := len(b.continueTargets); n > 0 {
+				b.edge(b.cur, b.continueTargets[n-1])
+			}
+			b.terminated("after.continue")
+		case token.GOTO:
+			label := s.Label.Name
+			if target, ok := b.labelBlock[label]; ok {
+				b.edge(b.cur, target)
+			} else {
+				b.pendingGotos[label] = append(b.pendingGotos[label], b.cur)
+			}
+			b.terminated("after.goto")
+		case token.FALLTHROUGH:
+			// switchBody links fallthrough edges; nothing to do here.
+		}
+
+	case *ast.ReturnStmt:
+		b.place(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.terminated("after.return")
+
+	default:
+		// Simple statement: decl, assign, expr, send, inc/dec, go,
+		// defer, empty.
+		b.place(s)
+	}
+}
+
+// pendingLabel is consumed by the next loop/switch the builder enters,
+// wiring labeled break/continue.
+func (b *cfgBuilder) pushLoop(brk, cont *Block, _ ast.Stmt) {
+	b.breakTargets = append(b.breakTargets, brk)
+	b.continueTargets = append(b.continueTargets, cont)
+	if b.pendingLabel != "" {
+		b.labelBreak[b.pendingLabel] = brk
+		b.labelContinue[b.pendingLabel] = cont
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+func (b *cfgBuilder) pushSwitch(brk *Block, _ ast.Stmt) {
+	b.breakTargets = append(b.breakTargets, brk)
+	if b.pendingLabel != "" {
+		b.labelBreak[b.pendingLabel] = brk
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popSwitch() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+}
+
+// switchBody builds the case blocks of a switch/type-switch: head
+// branches to every case (and to the join when there is no default),
+// case bodies flow to the join, fallthrough chains to the next case.
+func (b *cfgBuilder) switchBody(clauses []ast.Stmt, head *Block, sw ast.Stmt, placeList func(*ast.CaseClause, *Block)) {
+	join := b.newBlock("switch.join")
+	b.pushSwitch(join, sw)
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	for i, cs := range clauses {
+		cc := cs.(*ast.CaseClause)
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+		b.edge(head, blocks[i])
+		if placeList != nil && cc.List != nil {
+			placeList(cc, blocks[i])
+		}
+	}
+	for i, cs := range clauses {
+		cc := cs.(*ast.CaseClause)
+		b.cur = blocks[i]
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+			b.cur = nil
+		}
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	}
+	b.popSwitch()
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.cur = join
+}
+
+// Reachable returns the blocks reachable from the entry, by index order.
+func (c *CFG) Reachable() []*Block {
+	seen := make([]bool, len(c.Blocks))
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(c.Entry)
+	var out []*Block
+	for _, b := range c.Blocks {
+		if seen[b.Index] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Dominators computes the dominator relation over the reachable graph:
+// dom[i] is the set of block indices that dominate block i (including
+// itself). The iterative set algorithm is quadratic in the worst case,
+// which is irrelevant at function-body scale.
+func (c *CFG) Dominators() []map[int]bool {
+	n := len(c.Blocks)
+	reach := c.Reachable()
+	inReach := make([]bool, n)
+	for _, b := range reach {
+		inReach[b.Index] = true
+	}
+	dom := make([]map[int]bool, n)
+	all := map[int]bool{}
+	for _, b := range reach {
+		all[b.Index] = true
+	}
+	for _, b := range reach {
+		if b == c.Entry {
+			dom[b.Index] = map[int]bool{b.Index: true}
+			continue
+		}
+		// Start from "dominated by everything", refine by intersection.
+		init := make(map[int]bool, len(all))
+		for k := range all {
+			init[k] = true
+		}
+		dom[b.Index] = init
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range reach {
+			if b == c.Entry {
+				continue
+			}
+			var meet map[int]bool
+			for _, p := range b.Preds {
+				if !inReach[p.Index] {
+					continue
+				}
+				if meet == nil {
+					meet = make(map[int]bool, len(dom[p.Index]))
+					for k := range dom[p.Index] {
+						meet[k] = true
+					}
+					continue
+				}
+				for k := range meet {
+					if !dom[p.Index][k] {
+						delete(meet, k)
+					}
+				}
+			}
+			if meet == nil {
+				meet = map[int]bool{}
+			}
+			meet[b.Index] = true
+			if len(meet) != len(dom[b.Index]) {
+				dom[b.Index] = meet
+				changed = true
+				continue
+			}
+			for k := range meet {
+				if !dom[b.Index][k] {
+					dom[b.Index] = meet
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// String renders the graph for golden tests: one line per block with
+// its kind, the kinds of its nodes, and its successor indices.
+func (c *CFG) String(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d[%s]:", b.Index, b.Kind)
+		for _, n := range b.Nodes {
+			fmt.Fprintf(&sb, " %s", nodeDesc(n, fset))
+		}
+		succs := make([]int, 0, len(b.Succs))
+		for _, s := range b.Succs {
+			succs = append(succs, s.Index)
+		}
+		sort.Ints(succs)
+		fmt.Fprintf(&sb, " ->")
+		for _, s := range succs {
+			fmt.Fprintf(&sb, " b%d", s)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeDesc names one placed node for the golden rendering.
+func nodeDesc(n ast.Node, fset *token.FileSet) string {
+	kind := fmt.Sprintf("%T", n)
+	kind = strings.TrimPrefix(kind, "*ast.")
+	if fset == nil {
+		return kind
+	}
+	return fmt.Sprintf("%s@L%d", kind, fset.Position(n.Pos()).Line)
+}

@@ -1,0 +1,403 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses one function declaration from source and returns it
+// with its FileSet. The source must contain exactly one FuncDecl.
+func parseFunc(t *testing.T, src string) (*ast.FuncDecl, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_fixture.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd, fset
+		}
+	}
+	t.Fatal("no function declaration in source")
+	return nil, nil
+}
+
+// TestCFGGolden pins the exact block structure for the control shapes
+// the analyzers rely on: if/else, for with post, switch with
+// fallthrough, defer, and goto across a label. The rendering is
+// "b<i>[kind]: Node@Lline ... -> succs"; a change here means the CFG
+// shape changed and every dataflow client must be re-audited.
+func TestCFGGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "if_else",
+			src: `func f(a int) int {
+	x := 1
+	if a > 0 {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`,
+			want: `b0[entry]: AssignStmt@L3 BinaryExpr@L4 -> b3 b4
+b1[exit]: ->
+b2[if.join]: ReturnStmt@L9 -> b1
+b3[if.then]: AssignStmt@L5 -> b2
+b4[if.else]: AssignStmt@L7 -> b2
+b5[after.return]: -> b1
+`,
+		},
+		{
+			name: "for_with_post",
+			src: `func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`,
+			want: `b0[entry]: AssignStmt@L3 AssignStmt@L4 -> b2
+b1[exit]: ->
+b2[for.head]: BinaryExpr@L4 -> b3 b4
+b3[for.body]: AssignStmt@L5 -> b5
+b4[for.join]: ReturnStmt@L7 -> b1
+b5[for.post]: IncDecStmt@L4 -> b2
+b6[after.return]: -> b1
+`,
+		},
+		{
+			name: "switch_fallthrough",
+			src: `func f(a int) int {
+	x := 0
+	switch a {
+	case 1:
+		x = 1
+		fallthrough
+	case 2:
+		x = 2
+	default:
+		x = 9
+	}
+	return x
+}`,
+			want: `b0[entry]: AssignStmt@L3 Ident@L4 -> b3 b4 b5
+b1[exit]: ->
+b2[switch.join]: ReturnStmt@L13 -> b1
+b3[switch.case]: BasicLit@L5 AssignStmt@L6 BranchStmt@L7 -> b4
+b4[switch.case]: BasicLit@L8 AssignStmt@L9 -> b2
+b5[switch.default]: AssignStmt@L11 -> b2
+b6[after.return]: -> b1
+`,
+		},
+		{
+			name: "defer_is_a_plain_node",
+			src: `func f() {
+	defer done()
+	work()
+}`,
+			want: `b0[entry]: DeferStmt@L3 ExprStmt@L4 -> b1
+b1[exit]: ->
+`,
+		},
+		{
+			name: "goto_forward_and_label",
+			src: `func f(a int) {
+	if a > 0 {
+		goto out
+	}
+	work()
+out:
+	cleanup()
+}`,
+			want: `b0[entry]: BinaryExpr@L3 -> b2 b3
+b1[exit]: ->
+b2[if.join]: ExprStmt@L6 -> b5
+b3[if.then]: BranchStmt@L4 -> b5
+b4[after.goto]: -> b2
+b5[label.out]: ExprStmt@L8 -> b1
+`,
+		},
+		{
+			name: "select_with_default",
+			src: `func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}`,
+			want: `b0[entry]: -> b3 b5
+b1[exit]: ->
+b2[select.join]: -> b1
+b3[select.case]: AssignStmt@L4 ReturnStmt@L5 -> b1
+b4[after.return]: -> b2
+b5[select.default]: ReturnStmt@L7 -> b1
+b6[after.return]: -> b2
+`,
+		},
+		{
+			name: "range_with_continue_break",
+			src: `func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		if x > 100 {
+			break
+		}
+		s += x
+	}
+	return s
+}`,
+			want: `b0[entry]: AssignStmt@L3 -> b2
+b1[exit]: ->
+b2[range.head]: Ident@L4 -> b3 b4
+b3[range.body]: BinaryExpr@L5 -> b5 b6
+b4[range.join]: ReturnStmt@L13 -> b1
+b5[if.join]: BinaryExpr@L8 -> b8 b9
+b6[if.then]: BranchStmt@L6 -> b2
+b7[after.continue]: -> b5
+b8[if.join]: AssignStmt@L11 -> b2
+b9[if.then]: BranchStmt@L9 -> b4
+b10[after.break]: -> b8
+b11[after.return]: -> b1
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fd, fset := parseFunc(t, tc.src)
+			got := BuildCFG(fd).String(fset)
+			if got != tc.want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCFGEveryStatementPlacedOnce is the structural soundness property:
+// every statement of the function body (outside func literals, and
+// excluding the control statements the builder decomposes) appears in
+// exactly one block's node list, so a dataflow transfer walking
+// Block.Nodes sees each effect exactly once.
+func TestCFGEveryStatementPlacedOnce(t *testing.T) {
+	srcs := []string{
+		`func f(a, n int, ch chan int, xs []int) int {
+	s := 0
+	if a > 0 {
+		s = 1
+	} else if a < -10 {
+		s = 2
+	} else {
+		s = 3
+	}
+	for i := 0; i < n; i++ {
+		if i == 7 {
+			continue
+		}
+		s += i
+	}
+	for s < 100 {
+		s *= 2
+	}
+	for {
+		s--
+		break
+	}
+loop:
+	for _, x := range xs {
+		switch {
+		case x == 0:
+			continue loop
+		case x > 50:
+			break loop
+		}
+		s += x
+	}
+	switch a {
+	case 1:
+		s++
+		fallthrough
+	case 2:
+		s--
+	}
+	select {
+	case v := <-ch:
+		s += v
+	case ch <- s:
+	default:
+	}
+	var i interface{} = a
+	switch v := i.(type) {
+	case int:
+		s += v
+	}
+	defer func() { s = 0 }()
+	if a == 42 {
+		goto out
+	}
+	s *= 3
+out:
+	return s
+}`,
+		`func g(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	ch <- 1
+}`,
+	}
+	for i, src := range srcs {
+		fd, _ := parseFunc(t, src)
+		cfg := BuildCFG(fd)
+
+		// Count placements across all blocks.
+		placed := map[ast.Node]int{}
+		for _, b := range cfg.Blocks {
+			for _, n := range b.Nodes {
+				placed[n]++
+			}
+		}
+		for n, c := range placed {
+			if c != 1 {
+				t.Errorf("src %d: node %T placed in %d blocks", i, n, c)
+			}
+		}
+
+		// Every simple statement of the body must be placed; control
+		// statements are decomposed, and func-literal bodies belong to
+		// their own (unbuilt) graph.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			s, ok := n.(ast.Stmt)
+			if !ok {
+				return true
+			}
+			switch s.(type) {
+			case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+				*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+				*ast.CaseClause, *ast.CommClause, *ast.LabeledStmt:
+				return true
+			}
+			if placed[s] != 1 {
+				t.Errorf("src %d: statement %T at %v placed %d times, want 1", i, s, s.Pos(), placed[s])
+			}
+			return true
+		})
+
+		// The decomposed control statements still resolve via BlockOf.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			switch n.(type) {
+			case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+				*ast.TypeSwitchStmt, *ast.SelectStmt:
+				if cfg.BlockOf(n) == nil {
+					t.Errorf("src %d: control statement %T at %v has no deciding block", i, n, n.Pos())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestCFGDominators checks the dominance relation on a diamond plus a
+// loop: the entry dominates everything, neither diamond arm dominates
+// the join, and a loop head dominates its body.
+func TestCFGDominators(t *testing.T) {
+	fd, _ := parseFunc(t, `func f(a, n int) int {
+	x := 0
+	if a > 0 {
+		x = 1
+	} else {
+		x = 2
+	}
+	for i := 0; i < n; i++ {
+		x += i
+	}
+	return x
+}`)
+	cfg := BuildCFG(fd)
+	dom := cfg.Dominators()
+
+	byKind := func(kind string) *Block {
+		t.Helper()
+		var found *Block
+		for _, b := range cfg.Blocks {
+			if b.Kind == kind {
+				if found != nil {
+					t.Fatalf("two blocks of kind %q", kind)
+				}
+				found = b
+			}
+		}
+		if found == nil {
+			t.Fatalf("no block of kind %q", kind)
+		}
+		return found
+	}
+
+	then, els, join := byKind("if.then"), byKind("if.else"), byKind("if.join")
+	head, body := byKind("for.head"), byKind("for.body")
+
+	for _, b := range cfg.Reachable() {
+		if !dom[b.Index][cfg.Entry.Index] {
+			t.Errorf("entry does not dominate b%d[%s]", b.Index, b.Kind)
+		}
+	}
+	if dom[join.Index][then.Index] || dom[join.Index][els.Index] {
+		t.Error("a diamond arm dominates the join")
+	}
+	if !dom[body.Index][head.Index] {
+		t.Error("for.head does not dominate for.body")
+	}
+	if !dom[cfg.Exit.Index][join.Index] {
+		t.Error("if.join does not dominate exit")
+	}
+}
+
+// TestCFGEnclosing maps an arbitrary sub-expression to its block via
+// the parent chain.
+func TestCFGEnclosing(t *testing.T) {
+	fd, _ := parseFunc(t, `func f(a int) int {
+	if a > 0 {
+		return a * 2
+	}
+	return 0
+}`)
+	cfg := BuildCFG(fd)
+	parents := parentMap(fd)
+
+	var mul ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && strings.Contains(exprTok(be), "*") {
+			mul = be
+		}
+		return true
+	})
+	if mul == nil {
+		t.Fatal("no * expression found")
+	}
+	blk := cfg.Enclosing(mul, parents)
+	if blk == nil || blk.Kind != "if.then" {
+		t.Fatalf("Enclosing(*expr) = %v, want if.then block", blk)
+	}
+}
+
+func exprTok(be *ast.BinaryExpr) string { return be.Op.String() }

@@ -1,0 +1,118 @@
+package analysis
+
+// DeadlineFlow enforces bounded waiting on the serve stack's hot
+// paths: a potentially-blocking channel operation — a select with no
+// default, a channel send, a receive from a data channel — must be
+// dominated by a deadline decision, so a stuck peer degrades into a
+// shed/timeout instead of an unbounded park. Three guard shapes count
+// (see isDeadlineGuard): a context poll (ctx.Err/ctx.Done), a
+// queue-deadline comparison against the injectable clock's NowNS, or a
+// budget.B check.
+//
+// Lifecycle waits are exempt: receives from signal channels (chan
+// struct{} — quit/done/ready), selects that themselves carry a
+// ctx.Done or signal-channel case, and range-over-channel drains. They
+// park on purpose, for the lifetime of the peer, not a request.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+var DeadlineFlow = &Analyzer{
+	Name: "deadlineflow",
+	Doc: "flag potentially-blocking selects/sends/receives on the serve " +
+		"paths not dominated by a context, queue-deadline, or budget check",
+	AppliesTo: func(pkgPath string) bool {
+		return pathHasSuffix(pkgPath, "internal/serve") ||
+			pathHasSuffix(pkgPath, "internal/netserve") ||
+			pathHasSuffix(pkgPath, "internal/store")
+	},
+	Run: runDeadlineFlow,
+}
+
+func runDeadlineFlow(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		sites := blockingChanSites(pass, fd)
+		if len(sites) == 0 {
+			continue
+		}
+		ff := newFuncFlow(fd)
+		guards := collectGuards(fd.Body, func(n ast.Node) bool {
+			return isDeadlineGuard(pass.Info, n)
+		})
+		for _, s := range sites {
+			if ff.block(s.node) == nil {
+				continue // inside a func literal; its spawner owns the discipline
+			}
+			if !ff.guardedBy(s.node, guards) {
+				pass.Reportf(s.node.Pos(),
+					"%s is not dominated by a deadline check (ctx.Err/ctx.Done, a NowNS comparison, or budget.B); a stuck peer parks this goroutine forever", s.desc)
+			}
+		}
+	}
+	return nil
+}
+
+// chanSite is one potentially-unbounded channel operation.
+type chanSite struct {
+	node ast.Node
+	desc string
+}
+
+// blockingChanSites collects the function's channel operations that can
+// park unboundedly, applying the lifecycle exemptions. `go` bodies are
+// skipped — the spawned goroutine is analyzed as its own function if
+// declared, and a raw goroutine's waits are rawgo's concern.
+func blockingChanSites(pass *Pass, fd *ast.FuncDecl) []chanSite {
+	comm := commOps(fd.Body)
+	var sites []chanSite
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.RangeStmt:
+			// Range-over-channel is the drain idiom; exempt, but keep
+			// walking the body.
+			return true
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) && !selectSelfGuarded(pass, n) {
+				sites = append(sites, chanSite{n, "blocking select (no default, no ctx/signal case)"})
+			}
+		case *ast.SendStmt:
+			if !comm[n] {
+				sites = append(sites, chanSite{n, "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !comm[n] && !isSignalChan(pass.Info, n.X) {
+				sites = append(sites, chanSite{n, "channel receive"})
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// selectSelfGuarded reports whether one of the select's cases is itself
+// an escape hatch: a receive from a signal channel (which includes
+// ctx.Done() — its channel is <-chan struct{}) means the select wakes
+// when the lifecycle ends.
+func selectSelfGuarded(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, cs := range sel.Body.List {
+		cc := cs.(*ast.CommClause)
+		if cc.Comm == nil {
+			continue
+		}
+		guarded := false
+		ast.Inspect(cc.Comm, func(n ast.Node) bool {
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW && isSignalChan(pass.Info, u.X) {
+				guarded = true
+			}
+			return !guarded
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}

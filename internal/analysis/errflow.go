@@ -1,0 +1,124 @@
+package analysis
+
+// ErrFlow closes the gap errclass leaves open: errclass checks that
+// sentinel errors are registered with the store's classifier, but not
+// that the serve layer actually consults it. The contract is that a
+// retry/backoff decision — recognizable as a sleep inside a loop — must
+// be downstream of a classification: transient errors are retried,
+// permanent ones must surface immediately (retrying a permanent error
+// hides data loss behind latency). So every Clock.Sleep/time.Sleep
+// inside a loop must be dominated by a call that reaches
+// store.Classify, directly or transitively through the whole-program
+// call graph (serve's local classify() wrapper counts because it calls
+// store.Classify).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: "flag retry/backoff sleeps on the serve paths not dominated by " +
+		"a store.Classify-informed decision",
+	AppliesTo: func(pkgPath string) bool {
+		return pathHasSuffix(pkgPath, "internal/serve") ||
+			pathHasSuffix(pkgPath, "internal/netserve")
+	},
+	Run: runErrFlow,
+}
+
+// isStoreClassify recognizes the classifier entry point: a function
+// named Classify declared in a package named "store" (package name, not
+// path, so fixtures can mimic it).
+func isStoreClassify(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "store" && fn.Name() == "Classify"
+}
+
+// classifyReachers closes "calls store.Classify" over the whole-program
+// call graph.
+func classifyReachers(prog *Program) map[FuncID]bool {
+	if prog == nil {
+		return nil
+	}
+	return prog.Fact("errflow.reaches", func() any {
+		return prog.transitiveFact(func(n *CGNode) bool {
+			found := false
+			ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isStoreClassify(calleeOf(n.Pkg.Info, call)) {
+					found = true
+				}
+				return !found
+			})
+			return found
+		})
+	}).(map[FuncID]bool)
+}
+
+func runErrFlow(pass *Pass) error {
+	reaches := classifyReachers(pass.Prog)
+	for _, fd := range funcDecls(pass.Files) {
+		sites := retrySleeps(pass, fd)
+		if len(sites) == 0 {
+			continue
+		}
+		ff := newFuncFlow(fd)
+		guards := collectGuards(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn := calleeOf(pass.Info, call)
+			return isStoreClassify(fn) || (fn != nil && reaches[FuncID(fn.FullName())])
+		})
+		for _, s := range sites {
+			if ff.block(s) == nil {
+				continue
+			}
+			if !ff.guardedBy(s, guards) {
+				pass.Reportf(s.Pos(),
+					"backoff sleep in a retry loop is not dominated by a store.Classify decision; a permanent error would be retried instead of surfaced")
+			}
+		}
+	}
+	return nil
+}
+
+// retrySleeps collects the sleeps that sit inside a loop of fd — the
+// signature of a retry/backoff wait. Sleeps outside loops (a one-shot
+// grace delay) are not retry decisions and are exempt.
+func retrySleeps(pass *Pass, fd *ast.FuncDecl) []ast.Node {
+	parents := parentMap(fd)
+	inLoop := func(n ast.Node) bool {
+		for p := parents[n]; p != nil; p = parents[p] {
+			switch p.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return true
+			case *ast.FuncLit, *ast.FuncDecl:
+				return false
+			}
+		}
+		return false
+	}
+	var out []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		isSleep := false
+		if recv, name, ok := methodCall(pass.Info, call); ok && name == "Sleep" && fromPackageNamed(pass.Info.TypeOf(recv), "obs") {
+			isSleep = true
+		} else if fn := calleeOf(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "time" && fn.Name() == "Sleep" {
+			isSleep = true
+		}
+		if isSleep && inLoop(call) {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}

@@ -15,10 +15,12 @@ import (
 //     the same function, by a File.Sync call (content durable before the
 //     name points at it), and
 //  2. every exported function whose success path performs a namespace
-//     change — directly or through package-local helpers — must follow
-//     it with SyncDir before returning; helpers may leave the obligation
-//     to their callers, but it must be discharged before the API
-//     boundary.
+//     change — directly or through helpers, package-local or not — must
+//     follow it with SyncDir before returning; helpers may leave the
+//     obligation to their callers, but it must be discharged before the
+//     API boundary. The helper summaries are a whole-program fact, so an
+//     obligation created in internal/store and leaked through a wrapper
+//     in another package is still caught.
 //
 // "FS-like" is duck-typed: any interface that offers both the mutating
 // method and SyncDir. Methods on types that themselves implement such an
@@ -37,12 +39,12 @@ var fsMutators = map[string]bool{"Create": true, "OpenAppend": true, "Rename": t
 
 // fsLikeCall classifies x.M(...) where x's static type is an interface
 // declaring both M and SyncDir.
-func fsLikeCall(pass *Pass, call *ast.CallExpr) (name string, ok bool) {
-	recv, name, isMethod := methodCall(pass.Info, call)
+func fsLikeCall(info *types.Info, call *ast.CallExpr) (name string, ok bool) {
+	recv, name, isMethod := methodCall(info, call)
 	if !isMethod {
 		return "", false
 	}
-	iface := ifaceOf(pass.TypeOf(recv))
+	iface := ifaceOf(info.TypeOf(recv))
 	if iface == nil || !ifaceHasMethod(iface, "SyncDir") || !ifaceHasMethod(iface, name) {
 		return "", false
 	}
@@ -50,8 +52,8 @@ func fsLikeCall(pass *Pass, call *ast.CallExpr) (name string, ok bool) {
 }
 
 // isFileSyncCall reports a zero-argument .Sync() method call (File.Sync).
-func isFileSyncCall(pass *Pass, call *ast.CallExpr) bool {
-	_, name, isMethod := methodCall(pass.Info, call)
+func isFileSyncCall(info *types.Info, call *ast.CallExpr) bool {
+	_, name, isMethod := methodCall(info, call)
 	return isMethod && name == "Sync" && len(call.Args) == 0
 }
 
@@ -89,70 +91,85 @@ func (e fsEvents) dirty() bool {
 	return e.lastMutate != token.NoPos && (!e.hasSync || e.lastSync < e.lastMutate)
 }
 
-func runFsyncOrder(pass *Pass) error {
-	decls := declaredFuncs(pass.Info, pass.Files)
-
-	// Fixpoint over the package-local call graph: a call to a dirty
-	// helper counts as a namespace change at the call site; a call to a
-	// clean helper that performs SyncDir counts as a sync point (SyncDir
-	// makes *all* prior namespace changes durable, so a helper ending
-	// synced discharges earlier obligations too).
-	events := map[*ast.FuncDecl]fsEvents{}
-	compute := func(fd *ast.FuncDecl) fsEvents {
-		var e fsEvents
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if name, ok := fsLikeCall(pass, call); ok {
-				switch {
-				case fsMutators[name]:
-					if call.Pos() > e.lastMutate {
-						e.lastMutate, e.mutateName = call.Pos(), name
-					}
-				case name == "SyncDir":
-					e.hasSync = true
-					if call.Pos() > e.lastSync {
-						e.lastSync = call.Pos()
-					}
+// fsyncEvents computes the per-function durability summaries as a
+// whole-program fixpoint: a call to a dirty helper counts as a
+// namespace change at the call site; a call to a clean helper that
+// performs SyncDir counts as a sync point (SyncDir makes *all* prior
+// namespace changes durable, so a helper ending synced discharges
+// earlier obligations too). Positions in a summary are local to the
+// summarized function's file set and are only ever compared within it.
+func fsyncEvents(prog *Program) map[FuncID]fsEvents {
+	if prog == nil {
+		return nil
+	}
+	return prog.Fact("fsyncorder.events", func() any {
+		events := map[FuncID]fsEvents{}
+		nodes := prog.SortedNodes()
+		for changed := true; changed; {
+			changed = false
+			for _, n := range nodes {
+				if implementsFSLike(n.Decl, n.Pkg.Info) {
+					continue
 				}
-				return true
+				e := computeFsEvents(n, events)
+				if e != events[n.ID] {
+					events[n.ID] = e
+					changed = true
+				}
 			}
-			callee := calleeOf(pass.Info, call)
-			if callee == nil {
-				return true
-			}
-			if cd, ok := decls[callee]; ok {
-				ce := events[cd]
-				if ce.dirty() {
-					if call.Pos() > e.lastMutate {
-						e.lastMutate, e.mutateName = call.Pos(), ce.mutateName
-					}
-				} else if ce.hasSync {
-					e.hasSync = true
-					if call.Pos() > e.lastSync {
-						e.lastSync = call.Pos()
-					}
+		}
+		return events
+	}).(map[FuncID]fsEvents)
+}
+
+// computeFsEvents folds one function's body over the current summaries.
+func computeFsEvents(node *CGNode, events map[FuncID]fsEvents) fsEvents {
+	info := node.Pkg.Info
+	var e fsEvents
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := fsLikeCall(info, call); ok {
+			switch {
+			case fsMutators[name]:
+				if call.Pos() > e.lastMutate {
+					e.lastMutate, e.mutateName = call.Pos(), name
+				}
+			case name == "SyncDir":
+				e.hasSync = true
+				if call.Pos() > e.lastSync {
+					e.lastSync = call.Pos()
 				}
 			}
 			return true
-		})
-		return e
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, fd := range decls {
-			if implementsFSLike(fd, pass.Info) {
-				continue
+		}
+		callee := calleeOf(info, call)
+		if callee == nil {
+			return true
+		}
+		ce, ok := events[FuncID(callee.FullName())]
+		if !ok {
+			return true
+		}
+		if ce.dirty() {
+			if call.Pos() > e.lastMutate {
+				e.lastMutate, e.mutateName = call.Pos(), ce.mutateName
 			}
-			e := compute(fd)
-			if e != events[fd] {
-				events[fd] = e
-				changed = true
+		} else if ce.hasSync {
+			e.hasSync = true
+			if call.Pos() > e.lastSync {
+				e.lastSync = call.Pos()
 			}
 		}
-	}
+		return true
+	})
+	return e
+}
+
+func runFsyncOrder(pass *Pass) error {
+	events := fsyncEvents(pass.Prog)
 
 	for _, fd := range funcDecls(pass.Files) {
 		if implementsFSLike(fd, pass.Info) {
@@ -164,10 +181,10 @@ func runFsyncOrder(pass *Pass) error {
 			if !ok {
 				return true
 			}
-			if name, ok := fsLikeCall(pass, call); ok && name == "Rename" {
+			if name, ok := fsLikeCall(pass.Info, call); ok && name == "Rename" {
 				synced := false
 				ast.Inspect(fd.Body, func(m ast.Node) bool {
-					if c, ok := m.(*ast.CallExpr); ok && c.Pos() < call.Pos() && isFileSyncCall(pass, c) {
+					if c, ok := m.(*ast.CallExpr); ok && c.Pos() < call.Pos() && isFileSyncCall(pass.Info, c) {
 						synced = true
 					}
 					return !synced
@@ -182,7 +199,11 @@ func runFsyncOrder(pass *Pass) error {
 		// Rule 2: exported entry points must not return with the
 		// namespace dirty.
 		if fd.Name.IsExported() {
-			if e := events[fd]; e.dirty() {
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if e := events[FuncID(fn.FullName())]; e.dirty() {
 				pass.Reportf(e.lastMutate,
 					"namespace change (%s) is not followed by SyncDir before this exported function returns; the entry is not durable across power loss", e.mutateName)
 			}

@@ -1,0 +1,110 @@
+package analysis
+
+// Dominance-based guard checking shared by deadlineflow and errflow:
+// "site X must be dominated by a guard of kind K" — the guard executes
+// on every path from the function entry to the site, so the decision it
+// encodes (deadline expired? error transient?) has always been made
+// before the site runs.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// funcFlow bundles one function's CFG artifacts for dominance queries.
+type funcFlow struct {
+	cfg     *CFG
+	parents map[ast.Node]ast.Node
+	dom     []map[int]bool
+}
+
+func newFuncFlow(fd *ast.FuncDecl) *funcFlow {
+	cfg := BuildCFG(fd)
+	return &funcFlow{cfg: cfg, parents: parentMap(fd), dom: cfg.Dominators()}
+}
+
+// block resolves a node to its basic block (nil for nodes outside the
+// graph, e.g. inside func literals the CFG does not decompose).
+func (ff *funcFlow) block(n ast.Node) *Block { return ff.cfg.Enclosing(n, ff.parents) }
+
+// dominates reports whether guard executes before site on every path:
+// its block strictly dominates the site's block, or both share a block
+// and the guard appears first.
+func (ff *funcFlow) dominates(guard, site ast.Node) bool {
+	gb, sb := ff.block(guard), ff.block(site)
+	if gb == nil || sb == nil {
+		return false
+	}
+	if gb == sb {
+		return guard.Pos() < site.Pos()
+	}
+	return ff.dom[sb.Index][gb.Index]
+}
+
+// guardedBy reports whether any guard in guards dominates site.
+func (ff *funcFlow) guardedBy(site ast.Node, guards []ast.Node) bool {
+	for _, g := range guards {
+		if ff.dominates(g, site) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectGuards walks the function body (skipping `go` bodies — a
+// guard evaluated by another goroutine proves nothing here) and returns
+// every node isGuard accepts.
+func collectGuards(body ast.Node, isGuard func(ast.Node) bool) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		if n != nil && isGuard(n) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// isDeadlineGuard recognizes the three sanctioned bounded-wait checks:
+//
+//   - a context poll: ctx.Err() or ctx.Done() on a context.Context
+//   - a queue-deadline comparison: any ordering comparison whose operands
+//     read the injectable clock (a NowNS method call)
+//   - a budget check: budget.B Step/Check
+func isDeadlineGuard(info *types.Info, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if isBudgetCheck(info, n) {
+			return true
+		}
+		recv, name, ok := methodCall(info, n)
+		if ok && (name == "Err" || name == "Done") && fromPackageNamed(info.TypeOf(recv), "context") {
+			return true
+		}
+	case *ast.BinaryExpr:
+		switch n.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return containsNowNSCall(info, n)
+		}
+	}
+	return false
+}
+
+// containsNowNSCall reports whether the expression reads the injectable
+// clock via a NowNS method call.
+func containsNowNSCall(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, name, ok := methodCall(info, call); ok && name == "NowNS" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -112,6 +112,47 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return out, nil
 }
 
+// LoadProgram loads the whole module rooted at dir (`./...`) into a
+// Program so cross-package facts see every edge, and returns the subset
+// of packages matching patterns as analysis targets. The expensive
+// `go list -export` walk and every package's type-check happen exactly
+// once regardless of how narrow the target patterns are.
+func LoadProgram(dir string, patterns ...string) (*Program, []*Package, error) {
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		return nil, nil, err
+	}
+	prog := NewProgram(pkgs)
+
+	wantAll := len(patterns) == 0
+	for _, p := range patterns {
+		if p == "./..." {
+			wantAll = true
+		}
+	}
+	if wantAll {
+		return prog, pkgs, nil
+	}
+	listed, err := goList(dir, append([]string{"-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	want := map[string]bool{}
+	for _, l := range listed {
+		want[l.ImportPath] = true
+	}
+	var targets []*Package
+	for _, pkg := range pkgs {
+		if want[pkg.ImportPath] {
+			targets = append(targets, pkg)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, nil, fmt.Errorf("no loaded packages match %v", patterns)
+	}
+	return prog, targets, nil
+}
+
 // typecheck parses p's sources and type-checks them against the export
 // data of its dependencies.
 func typecheck(p listedPkg, exports map[string]string) (*Package, error) {

@@ -1,0 +1,183 @@
+package analysis
+
+// LockHold forbids blocking operations while a sync.Mutex/RWMutex is
+// held. The serve stack's contract is that critical sections are
+// CPU-only: an fsync, a network write, a channel operation, or a sleep
+// under a lock turns one slow or stuck peer into a pipeline-wide stall
+// (every other goroutine queues on the mutex). The held-lock set is a
+// forward may-dataflow over the function's CFG — lock identities are
+// the receiver expressions of .Lock()/.RLock() — and "may block" is
+// closed over the whole-program call graph, so a helper in another
+// package that fsyncs or parks on a channel is flagged at the call site
+// under the lock.
+//
+// A `defer mu.Unlock()` keeps the lock held for the rest of the
+// function (the deferred release runs at return); goroutines spawned
+// with `go` are excluded (they do not run under the spawner's locks).
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc: "flag blocking operations (fsync, network I/O, channel ops, " +
+		"sleeps) reachable while a sync.Mutex/RWMutex is held",
+	Run: runLockHold,
+}
+
+func runLockHold(pass *Pass) error {
+	mayBlock := mayBlockFacts(pass.Prog)
+	for _, fd := range funcDecls(pass.Files) {
+		if !acquiresLock(pass, fd.Body) {
+			continue
+		}
+		lockHoldFunc(pass, fd, mayBlock)
+	}
+	return nil
+}
+
+// acquiresLock is the cheap pre-filter: only functions that take a lock
+// need the dataflow.
+func acquiresLock(pass *Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, acquire, ok := lockOp(pass.Info, call); ok && acquire {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func lockHoldFunc(pass *Pass, fd *ast.FuncDecl, mayBlock map[FuncID]bool) {
+	cfg := BuildCFG(fd)
+	comm := commOps(fd.Body)
+	blocks := cfg.Reachable()
+
+	in := make([]map[string]bool, len(cfg.Blocks))
+	out := make([]map[string]bool, len(cfg.Blocks))
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			newIn := map[string]bool{}
+			for _, p := range b.Preds {
+				for k := range out[p.Index] {
+					newIn[k] = true
+				}
+			}
+			newOut := lockTransfer(pass, b, newIn, comm, mayBlock, nil)
+			if !lockSetEq(newIn, in[b.Index]) || !lockSetEq(newOut, out[b.Index]) {
+				in[b.Index], out[b.Index] = newIn, newOut
+				changed = true
+			}
+		}
+	}
+
+	report := func(pos token.Pos, desc string, held map[string]bool) {
+		pass.Reportf(pos,
+			"%s while holding %s: blocking operations under a lock stall every goroutine queued on it; release the lock first",
+			desc, heldList(held))
+	}
+	for _, b := range blocks {
+		lockTransfer(pass, b, in[b.Index], comm, mayBlock, report)
+	}
+
+	// Selects live at the end of their deciding block; one without a
+	// default parks the goroutine with the block's out-state held.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		blk := cfg.BlockOf(sel)
+		if blk == nil || selectHasDefault(sel) {
+			return true
+		}
+		if held := out[blk.Index]; len(held) > 0 {
+			report(sel.Pos(), "blocking select (no default)", held)
+		}
+		return true
+	})
+}
+
+// lockTransfer folds one block's nodes over the held-lock set, calling
+// onBlock at every blocking site when it is non-nil (the report pass).
+// Deferred statements are skipped — a deferred unlock runs at return,
+// so the lock stays held for dataflow purposes — as are `go` bodies.
+func lockTransfer(pass *Pass, b *Block, held map[string]bool, comm map[ast.Node]bool,
+	mayBlock map[FuncID]bool, onBlock func(token.Pos, string, map[string]bool)) map[string]bool {
+	cur := map[string]bool{}
+	for k := range held {
+		cur[k] = true
+	}
+	blocked := func(pos token.Pos, desc string) {
+		if onBlock != nil && len(cur) > 0 {
+			onBlock(pos, desc, cur)
+		}
+	}
+	for _, node := range b.Nodes {
+		ast.Inspect(node, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt, *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if key, acquire, ok := lockOp(pass.Info, n); ok {
+					if acquire {
+						cur[key] = true
+					} else {
+						delete(cur, key)
+					}
+					return true
+				}
+				if desc, ok := blockingCall(pass.Info, n); ok {
+					blocked(n.Pos(), desc)
+					return true
+				}
+				if fn := calleeOf(pass.Info, n); fn != nil && mayBlock[FuncID(fn.FullName())] {
+					blocked(n.Pos(), "call to "+fn.Name()+" (may block)")
+				}
+			case *ast.SendStmt:
+				if !comm[n] {
+					blocked(n.Pos(), "channel send")
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !comm[n] {
+					blocked(n.Pos(), "channel receive")
+				}
+			}
+			return true
+		})
+	}
+	return cur
+}
+
+func lockSetEq(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// heldList renders the held set for diagnostics, deterministically.
+func heldList(held map[string]bool) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}

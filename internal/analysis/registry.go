@@ -5,9 +5,12 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		BudgetLoop,
 		CacheBound,
+		DeadlineFlow,
 		DeltaReset,
 		ErrClass,
+		ErrFlow,
 		FsyncOrder,
+		LockHold,
 		MapIter,
 		NilMetrics,
 		RawGo,

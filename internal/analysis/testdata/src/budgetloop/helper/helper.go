@@ -1,0 +1,10 @@
+// Package helper provides a budget-checking step behind a package
+// boundary: budgetloop's check closure is computed over the whole
+// program, so loops bounded through this helper count exactly like
+// loops using a package-local wrapper.
+package helper
+
+import "fixtures/budget"
+
+// Step consumes one budget unit on behalf of the caller's loop.
+func Step(b *budget.B) error { return b.Step(1) }

@@ -1,0 +1,17 @@
+package ok
+
+import (
+	"fixtures/budget"
+	"fixtures/budgetloop/helper"
+)
+
+// SearchCrossPkg is bounded through a helper in another package: the
+// program-wide check closure must see helper.Step -> budget.B.Step, or
+// this clean fixture regresses into a finding.
+func SearchCrossPkg(b *budget.B, next func() bool) {
+	for next() {
+		if err := helper.Step(b); err != nil {
+			return
+		}
+	}
+}

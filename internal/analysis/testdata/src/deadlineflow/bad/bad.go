@@ -1,0 +1,47 @@
+// Failing fixtures for deadlineflow: channel operations that can park
+// the goroutine forever with no deadline decision upstream.
+package bad
+
+import "fixtures/obs"
+
+// Pipeline mimics the serve pipeline's channel topology.
+type Pipeline struct {
+	submit chan int
+	data   chan int
+}
+
+// Submit parks forever if the decider is stuck.
+func (p *Pipeline) Submit(v int) {
+	p.submit <- v // want `channel send is not dominated by a deadline check`
+}
+
+// Recv parks on a data channel (not a signal channel) with no bound.
+func (p *Pipeline) Recv() int {
+	return <-p.data // want `channel receive is not dominated by a deadline check`
+}
+
+// Shuffle's select has neither a default nor an escape case.
+func (p *Pipeline) Shuffle() (got int) {
+	select { // want `blocking select \(no default, no ctx/signal case\) is not dominated`
+	case v := <-p.data:
+		got = v
+	case p.submit <- 0:
+	}
+	return got
+}
+
+// LateGuard reads the deadline only after the park: same block, wrong
+// order.
+func (p *Pipeline) LateGuard(c obs.Clock, deadline int64, v int) bool {
+	p.submit <- v // want `channel send is not dominated by a deadline check`
+	return c.NowNS() < deadline
+}
+
+// BranchGuard checks the deadline on one path only: the check does not
+// dominate the merged send.
+func (p *Pipeline) BranchGuard(c obs.Clock, fast bool, deadline int64, v int) {
+	if fast {
+		_ = c.NowNS() > deadline
+	}
+	p.submit <- v // want `channel send is not dominated by a deadline check`
+}

@@ -1,0 +1,89 @@
+// Passing fixtures for deadlineflow: every potentially-blocking
+// channel operation is dominated by a deadline decision, is
+// self-guarded, or is a sanctioned lifecycle wait.
+package ok
+
+import (
+	"context"
+
+	"fixtures/budget"
+	"fixtures/obs"
+)
+
+// Pipeline mimics the serve pipeline's channel topology.
+type Pipeline struct {
+	submit chan int
+	quit   chan struct{}
+	clock  obs.Clock
+}
+
+// SubmitCtx parks on the submit queue only alongside a ctx.Done case:
+// the select itself is the escape hatch.
+func (p *Pipeline) SubmitCtx(ctx context.Context, v int) error {
+	select {
+	case p.submit <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SubmitDeadline compares the injectable clock against the queue
+// deadline before parking.
+func (p *Pipeline) SubmitDeadline(v int, deadline int64) bool {
+	if p.clock.NowNS() > deadline {
+		return false
+	}
+	p.submit <- v
+	return true
+}
+
+// SubmitBudget spends a budget step before parking.
+func (p *Pipeline) SubmitBudget(b *budget.B, v int) error {
+	if err := b.Step(1); err != nil {
+		return err
+	}
+	p.submit <- v
+	return nil
+}
+
+// CtxErrPoll polls the context before the blocking receive.
+func (p *Pipeline) CtxErrPoll(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return <-p.submit, nil
+}
+
+// TrySubmit never parks: the default makes the select non-blocking.
+func (p *Pipeline) TrySubmit(v int) bool {
+	select {
+	case p.submit <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitQuit parks on the lifecycle signal channel — a wait for the
+// peer's lifetime, exempt by convention (chan struct{}).
+func (p *Pipeline) WaitQuit() {
+	<-p.quit
+}
+
+// Drain consumes until the producer closes the channel: the drain
+// idiom, bounded by the producer's lifecycle.
+func (p *Pipeline) Drain() int {
+	s := 0
+	for v := range p.submit {
+		s += v
+	}
+	return s
+}
+
+// Ack is the sanctioned exception shape: a per-request buffered reply
+// channel the protocol guarantees capacity for.
+func (p *Pipeline) Ack(v int) {
+	//constvet:allow deadlineflow -- per-request buffered reply channel, capacity guaranteed by the protocol
+	p.submit <- v
+}

@@ -1,0 +1,47 @@
+// Failing fixtures for errflow: retry loops that back off without ever
+// consulting the classifier — a permanent error would be retried
+// instead of surfaced.
+package bad
+
+import (
+	"time"
+
+	"fixtures/obs"
+	"fixtures/store"
+)
+
+// RetryBlind retries every error, permanent ones included.
+func RetryBlind(c obs.Clock, op func() error) error {
+	for i := 0; i < 5; i++ {
+		if err := op(); err == nil {
+			return nil
+		}
+		c.Sleep(1000) // want `backoff sleep in a retry loop is not dominated by a store\.Classify decision`
+	}
+	return nil
+}
+
+// RetryWall blind-retries on the raw wall clock.
+func RetryWall(op func() error) {
+	for {
+		if op() == nil {
+			return
+		}
+		time.Sleep(time.Millisecond) // want `backoff sleep in a retry loop`
+	}
+}
+
+// LateClassify classifies only after the wait: the first iteration
+// sleeps on an unclassified error.
+func LateClassify(c obs.Clock, op func() error) {
+	for {
+		err := op()
+		if err == nil {
+			return
+		}
+		c.Sleep(1000) // want `backoff sleep in a retry loop`
+		if store.Classify(err) == store.ClassPermanent {
+			return
+		}
+	}
+}

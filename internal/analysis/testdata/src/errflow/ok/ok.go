@@ -1,0 +1,59 @@
+// Passing fixtures for errflow: every backoff sleep in a retry loop is
+// downstream of a store.Classify decision, directly or through a
+// wrapper.
+package ok
+
+import (
+	"fixtures/obs"
+	"fixtures/store"
+)
+
+// Retry backs off only after classifying: permanent errors surface
+// immediately, transient ones wait and go again.
+func Retry(c obs.Clock, op func() error) error {
+	var err error
+	for i := 0; i < 5; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if store.Classify(err) == store.ClassPermanent {
+			return err
+		}
+		c.Sleep(int64(i+1) * 1000)
+	}
+	return err
+}
+
+// classify is the local wrapper the serve pipeline uses; it reaches
+// store.Classify, so it counts as a classification point.
+func classify(err error) store.Class { return store.Classify(err) }
+
+// RetryViaWrapper reaches the classifier transitively through the
+// program call graph.
+func RetryViaWrapper(c obs.Clock, op func() error) error {
+	for {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if classify(err) == store.ClassPermanent {
+			return err
+		}
+		c.Sleep(1000)
+	}
+}
+
+// GraceDelay sleeps once, outside any loop: a startup grace period is
+// not a retry decision.
+func GraceDelay(c obs.Clock) {
+	c.Sleep(5000)
+}
+
+// Poll is the sanctioned exception shape: a fixed-cadence readiness
+// poll with no error in the loop at all.
+func Poll(c obs.Clock, ready func() bool) {
+	for !ready() {
+		//constvet:allow errflow -- fixed-cadence readiness poll, no error feeds this wait
+		c.Sleep(1000)
+	}
+}

@@ -1,0 +1,11 @@
+package bad
+
+import "fixtures/fsyncorder/helper"
+
+// PublishViaHelper leaks a namespace obligation across the package
+// boundary: the helper created an entry, nobody ran SyncDir, and this
+// exported function returns anyway.
+func PublishViaHelper(fsys helper.FS, name string) error {
+	_, err := helper.CreateTmp(fsys, name) // want `namespace change \(Create\) is not followed by SyncDir`
+	return err
+}

@@ -1,0 +1,36 @@
+// Package helper exercises fsyncorder's cross-package summaries: a
+// namespace obligation created here must follow the call edge into the
+// caller's package, and a discharge performed here must count for the
+// caller's earlier mutations.
+package helper
+
+// File mirrors store.File.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS mirrors the mutating subset of store.FS.
+type FS interface {
+	Create(name string) (File, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	SyncDir() error
+}
+
+// CreateTmp creates without syncing the directory. As an exported
+// entry point it is itself a violation — and its obligation also leaks
+// into every caller's summary.
+func CreateTmp(fsys FS, name string) (File, error) {
+	return fsys.Create(name) // want `namespace change \(Create\) is not followed by SyncDir`
+}
+
+// RemoveDurable removes and syncs: callers inherit a clean, synced
+// state from this call.
+func RemoveDurable(fsys FS, name string) error {
+	if err := fsys.Remove(name); err != nil {
+		return err
+	}
+	return fsys.SyncDir()
+}

@@ -1,0 +1,18 @@
+package ok
+
+import "fixtures/fsyncorder/helper"
+
+// RotateViaHelper creates an entry locally and relies on the helper's
+// SyncDir to discharge the obligation: the cross-package summary must
+// carry the helper's sync point back here, or this clean fixture
+// regresses into a finding.
+func RotateViaHelper(fsys helper.FS, name string) error {
+	f, err := fsys.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return helper.RemoveDurable(fsys, name+".old")
+}

@@ -1,0 +1,72 @@
+// Failing fixtures for lockhold: blocking operations reached with a
+// mutex held, directly and through the cross-package call graph.
+package bad
+
+import (
+	"sync"
+
+	"fixtures/lockhold/helper"
+	"fixtures/obs"
+)
+
+// Store guards a map with an RWMutex and publishes on a channel.
+type Store struct {
+	mu sync.RWMutex
+	m  map[string]int
+	ch chan int
+}
+
+// Publish parks on a channel send with the mutex held.
+func (s *Store) Publish(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- s.m[k] // want `channel send while holding s\.mu`
+}
+
+// WaitUnderRLock parks on a receive under the read lock — readers do
+// not save you: the next writer queues behind this park, and every
+// later reader queues behind the writer.
+func (s *Store) WaitUnderRLock() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return <-s.ch // want `channel receive while holding s\.mu`
+}
+
+// SleepUnderLock holds the lock across an injected-clock sleep.
+func (s *Store) SleepUnderLock(c obs.Clock) {
+	s.mu.Lock()
+	c.Sleep(100) // want `Clock\.Sleep while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// FlushViaHelper reaches a File.Sync through another package; the
+// program-wide may-block closure carries the fact to this call site.
+func (s *Store) FlushViaHelper(f helper.File) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	helper.Flush(f) // want `call to Flush \(may block\) while holding s\.mu`
+}
+
+// BlockingSelect parks in a default-less select under the lock.
+func (s *Store) BlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select \(no default\) while holding s\.mu`
+	case v := <-s.ch:
+		s.m["x"] = v
+	case s.ch <- 1:
+	}
+}
+
+// BranchLeak unlocks on the fast path only; the merged path still may
+// hold the lock at the send.
+func (s *Store) BranchLeak(fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+	}
+	s.ch <- 1 // want `channel send while holding s\.mu`
+	if !fast {
+		s.mu.Unlock()
+	}
+}

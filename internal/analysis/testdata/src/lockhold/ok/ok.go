@@ -1,0 +1,82 @@
+// Passing fixtures for lockhold: critical sections stay CPU-only, or
+// release the lock before blocking.
+package ok
+
+import (
+	"sync"
+
+	"fixtures/lockhold/helper"
+)
+
+// Store guards a map with a mutex and publishes on a channel.
+type Store struct {
+	mu sync.Mutex
+	m  map[string]int
+	ch chan int
+}
+
+// Get is CPU-only under the lock; the deferred unlock keeps the lock
+// held to the return, but nothing blocks.
+func (s *Store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// Publish releases the lock before parking on the channel.
+func (s *Store) Publish(k string) {
+	s.mu.Lock()
+	v := s.m[k]
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// TryPublish sends under the lock, but the default keeps it from ever
+// parking.
+func (s *Store) TryPublish(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- s.m[k]:
+	default:
+	}
+}
+
+// Spawn starts a goroutine that blocks — but not under the spawner's
+// lock, which it never shares.
+func (s *Store) Spawn(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func(ch chan int) { ch <- v }(s.ch)
+}
+
+// RecordViaHelper calls across the package boundary, but the helper is
+// CPU-only, so the may-block closure stays false.
+func (s *Store) RecordViaHelper(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	helper.Note(s.m, k, v)
+}
+
+// BranchRelease unlocks on every path before the send, so no merged
+// path carries the lock to the blocking site.
+func (s *Store) BranchRelease(k string, fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		s.ch <- 1
+		return
+	}
+	v := s.m[k]
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// ShedNotify is the one sanctioned exception: the publish channel is
+// buffered and drained by the same owner, so the send cannot park.
+func (s *Store) ShedNotify() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//constvet:allow lockhold -- buffered publish channel, drained by the lock's owner
+	s.ch <- 1
+}

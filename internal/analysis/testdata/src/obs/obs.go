@@ -18,3 +18,11 @@ func (c *Counter) Inc() {
 type Sink interface {
 	Counter(name string) *Counter
 }
+
+// Clock is a minimal stand-in for obs.Clock: lockhold and errflow
+// recognize Sleep, and deadlineflow recognizes NowNS comparisons, by
+// the receiver's package name.
+type Clock interface {
+	NowNS() int64
+	Sleep(ns int64)
+}

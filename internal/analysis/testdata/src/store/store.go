@@ -1,0 +1,21 @@
+// Package store mimics the repository's internal/store error
+// classifier for analyzer fixtures: errflow recognizes Classify by the
+// package *name*, so consumer fixtures import this stand-in.
+package store
+
+// Class labels an error's retry disposition.
+type Class int
+
+// The two dispositions that matter to a retry loop.
+const (
+	ClassTransient Class = iota
+	ClassPermanent
+)
+
+// Classify labels err.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassTransient
+	}
+	return ClassPermanent
+}

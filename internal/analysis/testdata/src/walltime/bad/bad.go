@@ -14,3 +14,32 @@ func Elapsed(f func()) time.Duration {
 func Remaining(deadline time.Time) time.Duration {
 	return time.Until(deadline) // want `time\.Until outside internal/obs`
 }
+
+// WaitOrGiveUp parks on wall-clock timers the ManualClock can never
+// advance: the sleep/timer-family blind spot.
+func WaitOrGiveUp(done chan struct{}) bool {
+	time.Sleep(time.Millisecond) // want `time\.Sleep outside internal/obs`
+	select {
+	case <-done:
+		return true
+	case <-time.After(time.Second): // want `time\.After outside internal/obs`
+		return false
+	}
+}
+
+// Periodic builds real timers for a polling loop.
+func Periodic(done chan struct{}) {
+	timer := time.NewTimer(time.Second) // want `time\.NewTimer outside internal/obs`
+	defer timer.Stop()
+	tick := time.NewTicker(time.Second) // want `time\.NewTicker outside internal/obs`
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		case <-timer.C:
+		case <-time.Tick(time.Minute): // want `time\.Tick outside internal/obs`
+		}
+	}
+}

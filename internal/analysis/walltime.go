@@ -13,14 +13,28 @@ import (
 // with PR 3's observability layer; mechanized in PR 4.
 var Walltime = &Analyzer{
 	Name: "walltime",
-	Doc: "flag time.Now and time.Since outside internal/obs; deterministic " +
-		"kernels and measurement paths must use the obs monotonic clock",
+	Doc: "flag time.Now/Since/Until and the sleep/timer family (time.After, " +
+		"time.Sleep, time.NewTimer, time.NewTicker, time.Tick) outside " +
+		"internal/obs; deterministic kernels and measurement paths must use " +
+		"the obs monotonic clock",
 	AppliesTo: func(pkgPath string) bool { return !pathHasSuffix(pkgPath, "internal/obs") },
 	Run:       runWalltime,
 }
 
-// clockFuncs are the package time functions that read the clock.
-var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+// clockFuncs are the package time functions that read the clock — plus
+// the sleep/timer family, which both reads it and parks goroutines on
+// real wall-clock durations, the blind spot that let time.After slip
+// into timeout plumbing the ManualClock could never advance.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Sleep": true, "NewTimer": true, "NewTicker": true, "Tick": true,
+}
+
+// sleepFamily marks the clockFuncs that park goroutines rather than
+// just read the clock; their fix-it hint differs.
+var sleepFamily = map[string]bool{
+	"After": true, "Sleep": true, "NewTimer": true, "NewTicker": true, "Tick": true,
+}
 
 func runWalltime(pass *Pass) error {
 	for _, f := range pass.Files {
@@ -33,8 +47,11 @@ func runWalltime(pass *Pass) error {
 			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
 				return true
 			}
-			pass.Reportf(sel.Pos(),
-				"time.%s outside internal/obs: use obs.NowNS/obs.SinceNS for measurement so kernels stay deterministic", sel.Sel.Name)
+			hint := "use obs.NowNS/obs.SinceNS for measurement so kernels stay deterministic"
+			if sleepFamily[sel.Sel.Name] {
+				hint = "park on an obs.Clock (Sleep/NowNS deadline) so schedules stay deterministic under ManualClock"
+			}
+			pass.Reportf(sel.Pos(), "time.%s outside internal/obs: %s", sel.Sel.Name, hint)
 			return true
 		})
 	}

@@ -70,6 +70,10 @@ func TestRecommendCtxTimeoutReturnsInsteadOfHanging(t *testing.T) {
 	defer cancel()
 	done := make(chan []Recommendation, 1)
 	go func() { done <- m.RecommendCtx(ctx, x) }()
+	// Watchdog via a context deadline, the repo's sanctioned timeout
+	// mechanism, rather than a raw time.After timer.
+	wd, wdCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer wdCancel()
 	select {
 	case recs := <-done:
 		if len(recs) == 0 {
@@ -78,7 +82,7 @@ func TestRecommendCtxTimeoutReturnsInsteadOfHanging(t *testing.T) {
 		if !Complementary(s, x, recs[0].Y) {
 			t.Errorf("fallback %v is not a complement", recs[0].Y)
 		}
-	case <-time.After(30 * time.Second):
+	case <-wd.Done():
 		t.Fatal("RecommendCtx hung past its 1ms budget")
 	}
 }

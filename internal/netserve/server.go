@@ -140,12 +140,17 @@ func (s *Server) AddView(name string, st *store.Session, syms *value.Symbols, po
 		initSeq:  st.Seq(),
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.views[name]; dup {
+	_, dup := s.views[name]
+	if !dup {
+		s.views[name] = vs
+	}
+	s.mu.Unlock()
+	if dup {
+		// Close outside the lock: it waits for the pipeline's goroutines
+		// to drain, and every request handler contends on s.mu.
 		_ = pipe.Close()
 		return fmt.Errorf("netserve: view %q already registered", name)
 	}
-	s.views[name] = vs
 	return nil
 }
 

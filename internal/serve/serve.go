@@ -214,6 +214,16 @@ type result struct {
 	err error
 }
 
+// ack delivers the op's fate to the submitter. done is buffered with
+// capacity one and each request is acknowledged exactly once — a
+// request is owned by a single goroutine at a time (submitter → decider
+// → committer), and ownership transfers only after the owner either
+// acked it or handed it on — so the send below can never block.
+func (r *request) ack(res result) {
+	//constvet:allow deadlineflow -- done is buffered (cap 1) and each request is acked exactly once; the send cannot block
+	r.done <- res
+}
+
 // batch is the decider→committer handoff: requests whose speculation
 // did not fail outright, stamped with the decider generation that
 // speculated them.
@@ -241,6 +251,7 @@ type Pending struct {
 // Wait blocks until the op's fate is decided and durable (or failed)
 // and returns the same values a synchronous Apply would have.
 func (p *Pending) Wait() (*core.Decision, error) {
+	//constvet:allow deadlineflow -- Wait is the submitter's explicit park point; the committer acks every accepted op even while draining after Close, so the recv always terminates
 	p.once.Do(func() { p.res = <-p.done })
 	return p.res.d, p.res.err
 }
@@ -335,7 +346,9 @@ func New(st *store.Session, opts Options) (*Pipeline, error) {
 	// The scratch mirrors the store's incremental setting so speculated
 	// and committed decides exercise the same path.
 	scratch.SetIncremental(st.IncrementalEnabled())
+	//constvet:allow rawgo -- the decider goroutine IS the pipeline's concurrency design: it overlaps the chase with the committer's fsync
 	go p.decider(scratch, st.ViewVersion())
+	//constvet:allow rawgo -- the committer goroutine IS the pipeline's concurrency design: it owns the real session and serializes durability
 	go p.committer()
 	return p, nil
 }
@@ -466,6 +479,7 @@ func (p *Pipeline) ApplyAsync(ctx context.Context, op core.UpdateOp) (*Pending, 
 	// queue continuously (it stops only after quit, which Close signals
 	// only once it gets the write lock — i.e. after this send finishes),
 	// so a full queue delays Close, it cannot deadlock it.
+	//constvet:allow lockhold -- RLock only fences Close; the decider drains submit without touching mu, so the send makes progress while readers hold the lock
 	select {
 	case p.submit <- r:
 		p.mu.RUnlock()
@@ -551,7 +565,7 @@ func (p *Pipeline) speculate(scratch *core.Session, offset, gen uint64, reqs []*
 	}
 	if err := p.brokenErr(); err != nil {
 		for _, r := range reqs {
-			r.done <- result{err: fmt.Errorf("%w: %w", store.ErrSessionBroken, err)}
+			r.ack(result{err: fmt.Errorf("%w: %w", store.ErrSessionBroken, err)})
 		}
 		return scratch, offset, gen
 	}
@@ -561,14 +575,14 @@ func (p *Pipeline) speculate(scratch *core.Session, offset, gen uint64, reqs []*
 		if err := r.ctx.Err(); err != nil {
 			// Cancelled while queued: never reached the store, exactly
 			// as a serial ApplyCtx would have failed before deciding.
-			r.done <- result{err: err}
+			r.ack(result{err: err})
 			continue
 		}
 		if dl := p.opts.QueueDeadlineNS; dl > 0 && p.clock.NowNS()-r.enqNS > dl {
 			// Aged out while queued: the queue is saturated past its
 			// deadline, shed rather than decide work nobody is waiting
 			// for at this latency.
-			r.done <- result{err: ErrShed}
+			r.ack(result{err: ErrShed})
 			if m != nil {
 				m.shed.Inc()
 			}
@@ -618,7 +632,7 @@ func (p *Pipeline) speculate(scratch *core.Session, offset, gen uint64, reqs []*
 			// Permanent or retry-exhausted failure: the op never touched
 			// the scratch database, and the real session never sees it,
 			// so the two stay aligned. Fail the submitter directly.
-			r.done <- result{d: d, err: err}
+			r.ack(result{d: d, err: err})
 			continue
 		}
 		// Seed only while our speculation basis is current; the check
@@ -634,6 +648,9 @@ func (p *Pipeline) speculate(scratch *core.Session, offset, gen uint64, reqs []*
 		live = append(live, r)
 	}
 	if len(live) > 0 {
+		// Intentional backpressure: a full commit channel means disk is
+		// behind, and stalling the decider here is what bounds memory.
+		//constvet:allow deadlineflow -- the committer drains commit until the decider closes it; the send stalls only while fsync is behind, it cannot park forever
 		p.commit <- &batch{reqs: live, gen: gen}
 	}
 	return scratch, offset, gen
@@ -665,7 +682,7 @@ func (p *Pipeline) committer() {
 func (p *Pipeline) commitBatch(b *batch) {
 	if err := p.brokenErr(); err != nil {
 		for _, r := range b.reqs {
-			r.done <- result{err: fmt.Errorf("%w: %w", store.ErrSessionBroken, err)}
+			r.ack(result{err: fmt.Errorf("%w: %w", store.ErrSessionBroken, err)})
 		}
 		return
 	}
@@ -717,7 +734,7 @@ func (p *Pipeline) commitBatch(b *batch) {
 		if r.speculated && applied != r.predApplied {
 			diverged = true
 		}
-		r.done <- result{d: it.Decision, err: it.Err}
+		r.ack(result{d: it.Decision, err: it.Err})
 	}
 	if m != nil {
 		m.batches.Inc()
@@ -734,13 +751,7 @@ func (p *Pipeline) commitBatch(b *batch) {
 		p.genWanted.Add(1)
 		st.InvalidateDecisions()
 		st.InvalidateDeltas()
-		msg := resyncMsg{db: st.Database(), ver: st.ViewVersion(), gen: p.genWanted.Load()}
-		// Overwrite any pending resync: only the newest state counts.
-		select {
-		case <-p.resync:
-		default:
-		}
-		p.resync <- msg
+		p.postResync(resyncMsg{db: st.Database(), ver: st.ViewVersion(), gen: p.genWanted.Load()})
 	}
 	p.publishView(st)
 }
@@ -753,9 +764,9 @@ func (p *Pipeline) latch(reqs []*request, items []store.BatchItem, err error) {
 	p.degraded.Store(true)
 	for i, r := range reqs {
 		if i < len(items) {
-			r.done <- result{d: items[i].Decision, err: batchItemErr(items[i], err)}
+			r.ack(result{d: items[i].Decision, err: batchItemErr(items[i], err)})
 		} else {
-			r.done <- result{err: err}
+			r.ack(result{err: err})
 		}
 	}
 }
@@ -818,7 +829,7 @@ func (p *Pipeline) heal(st *store.Session, reqs []*request, items []store.BatchI
 				if applied <= durable {
 					// On disk, replayed, re-verified: acknowledge with
 					// the decision the failed batch computed.
-					r.done <- result{d: it.Decision}
+					r.ack(result{d: it.Decision})
 				} else {
 					retry = append(retry, r)
 				}
@@ -829,7 +840,7 @@ func (p *Pipeline) heal(st *store.Session, reqs []*request, items []store.BatchI
 			} else {
 				// Permanent per-op failure (rejection, illegal update):
 				// reject only this op, the rest of the batch lives on.
-				r.done <- result{d: it.Decision, err: it.Err}
+				r.ack(result{d: it.Decision, err: it.Err})
 			}
 		}
 		p.installSession(ns)
@@ -851,7 +862,7 @@ func (p *Pipeline) heal(st *store.Session, reqs []*request, items []store.BatchI
 		items2, err2 := ns.ApplySpeculatedBatchCtx(context.Background(), rops)
 		if err2 == nil {
 			for i, r := range retry {
-				r.done <- result{d: items2[i].Decision, err: items2[i].Err}
+				r.ack(result{d: items2[i].Decision, err: items2[i].Err})
 			}
 			if m != nil {
 				m.batches.Inc()
@@ -892,11 +903,19 @@ func (p *Pipeline) installSession(ns *store.Session) {
 	p.stPtr.Store(ns)
 	ns.InvalidateDecisions()
 	ns.InvalidateDeltas()
-	msg := resyncMsg{db: ns.Database(), ver: ns.ViewVersion(), gen: p.genWanted.Load()}
+	p.postResync(resyncMsg{db: ns.Database(), ver: ns.ViewVersion(), gen: p.genWanted.Load()})
+}
+
+// postResync replaces any pending resync with msg: only the newest
+// authoritative state counts. resync is buffered (capacity one) and the
+// committer goroutine is its only sender, so after the drain above the
+// slot is free and the send cannot block.
+func (p *Pipeline) postResync(msg resyncMsg) {
 	select {
 	case <-p.resync:
 	default:
 	}
+	//constvet:allow deadlineflow -- resync is buffered (cap 1), drained just above, and the committer is the only sender; the send cannot block
 	p.resync <- msg
 }
 
