@@ -205,6 +205,7 @@ func compareRecords(base, cur []Record, threshold float64, filter string, w io.W
 	}
 	regressions := 0
 	seen := make(map[string]bool, len(cur))
+	var fresh []string
 	for _, r := range cur {
 		if re != nil && !re.MatchString(r.Name) {
 			continue
@@ -214,6 +215,7 @@ func compareRecords(base, cur []Record, threshold float64, filter string, w io.W
 		b, ok := old[key]
 		if !ok {
 			fmt.Fprintf(w, "%-40s %12.1f ns/op  (new, not gated)\n", r.Name, r.NsPerOp)
+			fresh = append(fresh, r.Name)
 			continue
 		}
 		delta := 0.0
@@ -235,6 +237,13 @@ func compareRecords(base, cur []Record, threshold float64, filter string, w io.W
 		if !seen[key] {
 			fmt.Fprintf(w, "%-40s gone from the new run (not gated)\n", r.Name)
 		}
+	}
+	// Name the benchmarks with no baseline in one summary line: a fresh
+	// benchmark silently passing the gate is exactly how an unrecorded
+	// baseline goes unnoticed until the first regression it can't catch.
+	if len(fresh) > 0 {
+		fmt.Fprintf(w, "benchjson: %d benchmark(s) have no baseline (advisory, rerecord BENCH.json to gate them): %s\n",
+			len(fresh), strings.Join(fresh, ", "))
 	}
 	return regressions, nil
 }

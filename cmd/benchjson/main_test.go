@@ -62,6 +62,32 @@ func TestCompareRecords(t *testing.T) {
 	}
 }
 
+func TestCompareRecordsNamesAdvisoryNewBenchmarks(t *testing.T) {
+	base := []Record{{Name: "BenchmarkRelJoin", Procs: 1, NsPerOp: 1000}}
+	cur := []Record{
+		{Name: "BenchmarkRelJoin", Procs: 1, NsPerOp: 1000},
+		{Name: "BenchmarkRelNewA", Procs: 1, NsPerOp: 5},
+		{Name: "BenchmarkRelNewB", Procs: 1, NsPerOp: 7},
+	}
+	var out bytes.Buffer
+	n, err := compareRecords(base, cur, 0.30, "", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("regressions = %d, want 0 (new benchmarks are advisory):\n%s", n, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "2 benchmark(s) have no baseline") {
+		t.Errorf("advisory summary missing or unnumbered:\n%s", got)
+	}
+	for _, name := range []string{"BenchmarkRelNewA", "BenchmarkRelNewB"} {
+		if !strings.Contains(got, name+",") && !strings.HasSuffix(strings.TrimSpace(got), name) && !strings.Contains(got, ", "+name) {
+			t.Errorf("advisory summary does not name %s:\n%s", name, got)
+		}
+	}
+}
+
 func TestCompareRecordsKeepsFastestOfRepeatedRuns(t *testing.T) {
 	base := []Record{{Name: "BenchmarkRelJoin", Procs: 1, NsPerOp: 1000}}
 	// A -count=3 run where one repetition caught a scheduling hiccup:

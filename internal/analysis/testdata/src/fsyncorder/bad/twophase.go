@@ -1,0 +1,34 @@
+// Failing fixtures for fsyncorder rule 3: commit records a recovery
+// could find without a durable intent to redo from.
+package bad
+
+// TxLog mirrors the two-phase subset of shard.TxLog.
+type TxLog interface {
+	AppendIntent(xid uint64) error
+	AppendCommit(xid uint64) error
+	Sync() error
+}
+
+// CommitWithoutIntent writes the commit record with no intent at all.
+func CommitWithoutIntent(coord TxLog, xid uint64) error {
+	return coord.AppendCommit(xid) // want `AppendCommit is not dominated by AppendIntent`
+}
+
+// CommitIntentOneArm only appends the intent on one branch, so a path
+// reaches the commit record with nothing durable to redo.
+func CommitIntentOneArm(coord TxLog, xid uint64, cross bool) error {
+	if cross {
+		if err := coord.AppendIntent(xid); err != nil {
+			return err
+		}
+	}
+	return coord.AppendCommit(xid) // want `AppendCommit is not dominated by AppendIntent`
+}
+
+// CommitBeforeIntent has the ladder inverted.
+func CommitBeforeIntent(coord TxLog, xid uint64) error {
+	if err := coord.AppendCommit(xid); err != nil { // want `AppendCommit is not dominated by AppendIntent`
+		return err
+	}
+	return coord.AppendIntent(xid)
+}

@@ -1,0 +1,40 @@
+// Passing fixtures for fsyncorder rule 3: two-phase commit records
+// written only after their intents. TxLog mirrors internal/shard's
+// cross-shard transaction log; the analyzer duck-types any value
+// offering AppendIntent, AppendCommit, and Sync.
+package ok
+
+// TxLog mirrors the two-phase subset of shard.TxLog.
+type TxLog interface {
+	AppendIntent(xid uint64) error
+	AppendCommit(xid uint64) error
+	Sync() error
+}
+
+// CommitAfterIntents is the canonical coordinator ladder: intents on
+// every participant (each durable by AppendIntent's contract), then the
+// commit record.
+func CommitAfterIntents(coord, part TxLog, xid uint64) error {
+	if err := part.AppendIntent(xid); err != nil {
+		return err
+	}
+	if err := coord.AppendIntent(xid); err != nil {
+		return err
+	}
+	return coord.AppendCommit(xid)
+}
+
+// CommitInBranch keeps the obligation when the commit is conditional:
+// the intent dominates both arms.
+func CommitInBranch(coord TxLog, xid uint64, fast bool) error {
+	if err := coord.AppendIntent(xid); err != nil {
+		return err
+	}
+	if fast {
+		return coord.AppendCommit(xid)
+	}
+	if err := coord.Sync(); err != nil {
+		return err
+	}
+	return coord.AppendCommit(xid)
+}

@@ -1,0 +1,633 @@
+package chaos
+
+// Sharded chaos: the same two promises the unsharded sweep checks —
+// no acknowledged op is ever lost, and the final state matches a
+// serial fault-free oracle — rechecked across a hash-partitioned
+// multi-store (internal/shard), where a single op may span two shards
+// and a power cut can land between the two-phase records.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"github.com/constcomp/constcomp/internal/attr"
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/dep"
+	"github.com/constcomp/constcomp/internal/obs"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/serve"
+	"github.com/constcomp/constcomp/internal/shard"
+	"github.com/constcomp/constcomp/internal/store"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// Mid-two-phase crash points a ShardSchedule can script.
+const (
+	// CrossCutIntent cuts between the intent records and the commit
+	// record: both intents are durable, the commit record never lands,
+	// and the txlog resets that would retire the intents fail too.
+	// Recovery must presume abort — neither half applied, no orphaned
+	// intent left behind.
+	CrossCutIntent = "intent"
+	// CrossCutCommit cuts after the commit record is durable but before
+	// either half reaches its shard's journal. Recovery must redo both
+	// halves: the op committed, the submitter's error notwithstanding.
+	CrossCutCommit = "commit"
+)
+
+// ShardSchedule is one reproducible chaos scenario against a K-shard
+// multi-store.
+type ShardSchedule struct {
+	Seed   uint64 `json:"seed"`
+	Ops    int    `json:"ops"`
+	Shards int    `json:"shards"`
+	// Faults[k] holds shard k's journal faults, one per session epoch,
+	// mirroring Schedule.Storage per shard. Crash flags are ignored
+	// here: a power cut is whole-machine, and the sharded runner models
+	// exactly one, at the end of every schedule.
+	Faults [][]StorageFault `json:"faults,omitempty"`
+	// CrossCut, when non-empty, drives one scripted cross-shard
+	// replacement into the named crash point after the workload runs.
+	CrossCut string `json:"cross_cut,omitempty"`
+}
+
+// GenerateSharded derives a randomized sharded schedule from a seed:
+// zero to two journal faults per shard and, half the time, a scripted
+// mid-two-phase cut. The same (seed, ops, shards) always yields the
+// same schedule.
+func GenerateSharded(seed uint64, ops, shards int) ShardSchedule {
+	rng := rand.New(rand.NewSource(int64(seed) ^ 0x51ed2701))
+	s := ShardSchedule{Seed: seed, Ops: ops, Shards: shards,
+		Faults: make([][]StorageFault, shards)}
+	for k := 0; k < shards; k++ {
+		for i, nf := 0, rng.Intn(3); i < nf; i++ {
+			f := StorageFault{At: 1 + rng.Intn(5)}
+			switch rng.Intn(3) {
+			case 0:
+				f.Kind = WriteFault
+			case 1:
+				f.Kind = SyncFault
+			default:
+				f.Kind = TornWrite
+				f.Keep = rng.Intn(40)
+			}
+			s.Faults[k] = append(s.Faults[k], f)
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		s.CrossCut = CrossCutIntent
+	case 1:
+		s.CrossCut = CrossCutCommit
+	}
+	return s
+}
+
+// CutOutcome is the scripted mid-two-phase op's fate as the submitter
+// saw it; what recovery made of it is in ShardReport.Resolved.
+type CutOutcome struct {
+	Old, New []string
+	Xid      uint64
+	Acked    bool
+	Err      string
+}
+
+// ShardReport is the observable outcome of one sharded schedule run.
+type ShardReport struct {
+	// Per-op fates over the workload plus the scripted cut, if any.
+	Acked    int
+	Rejected int
+	Shed     int
+	Failed   int
+	// CrossAcked counts acked ops that ran the two-phase protocol.
+	CrossAcked int
+
+	Resurrections int64
+	Retries       int64
+	Latched       bool
+
+	Cut *CutOutcome
+	// Resolved lists every in-doubt intent the post-crash recovery
+	// settled from the txlogs.
+	Resolved []shard.Resolution
+
+	// FinalState is the canonical rendering of the recovered union of
+	// the shard bases; SeqSum the total of the shard journal seqs.
+	FinalState string
+	SeqSum     uint64
+
+	// Violation is empty when both invariants held.
+	Violation string
+}
+
+// shardFixtureEmps sizes the sharded fixture: enough employees that a
+// small ring almost surely gives every shard members of both
+// departments, so both translatable and rejected ops occur everywhere.
+const shardFixtureEmps = 24
+
+// shardFixture is the §2 EDM schema over a wider instance than
+// fixture(): employee emp<i> works in dept<i%2> under mgr<i%2>.
+func shardFixture() (*core.Pair, *relation.Relation, *value.Symbols) {
+	u := attr.MustUniverse("E", "D", "M")
+	sigma := dep.MustParseSet(u, "E -> D\nD -> M")
+	s := core.MustSchema(u, sigma)
+	pair := core.MustPair(s, u.MustSet("E", "D"), u.MustSet("D", "M"))
+	syms := value.NewSymbols()
+	db := relation.New(u.All())
+	for i := 0; i < shardFixtureEmps; i++ {
+		db.Insert(relation.Tuple{
+			syms.Const(fmt.Sprintf("emp%d", i)),
+			syms.Const(fmt.Sprintf("dept%d", i%2)),
+			syms.Const(fmt.Sprintf("mgr%d", i%2)),
+		})
+	}
+	return pair, db, syms
+}
+
+// shardWorkload derives a deterministic op mix whose replaces change
+// the employee name — and therefore, whenever the names hash to
+// different ring arcs, cross shards: translatable inserts and deletes,
+// key-moving and department-moving replaces, and rejections.
+func shardWorkload(seed uint64, n int) []namedOp {
+	rng := rand.New(rand.NewSource(int64(seed) ^ 0x2c5f1a3b))
+	ops := make([]namedOp, 0, n)
+	for i := 0; i < n; i++ {
+		e := fmt.Sprintf("x%03d", rng.Intn(40))
+		d := fmt.Sprintf("dept%d", rng.Intn(2))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			ops = append(ops, namedOp{kind: core.UpdateInsert, tup: []string{e, d}})
+		case 4, 5:
+			ops = append(ops, namedOp{kind: core.UpdateDelete, tup: []string{e, d}})
+		case 6, 7:
+			ops = append(ops, namedOp{kind: core.UpdateReplace,
+				tup: []string{e, d}, with: []string{fmt.Sprintf("x%03d", rng.Intn(40)), d}})
+		case 8:
+			ops = append(ops, namedOp{kind: core.UpdateReplace,
+				tup: []string{e, d}, with: []string{e, fmt.Sprintf("dept%d", rng.Intn(2))}})
+		default:
+			ops = append(ops, namedOp{kind: core.UpdateInsert,
+				tup: []string{e, fmt.Sprintf("nodept%d", rng.Intn(3))}})
+		}
+	}
+	return ops
+}
+
+func mkTuple(syms *value.Symbols, names []string) relation.Tuple {
+	t := make(relation.Tuple, len(names))
+	for i, s := range names {
+		t[i] = syms.Const(s)
+	}
+	return t
+}
+
+// epochFS arms one journal fault plan per session epoch over a shard's
+// FS. It advances to the next plan once the current one has fired; the
+// handles a new epoch opens bind to the new plan — exactly the
+// recovery pattern, since a fired fault breaks the session and
+// resurrection reopens every file.
+type epochFS struct {
+	base  store.FS
+	mu    sync.Mutex
+	plans []store.FaultPlan
+	cur   *store.FaultFS
+}
+
+func newEpochFS(base store.FS, faults []StorageFault) *epochFS {
+	e := &epochFS{base: base}
+	for _, f := range faults {
+		e.plans = append(e.plans, f.plan())
+	}
+	if len(e.plans) > 0 {
+		e.cur = store.NewFaultFS(base, e.plans[0])
+	}
+	return e
+}
+
+func (e *epochFS) fs() store.FS {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.cur != nil && e.cur.Tripped() {
+		e.plans = e.plans[1:]
+		if len(e.plans) == 0 {
+			e.cur = nil
+			break
+		}
+		e.cur = store.NewFaultFS(e.base, e.plans[0])
+	}
+	if e.cur == nil {
+		return e.base
+	}
+	return e.cur
+}
+
+func (e *epochFS) Create(name string) (store.File, error)     { return e.fs().Create(name) }
+func (e *epochFS) OpenAppend(name string) (store.File, error) { return e.fs().OpenAppend(name) }
+func (e *epochFS) Open(name string) (store.File, error)       { return e.fs().Open(name) }
+func (e *epochFS) Rename(o, n string) error                   { return e.fs().Rename(o, n) }
+func (e *epochFS) Remove(name string) error                   { return e.fs().Remove(name) }
+func (e *epochFS) Truncate(name string, size int64) error     { return e.fs().Truncate(name, size) }
+func (e *epochFS) SyncDir() error                             { return e.fs().SyncDir() }
+
+// cutFS scripts the mid-two-phase crash points. While armed it can
+// fail txlog writes from a given armed-relative ordinal on (cutting
+// the protocol between records), fail txlog truncates (so the aborting
+// resets cannot retire the intents a real crash would leave behind),
+// and fail every journal write (so a committed half cannot land).
+type cutFS struct {
+	store.FS
+	armed           *atomic.Bool
+	failTxWriteFrom int // 1-based armed ordinal; 0 disables
+	failTxTruncate  bool
+	failJournal     bool
+
+	mu       sync.Mutex
+	txWrites int
+}
+
+func (c *cutFS) wrap(f store.File, name string, err error) (store.File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &cutFile{File: f, fs: c, name: name}, nil
+}
+
+func (c *cutFS) Create(name string) (store.File, error) {
+	f, err := c.FS.Create(name)
+	return c.wrap(f, name, err)
+}
+
+func (c *cutFS) OpenAppend(name string) (store.File, error) {
+	f, err := c.FS.OpenAppend(name)
+	return c.wrap(f, name, err)
+}
+
+func (c *cutFS) Truncate(name string, size int64) error {
+	if c.armed.Load() && c.failTxTruncate && name == shard.TxLogFile {
+		return store.ErrInjected
+	}
+	return c.FS.Truncate(name, size)
+}
+
+type cutFile struct {
+	store.File
+	fs   *cutFS
+	name string
+}
+
+func (f *cutFile) Write(p []byte) (int, error) {
+	c := f.fs
+	if c.armed.Load() {
+		switch f.name {
+		case store.JournalFile:
+			if c.failJournal {
+				return 0, store.ErrInjected
+			}
+		case shard.TxLogFile:
+			if c.failTxWriteFrom > 0 {
+				c.mu.Lock()
+				c.txWrites++
+				n := c.txWrites
+				c.mu.Unlock()
+				if n >= c.failTxWriteFrom {
+					return 0, store.ErrInjected
+				}
+			}
+		}
+	}
+	return f.File.Write(p)
+}
+
+// pickCut chooses a deterministic cross-shard replacement over the
+// fixture employees, which the workload never touches: the old tuple's
+// shard must hold a second employee of the same department (so the
+// delete half translates) and the fresh name must route to a different
+// shard hosting the department (so the insert half translates).
+// Per-shard department residency is fixed for the whole run — inserts
+// of a department a shard does not host are rejected, and deleting a
+// department's last shard-local member is rejected — so the choice
+// made from the seed instance stays valid after any workload.
+func pickCut(router *shard.Router) (old, nw []string, coord, part int, ok bool) {
+	type key struct{ shard, dept int }
+	count := map[key]int{}
+	shardOf := make([]int, shardFixtureEmps)
+	for i := 0; i < shardFixtureEmps; i++ {
+		shardOf[i] = router.ShardOfName(fmt.Sprintf("emp%d", i))
+		count[key{shardOf[i], i % 2}]++
+	}
+	for i := 0; i < shardFixtureEmps; i++ {
+		d := i % 2
+		if count[key{shardOf[i], d}] < 2 {
+			continue
+		}
+		for j := 0; j < 10000; j++ {
+			name := fmt.Sprintf("cut%d", j)
+			ns := router.ShardOfName(name)
+			if ns == shardOf[i] || count[key{ns, d}] == 0 {
+				continue
+			}
+			return []string{fmt.Sprintf("emp%d", i), fmt.Sprintf("dept%d", d)},
+				[]string{name, fmt.Sprintf("dept%d", d)}, shardOf[i], ns, true
+		}
+	}
+	return nil, nil, 0, 0, false
+}
+
+// RunSharded executes one schedule against a K-shard multi-store and
+// checks the sharded forms of the two invariants:
+//
+//  1. No acked op is lost: after a final whole-machine power cut, each
+//     shard's journal holds exactly the records the acked ops put
+//     there — one per single-shard op, one per participant for a
+//     non-identity cross-shard op — plus at most the halves of
+//     committed-but-unacknowledged cross ops recovery redoes.
+//  2. The recovered union of the shard bases is byte-identical to a
+//     serial fault-free oracle replaying the acked ops in submission
+//     order (cross-shard ops as their two halves), extended by every
+//     cross op recovery resolved as committed.
+func RunSharded(s ShardSchedule) (*ShardReport, error) {
+	k := s.Shards
+	if k < 1 {
+		return nil, fmt.Errorf("chaos: sharded schedule needs shards >= 1, got %d", k)
+	}
+	reg := obs.NewRegistry()
+	serve.SetMetrics(reg)
+	defer serve.SetMetrics(nil)
+
+	pair, db, syms := shardFixture()
+	mem := store.NewMemFS()
+	var armed atomic.Bool
+	fss := make([]store.FS, k)
+	cuts := make([]*cutFS, k)
+	for i := range fss {
+		var f store.FS = shard.SubFS(mem, fmt.Sprintf("s%d/", i))
+		if i < len(s.Faults) && len(s.Faults[i]) > 0 {
+			f = newEpochFS(f, s.Faults[i])
+		}
+		cuts[i] = &cutFS{FS: f, armed: &armed}
+		fss[i] = cuts[i]
+	}
+	m, _, err := shard.Open(fss, pair, db, syms, shard.Options{
+		Shards: k,
+		Store:  store.Options{SnapshotEvery: snapEvery},
+		Serve:  serve.Options{MaxBatch: 4, Clock: obs.NewManualClock(), Seed: s.Seed},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: sharded open: %w", err)
+	}
+	router := m.Router()
+
+	rep := &ShardReport{}
+	type ackedOp struct {
+		n           namedOp
+		coord, part int
+		cross       bool
+		identity    bool
+	}
+	var acked []ackedOp
+	ackedXids := make(map[uint64]bool)
+	settle := func(n namedOp, coord, part int, cross bool, xid uint64, d *core.Decision, err error) {
+		switch {
+		case err == nil:
+			rep.Acked++
+			acked = append(acked, ackedOp{n: n, coord: coord, part: part, cross: cross,
+				identity: d != nil && d.Reason == core.ReasonIdentity})
+			if cross {
+				rep.CrossAcked++
+				ackedXids[xid] = true
+			}
+		case errors.Is(err, core.ErrRejected):
+			rep.Rejected++
+		case errors.Is(err, serve.ErrShed):
+			rep.Shed++
+		default:
+			rep.Failed++
+			if errors.Is(err, store.ErrSessionBroken) {
+				rep.Latched = true
+			}
+		}
+	}
+	submit := func(n namedOp) (uint64, *core.Decision, error) {
+		w, err := m.ApplyAsync(context.Background(), n.op(syms))
+		if err != nil {
+			return 0, nil, err
+		}
+		var xid uint64
+		if cp, ok := w.(*shard.CrossPending); ok {
+			xid = cp.Xid()
+		}
+		d, err := w.Wait()
+		return xid, d, err
+	}
+
+	// Async windows with a drain barrier, as in the unsharded runner:
+	// group commit stays exercised per shard, outcomes stay
+	// order-deterministic. Cross-shard ops resolve eagerly inside
+	// ApplyAsync, which keeps each shard's apply order equal to
+	// submission order — the property the oracle replays against.
+	ops := shardWorkload(s.Seed, s.Ops)
+	const window = 6
+	type handle struct {
+		n           namedOp
+		coord, part int
+		cross       bool
+		xid         uint64
+		w           serve.Waiter
+	}
+	for lo := 0; lo < len(ops); lo += window {
+		hi := lo + window
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		handles := make([]handle, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			op := ops[i].op(syms)
+			coord, part, cross := router.Placement(op)
+			w, err := m.ApplyAsync(context.Background(), op)
+			if err != nil {
+				settle(ops[i], coord, part, cross, 0, nil, err)
+				continue
+			}
+			var xid uint64
+			if cp, ok := w.(*shard.CrossPending); ok {
+				xid = cp.Xid()
+			}
+			handles = append(handles, handle{n: ops[i], coord: coord, part: part,
+				cross: cross, xid: xid, w: w})
+		}
+		for _, h := range handles {
+			d, err := h.w.Wait()
+			settle(h.n, h.coord, h.part, h.cross, h.xid, d, err)
+		}
+	}
+
+	// The scripted mid-two-phase cut, driven through the real protocol:
+	// the faults below interrupt it exactly where a power cut would,
+	// and the machine then dies with the residue in place.
+	if s.CrossCut == CrossCutIntent || s.CrossCut == CrossCutCommit {
+		if old, nw, coord, part, ok := pickCut(router); ok {
+			switch s.CrossCut {
+			case CrossCutIntent:
+				// The commit record is the coordinator's second armed
+				// txlog write; failing it — and every txlog truncate —
+				// leaves durable intents on both shards and nothing else.
+				cuts[coord].failTxWriteFrom = 2
+				cuts[coord].failTxTruncate = true
+				cuts[part].failTxTruncate = true
+			case CrossCutCommit:
+				// The commit record lands, then every journal write on
+				// the coordinator fails: the delete half cannot apply,
+				// both shards fence, and intent+commit survive the cut.
+				cuts[coord].failJournal = true
+			}
+			armed.Store(true)
+			n := namedOp{kind: core.UpdateReplace, tup: old, with: nw}
+			xid, d, err := submit(n)
+			armed.Store(false)
+			settle(n, coord, part, true, xid, d, err)
+			rep.Cut = &CutOutcome{Old: old, New: nw, Xid: xid, Acked: err == nil}
+			if err != nil {
+				rep.Cut.Err = err.Error()
+			}
+		}
+	}
+
+	if err := m.Close(); err != nil {
+		rep.Latched = true
+	}
+	snap := reg.Snapshot()
+	rep.Resurrections = snap.Counters["serve_resurrections_total"]
+	rep.Retries = snap.Counters["serve_retries_total"]
+
+	// The whole machine loses power: everything unsynced is gone on
+	// every shard at once.
+	mem.Crash()
+
+	// Recovery over pristine filesystems (the fault wrappers died with
+	// the machine): per-shard store recovery, then txlog resolution.
+	rpair, rdb, rsyms := shardFixture()
+	rfss := make([]store.FS, k)
+	for i := range rfss {
+		rfss[i] = shard.SubFS(mem, fmt.Sprintf("s%d/", i))
+	}
+	m2, orep, err := shard.Open(rfss, rpair, rdb, rsyms, shard.Options{
+		Shards: k, Store: store.Options{SnapshotEvery: snapEvery}})
+	if err != nil {
+		rep.Violation = fmt.Sprintf("post-crash recovery failed: %v", err)
+		return rep, nil
+	}
+	rep.Resolved = orep.Resolved
+	if err := m2.Close(); err != nil {
+		rep.Violation = fmt.Sprintf("post-crash close failed: %v", err)
+		return rep, nil
+	}
+
+	// Expected per-shard journal growth from the acked ops. The store
+	// journals identity ops too, so a single-shard ack is always one
+	// record; a cross-shard ack is one per participant unless the whole
+	// op was an identity (decided before any write).
+	expected := make([]uint64, k)
+	for _, a := range acked {
+		switch {
+		case !a.cross:
+			expected[a.coord]++
+		case !a.identity:
+			expected[a.coord]++
+			expected[a.part]++
+		}
+	}
+	// A committed-but-unacknowledged cross op adds at most one record
+	// per participant — fewer when a half was an identity, which is
+	// neither journaled nor redone.
+	slack := make([]uint64, k)
+	var redone []shard.Resolution
+	for _, r := range rep.Resolved {
+		if !r.Committed || ackedXids[r.Xid] {
+			continue
+		}
+		redone = append(redone, r)
+		slack[router.ShardOfName(r.Old[0])]++
+		slack[router.ShardOfName(r.New[0])]++
+	}
+
+	var union *relation.Relation
+	for i := 0; i < k; i++ {
+		scan, err := shard.ReadTxLog(rfss[i])
+		if err != nil {
+			rep.Violation = fmt.Sprintf("shard %d txlog unreadable after recovery: %v", i, err)
+			return rep, nil
+		}
+		if len(scan.Records) != 0 {
+			rep.Violation = fmt.Sprintf("shard %d: %d orphaned txlog records survived recovery",
+				i, len(scan.Records))
+			return rep, nil
+		}
+		st, _, err := store.Recover(rfss[i], rpair, rsyms, store.Options{})
+		if err != nil {
+			rep.Violation = fmt.Sprintf("shard %d re-recovery failed: %v", i, err)
+			return rep, nil
+		}
+		seq := st.Seq()
+		rep.SeqSum += seq
+		if union == nil {
+			union = st.Database().Clone()
+		} else {
+			union = union.Union(st.Database())
+		}
+		if err := st.Close(); err != nil {
+			return nil, fmt.Errorf("chaos: shard %d close: %w", i, err)
+		}
+		if seq < expected[i] || seq > expected[i]+slack[i] {
+			rep.Violation = fmt.Sprintf("acked-op loss on shard %d: recovered seq %d, want %d..%d",
+				i, seq, expected[i], expected[i]+slack[i])
+			return rep, nil
+		}
+	}
+	rep.FinalState = render(union, rsyms)
+
+	// Serial fault-free oracle: one session over the full instance
+	// replays the acked ops in submission order; a cross-shard op
+	// replays as the delete and insert halves it executed as. Every
+	// replayed op must be accepted, and recovery-committed cross ops —
+	// which fence their shards until recovery, so nothing later touched
+	// their keys — land at the end.
+	opair, odb, osyms := shardFixture()
+	oracle, err := core.NewSession(opair, odb)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: oracle: %w", err)
+	}
+	oapply := func(op core.UpdateOp, what string) bool {
+		if _, err := oracle.Apply(op); err != nil {
+			rep.Violation = fmt.Sprintf("%s fails on the serial oracle: %v", what, err)
+			return false
+		}
+		return true
+	}
+	for i, a := range acked {
+		if !a.cross {
+			if !oapply(a.n.op(osyms), fmt.Sprintf("acked op %d (%v %v)", i, a.n.kind, a.n.tup)) {
+				return rep, nil
+			}
+			continue
+		}
+		if !oapply(core.Delete(mkTuple(osyms, a.n.tup)), fmt.Sprintf("acked op %d delete half", i)) ||
+			!oapply(core.Insert(mkTuple(osyms, a.n.with)), fmt.Sprintf("acked op %d insert half", i)) {
+			return rep, nil
+		}
+	}
+	for _, r := range redone {
+		if !oapply(core.Delete(mkTuple(osyms, r.Old)), fmt.Sprintf("resolved xid %d delete half", r.Xid)) ||
+			!oapply(core.Insert(mkTuple(osyms, r.New)), fmt.Sprintf("resolved xid %d insert half", r.Xid)) {
+			return rep, nil
+		}
+	}
+	if want := render(oracle.Database(), osyms); rep.FinalState != want {
+		rep.Violation = fmt.Sprintf("union state divergence from serial oracle:\n got: %s\nwant: %s",
+			rep.FinalState, want)
+	}
+	return rep, nil
+}

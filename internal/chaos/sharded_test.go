@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustRunSharded executes a sharded schedule and fails the test on
+// harness errors or invariant violations.
+func mustRunSharded(t *testing.T, s ShardSchedule) *ShardReport {
+	t.Helper()
+	rep, err := RunSharded(s)
+	if err != nil {
+		t.Fatalf("chaos.RunSharded(%+v): %v", s, err)
+	}
+	if rep.Violation != "" {
+		t.Fatalf("sharded schedule %+v violated an invariant:\n%s", s, rep.Violation)
+	}
+	return rep
+}
+
+// hasRow reports whether a rendered state holds a base row for the
+// named employee.
+func hasRow(state, name string) bool {
+	for _, line := range strings.Split(state, "\n") {
+		if strings.HasPrefix(line, name+",") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestShardedRandomSchedules is the sharded chaos sweep: ≥200
+// seed-derived schedules (scaled down under -short) across ring sizes
+// 2–4, each checked for zero acked-op loss per shard and a recovered
+// union state byte-identical to the serial oracle. In aggregate the
+// sweep must commit cross-shard ops, resurrect faulted shards, and
+// script both mid-two-phase crash points.
+func TestShardedRandomSchedules(t *testing.T) {
+	n, ops := 200, 28
+	if testing.Short() {
+		n, ops = 50, 16
+	}
+	var resurrections int64
+	crossAcked, cuts, aborted, committed := 0, 0, 0, 0
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		s := GenerateSharded(seed, ops, 2+int(seed%3))
+		rep := mustRunSharded(t, s)
+		resurrections += rep.Resurrections
+		crossAcked += rep.CrossAcked
+		if rep.Cut != nil {
+			cuts++
+		}
+		for _, r := range rep.Resolved {
+			if r.Committed {
+				committed++
+			} else {
+				aborted++
+			}
+		}
+	}
+	if crossAcked == 0 {
+		t.Error("sweep committed zero cross-shard ops: the two-phase path never ran")
+	}
+	if resurrections == 0 {
+		t.Error("sweep drove zero resurrections: the per-shard heal path never fired")
+	}
+	if cuts == 0 {
+		t.Error("sweep never scripted a mid-two-phase cut")
+	}
+	if aborted == 0 {
+		t.Error("sweep never recovered a presumed-abort intent")
+	}
+	if committed == 0 {
+		t.Error("sweep never redid a committed-but-unacknowledged cross op")
+	}
+}
+
+// TestShardedCrossCutIntentPresumesAbort: a power cut between the
+// intent records and the commit record must resolve to a full abort —
+// the old employee survives, the new name never exists, and no intent
+// outlives recovery.
+func TestShardedCrossCutIntentPresumesAbort(t *testing.T) {
+	rep := mustRunSharded(t, ShardSchedule{Seed: 5, Ops: 12, Shards: 3, CrossCut: CrossCutIntent})
+	if rep.Cut == nil {
+		t.Fatal("no cross-shard cut candidate found")
+	}
+	if rep.Cut.Acked {
+		t.Fatalf("cut op acked despite the commit-record write fault: %+v", rep.Cut)
+	}
+	if len(rep.Resolved) != 1 {
+		t.Fatalf("recovery resolved %d intents, want 1: %+v", len(rep.Resolved), rep.Resolved)
+	}
+	r := rep.Resolved[0]
+	if r.Xid != rep.Cut.Xid || r.Committed || r.RedoneCoord || r.RedonePart {
+		t.Fatalf("resolution %+v, want presumed abort of xid %d", r, rep.Cut.Xid)
+	}
+	if !hasRow(rep.FinalState, rep.Cut.Old[0]) {
+		t.Errorf("aborted cut lost the original employee %s:\n%s", rep.Cut.Old[0], rep.FinalState)
+	}
+	if hasRow(rep.FinalState, rep.Cut.New[0]) {
+		t.Errorf("aborted cut leaked its insert half %s:\n%s", rep.Cut.New[0], rep.FinalState)
+	}
+}
+
+// TestShardedCrossCutCommitRedoesBothHalves: a power cut after the
+// commit record but before either half reaches a journal must resolve
+// to a full commit on recovery — both halves redone — even though the
+// submitter saw an error.
+func TestShardedCrossCutCommitRedoesBothHalves(t *testing.T) {
+	rep := mustRunSharded(t, ShardSchedule{Seed: 6, Ops: 12, Shards: 3, CrossCut: CrossCutCommit})
+	if rep.Cut == nil {
+		t.Fatal("no cross-shard cut candidate found")
+	}
+	if rep.Cut.Acked {
+		t.Fatalf("cut op acked despite the journal fault: %+v", rep.Cut)
+	}
+	if len(rep.Resolved) != 1 {
+		t.Fatalf("recovery resolved %d intents, want 1: %+v", len(rep.Resolved), rep.Resolved)
+	}
+	r := rep.Resolved[0]
+	if r.Xid != rep.Cut.Xid || !r.Committed || !r.RedoneCoord || !r.RedonePart {
+		t.Fatalf("resolution %+v, want committed xid %d with both halves redone", r, rep.Cut.Xid)
+	}
+	if hasRow(rep.FinalState, rep.Cut.Old[0]) {
+		t.Errorf("committed cut left the replaced employee %s behind:\n%s", rep.Cut.Old[0], rep.FinalState)
+	}
+	if !hasRow(rep.FinalState, rep.Cut.New[0]) {
+		t.Errorf("committed cut lost its insert half %s:\n%s", rep.Cut.New[0], rep.FinalState)
+	}
+}
+
+// TestShardedFaultsTriggerResurrection: journal faults confined to one
+// shard must heal through that shard's pipeline while the schedule
+// still acks work and keeps both invariants.
+func TestShardedFaultsTriggerResurrection(t *testing.T) {
+	rep := mustRunSharded(t, ShardSchedule{Seed: 7, Ops: 24, Shards: 2, Faults: [][]StorageFault{
+		{{Kind: SyncFault, At: 2}, {Kind: WriteFault, At: 1}},
+	}})
+	if rep.Resurrections < 1 {
+		t.Fatalf("shard faults drove %d resurrections, want >= 1", rep.Resurrections)
+	}
+	if rep.Acked == 0 {
+		t.Fatal("no ops acknowledged after per-shard fault recovery")
+	}
+}
+
+// TestShardedReplayDeterminism: the same schedule must reproduce the
+// same recovered state, journal accounting, and op fates.
+func TestShardedReplayDeterminism(t *testing.T) {
+	s := GenerateSharded(9, 24, 3)
+	a, b := mustRunSharded(t, s), mustRunSharded(t, s)
+	if a.FinalState != b.FinalState {
+		t.Fatalf("final state diverged between identical runs:\n1st: %s\n2nd: %s",
+			a.FinalState, b.FinalState)
+	}
+	if a.SeqSum != b.SeqSum {
+		t.Fatalf("journal seq sum diverged: %d vs %d", a.SeqSum, b.SeqSum)
+	}
+	if a.Acked != b.Acked || a.Rejected != b.Rejected || a.Failed != b.Failed {
+		t.Fatalf("op fates diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestGenerateShardedDeterminism: the same (seed, ops, shards) always
+// derives the same schedule.
+func TestGenerateShardedDeterminism(t *testing.T) {
+	a, b := GenerateSharded(4, 20, 3), GenerateSharded(4, 20, 3)
+	if a.CrossCut != b.CrossCut || len(a.Faults) != len(b.Faults) {
+		t.Fatalf("GenerateSharded not deterministic: %+v vs %+v", a, b)
+	}
+	for k := range a.Faults {
+		if len(a.Faults[k]) != len(b.Faults[k]) {
+			t.Fatalf("shard %d fault count differs", k)
+		}
+		for i := range a.Faults[k] {
+			if a.Faults[k][i] != b.Faults[k][i] {
+				t.Fatalf("shard %d fault %d differs: %+v vs %+v", k, i, a.Faults[k][i], b.Faults[k][i])
+			}
+		}
+	}
+}

@@ -31,10 +31,10 @@ type netserveMetrics struct {
 	// Latency distributions: whole-request service time per path kind,
 	// time spent waiting in the weighted fair queue, and ops carried
 	// per submit request.
-	readNs     *obs.Histogram
-	submitNs   *obs.Histogram
-	wfqWaitNs  *obs.Histogram
-	opsPerReq  *obs.Histogram
+	readNs    *obs.Histogram
+	submitNs  *obs.Histogram
+	wfqWaitNs *obs.Histogram
+	opsPerReq *obs.Histogram
 }
 
 var nsmetrics atomic.Pointer[netserveMetrics]

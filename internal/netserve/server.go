@@ -59,23 +59,15 @@ func (o Options) maxBody() int64 {
 // viewState is one named view behind the server.
 type viewState struct {
 	name  string
-	pipe  *serve.Pipeline
+	be    backend
 	syms  *value.Symbols
 	attrs []string // column names in view column order
 	width int
-	// initView/initSeq serve reads before the pipeline's first publish
-	// (Pipeline.View is nil until the first commit after read warm-up).
-	initView *relation.Relation
-	initSeq  uint64
 }
 
 // published returns the view to serve a read from right now.
 func (vs *viewState) published() (*relation.Relation, uint64, bool) {
-	v, seq, degraded := vs.pipe.Published()
-	if v == nil {
-		return vs.initView, vs.initSeq, degraded
-	}
-	return v, seq, degraded
+	return vs.be.Published()
 }
 
 // Server fronts one serve.Pipeline per named view schema with HTTP.
@@ -131,13 +123,11 @@ func (s *Server) AddView(name string, st *store.Session, syms *value.Symbols, po
 		return err
 	}
 	vs := &viewState{
-		name:     name,
-		pipe:     pipe,
-		syms:     syms,
-		attrs:    attrs,
-		width:    len(attrs),
-		initView: view,
-		initSeq:  st.Seq(),
+		name:  name,
+		be:    &pipelineBackend{pipe: pipe, initView: view, initSeq: st.Seq()},
+		syms:  syms,
+		attrs: attrs,
+		width: len(attrs),
 	}
 	s.mu.Lock()
 	_, dup := s.views[name]
@@ -175,9 +165,9 @@ func (s *Server) viewNames() []string {
 	return names
 }
 
-// Close drains every pipeline and shuts the admission gate. Each
-// pipeline's current store session (which a resurrection may have
-// swapped since AddView) is closed with it.
+// Close drains every backend and shuts the admission gate. Each
+// backend closes its own store sessions (which a resurrection may have
+// swapped since the view was added).
 func (s *Server) Close() error {
 	s.adm.Close()
 	var firstErr error
@@ -186,10 +176,7 @@ func (s *Server) Close() error {
 		if !ok {
 			continue
 		}
-		if err := vs.pipe.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-		if err := vs.pipe.Store().Close(); err != nil && firstErr == nil {
+		if err := vs.be.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -268,7 +255,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		_, seq, degraded := vs.published()
-		h.Views = append(h.Views, ViewStatus{Name: name, Seq: seq, Degraded: degraded})
+		h.Views = append(h.Views, ViewStatus{Name: name, Seq: seq, Degraded: degraded,
+			Shards: vs.be.ShardStatuses()})
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -281,7 +269,8 @@ func (s *Server) handleListViews(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		_, seq, degraded := vs.published()
-		out = append(out, ViewStatus{Name: name, Seq: seq, Degraded: degraded})
+		out = append(out, ViewStatus{Name: name, Seq: seq, Degraded: degraded,
+			Shards: vs.be.ShardStatuses()})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -490,11 +479,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	// Enqueue the whole request before waiting on any op: ops in flight
-	// together share the pipeline's group commit (one fsync).
-	pends := make([]*serve.Pending, len(ops))
+	// together share their pipeline's group commit (one fsync per
+	// touched shard).
+	pends := make([]serve.Waiter, len(ops))
 	results := make([]OpResult, len(ops))
 	for i, op := range ops {
-		pend, err := vs.pipe.ApplyAsync(r.Context(), op)
+		pend, err := vs.be.ApplyAsync(r.Context(), op)
 		if err != nil {
 			if errors.Is(err, store.ErrSessionBroken) || errors.Is(err, serve.ErrClosed) {
 				writeErr(w, http.StatusServiceUnavailable, "view %q unavailable: %v", vs.name, err)
@@ -524,7 +514,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	_, seq, degraded := vs.published()
+	// The degraded header is scoped to what this request touched: on a
+	// sharded backend a broken shard taints only submissions routed to
+	// its key range, so healthy key ranges keep reporting healthy.
+	_, seq, _ := vs.published()
+	degraded := vs.be.DegradedFor(ops)
 	w.Header().Set(HeaderDegraded, strconv.FormatBool(degraded))
 	w.Header().Set(HeaderSeq, strconv.FormatUint(seq, 10))
 	status := http.StatusOK

@@ -191,6 +191,12 @@ type request struct {
 	// enqNS is the clock reading at enqueue, for queue-deadline shedding.
 	enqNS int64
 
+	// excl marks an exclusive-access request (see Exclusive): instead of
+	// carrying an op it asks the committer to park and hand its store
+	// session to the caller. Buffered (cap 1) so the grant send never
+	// blocks. nil for ordinary ops.
+	excl chan *ExclusiveGrant
+
 	// Speculation results, written by the decider, read by the
 	// committer. speculated is false when the scratch session is
 	// degraded (see resync) and the committer should skip comparison.
@@ -493,6 +499,110 @@ func (p *Pipeline) ApplyAsync(ctx context.Context, op core.UpdateOp) (*Pending, 
 	}
 }
 
+// Waiter is the part of Pending a front-end needs: anything whose fate
+// can be awaited. The sharded layer returns its own pendings for
+// cross-shard ops, so callers that mix single- and multi-shard
+// submissions program against this interface.
+type Waiter interface {
+	Wait() (*core.Decision, error)
+}
+
+// ExclusiveGrant is exclusive ownership of the pipeline's store
+// session, handed out by Exclusive. While a grant is held the committer
+// is parked: no batch commits, no resurrection, no published-view
+// update happens until Release. The holder may read the session and
+// apply operations through it (each Apply journals and fsyncs exactly
+// as the committer's batches do); the serial-session discipline is the
+// holder's to keep.
+type ExclusiveGrant struct {
+	st   *store.Session
+	done chan exclRelease
+}
+
+// exclRelease is the holder→committer handoff ending a grant: a
+// session swap (Release) or a terminal verdict (Abandon).
+type exclRelease struct {
+	ns      *store.Session
+	abandon error
+}
+
+// Session returns the live store session the grant covers.
+func (g *ExclusiveGrant) Session() *store.Session { return g.st }
+
+// Release ends the grant and resumes the pipeline. A non-nil ns
+// replaces the pipeline's session — the holder resurrected it after
+// breaking it — exactly as the committer's own healing would have.
+// Either way the decision memo and delta state are invalidated and the
+// decider is resynced from authoritative state, since the holder may
+// have changed the database under the speculator. Release must be
+// called exactly once per grant.
+func (g *ExclusiveGrant) Release(ns *store.Session) {
+	//constvet:allow deadlineflow -- done is buffered (cap 1) and each grant ends exactly once; the send cannot block
+	g.done <- exclRelease{ns: ns}
+}
+
+// Abandon ends the grant by latching the pipeline broken with err:
+// queued and future ops fail fast with the error and nothing further
+// touches the store until a fresh recovery reopens it. The two-phase
+// cross-shard path uses it to fence a shard whose commit outcome is
+// genuinely in doubt — applying any later op could collide with what
+// recovery resolution will redo. Call exactly once, instead of Release.
+func (g *ExclusiveGrant) Abandon(err error) {
+	//constvet:allow deadlineflow -- done is buffered (cap 1) and each grant ends exactly once; the send cannot block
+	g.done <- exclRelease{abandon: err}
+}
+
+// Exclusive enqueues a request for exclusive access to the store
+// session and blocks until every op ahead of it has committed and the
+// committer parks. The two-phase cross-shard commit in internal/shard
+// uses it to fence a shard while intent/commit records and op halves
+// land on several shards atomically. ctx bounds the queue wait the same
+// way it does for ApplyAsync; once the request is admitted the grant
+// always arrives and the caller must end it (Release or Abandon).
+func (p *Pipeline) Exclusive(ctx context.Context) (*ExclusiveGrant, error) {
+	if err := p.brokenErr(); err != nil {
+		return nil, fmt.Errorf("%w: %w", store.ErrSessionBroken, err)
+	}
+	r := &request{ctx: ctx, op: core.UpdateOp{}, done: make(chan result, 1),
+		enqNS: p.clock.NowNS(), excl: make(chan *ExclusiveGrant, 1)}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	if p.opts.ShedOnFull {
+		select {
+		case p.submit <- r:
+			p.mu.RUnlock()
+		default:
+			p.mu.RUnlock()
+			if m := svmetrics.Load(); m != nil {
+				m.shed.Inc()
+			}
+			return nil, ErrShed
+		}
+	} else {
+		//constvet:allow lockhold -- RLock only fences Close; the decider drains submit without touching mu, so the send makes progress while readers hold the lock
+		select {
+		case p.submit <- r:
+			p.mu.RUnlock()
+		case <-ctx.Done():
+			p.mu.RUnlock()
+			return nil, ctx.Err()
+		}
+	}
+	// The grant or a terminal error always arrives: the decider forwards
+	// or fails every admitted request, and the committer grants every
+	// forwarded exclusive. Waiting on ctx here would leak the grant.
+	//constvet:allow deadlineflow -- every admitted exclusive is either granted or acked with an error; abandoning the wait on ctx would orphan the grant and deadlock the committer
+	select {
+	case g := <-r.excl:
+		return g, nil
+	case res := <-r.done:
+		return nil, res.err
+	}
+}
+
 // Close stops accepting submissions, drains every op already accepted
 // (each still gets its decided-and-durable acknowledgement), shuts both
 // goroutines down, and returns the broken-session error if the store
@@ -586,6 +696,19 @@ func (p *Pipeline) speculate(scratch *core.Session, offset, gen uint64, reqs []*
 			if m != nil {
 				m.shed.Inc()
 			}
+			continue
+		}
+		if r.excl != nil {
+			// Exclusive access: flush what is already speculated so queue
+			// order is preserved, then forward the request alone — the
+			// committer grants it only after every earlier op committed.
+			if len(live) > 0 {
+				//constvet:allow deadlineflow -- same backpressure as the batch send below: the committer drains commit until the decider closes it
+				p.commit <- &batch{reqs: live, gen: gen}
+				live = nil
+			}
+			//constvet:allow deadlineflow -- same backpressure as the batch send below: the committer drains commit until the decider closes it
+			p.commit <- &batch{reqs: []*request{r}, gen: gen}
 			continue
 		}
 		if scratch == nil {
@@ -686,6 +809,10 @@ func (p *Pipeline) commitBatch(b *batch) {
 		}
 		return
 	}
+	if len(b.reqs) == 1 && b.reqs[0].excl != nil {
+		p.grantExclusive(b.reqs[0])
+		return
+	}
 	st := p.store()
 	stale := b.gen != p.genWanted.Load()
 	if stale {
@@ -748,6 +875,51 @@ func (p *Pipeline) commitBatch(b *batch) {
 		// Order matters: bump the generation first so the decider
 		// stops seeding, then wipe whatever it already planted —
 		// decision seeds and maintained delta state alike.
+		p.genWanted.Add(1)
+		st.InvalidateDecisions()
+		st.InvalidateDeltas()
+		p.postResync(resyncMsg{db: st.Database(), ver: st.ViewVersion(), gen: p.genWanted.Load()})
+	}
+	p.publishView(st)
+}
+
+// grantExclusive parks the committer for the duration of an exclusive
+// grant: it hands the live session to the waiting Exclusive caller and
+// blocks until Release. The holder may have mutated the database (and
+// may even have swapped the session after breaking it), so resumption
+// mirrors a resurrection: generation bump, memo/delta invalidation, and
+// a decider resync from authoritative state. Committer goroutine only.
+func (p *Pipeline) grantExclusive(r *request) {
+	if err := r.ctx.Err(); err != nil {
+		r.ack(result{err: err})
+		return
+	}
+	st := p.store()
+	g := &ExclusiveGrant{st: st, done: make(chan exclRelease, 1)}
+	//constvet:allow deadlineflow -- excl is buffered (cap 1) and granted exactly once; the send cannot block
+	r.excl <- g
+	// Park until the holder releases. Exclusive's contract obliges every
+	// granted caller to end the grant exactly once, so the receive
+	// terminates.
+	//constvet:allow deadlineflow -- the grant contract obliges the holder to Release or Abandon exactly once; parking the committer IS the exclusivity being granted
+	rel := <-g.done
+	if rel.abandon != nil {
+		// The holder declared the shard unusable (in-doubt two-phase
+		// outcome). Latch: queued and future ops fail fast, reads keep
+		// serving the last published view.
+		p.latch(nil, nil, rel.abandon)
+		return
+	}
+	ns := rel.ns
+	if ns != nil && ns != st {
+		// The holder broke and resurrected the session (installSession
+		// bumps the generation, invalidates, and resyncs the decider).
+		if m := svmetrics.Load(); m != nil {
+			m.resurrections.Inc()
+		}
+		p.installSession(ns)
+		st = ns
+	} else {
 		p.genWanted.Add(1)
 		st.InvalidateDecisions()
 		st.InvalidateDeltas()

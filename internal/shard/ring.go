@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+// virtualNodes is the number of ring points each shard owns. More
+// points smooth the key distribution; 32 keeps the worst shard within
+// a few percent of fair share for realistic key counts.
+const virtualNodes = 32
+
+// Router is the static placement table: a hash ring over 64-bit
+// FNV-1a. Keys hash by constant *name*, never by interned id — ids
+// depend on a process's interning order, and placement must agree
+// between the process that wrote a shard and the one recovering it
+// (the same reason the journal encodes names).
+type Router struct {
+	shards int
+	keyCol int
+	syms   *value.Symbols
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRouter builds the placement table for `shards` shards. keyCol is
+// the key attribute's column within view tuples and syms resolves
+// their constants to names; callers that only route raw key names
+// (ShardOfName) may pass keyCol 0 and a nil syms.
+func NewRouter(shards, keyCol int, syms *value.Symbols) (*Router, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: router needs at least 1 shard, got %d", shards)
+	}
+	r := &Router{shards: shards, keyCol: keyCol, syms: syms,
+		points: make([]ringPoint, 0, shards*virtualNodes)}
+	for k := 0; k < shards; k++ {
+		for v := 0; v < virtualNodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  fnv1a(fmt.Sprintf("shard-%d-vnode-%d", k, v)),
+				shard: k,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// Shards returns K.
+func (r *Router) Shards() int { return r.shards }
+
+// fnv1a is 64-bit FNV-1a with a murmur-style avalanche finalizer:
+// stable across processes and architectures, cheap enough for the
+// per-op routing path. The finalizer matters for ring placement: raw
+// FNV perturbs the hash by only ~c·prime per trailing character, a
+// sliver of the 2^64 ring, so names differing in their last digits
+// would otherwise cluster onto the same arc (and the same shard).
+func fnv1a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ShardOfName places one raw key name on the ring: the first virtual
+// node at or clockwise of the key's hash owns it.
+func (r *Router) ShardOfName(name string) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := fnv1a(name)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].shard
+}
+
+// shardOfTuple places a view tuple by its key column.
+func (r *Router) shardOfTuple(t relation.Tuple) int {
+	return r.ShardOfName(r.syms.Name(t[r.keyCol]))
+}
+
+// ShardOf routes an update op: the shard owning op.Tuple's key. For a
+// cross-shard replacement this is the coordinator.
+func (r *Router) ShardOf(op core.UpdateOp) int {
+	return r.shardOfTuple(op.Tuple)
+}
+
+// Placement returns every shard op touches: the coordinator (the shard
+// owning op.Tuple) and, for a replacement whose With tuple keys onto a
+// different shard, that participant. cross is false whenever one shard
+// covers the whole op — the fast path.
+func (r *Router) Placement(op core.UpdateOp) (coord, part int, cross bool) {
+	coord = r.shardOfTuple(op.Tuple)
+	part = coord
+	if op.Kind == core.UpdateReplace && len(op.With) > r.keyCol {
+		part = r.shardOfTuple(op.With)
+	}
+	return coord, part, coord != part
+}

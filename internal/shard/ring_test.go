@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/constcomp/constcomp/internal/core"
+	"github.com/constcomp/constcomp/internal/relation"
+	"github.com/constcomp/constcomp/internal/value"
+)
+
+func TestRouterRejectsZeroShards(t *testing.T) {
+	if _, err := NewRouter(0, 0, nil); err == nil {
+		t.Fatal("NewRouter(0) succeeded")
+	}
+}
+
+func TestRouterK1RoutesEverythingToZero(t *testing.T) {
+	r, err := NewRouter(1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.ShardOfName(fmt.Sprintf("key%d", i)); got != 0 {
+			t.Fatalf("K=1 routed key%d to shard %d", i, got)
+		}
+	}
+}
+
+func TestRouterDistribution(t *testing.T) {
+	const k, keys = 4, 4000
+	r, err := NewRouter(k, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, k)
+	for i := 0; i < keys; i++ {
+		s := r.ShardOfName(fmt.Sprintf("key%d", i))
+		if s < 0 || s >= k {
+			t.Fatalf("shard %d out of range", s)
+		}
+		counts[s]++
+	}
+	// With 32 virtual nodes per shard the worst shard should stay well
+	// inside a 2x band around fair share.
+	fair := keys / k
+	for s, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("shard %d owns %d of %d keys (fair share %d): ring too lumpy", s, c, keys, fair)
+		}
+	}
+}
+
+func TestRouterStableAcrossInstances(t *testing.T) {
+	a, _ := NewRouter(8, 0, nil)
+	b, _ := NewRouter(8, 0, nil)
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("key%d", i)
+		if a.ShardOfName(name) != b.ShardOfName(name) {
+			t.Fatalf("placement of %s differs between identical routers", name)
+		}
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	syms := value.NewSymbols()
+	r, err := NewRouter(4, 0, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := func(e, d string) relation.Tuple {
+		return relation.Tuple{syms.Const(e), syms.Const(d)}
+	}
+
+	// Inserts and deletes are always single-shard.
+	for i := 0; i < 50; i++ {
+		e := fmt.Sprintf("emp%d", i)
+		for _, op := range []core.UpdateOp{core.Insert(tup(e, "d0")), core.Delete(tup(e, "d0"))} {
+			c, p, cross := r.Placement(op)
+			if cross || c != p || c != r.ShardOfName(e) {
+				t.Fatalf("%v: placement (%d,%d,%v), want single-shard on %d", op.Kind, c, p, cross, r.ShardOfName(e))
+			}
+		}
+	}
+
+	// A replace keeping its key — even with a new dept — never crosses.
+	for i := 0; i < 50; i++ {
+		e := fmt.Sprintf("emp%d", i)
+		c, p, cross := r.Placement(core.Replace(tup(e, "d0"), tup(e, "d1")))
+		if cross || c != p {
+			t.Fatalf("same-key replace of %s crossed shards (%d,%d)", e, c, p)
+		}
+	}
+
+	// A key-moving replace crosses exactly when the two keys hash apart,
+	// with the old tuple's shard as coordinator.
+	sawCross := false
+	for i := 0; i < 50; i++ {
+		e1, e2 := fmt.Sprintf("emp%d", i), fmt.Sprintf("new%d", i)
+		c, p, cross := r.Placement(core.Replace(tup(e1, "d0"), tup(e2, "d0")))
+		if c != r.ShardOfName(e1) || p != r.ShardOfName(e2) {
+			t.Fatalf("replace %s->%s placed (%d,%d), want (%d,%d)",
+				e1, e2, c, p, r.ShardOfName(e1), r.ShardOfName(e2))
+		}
+		if cross != (c != p) {
+			t.Fatalf("replace %s->%s cross=%v with coord %d part %d", e1, e2, cross, c, p)
+		}
+		sawCross = sawCross || cross
+	}
+	if !sawCross {
+		t.Fatal("no key pair among 50 hashed onto different shards; ring suspicious")
+	}
+}

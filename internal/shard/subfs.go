@@ -1,0 +1,51 @@
+// Package shard hash-partitions one constant-complement base instance
+// into K independent durable shards, each with its own journal,
+// snapshot, txlog, and group-commit pipeline, behind a static hash ring
+// that routes every update by its key attribute (Router.ShardOf).
+//
+// Single-shard ops — the overwhelming majority under zipfian traffic —
+// take exactly today's fast path: Multi.ApplyAsync forwards them to the
+// owning shard's serve.Pipeline untouched, so their decide cost scales
+// with that shard's slice of the instance, not the whole of it. An op
+// whose translation touches tuples on two shards (a replacement that
+// moves a key between shards) runs a two-phase commit over sidecar
+// transaction logs: an intent record fsynced on every participant,
+// then a commit record fsynced on the coordinator (the commit point),
+// then the two halves applied and journaled per shard. Recovery
+// resolves in-doubt intents by consulting the coordinator shard's
+// txlog: a durable commit record means redo, anything less means the
+// op never happened. See DESIGN.md "Sharding & placement".
+package shard
+
+import (
+	"github.com/constcomp/constcomp/internal/store"
+)
+
+// subFS exposes one shard's namespace inside a shared FS by prefixing
+// every name. It lets K shards share a single MemFS in tests — one
+// MemFS.Crash then models a machine-wide power cut across every shard,
+// exactly what the cross-shard crash matrix needs.
+type subFS struct {
+	fs     store.FS
+	prefix string
+}
+
+// SubFS returns an FS view of fsys in which every name is prefixed
+// with prefix (typically "s0/", "s1/", ...). SyncDir syncs the parent
+// namespace — conservative (it makes sibling shards' namespace changes
+// durable too), never weaker than a per-shard directory fsync.
+func SubFS(fsys store.FS, prefix string) store.FS {
+	return &subFS{fs: fsys, prefix: prefix}
+}
+
+func (s *subFS) Create(name string) (store.File, error)     { return s.fs.Create(s.prefix + name) }
+func (s *subFS) OpenAppend(name string) (store.File, error) { return s.fs.OpenAppend(s.prefix + name) }
+func (s *subFS) Open(name string) (store.File, error)       { return s.fs.Open(s.prefix + name) }
+func (s *subFS) Rename(oldname, newname string) error {
+	return s.fs.Rename(s.prefix+oldname, s.prefix+newname)
+}
+func (s *subFS) Remove(name string) error { return s.fs.Remove(s.prefix + name) }
+func (s *subFS) Truncate(name string, size int64) error {
+	return s.fs.Truncate(s.prefix+name, size)
+}
+func (s *subFS) SyncDir() error { return s.fs.SyncDir() }

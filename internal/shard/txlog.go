@@ -1,0 +1,342 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+
+	"github.com/constcomp/constcomp/internal/store"
+)
+
+// TxLogFile is the per-shard sidecar transaction log's file name,
+// alongside store.JournalFile and store.SnapshotFile in the shard's FS
+// root. It lives outside the store journal on purpose: the journal's
+// record kinds are a closed set the recovery replayer trusts, and
+// two-phase bookkeeping must never be replayable as a data op.
+const TxLogFile = "txlog"
+
+// Tx record kinds.
+const (
+	txIntent byte = iota
+	txCommit
+	txDone
+)
+
+// Txlog record framing mirrors the store journal (u32 LE payload
+// length, u32 LE CRC32-C, payload), with payloads:
+//
+//	intent: uvarint xid, byte kind=0, uvarint coord, uvarint part,
+//	        tuple old, tuple new   — tuples as constant *names*
+//	commit: uvarint xid, byte kind=1
+//	done:   uvarint xid, byte kind=2
+//
+// An intent names the full cross-shard replacement so recovery can
+// redo either half from the record alone. Names, not interned ids,
+// for the same reason the journal uses names: interning order differs
+// across processes.
+
+var txCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const txHeaderLen = 8
+
+// maxTxPayload bounds one record; a longer declared length is damage.
+const maxTxPayload = 1 << 20
+
+// TxRecord is one decoded txlog entry.
+type TxRecord struct {
+	Xid  uint64
+	Kind byte
+	// Intent fields (zero for commit/done records).
+	Coord int
+	Part  int
+	Old   []string // the replaced view tuple, owned by Coord
+	New   []string // the replacement view tuple, owned by Part
+}
+
+func appendNames(dst []byte, names []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
+	for _, n := range names {
+		dst = binary.AppendUvarint(dst, uint64(len(n)))
+		dst = append(dst, n...)
+	}
+	return dst
+}
+
+func frameTx(payload []byte) []byte {
+	rec := make([]byte, txHeaderLen, txHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, txCastagnoli))
+	return append(rec, payload...)
+}
+
+func encodeIntent(r TxRecord) []byte {
+	payload := binary.AppendUvarint(nil, r.Xid)
+	payload = append(payload, txIntent)
+	payload = binary.AppendUvarint(payload, uint64(r.Coord))
+	payload = binary.AppendUvarint(payload, uint64(r.Part))
+	payload = appendNames(payload, r.Old)
+	payload = appendNames(payload, r.New)
+	return frameTx(payload)
+}
+
+func encodeMark(xid uint64, kind byte) []byte {
+	payload := binary.AppendUvarint(nil, xid)
+	payload = append(payload, kind)
+	return frameTx(payload)
+}
+
+type txReader struct {
+	data []byte
+	off  int
+}
+
+func (r *txReader) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	r.off += n
+	return v, true
+}
+
+func (r *txReader) names() ([]string, bool) {
+	w, ok := r.uvarint()
+	if !ok || w > uint64(len(r.data)-r.off) {
+		return nil, false
+	}
+	out := make([]string, w)
+	for i := range out {
+		n, ok := r.uvarint()
+		if !ok || n > uint64(len(r.data)-r.off) {
+			return nil, false
+		}
+		out[i] = string(r.data[r.off : r.off+int(n)])
+		r.off += int(n)
+	}
+	return out, true
+}
+
+// decodeTxRecord parses one record from the front of data. Same error
+// taxonomy as the journal: ErrTorn for a partial tail, ErrCorrupt for
+// complete-looking bytes that do not check out.
+func decodeTxRecord(data []byte) (TxRecord, int, error) {
+	if len(data) < txHeaderLen {
+		return TxRecord{}, 0, store.ErrTorn
+	}
+	plen := binary.LittleEndian.Uint32(data[0:4])
+	if plen > maxTxPayload {
+		return TxRecord{}, 0, store.ErrCorrupt
+	}
+	if uint64(len(data)-txHeaderLen) < uint64(plen) {
+		return TxRecord{}, 0, store.ErrTorn
+	}
+	payload := data[txHeaderLen : txHeaderLen+int(plen)]
+	if crc32.Checksum(payload, txCastagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
+		return TxRecord{}, 0, store.ErrCorrupt
+	}
+	r := txReader{data: payload}
+	var rec TxRecord
+	var ok bool
+	if rec.Xid, ok = r.uvarint(); !ok {
+		return TxRecord{}, 0, store.ErrCorrupt
+	}
+	if r.off >= len(payload) {
+		return TxRecord{}, 0, store.ErrCorrupt
+	}
+	rec.Kind = payload[r.off]
+	r.off++
+	switch rec.Kind {
+	case txCommit, txDone:
+	case txIntent:
+		coord, ok := r.uvarint()
+		if !ok {
+			return TxRecord{}, 0, store.ErrCorrupt
+		}
+		part, ok2 := r.uvarint()
+		if !ok2 {
+			return TxRecord{}, 0, store.ErrCorrupt
+		}
+		rec.Coord, rec.Part = int(coord), int(part)
+		if rec.Old, ok = r.names(); !ok {
+			return TxRecord{}, 0, store.ErrCorrupt
+		}
+		if rec.New, ok = r.names(); !ok {
+			return TxRecord{}, 0, store.ErrCorrupt
+		}
+	default:
+		return TxRecord{}, 0, store.ErrCorrupt
+	}
+	if r.off != len(payload) {
+		return TxRecord{}, 0, store.ErrCorrupt
+	}
+	return rec, txHeaderLen + int(plen), nil
+}
+
+// TxScan is a decoded txlog image: the intact record prefix and where
+// it ends. Damage past GoodBytes is the residue of a crash mid-append
+// and is cut by repair.
+type TxScan struct {
+	Records   []TxRecord
+	GoodBytes int64
+	Damaged   bool
+}
+
+// scanTx decodes records until the bytes run out or stop checking out.
+func scanTx(data []byte) TxScan {
+	var s TxScan
+	for int(s.GoodBytes) < len(data) {
+		rec, n, err := decodeTxRecord(data[s.GoodBytes:])
+		if err != nil {
+			s.Damaged = true
+			break
+		}
+		s.Records = append(s.Records, rec)
+		s.GoodBytes += int64(n)
+	}
+	return s
+}
+
+// ReadTxLog scans a shard's txlog from fsys. A missing file reads as
+// empty (the shard has never coordinated or participated in a
+// cross-shard op).
+func ReadTxLog(fsys store.FS) (TxScan, error) {
+	f, err := fsys.Open(TxLogFile)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return TxScan{}, nil
+		}
+		return TxScan{}, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return TxScan{}, err
+	}
+	return scanTx(data), nil
+}
+
+// TxLog is one shard's append-only two-phase sidecar log. It is owned
+// by the cross-shard commit path, which runs under Multi's exclusive
+// lock — one writer at a time, by construction.
+type TxLog struct {
+	fsys store.FS
+	f    store.File
+	// size counts bytes of fully written records. After a failed or
+	// short write the file may hold a torn prefix *past* size; repair
+	// truncates back to size before any retry can append behind garbage
+	// the scanner would stop at.
+	size int64
+}
+
+// createTxLog starts an empty txlog, truncating any previous contents;
+// the caller makes the namespace change durable (SyncDir) before
+// trusting any append.
+func createTxLog(fsys store.FS) (*TxLog, error) {
+	f, err := fsys.Create(TxLogFile)
+	if err != nil {
+		return nil, err
+	}
+	return &TxLog{fsys: fsys, f: f}, nil
+}
+
+// repair cuts a torn tail left by a failed append: truncate back to
+// the last fully written record (durable on return). The write handle
+// stays open — both FS implementations write append-only (O_APPEND /
+// entry-tail), so the next write lands at the new end. Without this, a
+// retried append would land after the garbage and be invisible to
+// every future scan — an intent that "succeeded on retry" yet never
+// resolves.
+func (l *TxLog) repair() error {
+	if err := l.fsys.Truncate(TxLogFile, l.size); err != nil {
+		return fmt.Errorf("shard: txlog repair truncate: %w", err)
+	}
+	return nil
+}
+
+// write appends rec's bytes, repairing the torn tail on failure so a
+// later append starts clean. Durability is the caller's concern.
+func (l *TxLog) write(rec []byte) error {
+	n, werr := l.f.Write(rec)
+	var err error
+	switch {
+	case werr != nil:
+		err = fmt.Errorf("shard: txlog write (%d/%d bytes): %w", n, len(rec), werr)
+	case n < len(rec):
+		err = fmt.Errorf("shard: short txlog write (%d/%d bytes)", n, len(rec))
+	default:
+		l.size += int64(len(rec))
+		return nil
+	}
+	if rerr := l.repair(); rerr != nil {
+		return fmt.Errorf("%w (and %v)", err, rerr)
+	}
+	return err
+}
+
+// ErrTxIndeterminate marks a txlog append whose bytes were written but
+// whose fsync failed: the record may or may not be durable. The commit
+// path treats it differently from a plain write failure — an
+// indeterminate record cannot simply be presumed absent.
+var ErrTxIndeterminate = errors.New("shard: txlog record durability indeterminate")
+
+// append writes rec and fsyncs. A failed or short write is repaired
+// (tail truncated) before return and the record is certainly absent; a
+// failed sync returns ErrTxIndeterminate — the caller retries Sync or
+// escalates.
+func (l *TxLog) append(rec []byte) error {
+	if err := l.write(rec); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("%w: %v", ErrTxIndeterminate, err)
+	}
+	return nil
+}
+
+// AppendIntent makes a cross-shard intent durable: the op, its
+// coordinator, and its participant, fsynced before return. This is the
+// first phase; until the coordinator's commit record is durable the op
+// is presumed aborted.
+func (l *TxLog) AppendIntent(rec TxRecord) error {
+	return l.append(encodeIntent(rec))
+}
+
+// AppendCommit makes xid's commit record durable on the coordinator's
+// txlog — the commit point of the two-phase protocol. It must only be
+// called after AppendIntent succeeded on every participant (constvet's
+// fsyncorder analyzer enforces the dominance).
+func (l *TxLog) AppendCommit(xid uint64) error {
+	return l.append(encodeMark(xid, txCommit))
+}
+
+// AppendDone marks xid fully applied (or deliberately aborted) on this
+// shard, letting recovery skip it. Durability is advisory: a lost done
+// record only costs recovery a redundant, idempotent resolution.
+func (l *TxLog) AppendDone(xid uint64) error {
+	return l.write(encodeMark(xid, txDone))
+}
+
+// Sync fsyncs the txlog without appending — the retry primitive for an
+// indeterminate AppendIntent/AppendCommit whose bytes were written but
+// whose sync failed.
+func (l *TxLog) Sync() error { return l.f.Sync() }
+
+// Reset durably empties the txlog (FS.Truncate is durable on return).
+// The commit path calls it after both halves of a cross-shard op are in
+// their shards' journals — the records have served their purpose — and
+// to demote an indeterminate commit record into a durable abort:
+// truncating the maybe-durable record is the one way to force the
+// presumed-abort reading on every future recovery.
+func (l *TxLog) Reset() error {
+	if err := l.fsys.Truncate(TxLogFile, 0); err != nil {
+		return fmt.Errorf("shard: txlog reset: %w", err)
+	}
+	l.size = 0
+	return nil
+}
+
+// Close releases the file handle.
+func (l *TxLog) Close() error { return l.f.Close() }
